@@ -1,0 +1,401 @@
+package nccrepro
+
+// One testing.B benchmark per experiment row of DESIGN.md's index. The
+// interesting metric of the NCC model is rounds (and message counts), not
+// wall-clock time, so every benchmark reports rounds/op, msgs/op and
+// maxRecvLoad/op via b.ReportMetric; ns/op measures only the simulator.
+// `go test -bench=. -benchmem` regenerates the whole set; cmd/nccbench
+// prints the same data as readable tables with the theory-bound columns.
+
+import (
+	"testing"
+
+	"ncc/internal/baseline"
+	"ncc/internal/bench"
+	"ncc/internal/comm"
+	"ncc/internal/core"
+	"ncc/internal/graph"
+	"ncc/internal/kmachine"
+	"ncc/internal/ncc"
+)
+
+func report(b *testing.B, st ncc.Stats) {
+	b.ReportMetric(float64(st.Rounds), "rounds/op")
+	b.ReportMetric(float64(st.Messages), "msgs/op")
+	b.ReportMetric(float64(st.MaxRecvOffered), "maxRecvLoad/op")
+	if st.Dropped() != 0 {
+		b.Fatalf("benchmark run dropped %d messages", st.Dropped())
+	}
+}
+
+// reportLossy is report for the naive baselines, whose entire point is that
+// they overload receivers under tight capacities: drops are a measurement,
+// not a failure.
+func reportLossy(b *testing.B, st ncc.Stats) {
+	b.ReportMetric(float64(st.Rounds), "rounds/op")
+	b.ReportMetric(float64(st.Messages), "msgs/op")
+	b.ReportMetric(float64(st.MaxRecvOffered), "maxRecvLoad/op")
+	b.ReportMetric(float64(st.Dropped()), "dropped/op")
+}
+
+// BenchmarkMST regenerates experiment T1-MST (Table 1 row 1, Theorem 3.2).
+func BenchmarkMST(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(sizeName("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := bench.MeasureMST(n, 3*n, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkMSTCentralizedBaseline is T1-MST's gather-and-solve comparator.
+func BenchmarkMSTCentralizedBaseline(b *testing.B) {
+	for _, n := range []int{64, 128} {
+		b.Run(sizeName("n", n), func(b *testing.B) {
+			g := graph.GNM(n, 3*n, 42)
+			wg := graph.RandomWeights(g, int64(n)*int64(n), 43)
+			for i := 0; i < b.N; i++ {
+				st, err := ncc.Run(ncc.Config{N: n, Seed: 42, Strict: true}, func(ctx *ncc.Context) {
+					baseline.CentralizedMST(comm.NewSession(ctx), wg)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkBFS regenerates experiment T1-BFS (Table 1 row 2, Theorem 5.2).
+func BenchmarkBFS(b *testing.B) {
+	cases := map[string]*graph.Graph{
+		"grid8x8": graph.Grid(8, 8),
+		"tree127": graph.BinaryTree(127),
+		"gnp128":  graph.GNP(128, 0.05, 7),
+		"star128": graph.Star(128),
+	}
+	for name, g := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := bench.MeasureBFS(g, 0, 11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkNaiveBFS is T1-BFS's flooding comparator (ablation A3).
+func BenchmarkNaiveBFS(b *testing.B) {
+	cases := map[string]*graph.Graph{
+		"grid8x8": graph.Grid(8, 8),
+		"star128": graph.Star(128),
+	}
+	for name, g := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := ncc.Run(ncc.Config{N: g.N(), CapFactor: 1, Seed: 5}, func(ctx *ncc.Context) {
+					baseline.NaiveBFS(comm.NewSession(ctx), g, 0)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportLossy(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkMIS regenerates experiment T1-MIS (Table 1 row 3, Theorem 5.3).
+func BenchmarkMIS(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(sizeName("arbo", k), func(b *testing.B) {
+			g := graph.KForest(96, k, 100+int64(k))
+			for i := 0; i < b.N; i++ {
+				_, st, err := core.RunMIS(ncc.Config{N: g.N(), Seed: 3, Strict: true}, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkMatching regenerates experiment T1-MM (Table 1 row 4, Thm 5.4).
+func BenchmarkMatching(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(sizeName("arbo", k), func(b *testing.B) {
+			g := graph.KForest(96, k, 200+int64(k))
+			for i := 0; i < b.N; i++ {
+				_, st, err := core.RunMatching(ncc.Config{N: g.N(), Seed: 5, Strict: true}, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkColoring regenerates experiment T1-COL (Table 1 row 5, Thm 5.5).
+func BenchmarkColoring(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(sizeName("arbo", k), func(b *testing.B) {
+			g := graph.KForest(96, k, 300+int64(k))
+			for i := 0; i < b.N; i++ {
+				_, st, err := core.RunColoring(ncc.Config{N: g.N(), Seed: 7, Strict: true}, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkOrientation regenerates experiment E-ORI (Theorem 4.12).
+func BenchmarkOrientation(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(sizeName("arbo", k), func(b *testing.B) {
+			g := graph.KForest(96, k, 400+int64(k))
+			for i := 0; i < b.N; i++ {
+				_, st, err := core.RunOrientation(ncc.Config{N: g.N(), Seed: 9, Strict: true}, g, core.OrientParams{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkAggregateBroadcast regenerates experiment E-AAB (Theorem 2.2).
+func BenchmarkAggregateBroadcast(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(sizeName("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := ncc.Run(ncc.Config{N: n, Seed: 1, Strict: true}, func(ctx *ncc.Context) {
+					s := comm.NewSession(ctx)
+					s.AggregateAndBroadcast(comm.U64(1), true, comm.CombineSum)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkAggregation regenerates experiment E-AGG (Theorem 2.3): load sweep.
+func BenchmarkAggregation(b *testing.B) {
+	const n = 128
+	for _, members := range []int{1, 4, 16} {
+		b.Run(sizeName("members", members), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := ncc.Run(ncc.Config{N: n, Seed: 13, Strict: true}, func(ctx *ncc.Context) {
+					s := comm.NewSession(ctx)
+					me := ctx.ID()
+					var items []comm.Agg
+					for j := 0; j < members; j++ {
+						g := (me + j*37 + 1) % n
+						items = append(items, comm.Agg{Group: uint64(g), Target: g, Val: comm.U64(1)})
+					}
+					s.Aggregate(items, comm.CombineSum, members)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkTreeSetupAndMulticast regenerates E-TREE and E-MC (Thms 2.4/2.5).
+func BenchmarkTreeSetupAndMulticast(b *testing.B) {
+	const n = 128
+	for _, members := range []int{1, 4, 16} {
+		b.Run(sizeName("members", members), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := ncc.Run(ncc.Config{N: n, Seed: 17, Strict: true}, func(ctx *ncc.Context) {
+					s := comm.NewSession(ctx)
+					me := ctx.ID()
+					var items []comm.TreeItem
+					for j := 0; j < members; j++ {
+						items = append(items, comm.TreeItem{Group: uint64((me + j*13 + 1) % n), Origin: me})
+					}
+					trees := s.SetupTrees(items)
+					s.Multicast(trees, true, uint64(me), comm.U64(1), members)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkMultiAggregation regenerates E-MC's Theorem 2.6 half over
+// orientation-built broadcast trees.
+func BenchmarkMultiAggregation(b *testing.B) {
+	g := graph.KForest(96, 2, 9)
+	b.Run("kforest96", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := ncc.Run(ncc.Config{N: g.N(), Seed: 19, Strict: true}, func(ctx *ncc.Context) {
+				s := comm.NewSession(ctx)
+				o := core.Orient(s, g, core.OrientParams{})
+				trees, _ := core.BroadcastTrees(s, g, o)
+				s.MultiAggregate(trees, true, uint64(ctx.ID()), comm.U64(uint64(ctx.ID())), comm.CombineMin)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, st)
+		}
+	})
+}
+
+// BenchmarkGossip regenerates E-CAP's Theta(n/log n) gossip bound.
+func BenchmarkGossip(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(sizeName("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := ncc.Run(ncc.Config{N: n, CapFactor: 1, Seed: 3, Strict: true}, func(ctx *ncc.Context) {
+					baseline.Gossip(ctx, uint64(ctx.ID()))
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkBroadcast compares direct Theta(n/cap) against butterfly O(log n)
+// broadcast (E-CAP).
+func BenchmarkBroadcast(b *testing.B) {
+	const n = 1024
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := ncc.Run(ncc.Config{N: n, CapFactor: 1, Seed: 3, Strict: true}, func(ctx *ncc.Context) {
+				baseline.DirectBroadcast(ctx, 0, 5)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, st)
+		}
+	})
+	b.Run("butterfly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := ncc.Run(ncc.Config{N: n, CapFactor: 1, Seed: 3, Strict: true}, func(ctx *ncc.Context) {
+				baseline.ButterflyBroadcast(comm.NewSession(ctx), 0, 5)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, st)
+		}
+	})
+}
+
+// BenchmarkKMachine regenerates experiment E-KM (Appendix A, Corollary 2).
+func BenchmarkKMachine(b *testing.B) {
+	g := graph.Grid(8, 8)
+	program := func(ctx *ncc.Context) {
+		s := comm.NewSession(ctx)
+		o := core.Orient(s, g, core.OrientParams{})
+		trees, lhat := core.BroadcastTrees(s, g, o)
+		core.BFS(s, g, trees, lhat, 0)
+	}
+	for _, k := range []int{2, 4, 8} {
+		b.Run(sizeName("k", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, st, err := kmachine.Simulate(k, 4, ncc.Config{N: g.N(), Seed: 5, Strict: true}, program)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.KRounds), "kRounds/op")
+				report(b, st)
+			}
+		})
+	}
+}
+
+// BenchmarkTreeSetupStar is ablation A1: naive vs orientation-based
+// broadcast-tree setup on the paper's star worst case.
+func BenchmarkTreeSetupStar(b *testing.B) {
+	star := graph.Star(256)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := ncc.Run(ncc.Config{N: star.N(), Seed: 31, Strict: true}, func(ctx *ncc.Context) {
+				baseline.NaiveTreeSetup(comm.NewSession(ctx), star)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, st)
+		}
+	})
+	b.Run("oriented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := ncc.Run(ncc.Config{N: star.N(), Seed: 31, Strict: true}, func(ctx *ncc.Context) {
+				s := comm.NewSession(ctx)
+				o := core.Orient(s, star, core.OrientParams{})
+				core.BroadcastTrees(s, star, o)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, st)
+		}
+	})
+}
+
+// BenchmarkSimulatorThroughput measures the raw simulator (rounds/sec with a
+// trivial program), to separate harness cost from algorithm cost.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const n = 256
+	for i := 0; i < b.N; i++ {
+		_, err := ncc.Run(ncc.Config{N: n, Seed: 1}, func(ctx *ncc.Context) {
+			for r := 0; r < 100; r++ {
+				ctx.Send((ctx.ID()+1)%n, ncc.Word(1))
+				ctx.EndRound()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(100*b.N), "simRounds")
+}
+
+func sizeName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

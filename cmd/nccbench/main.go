@@ -1,0 +1,52 @@
+// Command nccbench regenerates the paper's evaluation: every Table 1 row and
+// every theorem-level bound as a measured table (see DESIGN.md's experiment
+// index).
+//
+// Usage:
+//
+//	nccbench -list
+//	nccbench -exp mst
+//	nccbench -exp all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ncc/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name (see -list) or 'all'")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			fmt.Printf("\n### experiment %s — %s\n", e.Name, e.Desc)
+			if err := e.Run(os.Stdout, *quick); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.Name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, ok := bench.Get(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("### experiment %s — %s\n", e.Name, e.Desc)
+	if err := e.Run(os.Stdout, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
+		os.Exit(1)
+	}
+}

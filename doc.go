@@ -1,0 +1,10 @@
+// Package nccrepro is a full reproduction of "Distributed Computation in
+// Node-Capacitated Networks" (Augustine, Ghaffari, Gmyr, Hinnenthal,
+// Scheideler, Kuhn, Li — SPAA 2019) as a Go library: an executable simulator
+// of the Node-Capacitated Clique model, the paper's communication primitives
+// and graph algorithms, naive baselines, the k-machine simulation of
+// Appendix A, and an experiment harness regenerating every stated bound.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for measured results.
+package nccrepro

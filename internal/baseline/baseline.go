@@ -1,0 +1,156 @@
+// Package baseline implements the naive Node-Capacitated Clique algorithms
+// the paper's primitives are measured against: direct-neighbor flooding
+// (whose cost degenerates to Theta(Delta/log n) per phase on high-degree
+// graphs), direct broadcast and rotation gossip (exhibiting the Theta(n/log n)
+// bound of Section 1), orientation-free multicast-tree setup (the star-graph
+// worst case of Section 5), and a gather-everything-and-solve-centrally MST.
+package baseline
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+	"ncc/internal/ncc"
+)
+
+// bcastToken is a one-word broadcast/gossip payload.
+type bcastToken struct{ val uint64 }
+
+func (bcastToken) Words() int { return 1 }
+
+// DirectBroadcast delivers one word from src to every node by direct sends,
+// cap nodes per round: Theta(n / log n) rounds — the naive alternative to the
+// butterfly broadcast's O(log n).
+func DirectBroadcast(ctx *ncc.Context, src ncc.NodeID, val uint64) uint64 {
+	n := ctx.N()
+	capacity := ctx.Cap()
+	rounds := (n - 1 + capacity - 1) / capacity
+	got := val
+	next := 0
+	for r := 0; r < rounds; r++ {
+		if ctx.ID() == src {
+			for k := 0; k < capacity && next < n; k++ {
+				if next == src {
+					next++
+					k--
+					continue
+				}
+				ctx.Send(next, bcastToken{val: val})
+				next++
+			}
+		}
+		for _, rc := range ctx.EndRound() {
+			if m, ok := rc.Payload.(bcastToken); ok {
+				got = m.val
+			}
+		}
+	}
+	return got
+}
+
+// ButterflyBroadcast delivers one word from src to every node through the
+// butterfly (O(log n) rounds), the primitive-based counterpart of
+// DirectBroadcast for the capacity experiments.
+func ButterflyBroadcast(s *comm.Session, src ncc.NodeID, val uint64) uint64 {
+	var words []uint64
+	if s.Ctx.ID() == src {
+		words = []uint64{val}
+	}
+	out := s.BroadcastWords(src, words, 1)
+	return out[0]
+}
+
+// Gossip delivers one token from every node to every other node by rotation:
+// in chunk c, node i sends its token to nodes i+c*cap+1 .. i+(c+1)*cap (mod
+// n), so each node sends and receives exactly cap messages per round.
+// Theta(n / log n) rounds — matching the Omega(n/log n) lower bound of
+// Section 1 up to constants. Returns the sum of all received tokens plus the
+// node's own (a checksum the tests verify).
+func Gossip(ctx *ncc.Context, token uint64) uint64 {
+	n := ctx.N()
+	capacity := ctx.Cap()
+	sum := token
+	sent := 1 // offset 0 is self
+	for sent < n {
+		burst := min(capacity, n-sent)
+		for k := 0; k < burst; k++ {
+			ctx.Send((ctx.ID()+sent+k)%n, bcastToken{val: token})
+		}
+		sent += burst
+		for _, rc := range ctx.EndRound() {
+			if m, ok := rc.Payload.(bcastToken); ok {
+				sum += m.val
+			}
+		}
+	}
+	return sum
+}
+
+// floodMsg carries a BFS id wave.
+type floodMsg struct{ dist int32 }
+
+func (floodMsg) Words() int { return 1 }
+
+// NaiveBFS floods the input graph directly: each phase, frontier nodes send
+// their distance to every neighbor over ceil(Delta/cap) rounds. On bounded
+// degree graphs this is fine; on a star it costs Theta(n / log n) rounds per
+// phase, which is exactly the problem the paper's broadcast trees solve.
+// Returns (dist, parent) like core.BFS (parent ties broken by minimum id).
+func NaiveBFS(s *comm.Session, g *graph.Graph, src int) (int, int) {
+	ctx := s.Ctx
+	me := ctx.ID()
+	capacity := ctx.Cap()
+	maxDegU, _ := s.MaxAll(uint64(g.Degree(me)), true)
+	phaseLen := (int(maxDegU) + capacity - 1) / capacity
+
+	dist, parent := -1, -1
+	if me == src {
+		dist = 0
+	}
+	frontier := me == src
+	for {
+		reached := false
+		sent := 0
+		nbrs := g.Neighbors(me)
+		for r := 0; r < phaseLen; r++ {
+			if frontier {
+				for k := 0; k < capacity && sent < len(nbrs); k++ {
+					ctx.Send(int(nbrs[sent]), floodMsg{dist: int32(dist)})
+					sent++
+				}
+			}
+			s.Advance()
+			for _, rc := range s.TakeDirect() {
+				m, ok := rc.Payload.(floodMsg)
+				if !ok {
+					continue
+				}
+				if dist == -1 {
+					dist = int(m.dist) + 1
+					parent = rc.From
+					reached = true
+				} else if dist == int(m.dist)+1 && reached && rc.From < parent {
+					parent = rc.From
+				}
+			}
+		}
+		frontier = reached
+		if !s.AnyTrue(reached) {
+			return dist, parent
+		}
+	}
+}
+
+// NaiveTreeSetup builds the Section 5 broadcast trees without the
+// orientation: every node joins the group of every neighbor directly, so a
+// node of degree Delta injects Delta packets and setup costs
+// O(m/n + Delta/log n + log n) rounds — the star-graph ablation against
+// core.BroadcastTrees.
+func NaiveTreeSetup(s *comm.Session, g *graph.Graph) *comm.Trees {
+	me := s.Ctx.ID()
+	nbrs := g.Neighbors(me)
+	items := make([]comm.TreeItem, 0, len(nbrs))
+	for _, v := range nbrs {
+		items = append(items, comm.TreeItem{Group: uint64(v), Origin: me})
+	}
+	return s.SetupTrees(items)
+}

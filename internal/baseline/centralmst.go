@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+	"ncc/internal/seq"
+)
+
+// edgeMsg ships one weighted edge to the collector.
+type edgeMsg struct {
+	u, v int32
+	w    int64
+}
+
+func (edgeMsg) Words() int { return 3 }
+
+// CentralizedMST is the gather-and-solve baseline: every node ships its
+// incident edges to node 0 (spread over a randomized window; node 0's
+// receive capacity makes this Theta(m / log n) rounds), node 0 runs Kruskal
+// locally and pipelines the forest edges back through the butterfly.
+// Returns the full forest at every node. The crossover against the
+// distributed MST's O(log^4 n) rounds is experiment T1-MST's ablation.
+func CentralizedMST(s *comm.Session, wg *graph.Weighted) [][2]int {
+	ctx := s.Ctx
+	me := ctx.ID()
+	capacity := ctx.Cap()
+
+	// Count edges globally (each edge counted at its smaller endpoint).
+	local := 0
+	for _, v := range wg.Neighbors(me) {
+		if int(v) > me {
+			local++
+		}
+	}
+	mU, _ := s.SumCount(uint64(local), true)
+	m := int(mU)
+
+	// Gather at node 0.
+	window := 2*(m+capacity-1)/capacity + 4
+	type job struct {
+		at int
+		e  edgeMsg
+	}
+	var jobs []job
+	if me != 0 {
+		for _, v32 := range wg.Neighbors(me) {
+			v := int(v32)
+			if v > me {
+				jobs = append(jobs, job{
+					at: ctx.Rand().IntN(window),
+					e:  edgeMsg{u: int32(me), v: int32(v), w: wg.Weight(me, v)},
+				})
+			}
+		}
+	}
+	var edges []seq.Edge
+	if me == 0 {
+		for _, v32 := range wg.Neighbors(0) {
+			v := int(v32)
+			if v > 0 {
+				edges = append(edges, seq.Edge{U: 0, V: v, W: wg.Weight(0, v)})
+			}
+		}
+	}
+	for t := 0; t < window; t++ {
+		for _, j := range jobs {
+			if j.at == t {
+				ctx.Send(0, j.e)
+			}
+		}
+		s.Advance()
+		if me == 0 {
+			for _, rc := range s.TakeDirect() {
+				if e, ok := rc.Payload.(edgeMsg); ok {
+					edges = append(edges, seq.Edge{U: int(e.u), V: int(e.v), W: e.w})
+				}
+			}
+		} else {
+			s.TakeDirect()
+		}
+	}
+
+	// Solve locally at node 0.
+	var forest [][2]int
+	var words []uint64
+	if me == 0 {
+		b := graph.NewBuilder(ctx.N())
+		for _, e := range edges {
+			b.AddEdge(e.U, e.V)
+		}
+		sub := graph.NewWeighted(b.Build())
+		for _, e := range edges {
+			sub.SetWeight(e.U, e.V, e.W)
+		}
+		mst, _ := seq.MSTKruskal(sub)
+		for _, e := range mst {
+			forest = append(forest, [2]int{e.U, e.V})
+			words = append(words, uint64(e.U)<<32|uint64(e.V))
+		}
+	}
+
+	// Announce the forest size, then pipeline the edges to everyone.
+	sizeW := s.BroadcastWords(0, []uint64{uint64(len(words))}, 1)
+	size := int(sizeW[0])
+	edgeWords := s.BroadcastWords(0, words, size)
+	if me != 0 {
+		for _, w := range edgeWords {
+			forest = append(forest, [2]int{int(w >> 32), int(uint32(w))})
+		}
+	}
+	return forest
+}

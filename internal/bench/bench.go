@@ -1,0 +1,105 @@
+// Package bench is the experiment harness: it regenerates every entry of the
+// paper's Table 1 and every theorem-level bound as a measured table (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for recorded results).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table accumulates aligned rows for printing.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	var b strings.Builder
+	for i, h := range t.Headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	fmt.Fprintln(w, strings.Repeat("-", len(strings.TrimRight(b.String(), " "))))
+	for _, r := range t.Rows {
+		b.Reset()
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+// Experiment is a named, runnable experiment. Quick mode shrinks the sweeps
+// so the full suite stays test-friendly.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(w io.Writer, quick bool) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.Name] = e
+}
+
+// Get returns a registered experiment.
+func Get(name string) (Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names lists registered experiments in order.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered experiment, ordered by name.
+func All() []Experiment {
+	var out []Experiment
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}

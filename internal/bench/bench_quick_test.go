@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must run clean in quick mode and produce a
+// table; this is the harness's own regression test.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a while")
+	}
+	for _, e := range All() {
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, true); err != nil {
+				t.Fatalf("experiment %s failed: %v", e.Name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") {
+				t.Errorf("experiment %s produced no table:\n%s", e.Name, out)
+			}
+		})
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tb := NewTable("demo", "a", "longheader")
+	tb.Add(1, 2.5)
+	tb.Add("xyz", "w")
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "longheader", "2.50", "xyz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("expected at least 8 experiments, got %v", names)
+	}
+	for _, want := range []string{"mst", "bfs", "mis", "matching", "coloring", "orientation", "primitives", "capacity", "kmachine", "load", "ablation"} {
+		if _, ok := Get(want); !ok {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package butterfly describes the d-dimensional butterfly network that the
+// paper's communication primitives emulate on the Node-Capacitated Clique
+// (Section 2.2): for d = floor(log2 n), the butterfly has node set
+// [d+1] x [2^d]; node u < 2^d of the clique emulates the complete column u,
+// and every remaining clique node (id >= 2^d) is attached to the level-0
+// butterfly node of column id - 2^d.
+//
+// Because the butterfly has constant degree and each clique node emulates
+// d+1 = O(log n) butterfly nodes, one butterfly communication round maps to
+// one clique round within the O(log n) message capacity.
+package butterfly
+
+import "ncc/internal/ncc"
+
+// Butterfly is the emulation geometry for an n-node clique.
+type Butterfly struct {
+	// N is the number of clique nodes.
+	N int
+	// D is the butterfly dimension, floor(log2 N).
+	D int
+	// Cols is the number of columns, 2^D.
+	Cols int
+}
+
+// New computes the butterfly geometry for n >= 2 clique nodes.
+func New(n int) *Butterfly {
+	if n < 2 {
+		panic("butterfly: need at least 2 nodes")
+	}
+	d := ncc.FloorLog2(n)
+	return &Butterfly{N: n, D: d, Cols: 1 << d}
+}
+
+// Levels returns the number of butterfly levels, D+1.
+func (b *Butterfly) Levels() int { return b.D + 1 }
+
+// IsEmulator reports whether clique node id emulates a butterfly column.
+func (b *Butterfly) IsEmulator(id ncc.NodeID) bool { return id < b.Cols }
+
+// Column returns the butterfly column emulated by clique node id, which must
+// be an emulator.
+func (b *Butterfly) Column(id ncc.NodeID) int {
+	if !b.IsEmulator(id) {
+		panic("butterfly: node is not an emulator")
+	}
+	return id
+}
+
+// Host returns the clique node emulating column col.
+func (b *Butterfly) Host(col int) ncc.NodeID { return col }
+
+// AttachedColumn returns the level-0 column that clique node id >= Cols is
+// attached to, and whether id is an attached node at all.
+func (b *Butterfly) AttachedColumn(id ncc.NodeID) (int, bool) {
+	if b.IsEmulator(id) {
+		return 0, false
+	}
+	return id - b.Cols, true
+}
+
+// AttachedNode returns the clique node attached to column col, if any.
+func (b *Butterfly) AttachedNode(col int) (ncc.NodeID, bool) {
+	id := col + b.Cols
+	if id < b.N {
+		return id, true
+	}
+	return 0, false
+}
+
+// DownNeighbor returns the column of the level-(level+1) butterfly node
+// reached from (level, col) by the edge that sets bit `level` of the column
+// to `bit`. The straight edge keeps the column; the cross edge flips bit
+// `level`.
+func (b *Butterfly) DownNeighbor(level, col, bit int) int {
+	if bit == 1 {
+		return col | 1<<level
+	}
+	return col &^ (1 << level)
+}
+
+// EdgeIsCross reports whether routing from (level, col) toward destination
+// column dest uses the cross edge (column changes) at this level.
+func (b *Butterfly) EdgeIsCross(level, col, dest int) bool {
+	return (col>>level)&1 != (dest>>level)&1
+}
+
+// UpSideOf returns which up-edge of (level+1, newCol) a packet from
+// (level, oldCol) arrived along: 0 for the straight edge, 1 for the cross
+// edge.
+func (b *Butterfly) UpSideOf(level, oldCol, newCol int) int {
+	if oldCol == newCol {
+		return 0
+	}
+	return 1
+}
+
+// UpNeighbor returns the column of the level-level butterfly node connected
+// to (level+1, col) via up-edge side (0 straight, 1 cross).
+func (b *Butterfly) UpNeighbor(level, col, side int) int {
+	if side == 0 {
+		return col
+	}
+	return col ^ 1<<level
+}
+
+// ReduceParent returns the column of the parent of column col in the
+// hypercube reduction tree rooted at column 0 (the aggregation path system of
+// the Aggregate-and-Broadcast algorithm): the parent clears the lowest set
+// bit. col must be nonzero.
+func ReduceParent(col int) int {
+	return col & (col - 1)
+}
+
+// ReduceChildren appends the children of column col in the reduction tree:
+// col + 2^j for every j below the index of col's lowest set bit (or below d
+// for the root 0).
+func ReduceChildren(col, d int) []int {
+	limit := d
+	if col != 0 {
+		limit = trailingZeros(col)
+	}
+	children := make([]int, 0, limit)
+	for j := 0; j < limit; j++ {
+		children = append(children, col|1<<j)
+	}
+	return children
+}
+
+// ReduceDepth returns the depth of column col in the reduction tree (number
+// of hops to the root 0), which is the popcount of col.
+func ReduceDepth(col int) int {
+	depth := 0
+	for v := col; v != 0; v &= v - 1 {
+		depth++
+	}
+	return depth
+}
+
+func trailingZeros(v int) int {
+	tz := 0
+	for v&1 == 0 {
+		tz++
+		v >>= 1
+	}
+	return tz
+}

@@ -1,0 +1,138 @@
+package butterfly
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	cases := []struct{ n, d, cols int }{
+		{2, 1, 2}, {3, 1, 2}, {4, 2, 4}, {5, 2, 4}, {7, 2, 4}, {8, 3, 8}, {9, 3, 8}, {16, 4, 16}, {1000, 9, 512},
+	}
+	for _, c := range cases {
+		b := New(c.n)
+		if b.D != c.d || b.Cols != c.cols {
+			t.Errorf("New(%d): d=%d cols=%d, want d=%d cols=%d", c.n, b.D, b.Cols, c.d, c.cols)
+		}
+	}
+}
+
+func TestAttachment(t *testing.T) {
+	b := New(11) // cols = 8, attached: 8, 9, 10 -> columns 0, 1, 2
+	for id := 0; id < 8; id++ {
+		if !b.IsEmulator(id) {
+			t.Errorf("node %d should be an emulator", id)
+		}
+	}
+	for id := 8; id < 11; id++ {
+		col, ok := b.AttachedColumn(id)
+		if !ok || col != id-8 {
+			t.Errorf("AttachedColumn(%d) = %d,%v", id, col, ok)
+		}
+		back, ok := b.AttachedNode(col)
+		if !ok || back != id {
+			t.Errorf("AttachedNode(%d) = %d,%v", col, back, ok)
+		}
+	}
+	if _, ok := b.AttachedNode(5); ok {
+		t.Error("column 5 should have no attached node for n=11")
+	}
+}
+
+func TestEveryNodeIsEmulatorOrAttached(t *testing.T) {
+	check := func(n16 uint16) bool {
+		n := 2 + int(n16)%500
+		b := New(n)
+		for id := 0; id < n; id++ {
+			if b.IsEmulator(id) {
+				continue
+			}
+			col, ok := b.AttachedColumn(id)
+			if !ok || col < 0 || col >= b.Cols {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDownUpNeighborInverse(t *testing.T) {
+	b := New(64)
+	for level := 0; level < b.D; level++ {
+		for col := 0; col < b.Cols; col++ {
+			for bit := 0; bit <= 1; bit++ {
+				nc := b.DownNeighbor(level, col, bit)
+				side := b.UpSideOf(level, col, nc)
+				if b.UpNeighbor(level, nc, side) != col {
+					t.Fatalf("up/down mismatch at level=%d col=%d bit=%d", level, col, bit)
+				}
+			}
+		}
+	}
+}
+
+func TestBitFixingReachesDestination(t *testing.T) {
+	// Following the edge selected by EdgeIsCross from any source column must
+	// reach any destination column after D hops.
+	b := New(32)
+	for src := 0; src < b.Cols; src++ {
+		for dst := 0; dst < b.Cols; dst++ {
+			col := src
+			for level := 0; level < b.D; level++ {
+				col = b.DownNeighbor(level, col, (dst>>level)&1)
+			}
+			if col != dst {
+				t.Fatalf("bit fixing from %d to %d ended at %d", src, dst, col)
+			}
+		}
+	}
+}
+
+func TestReductionTree(t *testing.T) {
+	const d = 4
+	cols := 1 << d
+	// Every nonzero column's parent must list it as a child.
+	for col := 1; col < cols; col++ {
+		p := ReduceParent(col)
+		found := false
+		for _, c := range ReduceChildren(p, d) {
+			if c == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("column %d missing from children of parent %d", col, p)
+		}
+		if ReduceDepth(col) != ReduceDepth(p)+1 {
+			t.Errorf("depth(%d)=%d, depth(parent %d)=%d", col, ReduceDepth(col), p, ReduceDepth(p))
+		}
+	}
+	// The tree spans all columns exactly once.
+	seen := map[int]bool{0: true}
+	frontier := []int{0}
+	for len(frontier) > 0 {
+		var next []int
+		for _, c := range frontier {
+			for _, ch := range ReduceChildren(c, d) {
+				if seen[ch] {
+					t.Fatalf("column %d reached twice", ch)
+				}
+				seen[ch] = true
+				next = append(next, ch)
+			}
+		}
+		frontier = next
+	}
+	if len(seen) != cols {
+		t.Errorf("reduction tree spans %d columns, want %d", len(seen), cols)
+	}
+	// Depth is bounded by d.
+	for col := 0; col < cols; col++ {
+		if ReduceDepth(col) > d {
+			t.Errorf("depth(%d) = %d exceeds d = %d", col, ReduceDepth(col), d)
+		}
+	}
+}

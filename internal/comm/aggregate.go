@@ -1,0 +1,116 @@
+package comm
+
+import "ncc/internal/ncc"
+
+// Agg is one aggregation-group membership of the calling node: the group's
+// identity, the node that must receive the aggregate, and this node's input
+// value. A node may be a member and a target of many groups (Section 2.2,
+// Aggregation Problem).
+type Agg struct {
+	Group  uint64
+	Target ncc.NodeID
+	Val    Value
+}
+
+// GroupVal is a per-group result delivered to a target.
+type GroupVal struct {
+	Group uint64
+	Val   Value
+}
+
+// Aggregate solves the Aggregation Problem (Theorem 2.3): for every group,
+// the inputs of all members are combined with the distributive function f and
+// delivered to the group's target. Every member must pass the same target for
+// the same group. lhat2 is the globally known upper bound on the number of
+// nonempty groups any single node is the target of; it controls the
+// randomized delivery window, exactly as in Appendix B.2.
+//
+// Cost: O(L/n + (l1+lhat2)/log n + log n) rounds w.h.p., where L is the
+// global load and l1 the maximum number of memberships per node.
+func (s *Session) Aggregate(items []Agg, f Combine, lhat2 int) []GroupVal {
+	s.assertDrained("Aggregate")
+	call := s.nextCall()
+	dest, rank := s.destRank(call)
+	seq := uint32(call)
+
+	var r *combineRouter
+	if s.BF.IsEmulator(s.Ctx.ID()) {
+		r = newCombineRouter(s, seq, f, nil)
+	}
+
+	// Preprocessing: inject packets in batches of ceil(log n) per round to
+	// uniformly random bottom... top-level (level-0) butterfly nodes.
+	s.inject(r, seq, items, dest, rank)
+	s.Synchronize()
+
+	// Combining: route and merge until the column is quiescent.
+	s.runCombine(r)
+	s.Synchronize()
+
+	// Postprocessing: deliver each completed group to its target within a
+	// randomized window of ceil(lhat2/log n) rounds.
+	return s.deliverResults(r, s.window(lhat2))
+}
+
+// inject sends the node's membership packets to random level-0 columns,
+// batch-by-batch. Packets addressed to the node's own column are staged
+// locally (same one-round latency, no clique message).
+func (s *Session) inject(r *combineRouter, seq uint32, items []Agg, dest func(uint64) int32, rank func(uint64) uint32) {
+	ctx := s.Ctx
+	batch := s.batchSize()
+	for i, it := range items {
+		p := pkt{
+			group:   it.Group,
+			destCol: dest(it.Group),
+			rank:    rank(it.Group),
+			target:  int32(it.Target),
+			origin:  int32(ctx.ID()),
+			val:     it.Val,
+		}
+		col := ctx.Rand().IntN(s.BF.Cols)
+		if r != nil && col == r.col {
+			r.stageLocal(p)
+		} else {
+			ctx.Send(s.BF.Host(col), routeMsg{seq: seq, level: 0, p: p})
+		}
+		if (i+1)%batch == 0 {
+			s.Advance()
+		}
+	}
+	if len(items)%batch != 0 || len(items) == 0 {
+		s.Advance()
+	}
+}
+
+// deliverResults sends every completed group's value from its intermediate
+// target to its final target at a uniformly random round of the window, and
+// collects the results addressed to this node.
+func (s *Session) deliverResults(r *combineRouter, window int) []GroupVal {
+	ctx := s.Ctx
+	var mine []GroupVal
+	plan := make([][]*pkt, window)
+	if r != nil {
+		for _, p := range r.completed() {
+			t := randRound(ctx.Rand(), window)
+			plan[t] = append(plan[t], p)
+		}
+	}
+	for t := 0; t < window; t++ {
+		for _, p := range plan[t] {
+			if int(p.target) == ctx.ID() {
+				mine = append(mine, GroupVal{Group: p.group, Val: p.val})
+			} else {
+				ctx.Send(int(p.target), resultMsg{group: p.group, val: p.val})
+			}
+		}
+		s.Advance()
+	}
+	for _, m := range s.qResult {
+		mine = append(mine, GroupVal{Group: m.group, Val: m.val})
+	}
+	s.qResult = s.qResult[:0]
+	if r != nil {
+		clear(r.pend[s.BF.D])
+	}
+	return mine
+}

@@ -1,0 +1,180 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"ncc/internal/ncc"
+)
+
+// Pipelined broadcast of a long word stream: O(count + log n) rounds and
+// exact content at every node, including attached ones (n = 2^k + 1).
+func TestBroadcastWordsLongStream(t *testing.T) {
+	const n = 33 // 32 columns + 1 attached node
+	const count = 100
+	var mu sync.Mutex
+	bad := false
+	st := runAll(t, n, 3, func(s *Session) {
+		var words []uint64
+		if s.Ctx.ID() == 0 {
+			words = make([]uint64, count)
+			for i := range words {
+				words[i] = uint64(i * i)
+			}
+		}
+		got := s.BroadcastWords(0, words, count)
+		mu.Lock()
+		for i, w := range got {
+			if w != uint64(i*i) {
+				bad = true
+			}
+		}
+		mu.Unlock()
+	})
+	if bad {
+		t.Fatal("broadcast corrupted words")
+	}
+	// O(count + log n): generous constant, but far below count * log n.
+	if st.Rounds > 3*count {
+		t.Errorf("pipelined broadcast took %d rounds for %d words", st.Rounds, count)
+	}
+	if st.Dropped() != 0 {
+		t.Errorf("dropped %d", st.Dropped())
+	}
+}
+
+// Aggregation whose targets are attached nodes (ids above the last butterfly
+// column) must deliver exactly like any other.
+func TestAggregateToAttachedTargets(t *testing.T) {
+	const n = 35 // columns 0..31, attached 32..34
+	var mu sync.Mutex
+	got := map[uint64]uint64{}
+	runAll(t, n, 5, func(s *Session) {
+		target := 32 + int(s.Ctx.ID())%3
+		items := []Agg{{Group: uint64(target), Target: target, Val: U64(1)}}
+		res := s.Aggregate(items, CombineSum, 3)
+		mu.Lock()
+		for _, gv := range res {
+			if s.Ctx.ID() < 32 {
+				panic("result delivered to a non-target")
+			}
+			got[gv.Group] += uint64(gv.Val.(U64))
+		}
+		mu.Unlock()
+	})
+	var total uint64
+	for _, v := range got {
+		total += v
+	}
+	if total != n {
+		t.Fatalf("attached targets received %d contributions, want %d", total, n)
+	}
+}
+
+// Multicast groups sourced by attached nodes.
+func TestMulticastFromAttachedSource(t *testing.T) {
+	const n = 34
+	const src = 33
+	var mu sync.Mutex
+	delivered := 0
+	runAll(t, n, 7, func(s *Session) {
+		var items []TreeItem
+		if s.Ctx.ID() < 5 { // five members
+			items = append(items, TreeItem{Group: 1, Origin: s.Ctx.ID()})
+		}
+		trees := s.SetupTrees(items)
+		got := s.Multicast(trees, s.Ctx.ID() == src, 1, U64(4242), 1)
+		mu.Lock()
+		for _, gv := range got {
+			if uint64(gv.Val.(U64)) == 4242 && s.Ctx.ID() < 5 {
+				delivered++
+			}
+		}
+		mu.Unlock()
+	})
+	if delivered != 5 {
+		t.Fatalf("attached-source multicast reached %d members, want 5", delivered)
+	}
+}
+
+// Tiny cliques: the full primitive stack must work at n = 2 and n = 3.
+func TestPrimitivesTinyCliques(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		st := runAll(t, n, 11, func(s *Session) {
+			me := s.Ctx.ID()
+			sum, _ := s.AggregateAndBroadcast(U64(1), true, CombineSum)
+			if int(sum.(U64)) != n {
+				panic("bad sum")
+			}
+			trees := s.SetupTrees([]TreeItem{{Group: uint64((me + 1) % n), Origin: me}})
+			got := s.Multicast(trees, true, uint64(me), U64(uint64(me)), 1)
+			if len(got) != 1 || int(got[0].Val.(U64)) != (me+1)%n {
+				panic("bad multicast at tiny n")
+			}
+		})
+		if st.Dropped() != 0 {
+			t.Errorf("n=%d dropped %d", n, st.Dropped())
+		}
+	}
+}
+
+// Words accounting: the runtime must count payload words of transmitted
+// messages.
+func TestWordsAccounting(t *testing.T) {
+	cfg := ncc.Config{N: 2, Seed: 1, Strict: true}
+	st, err := ncc.Run(cfg, func(ctx *ncc.Context) {
+		if ctx.ID() == 0 {
+			ctx.Send(1, Pair{1, 2}) // 2 words
+			ctx.Send(1, U64(7))     // 1 word
+		}
+		ctx.EndRound()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Words != 3 {
+		t.Errorf("words = %d, want 3", st.Words)
+	}
+}
+
+// MulticastMulti: one node sources many groups at once (the paper's
+// post-Theorem-2.5 extension).
+func TestMulticastMultiSourcer(t *testing.T) {
+	const n = 24
+	const groups = 10 // all sourced by node 0
+	var mu sync.Mutex
+	received := map[int]map[uint64]uint64{}
+	st := runAll(t, n, 13, func(s *Session) {
+		me := s.Ctx.ID()
+		// Node g+1 is the (single) member of group g.
+		var items []TreeItem
+		if me >= 1 && me <= groups {
+			items = append(items, TreeItem{Group: uint64(me - 1), Origin: me})
+		}
+		trees := s.SetupTrees(items)
+		var packets []SourcePacket
+		if me == 0 {
+			for g := 0; g < groups; g++ {
+				packets = append(packets, SourcePacket{Group: uint64(g), Val: U64(uint64(9000 + g))})
+			}
+		}
+		got := s.MulticastMulti(trees, packets, 1)
+		m := map[uint64]uint64{}
+		for _, gv := range got {
+			m[gv.Group] = uint64(gv.Val.(U64))
+		}
+		mu.Lock()
+		received[me] = m
+		mu.Unlock()
+	})
+	for g := 0; g < groups; g++ {
+		member := g + 1
+		v, ok := received[member][uint64(g)]
+		if !ok || v != uint64(9000+g) {
+			t.Errorf("member %d of group %d got %d,%v", member, g, v, ok)
+		}
+	}
+	if st.Dropped() != 0 {
+		t.Errorf("dropped %d", st.Dropped())
+	}
+}

@@ -1,0 +1,240 @@
+package comm
+
+import (
+	"ncc/internal/butterfly"
+	"ncc/internal/ncc"
+)
+
+// Synchronize blocks until every node of the clique has called it and returns
+// at a common round at every node. It is the synchronization variant of the
+// Aggregate-and-Broadcast algorithm (Appendix B.1): nodes feed tokens up the
+// butterfly's reduction tree as they arrive; the root then releases everyone
+// with a common exit round. Cost: O(log n) rounds after the last participant
+// arrives.
+func (s *Session) Synchronize() {
+	s.gatherScatter(nil, false, nil)
+}
+
+// AggregateAndBroadcast computes the distributive aggregate f over the input
+// values of all nodes with has set, and returns it to every node (Theorem
+// 2.2, O(log n) rounds). The boolean result reports whether any node
+// contributed a value. Like all primitives it also synchronizes the network.
+func (s *Session) AggregateAndBroadcast(val Value, has bool, f Combine) (Value, bool) {
+	return s.gatherScatter(val, has, f)
+}
+
+// gatherScatter implements both Synchronize and Aggregate-and-Broadcast: a
+// token/value wave up the hypercube reduction tree over the butterfly
+// columns, then a release wave down carrying the aggregate and a common exit
+// round.
+func (s *Session) gatherScatter(val Value, has bool, f Combine) (Value, bool) {
+	ctx := s.Ctx
+	bf := s.BF
+
+	if col, attached := bf.AttachedColumn(ctx.ID()); attached {
+		// Contribute to the level-0 node we are attached to, then await the
+		// release forwarded by our host.
+		var v Value
+		if has {
+			v = val
+		}
+		ctx.Send(bf.Host(col), gatherMsg{val: v})
+		rel := s.awaitRelease()
+		s.idleUntil(rel.exitRound)
+		return rel.val, rel.val != nil
+	}
+
+	col := bf.Column(ctx.ID())
+	acc, accHas := val, has
+	need := len(butterfly.ReduceChildren(col, bf.D))
+	if _, ok := bf.AttachedNode(col); ok {
+		need++
+	}
+	got := 0
+	for got < need {
+		s.Advance()
+		for _, g := range s.qGather {
+			got++
+			if g.m.val != nil {
+				if accHas {
+					acc = f(acc, g.m.val)
+				} else {
+					acc, accHas = g.m.val, true
+				}
+			}
+		}
+		s.qGather = s.qGather[:0]
+	}
+
+	if col != 0 {
+		var v Value
+		if accHas {
+			v = acc
+		}
+		ctx.Send(bf.Host(butterfly.ReduceParent(col)), gatherMsg{val: v})
+		rel := s.awaitRelease()
+		s.forwardRelease(col, rel)
+		s.idleUntil(rel.exitRound)
+		return rel.val, rel.val != nil
+	}
+
+	// Root: everyone has contributed; release with a common exit round
+	// deep enough for the longest forwarding chain (D tree hops plus the
+	// attached-node hop).
+	var v Value
+	if accHas {
+		v = acc
+	}
+	rel := releaseMsg{exitRound: ctx.Round() + bf.D + 2, val: v}
+	s.forwardRelease(0, rel)
+	s.idleUntil(rel.exitRound)
+	return rel.val, rel.val != nil
+}
+
+func (s *Session) awaitRelease() releaseMsg {
+	for len(s.qRelease) == 0 {
+		s.Advance()
+	}
+	rel := s.qRelease[0]
+	s.qRelease = s.qRelease[:0]
+	return rel
+}
+
+func (s *Session) forwardRelease(col int, rel releaseMsg) {
+	bf := s.BF
+	for _, child := range butterfly.ReduceChildren(col, bf.D) {
+		s.Ctx.Send(bf.Host(child), rel)
+	}
+	if att, ok := bf.AttachedNode(col); ok {
+		s.Ctx.Send(att, rel)
+	}
+}
+
+// idleUntil advances rounds until the global round counter reaches target.
+func (s *Session) idleUntil(target int) {
+	for s.Ctx.Round() < target {
+		s.Advance()
+	}
+}
+
+// AnyTrue aggregates a boolean OR across all nodes (a common special case).
+func (s *Session) AnyTrue(local bool) bool {
+	v := U64(0)
+	if local {
+		v = 1
+	}
+	out, ok := s.AggregateAndBroadcast(v, true, CombineOr)
+	return ok && out.(U64) != 0
+}
+
+// SumCount aggregates (sum, count) over contributing nodes and returns both.
+func (s *Session) SumCount(val uint64, has bool) (sum, count uint64) {
+	out, ok := s.AggregateAndBroadcast(Pair{A: val, B: 1}, has, CombineSumPair)
+	if !ok {
+		return 0, 0
+	}
+	p := out.(Pair)
+	return p.A, p.B
+}
+
+// MaxAll aggregates a maximum over contributing nodes; ok reports whether
+// anyone contributed.
+func (s *Session) MaxAll(val uint64, has bool) (uint64, bool) {
+	out, ok := s.AggregateAndBroadcast(U64(val), has, CombineMax)
+	if !ok {
+		return 0, false
+	}
+	return uint64(out.(U64)), true
+}
+
+// BroadcastWords delivers `count` words from node src to every node: src
+// ships them to node 0 in capacity-bounded batches, node 0 pipelines them
+// down the reduction tree one word per round, and hosts forward each word to
+// their attached node. Cost: O(count + log n) rounds. All nodes must pass the
+// same src and count; only src's words slice is consulted. Ends synchronized.
+func (s *Session) BroadcastWords(src ncc.NodeID, words []uint64, count int) []uint64 {
+	ctx := s.Ctx
+	bf := s.BF
+	if count == 0 {
+		s.Synchronize()
+		return nil
+	}
+
+	out := make([]uint64, count)
+	have := 0
+	if ctx.ID() == src {
+		copy(out, words[:count])
+		have = count
+		// Ship to the broadcast root if we are not hosting it.
+		if src != 0 {
+			batch := s.batchSize()
+			for i := 0; i < count; i += batch {
+				for j := i; j < min(i+batch, count); j++ {
+					ctx.Send(0, wordMsg{idx: int32(j), w: out[j]})
+				}
+				s.Advance()
+			}
+		}
+	}
+
+	switch {
+	case bf.IsEmulator(ctx.ID()) && bf.Column(ctx.ID()) == 0:
+		// Root: collect all words (trivial when we are the source), then
+		// pipeline one word per round down the reduction tree.
+		for have < count {
+			s.Advance()
+			for _, m := range s.qWords {
+				out[m.idx] = m.w
+				have++
+			}
+			s.qWords = s.qWords[:0]
+		}
+		for i := 0; i < count; i++ {
+			s.forwardWord(0, wordMsg{idx: int32(i), w: out[i]}, src)
+			s.Advance()
+		}
+	case bf.IsEmulator(ctx.ID()):
+		// Inner tree node: store and forward every word arriving from the
+		// parent, even if we are the source and already know the contents
+		// (our subtree still depends on the relay). The root's pacing
+		// guarantees at most one word arrives per round, so forwarding stays
+		// within the capacity (at most D+1 copies per word).
+		col := bf.Column(ctx.ID())
+		for got := 0; got < count; {
+			s.Advance()
+			for _, m := range s.qWords {
+				out[m.idx] = m.w
+				got++
+				s.forwardWord(col, m, src)
+			}
+			s.qWords = s.qWords[:0]
+		}
+	default:
+		// Attached node: just collect (the host skips the hop if we were the
+		// source).
+		for have < count {
+			s.Advance()
+			for _, m := range s.qWords {
+				out[m.idx] = m.w
+				have++
+			}
+			s.qWords = s.qWords[:0]
+		}
+	}
+
+	s.Synchronize()
+	// A source that did not need the incoming copies may have accumulated
+	// stray word messages; drop them so later broadcasts start clean.
+	s.qWords = s.qWords[:0]
+	return out
+}
+
+func (s *Session) forwardWord(col int, m wordMsg, src ncc.NodeID) {
+	bf := s.BF
+	for _, child := range butterfly.ReduceChildren(col, bf.D) {
+		s.Ctx.Send(bf.Host(child), m)
+	}
+	if att, ok := bf.AttachedNode(col); ok && att != src {
+		s.Ctx.Send(att, m)
+	}
+}

@@ -1,0 +1,125 @@
+package comm
+
+import "ncc/internal/ncc"
+
+// Wire messages of the communication primitives. Words() reports payload
+// sizes in Theta(log n)-bit words; small control fields (level, side,
+// sequence stamps) ride inside the header words.
+
+// wordMsg carries one word of a pipelined broadcast (shared randomness,
+// high-degree id announcements).
+type wordMsg struct {
+	idx int32
+	w   uint64
+}
+
+func (wordMsg) Words() int { return 2 }
+
+// gatherMsg flows up the reduction tree during Synchronize /
+// Aggregate-and-Broadcast. A nil val is a pure synchronization token.
+type gatherMsg struct {
+	val Value // may be nil
+}
+
+func (m gatherMsg) Words() int { return 1 + valueWords(m.val) }
+
+// releaseMsg flows down the reduction tree, carrying the aggregate and the
+// common round at which every node leaves the primitive.
+type releaseMsg struct {
+	exitRound int
+	val       Value // may be nil
+}
+
+func (m releaseMsg) Words() int { return 1 + valueWords(m.val) }
+
+// pkt is a routable aggregation packet: group identity, destination column at
+// the bottommost butterfly level, contention rank, final target node, origin
+// node (recorded by multicast tree setup), and the value.
+type pkt struct {
+	group   uint64
+	destCol int32
+	rank    uint32
+	target  int32
+	origin  int32
+	val     Value
+}
+
+func (p pkt) Words() int { return 3 + valueWords(p.val) }
+
+// routeMsg moves a packet across a cross edge into butterfly level `level`.
+type routeMsg struct {
+	seq   uint32
+	level int8
+	p     pkt
+}
+
+func (m routeMsg) Words() int { return m.p.Words() }
+
+// routeToken certifies that no more packets will cross the corresponding
+// up-edge (side 0 straight, 1 cross) into level `level`.
+type routeToken struct {
+	seq   uint32
+	level int8
+	side  int8
+}
+
+func (routeToken) Words() int { return 1 }
+
+// initMsg delivers a multicast source's packet to its tree root at the
+// bottommost butterfly level.
+type initMsg struct {
+	seq   uint32
+	group uint64
+	val   Value
+}
+
+func (m initMsg) Words() int { return 1 + valueWords(m.val) }
+
+// spreadMsg moves a multicast packet down a recorded tree edge into level
+// `level`.
+type spreadMsg struct {
+	seq   uint32
+	level int8
+	group uint64
+	val   Value
+}
+
+func (m spreadMsg) Words() int { return 2 + valueWords(m.val) }
+
+// spreadToken certifies that no more spread packets will arrive along the
+// corresponding down-edge into level `level`.
+type spreadToken struct {
+	seq   uint32
+	level int8
+	side  int8
+}
+
+func (spreadToken) Words() int { return 1 }
+
+// leafMsg is the final hop of a multicast: a level-0 leaf delivering a
+// group's packet to a member.
+type leafMsg struct {
+	group uint64
+	val   Value
+}
+
+func (m leafMsg) Words() int { return 1 + valueWords(m.val) }
+
+// resultMsg is the final hop of an aggregation: the intermediate target at
+// the bottommost level delivering the combined value to the group's target.
+type resultMsg struct {
+	group uint64
+	val   Value
+}
+
+func (m resultMsg) Words() int { return 1 + valueWords(m.val) }
+
+func valueWords(v Value) int {
+	if v == nil {
+		return 0
+	}
+	return v.Words()
+}
+
+// Received re-exports ncc.Received for algorithm-level direct messages.
+type Received = ncc.Received

@@ -1,0 +1,118 @@
+package comm
+
+// MultiAggregate solves the Multi-Aggregation Problem (Theorem 2.6) over
+// previously set-up multicast trees: every source's packet is multicast to
+// its group, and every node receives the f-aggregate of the packets of all
+// groups it belongs to, as a single value. Returns (aggregate, ok) where ok
+// reports whether any packet was addressed to this node.
+//
+// Only nodes with isSource inject packets, so the effective congestion — and
+// hence the cost O(C + log n) w.h.p. — scales with the active sources only
+// (Corollary 1: O(sum of d(u) over sources / n + log n) for broadcast trees).
+func (s *Session) MultiAggregate(t *Trees, isSource bool, group uint64, val Value, f Combine) (Value, bool) {
+	return s.multiAggregate(t, isSource, group, val, f, false)
+}
+
+// MultiAggregatePick is the randomized variant used by the maximal matching
+// algorithm (Section 5.3): every member that belongs to at least one
+// source's group receives the id of one such source chosen uniformly at
+// random — the leaf nodes annotate each mapped packet with a fresh random
+// rank and the minimum-annotation packet survives the aggregation. The
+// source's value must be its own id.
+func (s *Session) MultiAggregatePick(t *Trees, isSource bool, group uint64, id uint64) (uint64, bool) {
+	v, ok := s.multiAggregate(t, isSource, group, U64(id), CombineMinPair, true)
+	if !ok {
+		return 0, false
+	}
+	return v.(Pair).B, true
+}
+
+func (s *Session) multiAggregate(t *Trees, isSource bool, group uint64, val Value, f Combine, pick bool) (Value, bool) {
+	s.assertDrained("MultiAggregate")
+	spreadCall := s.nextCall()
+	combCall := s.nextCall()
+	spreadRank := s.rankOnly(spreadCall)
+	dest, rank := s.destRank(combCall)
+	spreadSeq := uint32(spreadCall)
+	combSeq := uint32(combCall)
+	ctx := s.Ctx
+	em := s.BF.IsEmulator(ctx.ID())
+
+	// Phase 1: multicast the source packets down to the leaves (no member
+	// delivery; the leaves keep them for remapping).
+	var sr *spreadRouter
+	if em {
+		sr = newSpreadRouter(s, spreadSeq, t, spreadRank)
+	}
+	var packets []SourcePacket
+	if isSource {
+		packets = []SourcePacket{{Group: group, Val: val}}
+	}
+	s.spreadPhase(sr, t, spreadSeq, packets)
+
+	// Phase 2: every leaf maps each received packet p of group g to one
+	// packet (id(u), p) per member u recorded at the leaf, then redistributes
+	// the mapped packets to random level-0 columns.
+	var cr *combineRouter
+	if em {
+		cr = newCombineRouter(s, combSeq, f, nil)
+	}
+	batch := s.batchSize()
+	sent := 0
+	if sr != nil {
+		for _, gv := range sr.leafGot {
+			for _, origin := range t.leafOrigins[gv.Group] {
+				mv := gv.Val
+				if pick {
+					mv = Pair{A: ctx.Rand().Uint64(), B: uint64(mv.(U64))}
+				}
+				g := uint64(origin)
+				p := pkt{
+					group:   g,
+					destCol: dest(g),
+					rank:    rank(g),
+					target:  origin,
+					origin:  origin,
+					val:     mv,
+				}
+				col := ctx.Rand().IntN(s.BF.Cols)
+				if col == cr.col {
+					cr.stageLocal(p)
+				} else {
+					ctx.Send(s.BF.Host(col), routeMsg{seq: combSeq, level: 0, p: p})
+				}
+				sent++
+				if sent%batch == 0 {
+					s.Advance()
+				}
+			}
+		}
+		sr.leafGot = nil
+	}
+	if sent%batch != 0 || sent == 0 {
+		s.Advance()
+	}
+	s.Synchronize()
+
+	// Phase 3: aggregate the mapped packets toward each member's own group
+	// and deliver. Each node is the target of exactly one group (its id), so
+	// the receive side needs no window, but a bottommost-level column may
+	// hold many completed groups; a shared window bounds the send load.
+	s.runCombine(cr)
+	s.Synchronize()
+
+	completed := 0
+	if cr != nil {
+		completed = len(cr.completed())
+	}
+	maxCompleted, _ := s.MaxAll(uint64(completed), true)
+	window := s.window(int(maxCompleted))
+	results := s.deliverResults(cr, window)
+
+	for _, gv := range results {
+		if gv.Group == uint64(ctx.ID()) {
+			return gv.Val, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,293 @@
+package comm
+
+import "fmt"
+
+// spreadRouter runs the Multicast Algorithm's reverse routing (Appendix B.4)
+// for one butterfly column: packets enter at tree roots on the bottommost
+// level and retrace the recorded tree edges up to the level-0 leaves, one
+// packet per edge per round, minimum (rank, group) first, with per-edge
+// tokens flowing downward for termination.
+type spreadRouter struct {
+	s    *Session
+	seq  uint32
+	t    *Trees
+	rank func(uint64) uint32
+	col  int
+
+	// queues[level][side] holds packets waiting to traverse the down-spread
+	// edge of (level, col) toward level-1 side `side` (0 straight, 1 cross).
+	queues [][2][]spreadItem
+	// tokIn[level][side] marks the token received into (level, col) along its
+	// up-edge of that side (no more packets will arrive there).
+	tokIn [][2]bool
+	// tokSent[level][side] marks the token emitted on the down-spread edge.
+	tokSent [][2]bool
+
+	initsDone bool
+	leafGot   []GroupVal // packets that reached this column's level-0 leaf
+
+	nextItems []stagedSpread
+	nextToks  []stagedTok
+}
+
+type spreadItem struct {
+	group uint64
+	rank  uint32
+	val   Value
+}
+
+type stagedSpread struct {
+	level int
+	it    spreadItem
+}
+
+func newSpreadRouter(s *Session, seq uint32, t *Trees, rank func(uint64) uint32) *spreadRouter {
+	levels := s.BF.Levels()
+	return &spreadRouter{
+		s:       s,
+		seq:     seq,
+		t:       t,
+		rank:    rank,
+		col:     s.BF.Column(s.Ctx.ID()),
+		queues:  make([][2][]spreadItem, levels),
+		tokIn:   make([][2]bool, levels),
+		tokSent: make([][2]bool, levels),
+	}
+}
+
+// arrive processes a packet entering (level, col): leaves collect it; inner
+// nodes fan it out onto the recorded tree edges of its group.
+func (r *spreadRouter) arrive(level int, it spreadItem) {
+	if level == 0 {
+		r.leafGot = append(r.leafGot, GroupVal{Group: it.group, Val: it.val})
+		return
+	}
+	mask := r.t.children[level][it.group]
+	for side := 0; side <= 1; side++ {
+		if mask&(1<<side) != 0 {
+			r.queues[level][side] = append(r.queues[level][side], it)
+		}
+	}
+}
+
+func (r *spreadRouter) absorb() {
+	staged := r.nextItems
+	r.nextItems = nil
+	for _, sp := range staged {
+		r.arrive(sp.level, sp.it)
+	}
+	toks := r.nextToks
+	r.nextToks = nil
+	for _, st := range toks {
+		r.tokIn[st.level][st.side] = true
+	}
+	for _, m := range r.s.qInit {
+		if m.seq != r.seq {
+			panic(fmt.Sprintf("comm: multicast init from invocation %d received during %d", m.seq, r.seq))
+		}
+		r.arrive(r.s.BF.D, spreadItem{group: m.group, rank: r.rank(m.group), val: m.val})
+	}
+	r.s.qInit = r.s.qInit[:0]
+	for _, m := range r.s.qSpread {
+		if m.seq != r.seq {
+			panic(fmt.Sprintf("comm: spread packet from invocation %d received during %d", m.seq, r.seq))
+		}
+		r.arrive(int(m.level), spreadItem{group: m.group, rank: r.rank(m.group), val: m.val})
+	}
+	r.s.qSpread = r.s.qSpread[:0]
+	for _, m := range r.s.qSpTok {
+		if m.seq != r.seq {
+			panic(fmt.Sprintf("comm: spread token from invocation %d received during %d", m.seq, r.seq))
+		}
+		r.tokIn[m.level][m.side] = true
+	}
+	r.s.qSpTok = r.s.qSpTok[:0]
+}
+
+func (r *spreadRouter) step() {
+	bf := r.s.BF
+	for level := bf.D; level >= 1; level-- {
+		for side := 0; side <= 1; side++ {
+			q := r.queues[level][side]
+			if len(q) > 0 {
+				best := 0
+				for i := 1; i < len(q); i++ {
+					if q[i].rank < q[best].rank || (q[i].rank == q[best].rank && q[i].group < q[best].group) {
+						best = i
+					}
+				}
+				it := q[best]
+				q[best] = q[len(q)-1]
+				r.queues[level][side] = q[:len(q)-1]
+				toCol := bf.UpNeighbor(level-1, r.col, side)
+				if toCol == r.col {
+					r.nextItems = append(r.nextItems, stagedSpread{level: level - 1, it: it})
+				} else {
+					r.s.Ctx.Send(bf.Host(toCol), spreadMsg{seq: r.seq, level: int8(level - 1), group: it.group, val: it.val})
+				}
+			}
+			if !r.tokSent[level][side] && len(r.queues[level][side]) == 0 && r.upDone(level) {
+				r.tokSent[level][side] = true
+				toCol := bf.UpNeighbor(level-1, r.col, side)
+				if toCol == r.col {
+					r.nextToks = append(r.nextToks, stagedTok{level: level - 1, side: 0})
+				} else {
+					r.s.Ctx.Send(bf.Host(toCol), spreadToken{seq: r.seq, level: int8(level - 1), side: 1})
+				}
+			}
+		}
+	}
+}
+
+func (r *spreadRouter) upDone(level int) bool {
+	if level == r.s.BF.D {
+		return r.initsDone
+	}
+	return r.tokIn[level][0] && r.tokIn[level][1]
+}
+
+func (r *spreadRouter) done() bool {
+	for level := 1; level <= r.s.BF.D; level++ {
+		if !r.tokSent[level][0] || !r.tokSent[level][1] {
+			return false
+		}
+	}
+	return r.tokIn[0][0] && r.tokIn[0][1]
+}
+
+func (s *Session) runSpread(r *spreadRouter) {
+	if r == nil {
+		return
+	}
+	for !r.done() {
+		r.step()
+		s.Advance()
+		r.absorb()
+	}
+}
+
+// sendInit delivers a source's packet to its tree root (or stages it locally
+// when this node hosts the root column).
+func (s *Session) sendInit(r *spreadRouter, seq uint32, t *Trees, group uint64, val Value) {
+	rootCol := int(t.rootCol(group))
+	if r != nil && rootCol == r.col {
+		r.nextItems = append(r.nextItems, stagedSpread{level: s.BF.D, it: spreadItem{group: group, rank: r.rank(group), val: val}})
+	} else {
+		s.Ctx.Send(s.BF.Host(rootCol), initMsg{seq: seq, group: group, val: val})
+	}
+}
+
+// SourcePacket is one multicast payload: the source's group and its message.
+type SourcePacket struct {
+	Group uint64
+	Val   Value
+}
+
+// Multicast solves the Multicast Problem (Theorem 2.5) over previously set-up
+// trees: every source's packet is delivered to every member of its group.
+// Each node is the source of at most one group per call (isSource with its
+// group id and payload); lhat is the globally known upper bound on the number
+// of groups any node is a member of. Returns the packets delivered to this
+// node as (group, value) pairs. Cost: O(C + lhat/log n + log n) rounds
+// w.h.p., where C is the tree congestion.
+func (s *Session) Multicast(t *Trees, isSource bool, group uint64, val Value, lhat int) []GroupVal {
+	var packets []SourcePacket
+	if isSource {
+		packets = []SourcePacket{{Group: group, Val: val}}
+	}
+	return s.MulticastMulti(t, packets, lhat)
+}
+
+// MulticastMulti is the extension the paper notes after Theorem 2.5: a node
+// may be the source of several multicast groups in the same call. The source
+// packets are injected into the tree roots in capacity-bounded batches over a
+// globally agreed window before the spread starts; everything else is
+// identical. Cost gains an additive O(maxPackets/log n) term.
+func (s *Session) MulticastMulti(t *Trees, packets []SourcePacket, lhat int) []GroupVal {
+	s.assertDrained("Multicast")
+	call := s.nextCall()
+	rankF := s.rankOnly(call)
+	seq := uint32(call)
+
+	var r *spreadRouter
+	if s.BF.IsEmulator(s.Ctx.ID()) {
+		r = newSpreadRouter(s, seq, t, rankF)
+	}
+
+	s.spreadPhase(r, t, seq, packets)
+
+	// Leaf delivery within a randomized window.
+	window := s.window(lhat)
+	return s.deliverLeaves(r, window)
+}
+
+// spreadPhase injects this node's source packets into the tree roots over a
+// globally agreed window (the MaxAll doubles as the start barrier), then runs
+// the spread routing to quiescence and synchronizes.
+func (s *Session) spreadPhase(r *spreadRouter, t *Trees, seq uint32, packets []SourcePacket) {
+	maxP, _ := s.MaxAll(uint64(len(packets)), true)
+	window := s.window(int(maxP))
+	batch := s.batchSize()
+	k := 0
+	for w := 0; w < window; w++ {
+		for j := 0; j < batch && k < len(packets); j++ {
+			s.sendInit(r, seq, t, packets[k].Group, packets[k].Val)
+			k++
+		}
+		s.Advance()
+		if r != nil {
+			r.absorb()
+		}
+	}
+	if r != nil {
+		r.initsDone = true
+	}
+	s.runSpread(r)
+	s.Synchronize()
+}
+
+// deliverLeaves fans each leaf packet out to the group members recorded at
+// this column's leaf, each at a uniformly random round of the window, and
+// collects the packets addressed to this node.
+func (s *Session) deliverLeaves(r *spreadRouter, window int) []GroupVal {
+	ctx := s.Ctx
+	var mine []GroupVal
+	type planned struct {
+		to  int
+		m   leafMsg
+		rnd int
+	}
+	var sched []planned
+	if r != nil {
+		for _, gv := range r.leafGot {
+			for _, origin := range r.t.leafOrigins[gv.Group] {
+				sched = append(sched, planned{to: int(origin), m: leafMsg{group: gv.Group, val: gv.Val}, rnd: randRound(ctx.Rand(), window)})
+			}
+		}
+		r.leafGot = nil
+	}
+	for t := 0; t < window; t++ {
+		for _, p := range sched {
+			if p.rnd != t {
+				continue
+			}
+			if p.to == ctx.ID() {
+				mine = append(mine, GroupVal{Group: p.m.group, Val: p.m.val})
+			} else {
+				ctx.Send(p.to, p.m)
+			}
+		}
+		s.Advance()
+	}
+	for _, lm := range s.qLeaf {
+		mine = append(mine, GroupVal{Group: lm.m.group, Val: lm.m.val})
+	}
+	s.qLeaf = s.qLeaf[:0]
+	return mine
+}
+
+// rankOnly derives just the contention-rank hash for an invocation.
+func (s *Session) rankOnly(call uint64) func(uint64) uint32 {
+	fr := s.hashFamily(call, 0x72616e6b)
+	return func(g uint64) uint32 { return uint32(fr.Hash(g)) }
+}

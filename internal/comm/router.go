@@ -1,0 +1,191 @@
+package comm
+
+import "fmt"
+
+// combineRouter executes the combining phase of the Aggregation Algorithm
+// (Appendix B.2) for the butterfly column emulated by one clique node.
+// Packets travel from level 0 to level D along bit-fixing paths toward their
+// group's destination column; packets of the same aggregation group merge
+// whenever they meet; edge contention is resolved by minimum (rank, group);
+// per-edge tokens certify quiescence level by level.
+//
+// Straight edges connect butterfly nodes of the same column and therefore
+// cost no clique message, but they still carry at most one packet per round,
+// keeping the congestion analysis of Theorem B.2 intact.
+type combineRouter struct {
+	s   *Session
+	seq uint32
+	f   Combine
+	rec *Trees // non-nil: record tree edges and leaf origins (Theorem 2.4)
+	col int
+
+	pend    []map[uint64]*pkt // per level; pend[D] holds completed groups
+	tokIn   [][2]bool         // tokens received into level i via side 0/1
+	tokSent []bool            // token emitted out of level i
+
+	nextPkts []stagedPkt
+	nextToks []stagedTok
+}
+
+type stagedPkt struct {
+	level int
+	p     pkt
+}
+
+type stagedTok struct {
+	level int
+	side  int
+}
+
+func newCombineRouter(s *Session, seq uint32, f Combine, rec *Trees) *combineRouter {
+	levels := s.BF.Levels()
+	r := &combineRouter{
+		s:       s,
+		seq:     seq,
+		f:       f,
+		rec:     rec,
+		col:     s.BF.Column(s.Ctx.ID()),
+		pend:    make([]map[uint64]*pkt, levels),
+		tokIn:   make([][2]bool, levels),
+		tokSent: make([]bool, levels),
+	}
+	for i := range r.pend {
+		r.pend[i] = make(map[uint64]*pkt)
+	}
+	return r
+}
+
+// stageLocal queues a locally injected packet for arrival at level 0 next
+// round (the injection hop costs a round whether or not it crosses columns).
+func (r *combineRouter) stageLocal(p pkt) {
+	r.nextPkts = append(r.nextPkts, stagedPkt{level: 0, p: p})
+}
+
+// absorb applies staged internal moves and drains the session's routing
+// queues into the per-level pending sets.
+func (r *combineRouter) absorb() {
+	staged := r.nextPkts
+	r.nextPkts = nil
+	for _, sp := range staged {
+		r.arrive(sp.level, sp.p, 0)
+	}
+	toks := r.nextToks
+	r.nextToks = nil
+	for _, st := range toks {
+		r.tokIn[st.level][st.side] = true
+	}
+	for _, m := range r.s.qRoute {
+		if m.seq != r.seq {
+			panic(fmt.Sprintf("comm: route packet from invocation %d received during %d", m.seq, r.seq))
+		}
+		r.arrive(int(m.level), m.p, 1)
+	}
+	r.s.qRoute = r.s.qRoute[:0]
+	for _, m := range r.s.qRtTok {
+		if m.seq != r.seq {
+			panic(fmt.Sprintf("comm: route token from invocation %d received during %d", m.seq, r.seq))
+		}
+		r.tokIn[m.level][m.side] = true
+	}
+	r.s.qRtTok = r.s.qRtTok[:0]
+}
+
+func (r *combineRouter) arrive(level int, p pkt, side int) {
+	if r.rec != nil {
+		r.rec.record(level, p, side)
+	}
+	if cur, ok := r.pend[level][p.group]; ok {
+		cur.val = r.f(cur.val, p.val)
+		return
+	}
+	cp := p
+	r.pend[level][p.group] = &cp
+}
+
+// step performs one butterfly routing round: per down-edge, forward the
+// minimum-rank pending packet, then emit per-edge tokens where quiescent.
+func (r *combineRouter) step() {
+	bf := r.s.BF
+	for level := 0; level < bf.D; level++ {
+		for bit := 0; bit <= 1; bit++ {
+			best := r.selectMin(level, bit)
+			if best == nil {
+				continue
+			}
+			delete(r.pend[level], best.group)
+			toCol := bf.DownNeighbor(level, r.col, bit)
+			if toCol == r.col {
+				r.nextPkts = append(r.nextPkts, stagedPkt{level: level + 1, p: *best})
+			} else {
+				r.s.Ctx.Send(bf.Host(toCol), routeMsg{seq: r.seq, level: int8(level + 1), p: *best})
+			}
+		}
+		if !r.tokSent[level] && len(r.pend[level]) == 0 && r.upDone(level) {
+			r.tokSent[level] = true
+			for bit := 0; bit <= 1; bit++ {
+				toCol := bf.DownNeighbor(level, r.col, bit)
+				if toCol == r.col {
+					r.nextToks = append(r.nextToks, stagedTok{level: level + 1, side: 0})
+				} else {
+					r.s.Ctx.Send(bf.Host(toCol), routeToken{seq: r.seq, level: int8(level + 1), side: 1})
+				}
+			}
+		}
+	}
+}
+
+// selectMin picks the pending packet at `level` with the smallest
+// (rank, group) among those whose destination requires the down-edge labelled
+// `bit`. Deterministic despite map iteration.
+func (r *combineRouter) selectMin(level, bit int) *pkt {
+	var best *pkt
+	for _, p := range r.pend[level] {
+		if int(p.destCol>>level)&1 != bit {
+			continue
+		}
+		if best == nil || p.rank < best.rank || (p.rank == best.rank && p.group < best.group) {
+			best = p
+		}
+	}
+	return best
+}
+
+func (r *combineRouter) upDone(level int) bool {
+	if level == 0 {
+		// Injection finished before the combining phase started (the callers
+		// synchronize in between), so level 0 receives nothing new.
+		return true
+	}
+	return r.tokIn[level][0] && r.tokIn[level][1]
+}
+
+// done reports whether this column is fully quiescent: every level has
+// emitted its tokens and the bottommost level has received both of its own.
+func (r *combineRouter) done() bool {
+	for level := 0; level < r.s.BF.D; level++ {
+		if !r.tokSent[level] {
+			return false
+		}
+	}
+	return r.tokIn[r.s.BF.D][0] && r.tokIn[r.s.BF.D][1]
+}
+
+// completed returns the packets that reached the bottommost level at this
+// column, one per aggregation group, fully combined.
+func (r *combineRouter) completed() map[uint64]*pkt {
+	return r.pend[r.s.BF.D]
+}
+
+// runCombine drives the router until quiescent. Attached nodes (no butterfly
+// column) pass a nil router and return immediately.
+func (s *Session) runCombine(r *combineRouter) {
+	if r == nil {
+		return
+	}
+	r.absorb()
+	for !r.done() {
+		r.step()
+		s.Advance()
+		r.absorb()
+	}
+}

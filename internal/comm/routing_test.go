@@ -1,0 +1,465 @@
+package comm
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"ncc/internal/ncc"
+)
+
+// TestAggregateSumsPerGroup builds a random Aggregation Problem, solves it
+// both with the primitive and by brute force, and compares.
+func TestAggregateSumsPerGroup(t *testing.T) {
+	for _, tc := range []struct {
+		n, groups, membersPer int
+		seed                  int64
+	}{
+		{2, 1, 2, 1},
+		{3, 2, 2, 2},
+		{8, 5, 4, 3},
+		{16, 10, 6, 4},
+		{23, 17, 5, 5},
+		{64, 40, 9, 6},
+		{100, 64, 16, 7},
+	} {
+		// Deterministically derive the problem: group g has target g%n and
+		// members (g*7+j*13)%n with value g*100+member.
+		n := tc.n
+		type gm struct{ target int }
+		groupsOf := make([][]Agg, n) // per member node
+		want := map[uint64]uint64{}  // group -> sum
+		targetOf := map[uint64]int{}
+		for g := 0; g < tc.groups; g++ {
+			target := (g * 31) % n
+			targetOf[uint64(g)] = target
+			seen := map[int]bool{}
+			for j := 0; j < tc.membersPer; j++ {
+				m := (g*7 + j*13) % n
+				if seen[m] {
+					continue
+				}
+				seen[m] = true
+				val := uint64(g*100 + m)
+				groupsOf[m] = append(groupsOf[m], Agg{Group: uint64(g), Target: target, Val: U64(val)})
+				want[uint64(g)] += val
+			}
+		}
+		var mu sync.Mutex
+		got := map[uint64]uint64{}
+		gotTarget := map[uint64]int{}
+		st := runAll(t, n, tc.seed, func(s *Session) {
+			res := s.Aggregate(groupsOf[s.Ctx.ID()], CombineSum, tc.groups)
+			mu.Lock()
+			for _, gv := range res {
+				got[gv.Group] = uint64(gv.Val.(U64))
+				gotTarget[gv.Group] = s.Ctx.ID()
+			}
+			mu.Unlock()
+		})
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: got %d groups, want %d", n, len(got), len(want))
+		}
+		for g, w := range want {
+			if got[g] != w {
+				t.Errorf("n=%d group %d: sum=%d want %d", n, g, got[g], w)
+			}
+			if gotTarget[g] != targetOf[g] {
+				t.Errorf("n=%d group %d delivered to %d, want %d", n, g, gotTarget[g], targetOf[g])
+			}
+		}
+		if st.Dropped() != 0 {
+			t.Errorf("n=%d: dropped %d messages", n, st.Dropped())
+		}
+	}
+}
+
+// TestAggregateMinAndTies exercises a non-sum combiner and many groups
+// sharing one target.
+func TestAggregateManyGroupsOneTarget(t *testing.T) {
+	const n = 32
+	const groups = 64 // node 0 is the target of every group
+	var mu sync.Mutex
+	got := map[uint64]uint64{}
+	runAll(t, n, 17, func(s *Session) {
+		var items []Agg
+		for g := 0; g < groups; g++ {
+			if g%n == s.Ctx.ID() || (g+7)%n == s.Ctx.ID() {
+				items = append(items, Agg{Group: uint64(g), Target: 0, Val: U64(uint64(s.Ctx.ID() + g))})
+			}
+		}
+		res := s.Aggregate(items, CombineMin, groups)
+		mu.Lock()
+		for _, gv := range res {
+			if s.Ctx.ID() != 0 {
+				panic("result delivered to a non-target")
+			}
+			got[gv.Group] = uint64(gv.Val.(U64))
+		}
+		mu.Unlock()
+	})
+	if len(got) != groups {
+		t.Fatalf("got %d groups, want %d", len(got), groups)
+	}
+	for g := uint64(0); g < groups; g++ {
+		a := (g % n) + g
+		b := ((g + 7) % n) + g
+		want := min(a, b)
+		if got[g] != want {
+			t.Errorf("group %d: min=%d want %d", g, got[g], want)
+		}
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	runAll(t, 16, 3, func(s *Session) {
+		res := s.Aggregate(nil, CombineSum, 1)
+		if len(res) != 0 {
+			panic("empty aggregation produced results")
+		}
+	})
+}
+
+// TestAggregateXorCount checks the Identification Algorithm's value type
+// end to end.
+func TestAggregateXorCount(t *testing.T) {
+	const n = 16
+	var mu sync.Mutex
+	var got XorCount
+	runAll(t, n, 9, func(s *Session) {
+		items := []Agg{{Group: 1, Target: 3, Val: XorCount{X: uint64(s.Ctx.ID() * 1111), C: 1}}}
+		res := s.Aggregate(items, CombineXorCount, 1)
+		for _, gv := range res {
+			mu.Lock()
+			got = gv.Val.(XorCount)
+			mu.Unlock()
+		}
+	})
+	var want XorCount
+	for i := 0; i < n; i++ {
+		want.X ^= uint64(i * 1111)
+		want.C++
+	}
+	if got != want {
+		t.Errorf("XorCount aggregate = %+v, want %+v", got, want)
+	}
+}
+
+// multicastProblem is a reusable random multicast-group layout.
+type multicastProblem struct {
+	n       int
+	members [][]uint64 // per node: groups it belongs to
+	sources map[uint64]int
+	vals    map[uint64]uint64
+}
+
+func makeMulticastProblem(n, groups int, seed int64) *multicastProblem {
+	rng := rand.New(rand.NewPCG(uint64(seed), 99))
+	p := &multicastProblem{n: n, members: make([][]uint64, n), sources: map[uint64]int{}, vals: map[uint64]uint64{}}
+	perm := rng.Perm(n)
+	for g := 0; g < groups && g < n; g++ {
+		src := perm[g] // distinct source per group, as the theorems require
+		p.sources[uint64(g)] = src
+		p.vals[uint64(g)] = uint64(5000 + g)
+		sz := 1 + rng.IntN(5)
+		for j := 0; j < sz; j++ {
+			m := rng.IntN(n)
+			if m == src {
+				continue
+			}
+			p.members[m] = append(p.members[m], uint64(g))
+		}
+	}
+	return p
+}
+
+func (p *multicastProblem) items(node int) []TreeItem {
+	var items []TreeItem
+	for _, g := range p.members[node] {
+		items = append(items, TreeItem{Group: g, Origin: node})
+	}
+	return items
+}
+
+func (p *multicastProblem) maxMemberships() int {
+	m := 1
+	for _, gs := range p.members {
+		if len(gs) > m {
+			m = len(gs)
+		}
+	}
+	return m
+}
+
+func TestSetupTreesAndMulticast(t *testing.T) {
+	for _, tc := range []struct {
+		n, groups int
+		seed      int64
+	}{
+		{2, 1, 1}, {4, 3, 2}, {8, 6, 3}, {16, 12, 4}, {33, 20, 5}, {64, 50, 6},
+	} {
+		p := makeMulticastProblem(tc.n, tc.groups, tc.seed)
+		lhat := p.maxMemberships()
+		var mu sync.Mutex
+		received := make([]map[uint64]uint64, tc.n)
+		st := runAll(t, tc.n, tc.seed, func(s *Session) {
+			trees := s.SetupTrees(p.items(s.Ctx.ID()))
+			var group uint64
+			var isSource bool
+			for g, src := range p.sources {
+				if src == s.Ctx.ID() {
+					group, isSource = g, true
+				}
+			}
+			var val Value
+			if isSource {
+				val = U64(p.vals[group])
+			}
+			got := s.Multicast(trees, isSource, group, val, lhat)
+			m := map[uint64]uint64{}
+			for _, gv := range got {
+				m[gv.Group] = uint64(gv.Val.(U64))
+			}
+			mu.Lock()
+			received[s.Ctx.ID()] = m
+			mu.Unlock()
+		})
+		for node := 0; node < tc.n; node++ {
+			wantGroups := map[uint64]int{}
+			for _, g := range p.members[node] {
+				wantGroups[g]++
+			}
+			for g := range wantGroups {
+				got, ok := received[node][g]
+				if !ok {
+					t.Errorf("n=%d node %d missed multicast of group %d", tc.n, node, g)
+					continue
+				}
+				if got != p.vals[g] {
+					t.Errorf("n=%d node %d group %d: got %d want %d", tc.n, node, g, got, p.vals[g])
+				}
+			}
+			for g := range received[node] {
+				if wantGroups[g] == 0 {
+					t.Errorf("n=%d node %d received group %d it never joined", tc.n, node, g)
+				}
+			}
+		}
+		if st.Dropped() != 0 {
+			t.Errorf("n=%d: dropped %d messages", tc.n, st.Dropped())
+		}
+	}
+}
+
+func TestMulticastNoSources(t *testing.T) {
+	p := makeMulticastProblem(16, 8, 3)
+	runAll(t, 16, 3, func(s *Session) {
+		trees := s.SetupTrees(p.items(s.Ctx.ID()))
+		got := s.Multicast(trees, false, 0, nil, p.maxMemberships())
+		if len(got) != 0 {
+			panic("received multicast with no sources")
+		}
+	})
+}
+
+func TestMulticastReusedTrees(t *testing.T) {
+	// The same trees must support repeated multicasts (the MST algorithm
+	// multicasts over component trees several times per phase).
+	p := makeMulticastProblem(16, 10, 8)
+	lhat := p.maxMemberships()
+	var mu sync.Mutex
+	counts := make([]int, 3)
+	runAll(t, 16, 8, func(s *Session) {
+		trees := s.SetupTrees(p.items(s.Ctx.ID()))
+		var group uint64
+		var isSource bool
+		for g, src := range p.sources {
+			if src == s.Ctx.ID() {
+				group, isSource = g, true
+			}
+		}
+		for round := 0; round < 3; round++ {
+			var val Value
+			if isSource {
+				val = U64(uint64(round))
+			}
+			got := s.Multicast(trees, isSource, group, val, lhat)
+			mu.Lock()
+			counts[round] += len(got)
+			mu.Unlock()
+			for _, gv := range got {
+				if uint64(gv.Val.(U64)) != uint64(round) {
+					panic("stale value from a previous multicast")
+				}
+			}
+		}
+	})
+	if counts[0] == 0 || counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Errorf("delivery counts varied across reuses: %v", counts)
+	}
+}
+
+func TestMultiAggregateMin(t *testing.T) {
+	for _, tc := range []struct {
+		n, groups int
+		seed      int64
+	}{
+		{4, 3, 1}, {8, 6, 2}, {16, 12, 3}, {32, 25, 4}, {64, 40, 5},
+	} {
+		p := makeMulticastProblem(tc.n, tc.groups, tc.seed)
+		var mu sync.Mutex
+		got := make([]uint64, tc.n)
+		gotOK := make([]bool, tc.n)
+		runAll(t, tc.n, tc.seed+100, func(s *Session) {
+			trees := s.SetupTrees(p.items(s.Ctx.ID()))
+			var group uint64
+			var isSource bool
+			for g, src := range p.sources {
+				if src == s.Ctx.ID() {
+					group, isSource = g, true
+				}
+			}
+			var val Value
+			if isSource {
+				val = U64(p.vals[group])
+			}
+			v, ok := s.MultiAggregate(trees, isSource, group, val, CombineMin)
+			mu.Lock()
+			gotOK[s.Ctx.ID()] = ok
+			if ok {
+				got[s.Ctx.ID()] = uint64(v.(U64))
+			}
+			mu.Unlock()
+		})
+		for node := 0; node < tc.n; node++ {
+			want := uint64(0)
+			has := false
+			for _, g := range p.members[node] {
+				v := p.vals[g]
+				if !has || v < want {
+					want, has = v, true
+				}
+			}
+			if gotOK[node] != has {
+				t.Errorf("n=%d node %d: ok=%v want %v", tc.n, node, gotOK[node], has)
+				continue
+			}
+			if has && got[node] != want {
+				t.Errorf("n=%d node %d: min=%d want %d", tc.n, node, got[node], want)
+			}
+		}
+	}
+}
+
+func TestMultiAggregatePartialSources(t *testing.T) {
+	// Only half the sources are active; members must aggregate over active
+	// groups only (Corollary 1 with S a strict subset).
+	p := makeMulticastProblem(32, 20, 6)
+	active := func(g uint64) bool { return g%2 == 0 }
+	var mu sync.Mutex
+	got := make(map[int]uint64)
+	runAll(t, 32, 6, func(s *Session) {
+		trees := s.SetupTrees(p.items(s.Ctx.ID()))
+		var group uint64
+		var isSource bool
+		for g, src := range p.sources {
+			if src == s.Ctx.ID() && active(g) {
+				group, isSource = g, true
+			}
+		}
+		var val Value
+		if isSource {
+			val = U64(p.vals[group])
+		}
+		v, ok := s.MultiAggregate(trees, isSource, group, val, CombineMin)
+		if ok {
+			mu.Lock()
+			got[s.Ctx.ID()] = uint64(v.(U64))
+			mu.Unlock()
+		}
+	})
+	for node := 0; node < 32; node++ {
+		want := uint64(0)
+		has := false
+		for _, g := range p.members[node] {
+			if !active(g) {
+				continue
+			}
+			if v := p.vals[g]; !has || v < want {
+				want, has = v, true
+			}
+		}
+		v, ok := got[node]
+		if ok != has {
+			t.Errorf("node %d: ok=%v want %v", node, ok, has)
+			continue
+		}
+		if has && v != want {
+			t.Errorf("node %d: got %d want %d", node, v, want)
+		}
+	}
+}
+
+func TestMultiAggregatePickReturnsANeighborSource(t *testing.T) {
+	p := makeMulticastProblem(32, 24, 11)
+	var mu sync.Mutex
+	picks := map[int]uint64{}
+	runAll(t, 32, 11, func(s *Session) {
+		trees := s.SetupTrees(p.items(s.Ctx.ID()))
+		var group uint64
+		var isSource bool
+		for g, src := range p.sources {
+			if src == s.Ctx.ID() {
+				group, isSource = g, true
+			}
+		}
+		id, ok := s.MultiAggregatePick(trees, isSource, group, uint64(s.Ctx.ID()))
+		if ok {
+			mu.Lock()
+			picks[s.Ctx.ID()] = id
+			mu.Unlock()
+		}
+	})
+	for node, id := range picks {
+		valid := false
+		for _, g := range p.members[node] {
+			if p.sources[g] == int(id) {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Errorf("node %d picked %d, which sources none of its groups", node, id)
+		}
+	}
+	// Every node with at least one group must have picked something.
+	for node := 0; node < 32; node++ {
+		if len(p.members[node]) > 0 {
+			if _, ok := picks[node]; !ok {
+				t.Errorf("node %d has memberships but picked nothing", node)
+			}
+		}
+	}
+}
+
+func TestTreeCongestionIsLogarithmic(t *testing.T) {
+	// Disjoint groups (a partition) must give congestion O(L/n + log n) =
+	// O(log n) (Theorem 2.4); with L = n and small log n we allow a generous
+	// constant.
+	const n = 128
+	var mu sync.Mutex
+	maxCong := 0
+	runAll(t, n, 19, func(s *Session) {
+		// Partition nodes into groups of 8 by id; group id = block index.
+		g := uint64(s.Ctx.ID() / 8)
+		trees := s.SetupTrees([]TreeItem{{Group: g, Origin: s.Ctx.ID()}})
+		c := trees.Congestion()
+		mu.Lock()
+		if c > maxCong {
+			maxCong = c
+		}
+		mu.Unlock()
+	})
+	if maxCong > 6*ncc.CeilLog2(n) {
+		t.Errorf("congestion %d too high for disjoint groups (log n = %d)", maxCong, ncc.CeilLog2(n))
+	}
+}

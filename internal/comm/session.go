@@ -1,0 +1,184 @@
+// Package comm implements the communication primitives of the
+// Node-Capacitated Clique paper (Section 2.2 and Appendix B): butterfly
+// emulation, Aggregate-and-Broadcast, Aggregation with random-rank routing
+// and in-network combining, Multicast Tree Setup, Multicast, and
+// Multi-Aggregation.
+//
+// All primitives are SPMD collectives: every node of the clique must call
+// them in the same order (possibly at different rounds; the token-based
+// Synchronize realigns the network, exactly as the paper's synchronization
+// variant of Aggregate-and-Broadcast does).
+package comm
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"ncc/internal/butterfly"
+	"ncc/internal/hashing"
+	"ncc/internal/ncc"
+)
+
+// SeedWords is the number of shared random words broadcast by node 0 when a
+// session starts: Theta(log^2 n) bits as in Section 2.2.
+const SeedWords = 8
+
+// Session holds a node's view of the butterfly emulation and the shared
+// randomness, and dispatches incoming messages to the primitive that owns
+// them. Each node creates exactly one Session per program via NewSession.
+type Session struct {
+	Ctx *ncc.Context
+	BF  *butterfly.Butterfly
+
+	seed  []uint64
+	calls uint64
+
+	// Message queues, filled by Advance.
+	qGather  []gatherFrom
+	qRelease []releaseMsg
+	qWords   []wordMsg
+	qRoute   []routeMsg
+	qRtTok   []routeToken
+	qInit    []initMsg
+	qSpread  []spreadMsg
+	qSpTok   []spreadToken
+	qLeaf    []leafFrom
+	qResult  []resultMsg
+	direct   []ncc.Received
+}
+
+type gatherFrom struct {
+	from ncc.NodeID
+	m    gatherMsg
+}
+
+type leafFrom struct {
+	from ncc.NodeID
+	m    leafMsg
+}
+
+// NewSession builds the butterfly emulation and establishes the shared
+// randomness: node 0 draws SeedWords random words and broadcasts them through
+// the butterfly (O(log n) rounds). Every node must call NewSession first.
+func NewSession(ctx *ncc.Context) *Session {
+	s := &Session{Ctx: ctx, BF: butterfly.New(ctx.N())}
+	var words []uint64
+	if ctx.ID() == 0 {
+		words = make([]uint64, SeedWords)
+		for i := range words {
+			words[i] = ctx.Rand().Uint64()
+		}
+	}
+	s.seed = s.BroadcastWords(0, words, SeedWords)
+	return s
+}
+
+// Advance runs one communication round and dispatches everything received.
+func (s *Session) Advance() {
+	for _, rc := range s.Ctx.EndRound() {
+		switch m := rc.Payload.(type) {
+		case gatherMsg:
+			s.qGather = append(s.qGather, gatherFrom{rc.From, m})
+		case releaseMsg:
+			s.qRelease = append(s.qRelease, m)
+		case wordMsg:
+			s.qWords = append(s.qWords, m)
+		case routeMsg:
+			s.qRoute = append(s.qRoute, m)
+		case routeToken:
+			s.qRtTok = append(s.qRtTok, m)
+		case initMsg:
+			s.qInit = append(s.qInit, m)
+		case spreadMsg:
+			s.qSpread = append(s.qSpread, m)
+		case spreadToken:
+			s.qSpTok = append(s.qSpTok, m)
+		case leafMsg:
+			s.qLeaf = append(s.qLeaf, leafFrom{rc.From, m})
+		case resultMsg:
+			s.qResult = append(s.qResult, m)
+		default:
+			s.direct = append(s.direct, rc)
+		}
+	}
+}
+
+// TakeDirect returns and clears the algorithm-level direct messages received
+// so far (anything that is not a primitive's wire message).
+func (s *Session) TakeDirect() []ncc.Received {
+	d := s.direct
+	s.direct = nil
+	return d
+}
+
+// nextCall advances the collective invocation counter. Because primitives are
+// called in identical order at every node, the counter is common knowledge
+// and seeds per-invocation hash functions without extra communication.
+func (s *Session) nextCall() uint64 {
+	s.calls++
+	return s.calls
+}
+
+// hashFamily derives a Theta(log n)-wise independent function for collective
+// invocation `call` and the given salt, identical at every node.
+func (s *Session) hashFamily(call, salt uint64) *hashing.Family {
+	k := max(4, ncc.CeilLog2(s.Ctx.N())+2)
+	return hashing.NewFamily(k, hashing.NewSeedStream(s.seed, hashing.Mix(call)^salt))
+}
+
+// destRank returns the per-invocation hash pair used by the routing
+// primitives: destination column at the bottommost level and contention rank.
+func (s *Session) destRank(call uint64) (dest func(uint64) int32, rank func(uint64) uint32) {
+	fd := s.hashFamily(call, 0x64657374) // "dest"
+	fr := s.hashFamily(call, 0x72616e6b) // "rank"
+	cols := uint64(s.BF.Cols)
+	return func(g uint64) int32 { return int32(fd.Range(g, cols)) },
+		func(g uint64) uint32 { return uint32(fr.Hash(g)) }
+}
+
+// batchSize is the number of packets injected per round during preprocessing
+// phases (ceil(log n), as in Appendix B.2).
+func (s *Session) batchSize() int {
+	return max(1, ncc.CeilLog2(s.Ctx.N()))
+}
+
+// window returns the length of the randomized delivery window for a load
+// bound of lhat messages per receiver.
+func (s *Session) window(lhat int) int {
+	return max(1, (lhat+s.batchSize()-1)/s.batchSize())
+}
+
+// assertDrained panics if a primitive left routing state behind; this guards
+// against protocol bugs in tests.
+func (s *Session) assertDrained(what string) {
+	if len(s.qRoute)+len(s.qRtTok)+len(s.qSpread)+len(s.qSpTok)+len(s.qInit) != 0 {
+		panic(fmt.Sprintf("comm: node %d: stale primitive messages at start of %s (route=%d rtok=%d spread=%d stok=%d init=%d)",
+			s.Ctx.ID(), what, len(s.qRoute), len(s.qRtTok), len(s.qSpread), len(s.qSpTok), len(s.qInit)))
+	}
+}
+
+// randRound picks a uniform round offset in [0, w).
+func randRound(rng *rand.Rand, w int) int {
+	if w <= 1 {
+		return 0
+	}
+	return rng.IntN(w)
+}
+
+// SharedFamily derives a fresh Theta(log n)-wise independent hash family from
+// the session's shared randomness, identical at every node. It advances the
+// collective invocation counter, so all nodes must call it in the same order
+// (the usual SPMD discipline).
+func (s *Session) SharedFamily(salt uint64) *hashing.Family {
+	call := s.nextCall()
+	return s.hashFamily(call, salt)
+}
+
+// SharedStream derives a deterministic word stream from the shared
+// randomness, identical at every node; used to seed batches of hash
+// functions (e.g. the s trial functions of the Identification Algorithm).
+// Advances the collective invocation counter.
+func (s *Session) SharedStream(salt uint64) *hashing.SeedStream {
+	call := s.nextCall()
+	return hashing.NewSeedStream(s.seed, hashing.Mix(call)^salt)
+}

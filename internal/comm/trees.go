@@ -1,0 +1,122 @@
+package comm
+
+import "ncc/internal/ncc"
+
+// TreeItem declares one multicast-group membership to be wired into the
+// multicast trees: the member node Origin joins group Group. A node may
+// declare memberships on behalf of others (the paper's orientation-based
+// broadcast-tree setup has each node inject packets for its out-neighbors,
+// Section 5).
+type TreeItem struct {
+	Group  uint64
+	Origin ncc.NodeID
+}
+
+// Trees is a node's share of a set of multicast trees (Theorem 2.4): for
+// every group, a tree in the butterfly rooted at a pseudo-random
+// bottommost-level node with one leaf per member at the topmost level. The
+// structure is distributed; each node holds only the state of its own column.
+type Trees struct {
+	call uint64 // setup invocation; fixes the root hash
+
+	// children[level][group] is the bitmask of up-edge sides (bit 0 straight,
+	// bit 1 cross) along which setup packets of the group arrived at this
+	// column's butterfly node of that level; those edges are the tree edges
+	// the multicast retraces downward.
+	children []map[uint64]uint8
+
+	// leafOrigins[group] lists the members whose packets entered the
+	// butterfly at this column's level-0 node; the leaf delivers multicasts
+	// to them directly.
+	leafOrigins map[uint64][]int32
+
+	rootCol func(uint64) int32
+}
+
+// record notes a setup packet's arrival for tree construction.
+func (t *Trees) record(level int, p pkt, side int) {
+	if level == 0 {
+		t.leafOrigins[p.group] = append(t.leafOrigins[p.group], p.origin)
+		return
+	}
+	t.children[level][p.group] |= 1 << side
+}
+
+// Congestion returns the number of trees sharing this column's most loaded
+// butterfly node (the local contribution to the congestion of Theorem 2.4;
+// aggregate with MaxAll for the global value).
+func (t *Trees) Congestion() int {
+	c := len(t.leafOrigins)
+	for _, m := range t.children {
+		if len(m) > c {
+			c = len(m)
+		}
+	}
+	return c
+}
+
+// Root returns the bottommost-level column at which the tree of the given
+// group is rooted.
+func (t *Trees) Root(group uint64) int32 { return t.rootCol(group) }
+
+// SetupTrees solves the Multicast Tree Setup Problem (Theorem 2.4): the
+// memberships declared by all nodes are routed toward their groups' root
+// columns exactly like an aggregation, and every butterfly node records the
+// edges along which packets of each group arrived. Cost: O(L/n + l/log n +
+// log n) rounds w.h.p.; the resulting trees have congestion O(L/n + log n)
+// w.h.p.
+func (s *Session) SetupTrees(items []TreeItem) *Trees {
+	s.assertDrained("SetupTrees")
+	call := s.nextCall()
+	dest, rank := s.destRank(call)
+	seq := uint32(call)
+
+	levels := s.BF.Levels()
+	t := &Trees{call: call, leafOrigins: make(map[uint64][]int32), rootCol: dest}
+	t.children = make([]map[uint64]uint8, levels)
+	for i := range t.children {
+		t.children[i] = make(map[uint64]uint8)
+	}
+
+	var r *combineRouter
+	if s.BF.IsEmulator(s.Ctx.ID()) {
+		r = newCombineRouter(s, seq, CombineSum, t)
+	}
+
+	// Inject with per-item origins (s.inject is not reusable here because the
+	// origin differs from the sender for on-behalf memberships, and there is
+	// no delivery target).
+	ctx := s.Ctx
+	batch := s.batchSize()
+	for i, it := range items {
+		p := pkt{
+			group:   it.Group,
+			destCol: dest(it.Group),
+			rank:    rank(it.Group),
+			target:  -1,
+			origin:  int32(it.Origin),
+			val:     U64(1),
+		}
+		col := ctx.Rand().IntN(s.BF.Cols)
+		if r != nil && col == r.col {
+			r.stageLocal(p)
+		} else {
+			ctx.Send(s.BF.Host(col), routeMsg{seq: seq, level: 0, p: p})
+		}
+		if (i+1)%batch == 0 {
+			s.Advance()
+		}
+	}
+	if len(items)%batch != 0 || len(items) == 0 {
+		s.Advance()
+	}
+	s.Synchronize()
+
+	s.runCombine(r)
+	s.Synchronize()
+
+	if r != nil {
+		clear(r.pend[s.BF.D])
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+package comm
+
+import "ncc/internal/ncc"
+
+// Value is the payload type aggregated and multicast by the primitives. One
+// word stands for Theta(log n) bits; the model admits O(1) words per message.
+type Value = ncc.Payload
+
+// Combine is a distributive aggregate function: it must be commutative and
+// associative so that packets of the same aggregation group can be merged in
+// any order along the butterfly.
+type Combine func(a, b Value) Value
+
+// U64 is a one-word value.
+type U64 uint64
+
+// Words implements Value.
+func (U64) Words() int { return 1 }
+
+// Pair is a two-word value, combined lexicographically by the Min/Max pair
+// combiners.
+type Pair struct{ A, B uint64 }
+
+// Words implements Value.
+func (Pair) Words() int { return 2 }
+
+// XorCount carries an XOR accumulator and an exact counter; it is the cell
+// type of the Identification Algorithm's sketch (Section 4.1).
+type XorCount struct {
+	X uint64
+	C uint64
+}
+
+// Words implements Value.
+func (XorCount) Words() int { return 2 }
+
+// Sketch carries the h-up and h-down trial bit vectors of the FindMin edge
+// sketch (Section 3), 64 parallel trials each.
+type Sketch struct{ Up, Down uint64 }
+
+// Words implements Value.
+func (Sketch) Words() int { return 2 }
+
+// Sketch3 carries three prefix sketches, enabling quaternary search (three
+// range tests per round trip) in FindMin.
+type Sketch3 struct{ S [3]Sketch }
+
+// Words implements Value.
+func (Sketch3) Words() int { return 6 }
+
+// Flag is a zero-information presence marker (its arrival is the message).
+type Flag struct{}
+
+// Words implements Value.
+func (Flag) Words() int { return 1 }
+
+// CombineMin returns the smaller U64.
+func CombineMin(a, b Value) Value {
+	x, y := a.(U64), b.(U64)
+	if y < x {
+		return y
+	}
+	return x
+}
+
+// CombineMax returns the larger U64.
+func CombineMax(a, b Value) Value {
+	x, y := a.(U64), b.(U64)
+	if y > x {
+		return y
+	}
+	return x
+}
+
+// CombineSum adds two U64 values.
+func CombineSum(a, b Value) Value { return a.(U64) + b.(U64) }
+
+// CombineXor XORs two U64 values.
+func CombineXor(a, b Value) Value { return a.(U64) ^ b.(U64) }
+
+// CombineOr ORs two U64 values (0/1 used as booleans).
+func CombineOr(a, b Value) Value { return a.(U64) | b.(U64) }
+
+// CombineMinPair returns the lexicographically smaller pair.
+func CombineMinPair(a, b Value) Value {
+	x, y := a.(Pair), b.(Pair)
+	if y.A < x.A || (y.A == x.A && y.B < x.B) {
+		return y
+	}
+	return x
+}
+
+// CombineMaxPair returns the lexicographically larger pair.
+func CombineMaxPair(a, b Value) Value {
+	x, y := a.(Pair), b.(Pair)
+	if y.A > x.A || (y.A == x.A && y.B > x.B) {
+		return y
+	}
+	return x
+}
+
+// CombineSumPair adds pairs componentwise.
+func CombineSumPair(a, b Value) Value {
+	x, y := a.(Pair), b.(Pair)
+	return Pair{x.A + y.A, x.B + y.B}
+}
+
+// CombineXorCount XORs the accumulators and adds the counters, the aggregate
+// function of the Identification Algorithm.
+func CombineXorCount(a, b Value) Value {
+	x, y := a.(XorCount), b.(XorCount)
+	return XorCount{X: x.X ^ y.X, C: x.C + y.C}
+}
+
+// CombineSketch XORs both trial vectors.
+func CombineSketch(a, b Value) Value {
+	x, y := a.(Sketch), b.(Sketch)
+	return Sketch{Up: x.Up ^ y.Up, Down: x.Down ^ y.Down}
+}
+
+// CombineSketch3 XORs all three prefix sketches.
+func CombineSketch3(a, b Value) Value {
+	x, y := a.(Sketch3), b.(Sketch3)
+	var out Sketch3
+	for i := range out.S {
+		out.S[i] = CombineSketch(x.S[i], y.S[i]).(Sketch)
+	}
+	return out
+}
+
+// CombineFlag merges two presence markers.
+func CombineFlag(a, b Value) Value { return Flag{} }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+)
+
+// BFSResult is one node's share of a BFS tree: its distance from the source
+// (-1 if unreachable) and its predecessor on a shortest path, tie-broken
+// toward the smallest id exactly as Section 5.1 specifies (-1 for the source
+// and unreachable nodes).
+type BFSResult struct {
+	Dist   int
+	Parent int
+}
+
+// BFS computes a BFS tree from src over precomputed broadcast trees
+// (Theorem 5.2): in phase i, the frontier multicasts its ids to all
+// neighbors, aggregated with MIN via Multi-Aggregation; newly reached nodes
+// set distance i and adopt the minimum sender as parent. Runs in
+// O((a + D + log n) log n) rounds w.h.p. including tree setup.
+func BFS(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int, src int) BFSResult {
+	me := s.Ctx.ID()
+	res := BFSResult{Dist: -1, Parent: -1}
+	active := me == src
+	visited := active
+	if active {
+		res.Dist = 0
+	}
+	for phase := 1; ; phase++ {
+		v, ok := s.MultiAggregate(trees, active, uint64(me), comm.U64(uint64(me)), comm.CombineMin)
+		newlyReached := false
+		if !visited && ok {
+			res.Dist = phase
+			res.Parent = int(v.(comm.U64))
+			visited = true
+			newlyReached = true
+		}
+		active = newlyReached
+		if !s.AnyTrue(newlyReached) {
+			return res
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+)
+
+// ColorResult is one node's share of an O(a)-coloring: its color and the
+// global palette size (all colors are below Palette = 2(1+eps)*ahat = O(a)).
+type ColorResult struct {
+	Color   int
+	Palette int
+}
+
+// paletteEps is the epsilon of Section 5.4's palette size 2(1+eps)*ahat.
+const paletteEps = 0.25
+
+// Coloring computes an O(a)-coloring (Theorem 5.5) level by level, highest
+// level first, with the Color-Random strategy of Kothapalli et al.: in each
+// repetition, every uncolored node of the current level picks a random color
+// from its palette and multicasts it to its in-neighbors; a node keeps its
+// pick iff it does not see the same color from any out-neighbor. Fixed colors
+// are pruned from in-neighbors' palettes by a second multicast and from
+// out-neighbors' palettes by an aggregation over (node, color) groups.
+// Runs in O((a + log n) log^{3/2} n) rounds w.h.p.
+func Coloring(s *comm.Session, g *graph.Graph, o *Orientation) ColorResult {
+	me := s.Ctx.ID()
+	trees := InNeighborTrees(s, o)
+	ahatU, _ := s.MaxAll(uint64(max(len(o.Same), len(o.Out))), true)
+	ahat := max(int(ahatU), 1)
+	palette := int(2 * (1 + paletteEps) * float64(ahat))
+	if palette < 3 {
+		palette = 3
+	}
+
+	free := make([]bool, palette)
+	for i := range free {
+		free[i] = true
+	}
+	nFree := palette
+	takeColor := func(c int) {
+		if c >= 0 && c < palette && free[c] {
+			free[c] = false
+			nFree--
+		}
+	}
+	randFree := func() int {
+		k := s.Ctx.Rand().IntN(nFree)
+		for c, f := range free {
+			if f {
+				if k == 0 {
+					return c
+				}
+				k--
+			}
+		}
+		panic("core: empty palette")
+	}
+
+	colored := false
+	myColor := -1
+	for phase := 1; phase <= o.Levels; phase++ {
+		lvl := o.Levels - phase + 1
+		for {
+			picking := !colored && o.Level == lvl
+			var cu int
+			if picking {
+				cu = randFree()
+			}
+			// Tentative picks to in-neighbors; conflicts are seen by the
+			// in-neighbor side (all picking senders this repetition are
+			// same-level, since higher levels are already colored).
+			got := s.Multicast(trees, picking, uint64(me), comm.U64(uint64(cu)), ahat)
+			conflict := false
+			if picking {
+				for _, gv := range got {
+					if int(uint64(gv.Val.(comm.U64))) == cu {
+						conflict = true
+					}
+				}
+			}
+			fix := picking && !conflict
+			// Permanent choices: in-neighbors prune via multicast...
+			got2 := s.Multicast(trees, fix, uint64(me), comm.U64(uint64(cu)), ahat)
+			for _, gv := range got2 {
+				takeColor(int(uint64(gv.Val.(comm.U64))))
+			}
+			// ...and out-neighbors prune via aggregation over (v, color).
+			var items []comm.Agg
+			if fix {
+				for _, v := range o.Out {
+					items = append(items, comm.Agg{
+						Group:  uint64(v)*uint64(palette) + uint64(cu),
+						Target: v,
+						Val:    comm.Flag{},
+					})
+				}
+			}
+			res := s.Aggregate(items, comm.CombineFlag, palette)
+			for _, gv := range res {
+				takeColor(int(gv.Group % uint64(palette)))
+			}
+			if fix {
+				colored = true
+				myColor = cu
+			}
+			if !s.AnyTrue(o.Level == lvl && !colored) {
+				break
+			}
+		}
+	}
+	return ColorResult{Color: myColor, Palette: palette}
+}

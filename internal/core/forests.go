@@ -1,0 +1,41 @@
+package core
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+)
+
+// ForestDecomposition converts an O(a)-orientation into an explicit
+// Nash-Williams-style partition of the edges into O(a) forests, the
+// structure underlying Section 4 (via [Barenboim-Elkin]): edge u->v is
+// assigned the index of v in u's out-list. Because every node has at most
+// one out-edge per index and the orientation is acyclic (levels strictly
+// decrease along in-edges, ids break ties within a level), every index class
+// is a forest.
+//
+// Purely local given the orientation, except for agreeing on the number of
+// forests (one Aggregate-and-Broadcast, O(log n) rounds). Returns the
+// per-out-edge forest indices (parallel to o.Out) and the global forest
+// count max outdegree = O(a).
+func ForestDecomposition(s *comm.Session, o *Orientation) ([]int, int) {
+	idx := make([]int, len(o.Out))
+	for i := range o.Out {
+		idx[i] = i
+	}
+	count, _ := s.MaxAll(uint64(len(o.Out)), true)
+	return idx, int(count)
+}
+
+// ForestsOf materializes a forest decomposition as explicit edge lists, for
+// verification and downstream sequential use: forests[f] lists the edges
+// (u, v) with u -> v assigned to forest f.
+func ForestsOf(g *graph.Graph, os []*Orientation, idx [][]int, count int) [][][2]int {
+	forests := make([][][2]int, count)
+	for u, o := range os {
+		for i, v := range o.Out {
+			f := idx[u][i]
+			forests[f] = append(forests[f], [2]int{u, v})
+		}
+	}
+	return forests
+}

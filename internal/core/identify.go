@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"ncc/internal/comm"
+	"ncc/internal/hashing"
+	"ncc/internal/ncc"
+)
+
+// identification implements the Identification Algorithm of Section 4.1:
+// learning nodes determine which of their neighbors are playing, by sketching
+// their incident edges into q trials with s shared hash functions, letting
+// the playing side aggregate its (blue) contributions, and peeling the
+// XOR/count difference cells to recover the red edges one at a time.
+
+// trialFns holds the s shared hash functions mapping directed edge ids to
+// trials; every node derives the same functions from the session's shared
+// randomness.
+type trialFns struct {
+	fams []*hashing.Family
+	q    int
+}
+
+func newTrialFns(s *comm.Session, count, q int) *trialFns {
+	stream := s.SharedStream(0x747269616c) // "trial"
+	k := max(4, ncc.CeilLog2(s.Ctx.N())+2)
+	fams := make([]*hashing.Family, count)
+	for i := range fams {
+		fams[i] = hashing.NewFamily(k, stream)
+	}
+	return &trialFns{fams: fams, q: q}
+}
+
+// trials returns the sorted distinct trials the directed edge participates in.
+func (t *trialFns) trials(edge uint64) []int {
+	out := make([]int, 0, len(t.fams))
+	for _, f := range t.fams {
+		tr := int(f.Range(edge, uint64(t.q)))
+		dup := false
+		for _, x := range out {
+			if x == tr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// identifySpec describes one node's role in an identification round.
+type identifySpec struct {
+	// Learning side: candidate neighbor ids with unknown status and the known
+	// number of red (playing-complement) edges among them, which equals
+	// d_i(u) in the orientation algorithm.
+	learning   bool
+	candidates []int
+	redCount   int
+	// Playing side: the potentially-learning neighbors this node plays for.
+	playing bool
+	playFor []int
+	// Parameters: number of hash functions, trials, and the delivery-window
+	// bound for the underlying aggregation.
+	s, q, lhat2 int
+}
+
+// identifyResult reports what a learning node discovered.
+type identifyResult struct {
+	reds []int // identified red (non-playing) neighbors
+	ok   bool  // all redCount red edges identified
+}
+
+// runIdentification executes one collective identification. Every node must
+// call it (with zeroed spec fields when it is neither learning nor playing).
+func runIdentification(s *comm.Session, spec identifySpec) identifyResult {
+	me := s.Ctx.ID()
+	fns := newTrialFns(s, spec.s, spec.q)
+
+	// Playing side: contribute blue-edge sketches to the learners' trial
+	// groups. Group id of learner w's trial t is w*q + t.
+	var items []comm.Agg
+	if spec.playing {
+		for _, w := range spec.playFor {
+			e := hashing.PackEdge(w, me)
+			for _, tr := range fns.trials(e) {
+				items = append(items, comm.Agg{
+					Group:  uint64(w)*uint64(spec.q) + uint64(tr),
+					Target: w,
+					Val:    comm.XorCount{X: e, C: 1},
+				})
+			}
+		}
+	}
+	res := s.Aggregate(items, comm.CombineXorCount, spec.lhat2)
+
+	if !spec.learning {
+		return identifyResult{ok: true}
+	}
+
+	// Local cells over all candidate edges.
+	type cell struct {
+		x uint64
+		c int64
+	}
+	cells := make(map[int]*cell)
+	for _, v := range spec.candidates {
+		e := hashing.PackEdge(me, v)
+		for _, tr := range fns.trials(e) {
+			cl := cells[tr]
+			if cl == nil {
+				cl = &cell{}
+				cells[tr] = cl
+			}
+			cl.x ^= e
+			cl.c++
+		}
+	}
+	// Subtract the aggregated blue contributions.
+	for _, gv := range res {
+		tr := int(gv.Group % uint64(spec.q))
+		if int(gv.Group/uint64(spec.q)) != me {
+			panic(fmt.Sprintf("core: node %d received identification group %d for another learner", me, gv.Group))
+		}
+		xc := gv.Val.(comm.XorCount)
+		cl := cells[tr]
+		if cl == nil {
+			cl = &cell{}
+			cells[tr] = cl
+		}
+		cl.x ^= xc.X
+		cl.c -= int64(xc.C)
+	}
+
+	// Peel: any cell holding exactly one red edge reveals it.
+	candidateSet := make(map[int]bool, len(spec.candidates))
+	for _, v := range spec.candidates {
+		candidateSet[v] = true
+	}
+	var reds []int
+	for {
+		found := -1
+		for tr, cl := range cells {
+			if cl.c == 1 {
+				found = tr
+				break
+			}
+		}
+		if found == -1 {
+			break
+		}
+		e := cells[found].x
+		u, v := hashing.UnpackEdge(e)
+		if u != me || !candidateSet[v] {
+			// A corrupted cell would indicate a protocol bug, not a sketch
+			// failure: counts are exact.
+			panic(fmt.Sprintf("core: node %d peeled inconsistent edge (%d,%d)", me, u, v))
+		}
+		reds = append(reds, v)
+		for _, tr := range fns.trials(e) {
+			cl := cells[tr]
+			cl.x ^= e
+			cl.c--
+		}
+	}
+	return identifyResult{reds: reds, ok: len(reds) == spec.redCount}
+}

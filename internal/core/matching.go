@@ -1,0 +1,89 @@
+package core
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+)
+
+// direct-message payloads of the matching algorithm.
+type acceptMsg struct{}
+
+func (acceptMsg) Words() int { return 1 }
+
+type proposeMsg struct{}
+
+func (proposeMsg) Words() int { return 1 }
+
+// Matching computes a maximal matching (Theorem 5.4) with the algorithm of
+// Israeli and Itai over the broadcast trees. Each phase:
+//
+//  1. every unmatched node learns a uniformly random unmatched neighbor via
+//     the leaf-annotated Multi-Aggregation (MultiAggregatePick) and chooses it;
+//  2. nodes chosen by several neighbors accept the minimum-id chooser via an
+//     Aggregation and notify it directly — the accepted edges form paths and
+//     cycles;
+//  3. each endpoint proposes along one of its (at most two) accepted edges;
+//     edges proposed from both sides join the matching.
+//
+// O(log n) phases w.h.p., each O(a + log n) rounds. Returns this node's
+// partner, or -1.
+func Matching(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) int {
+	ctx := s.Ctx
+	me := ctx.ID()
+	mate := -1
+	for {
+		unmatched := mate == -1
+		// Step 1: random choice among unmatched neighbors.
+		pick, hasNbr := s.MultiAggregatePick(trees, unmatched, uint64(me), uint64(me))
+		ch := -1
+		if unmatched && hasNbr {
+			ch = int(pick)
+		}
+		// Step 2: accept the minimum-id chooser.
+		var items []comm.Agg
+		if ch != -1 {
+			items = append(items, comm.Agg{Group: uint64(ch), Target: ch, Val: comm.U64(uint64(me))})
+		}
+		res := s.Aggregate(items, comm.CombineMin, 1)
+		acc := -1
+		if unmatched {
+			for _, gv := range res {
+				acc = int(uint64(gv.Val.(comm.U64)))
+			}
+		}
+		if acc != -1 {
+			ctx.Send(acc, acceptMsg{})
+		}
+		s.Advance()
+		acceptedByChosen := false
+		for _, rc := range s.TakeDirect() {
+			if _, ok := rc.Payload.(acceptMsg); ok && rc.From == ch {
+				acceptedByChosen = true
+			}
+		}
+		// Step 3: propose along one incident accepted edge.
+		var incident []int
+		if acc != -1 {
+			incident = append(incident, acc)
+		}
+		if acceptedByChosen && ch != acc {
+			incident = append(incident, ch)
+		}
+		prop := -1
+		if len(incident) > 0 {
+			prop = incident[ctx.Rand().IntN(len(incident))]
+		}
+		if prop != -1 {
+			ctx.Send(prop, proposeMsg{})
+		}
+		s.Advance()
+		for _, rc := range s.TakeDirect() {
+			if _, ok := rc.Payload.(proposeMsg); ok && rc.From == prop {
+				mate = prop
+			}
+		}
+		if !s.AnyTrue(unmatched && hasNbr) {
+			return mate
+		}
+	}
+}

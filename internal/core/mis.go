@@ -1,0 +1,48 @@
+package core
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+)
+
+// MIS computes a maximal independent set (Theorem 5.3) by running the
+// algorithm of Métivier et al. over the broadcast trees: each phase, every
+// undecided node draws a random rank and multicasts it to its neighbors via
+// Multi-Aggregation with MIN; a node whose own rank beats the minimum of its
+// undecided neighbors joins the set, announces the fact the same way, and
+// its neighbors retire. O(log n) phases w.h.p., each O(a + log n) rounds.
+// Returns whether this node is in the set.
+func MIS(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) bool {
+	me := s.Ctx.ID()
+	inSet := false
+	decided := false
+	for {
+		active := !decided
+		var rank comm.Pair
+		if active {
+			rank = comm.Pair{A: s.Ctx.Rand().Uint64(), B: uint64(me)}
+		}
+		got, ok := s.MultiAggregate(trees, active, uint64(me), rank, comm.CombineMinPair)
+		joins := false
+		if active {
+			if !ok {
+				// No undecided neighbor remains: join unconditionally.
+				joins = true
+			} else {
+				m := got.(comm.Pair)
+				joins = rank.A < m.A || (rank.A == m.A && rank.B < m.B)
+			}
+		}
+		if joins {
+			inSet = true
+			decided = true
+		}
+		_, covered := s.MultiAggregate(trees, joins, uint64(me), comm.U64(1), comm.CombineOr)
+		if active && !joins && covered {
+			decided = true
+		}
+		if !s.AnyTrue(!decided) {
+			return inSet
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+)
+
+// BroadcastTrees sets up one multicast tree per node u for the group
+// A_id(u) = N(u) (Lemma 5.1), using the orientation to bound the setup load:
+// for every oriented edge u->v, u injects both memberships — (group v,
+// member u) and, on v's behalf, (group u, member v) — so every node injects
+// O(a) packets regardless of its degree (the star graph being the paper's
+// motivating example). Returns the trees and the globally agreed maximum
+// degree (the membership bound lhat needed by plain Multicast).
+//
+// Cost: O(a + log n) rounds w.h.p.; tree congestion O(a + log n) w.h.p.
+func BroadcastTrees(s *comm.Session, g *graph.Graph, o *Orientation) (*comm.Trees, int) {
+	me := s.Ctx.ID()
+	items := make([]comm.TreeItem, 0, 2*len(o.Out))
+	for _, v := range o.Out {
+		items = append(items,
+			comm.TreeItem{Group: uint64(v), Origin: me},
+			comm.TreeItem{Group: uint64(me), Origin: v},
+		)
+	}
+	trees := s.SetupTrees(items)
+	lhat, _ := s.MaxAll(uint64(g.Degree(me)), true)
+	return trees, max(int(lhat), 1)
+}
+
+// InNeighborTrees sets up one multicast tree per node u for the group
+// A_id(u) = N_in(u), as the coloring algorithm of Section 5.4 requires:
+// every node joins the group of each of its out-neighbors.
+func InNeighborTrees(s *comm.Session, o *Orientation) *comm.Trees {
+	me := s.Ctx.ID()
+	items := make([]comm.TreeItem, 0, len(o.Out))
+	for _, v := range o.Out {
+		items = append(items, comm.TreeItem{Group: uint64(v), Origin: me})
+	}
+	return s.SetupTrees(items)
+}

@@ -1,0 +1,236 @@
+package graph
+
+import "math/rand/v2"
+
+// rng builds a deterministic generator from a seed.
+func rng(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), 0xda3e39cb94b95bdb))
+}
+
+// Empty returns the edgeless graph on n nodes.
+func Empty(n int) *Graph { return NewBuilder(n).Build() }
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Path returns the path 0-1-...-(n-1); arboricity 1, diameter n-1.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u+1 < n; u++ {
+		b.AddEdge(u, u+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		b.AddEdge(u, (u+1)%n)
+	}
+	return b.Build()
+}
+
+// Star returns the star with center 0; arboricity 1, maximum degree n-1. The
+// paper's motivating worst case for naive neighborhood communication.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// Grid returns the rows x cols grid; planar, arboricity <= 3, diameter
+// rows+cols-2.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the rows x cols torus (grid with wraparound).
+func Torus(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			b.AddEdge(u, u^(1<<i))
+		}
+	}
+	return b.Build()
+}
+
+// BinaryTree returns the complete-ish binary tree on n nodes (node v has
+// parent (v-1)/2); arboricity 1, diameter O(log n).
+func BinaryTree(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, (v-1)/2)
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform-attachment random tree: node v attaches to a
+// uniform node among 0..v-1.
+func RandomTree(n int, seed int64) *Graph {
+	r := rng(seed)
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, r.IntN(v))
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a path of length n/2 with a leg hanging off every
+// spine node; arboricity 1 with diameter Theta(n).
+func Caterpillar(n int) *Graph {
+	b := NewBuilder(n)
+	spine := (n + 1) / 2
+	for u := 0; u+1 < spine; u++ {
+		b.AddEdge(u, u+1)
+	}
+	for v := spine; v < n; v++ {
+		b.AddEdge(v, v-spine)
+	}
+	return b.Build()
+}
+
+// GNP returns an Erdos-Renyi G(n, p) graph.
+func GNP(n int, p float64, seed int64) *Graph {
+	r := rng(seed)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GNM returns a uniform random graph with exactly m distinct edges (or the
+// maximum possible).
+func GNM(n, m int, seed int64) *Graph {
+	r := rng(seed)
+	b := NewBuilder(n)
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	for b.NumEdges() < m {
+		u, v := r.IntN(n), r.IntN(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// KForest returns the union of k independent uniform random spanning trees on
+// the same node set: arboricity at most k (and typically close to k), the
+// canonical workload for the paper's arboricity sweeps.
+func KForest(n, k int, seed int64) *Graph {
+	r := rng(seed)
+	b := NewBuilder(n)
+	for t := 0; t < k; t++ {
+		perm := r.Perm(n)
+		for i := 1; i < n; i++ {
+			b.AddEdge(perm[i], perm[r.IntN(i)])
+		}
+	}
+	return b.Build()
+}
+
+// PreferentialAttachment returns a Barabasi-Albert style graph: each new node
+// attaches to k existing nodes chosen proportionally to degree. Arboricity
+// is at most k; degrees are heavy-tailed (a realistic social-network shape).
+func PreferentialAttachment(n, k int, seed int64) *Graph {
+	r := rng(seed)
+	b := NewBuilder(n)
+	var targets []int // multiset of endpoints, degree-proportional
+	for v := 1; v < n; v++ {
+		added := map[int]bool{}
+		for i := 0; i < k && i < v; i++ {
+			var u int
+			if len(targets) == 0 {
+				u = r.IntN(v)
+			} else {
+				u = targets[r.IntN(len(targets))]
+			}
+			if u == v || added[u] {
+				u = r.IntN(v)
+			}
+			if u != v && !added[u] {
+				added[u] = true
+				b.AddEdge(u, v)
+			}
+		}
+		for u := range added {
+			targets = append(targets, u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Bipartite returns a random bipartite graph between parts of size n1 and n2
+// with edge probability p.
+func Bipartite(n1, n2 int, p float64, seed int64) *Graph {
+	r := rng(seed)
+	b := NewBuilder(n1 + n2)
+	for u := 0; u < n1; u++ {
+		for v := 0; v < n2; v++ {
+			if r.Float64() < p {
+				b.AddEdge(u, n1+v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Disjoint returns a graph of `parts` disjoint cliques of size `size` each
+// (useful for testing disconnected inputs).
+func Disjoint(parts, size int) *Graph {
+	b := NewBuilder(parts * size)
+	for p := 0; p < parts; p++ {
+		base := p * size
+		for u := 0; u < size; u++ {
+			for v := u + 1; v < size; v++ {
+				b.AddEdge(base+u, base+v)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 2) // self-loop ignored
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Errorf("m = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(3, 2) {
+		t.Error("edges missing")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(2, 2) {
+		t.Error("phantom edges")
+	}
+}
+
+func TestDegreesAndEdges(t *testing.T) {
+	g := Star(6)
+	if g.Degree(0) != 5 || g.Degree(3) != 1 {
+		t.Errorf("star degrees wrong: %d, %d", g.Degree(0), g.Degree(3))
+	}
+	if g.MaxDegree() != 5 {
+		t.Errorf("max degree = %d", g.MaxDegree())
+	}
+	count := 0
+	g.Edges(func(u, v int) {
+		if u != 0 {
+			t.Errorf("star edge (%d,%d) not incident to center", u, v)
+		}
+		count++
+	})
+	if count != 5 {
+		t.Errorf("Edges visited %d, want 5", count)
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"empty", Empty(5), 5, 0},
+		{"complete", Complete(6), 6, 15},
+		{"path", Path(7), 7, 6},
+		{"cycle", Cycle(7), 7, 7},
+		{"star", Star(9), 9, 8},
+		{"grid", Grid(3, 4), 12, 17},
+		{"torus", Torus(3, 4), 12, 24},
+		{"hypercube", Hypercube(4), 16, 32},
+		{"binarytree", BinaryTree(10), 10, 9},
+		{"caterpillar", Caterpillar(10), 10, 9},
+		{"disjoint", Disjoint(3, 4), 12, 18},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n || c.g.M() != c.m {
+			t.Errorf("%s: n=%d m=%d, want n=%d m=%d", c.name, c.g.N(), c.g.M(), c.n, c.m)
+		}
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := RandomTree(50, seed)
+		if g.M() != 49 {
+			t.Errorf("seed %d: tree has %d edges", seed, g.M())
+		}
+		if _, nc := Components(g); nc != 1 {
+			t.Errorf("seed %d: tree has %d components", seed, nc)
+		}
+	}
+}
+
+func TestKForestArboricity(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		g := KForest(100, k, 42)
+		d, _ := Degeneracy(g)
+		// Arboricity <= k, so degeneracy <= 2k-1.
+		if d > 2*k-1 {
+			t.Errorf("k=%d: degeneracy %d exceeds 2k-1", k, d)
+		}
+		if lb := ArboricityLowerBound(g); lb > k {
+			t.Errorf("k=%d: Nash-Williams bound %d exceeds k", k, lb)
+		}
+		if _, nc := Components(g); nc != 1 {
+			t.Errorf("k=%d: forest union disconnected", k)
+		}
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	g1 := GNP(40, 0.2, 7)
+	g2 := GNP(40, 0.2, 7)
+	if g1.M() != g2.M() {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestGNMEdgeCount(t *testing.T) {
+	g := GNM(30, 60, 3)
+	if g.M() != 60 {
+		t.Errorf("GNM produced %d edges, want 60", g.M())
+	}
+	g = GNM(5, 100, 3) // clamped to complete graph
+	if g.M() != 10 {
+		t.Errorf("GNM clamp produced %d edges, want 10", g.M())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := Disjoint(3, 5)
+	comp, nc := Components(g)
+	if nc != 3 {
+		t.Fatalf("components = %d, want 3", nc)
+	}
+	for u := 0; u < g.N(); u++ {
+		if comp[u] != u/5 {
+			t.Errorf("comp[%d] = %d, want %d", u, comp[u], u/5)
+		}
+	}
+}
+
+func TestBFSDistancesOnGrid(t *testing.T) {
+	g := Grid(4, 5)
+	dist, parent := BFSDistances(g, 0)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			id := r*5 + c
+			if dist[id] != r+c {
+				t.Errorf("dist[%d] = %d, want %d", id, dist[id], r+c)
+			}
+			if id != 0 && dist[parent[id]] != dist[id]-1 {
+				t.Errorf("parent of %d has distance %d", id, dist[parent[id]])
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Path(10), 9},
+		{Cycle(10), 5},
+		{Star(10), 2},
+		{Grid(3, 7), 8},
+		{Complete(5), 1},
+		{Disjoint(2, 3), -1},
+	}
+	for i, c := range cases {
+		if d := Diameter(c.g); d != c.want {
+			t.Errorf("case %d: diameter = %d, want %d", i, d, c.want)
+		}
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Path(10), 1},
+		{Star(10), 1},
+		{BinaryTree(15), 1},
+		{Cycle(10), 2},
+		{Complete(6), 5},
+		{Grid(5, 5), 2},
+	}
+	for i, c := range cases {
+		got, ord := Degeneracy(c.g)
+		if got != c.want {
+			t.Errorf("case %d: degeneracy = %d, want %d", i, got, c.want)
+		}
+		if len(ord) != c.g.N() {
+			t.Errorf("case %d: order has %d nodes", i, len(ord))
+		}
+	}
+}
+
+// Degeneracy ordering property: each node, at removal time, has at most
+// `degeneracy` neighbors remaining.
+func TestDegeneracyOrderProperty(t *testing.T) {
+	check := func(seed int64, n8 uint8, p8 uint8) bool {
+		n := 5 + int(n8)%40
+		p := 0.05 + float64(p8%50)/100
+		g := GNP(n, p, seed)
+		k, order := Degeneracy(g)
+		pos := make([]int, n)
+		for i, u := range order {
+			pos[u] = i
+		}
+		for _, u := range order {
+			later := 0
+			for _, v := range g.Neighbors(u) {
+				if pos[v] > pos[u] {
+					later++
+				}
+			}
+			if later > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	g := Path(5)
+	wg := RandomWeights(g, 100, 9)
+	g.Edges(func(u, v int) {
+		w := wg.Weight(u, v)
+		if w < 1 || w > 100 {
+			t.Errorf("weight(%d,%d) = %d out of range", u, v, w)
+		}
+		if wg.Weight(v, u) != w {
+			t.Errorf("weight not symmetric on (%d,%d)", u, v)
+		}
+	})
+	wg.SetWeight(0, 1, 55)
+	if wg.Weight(1, 0) != 55 {
+		t.Error("SetWeight not visible symmetrically")
+	}
+	if wg.TotalWeight() < 4 {
+		t.Error("total weight too small")
+	}
+}
+
+func TestPreferentialAttachmentConnected(t *testing.T) {
+	g := PreferentialAttachment(200, 3, 5)
+	if _, nc := Components(g); nc != 1 {
+		t.Errorf("PA graph disconnected: %d components", nc)
+	}
+	d, _ := Degeneracy(g)
+	if d > 2*3 {
+		t.Errorf("PA degeneracy %d too large for k=3", d)
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	g := Bipartite(10, 15, 1.0, 1)
+	if g.M() != 150 {
+		t.Errorf("complete bipartite m = %d, want 150", g.M())
+	}
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			if u != v && g.HasEdge(u, v) {
+				t.Fatalf("edge inside part: (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, "p3", func(u int) string { return fmt.Sprintf("v%d", u) }); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "p3"`, "0 -- 1", "1 -- 2", `label="v1"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0 -- 2") {
+		t.Error("DOT output contains phantom edge")
+	}
+}

@@ -1,0 +1,155 @@
+package graph
+
+// Components returns the component id of every node (ids are dense from 0)
+// and the number of components.
+func Components(g *Graph) ([]int, int) {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []int
+	for s := 0; s < g.N(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] == -1 {
+					comp[v] = next
+					stack = append(stack, int(v))
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// BFSDistances returns the unweighted distances from src (-1 when
+// unreachable) and the BFS parent of every reached node (-1 for src and
+// unreachable nodes). Parents break ties toward the smallest id, matching the
+// paper's BFS-tree definition in Section 5.1.
+func BFSDistances(g *Graph, src int) (dist, parent []int) {
+	dist = make([]int, g.N())
+	parent = make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int{src}
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			for _, v32 := range g.Neighbors(u) {
+				v := int(v32)
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					parent[v] = u
+					next = append(next, v)
+				} else if dist[v] == dist[u]+1 && u < parent[v] {
+					parent[v] = u
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist, parent
+}
+
+// Diameter returns the exact diameter of the (assumed connected) graph via
+// n BFS traversals; -1 if disconnected. Intended for the modest sizes used in
+// experiments.
+func Diameter(g *Graph) int {
+	d := 0
+	for s := 0; s < g.N(); s++ {
+		dist, _ := BFSDistances(g, s)
+		for _, x := range dist {
+			if x == -1 {
+				return -1
+			}
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// Eccentricity returns max distance from src, ignoring unreachable nodes.
+func Eccentricity(g *Graph, src int) int {
+	dist, _ := BFSDistances(g, src)
+	e := 0
+	for _, x := range dist {
+		if x > e {
+			e = x
+		}
+	}
+	return e
+}
+
+// Degeneracy returns the graph's degeneracy and a degeneracy elimination
+// ordering (repeatedly remove a minimum-degree node). The degeneracy d
+// brackets the arboricity a: a <= d <= 2a-1, so it is the standard
+// executable proxy for the paper's arboricity parameter.
+func Degeneracy(g *Graph) (int, []int) {
+	n := g.N()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket queue over degrees.
+	buckets := make([][]int, maxDeg+1)
+	for u := 0; u < n; u++ {
+		buckets[deg[u]] = append(buckets[deg[u]], u)
+	}
+	order := make([]int, 0, n)
+	degeneracy := 0
+	cur := 0
+	for len(order) < n {
+		if cur > 0 && len(buckets[cur-1]) > 0 {
+			cur-- // a neighbor removal may have exposed a smaller bucket
+		}
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		b := buckets[cur]
+		u := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[u] || deg[u] != cur {
+			continue // stale bucket entry
+		}
+		removed[u] = true
+		order = append(order, u)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, v32 := range g.Neighbors(u) {
+			v := int(v32)
+			if !removed[v] {
+				deg[v]--
+				buckets[deg[v]] = append(buckets[deg[v]], v)
+			}
+		}
+	}
+	return degeneracy, order
+}
+
+// ArboricityLowerBound returns the Nash-Williams bound m/(n-1) rounded up,
+// using the whole graph as the witness subgraph (Section 2.1).
+func ArboricityLowerBound(g *Graph) int {
+	if g.N() < 2 {
+		return 0
+	}
+	return (g.M() + g.N() - 2) / (g.N() - 1)
+}

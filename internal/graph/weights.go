@@ -1,0 +1,59 @@
+package graph
+
+import "ncc/internal/hashing"
+
+// Weighted pairs a graph with integral edge weights in {1, ..., W}, the MST
+// input of Section 3.
+type Weighted struct {
+	*Graph
+	w    map[uint64]int64
+	maxW int64
+}
+
+// NewWeighted wraps g with unit weights.
+func NewWeighted(g *Graph) *Weighted {
+	return &Weighted{Graph: g, w: make(map[uint64]int64), maxW: 1}
+}
+
+// RandomWeights assigns independent uniform weights in {1, ..., maxW} to
+// every edge of g.
+func RandomWeights(g *Graph, maxW int64, seed int64) *Weighted {
+	r := rng(seed)
+	wg := &Weighted{Graph: g, w: make(map[uint64]int64, g.M()), maxW: maxW}
+	g.Edges(func(u, v int) {
+		wg.w[hashing.PackUndirected(u, v)] = 1 + r.Int64N(maxW)
+	})
+	return wg
+}
+
+// SetWeight sets the weight of edge {u, v}, which must exist.
+func (wg *Weighted) SetWeight(u, v int, w int64) {
+	if !wg.HasEdge(u, v) {
+		panic("graph: SetWeight on a non-edge")
+	}
+	if w < 1 {
+		panic("graph: weights must be positive")
+	}
+	wg.w[hashing.PackUndirected(u, v)] = w
+	if w > wg.maxW {
+		wg.maxW = w
+	}
+}
+
+// Weight returns the weight of edge {u, v} (1 if never set).
+func (wg *Weighted) Weight(u, v int) int64 {
+	if w, ok := wg.w[hashing.PackUndirected(u, v)]; ok {
+		return w
+	}
+	return 1
+}
+
+// MaxWeight returns the largest weight W.
+func (wg *Weighted) MaxWeight() int64 { return wg.maxW }
+
+// TotalWeight sums all edge weights.
+func (wg *Weighted) TotalWeight() int64 {
+	var t int64
+	wg.Edges(func(u, v int) { t += wg.Weight(u, v) })
+	return t
+}

@@ -1,0 +1,127 @@
+// Package hashing provides the shared-randomness hash functions the paper's
+// communication primitives rely on: k-wise independent families realized as
+// degree-(k-1) polynomials over GF(p) with the Mersenne prime p = 2^61-1, and
+// a fast seed-derivation mixer (splitmix64) used to expand the O(log^2 n)
+// broadcast random bits into the per-invocation functions (see DESIGN.md,
+// "Substitutions").
+package hashing
+
+import "math/bits"
+
+// Prime is the Mersenne prime 2^61 - 1 underlying the polynomial family.
+const Prime uint64 = (1 << 61) - 1
+
+// Family is a k-wise independent hash function h: uint64 -> [0, Prime).
+// A Family with k coefficients is k-wise independent over inputs reduced
+// modulo Prime.
+type Family struct {
+	coeffs []uint64 // degree k-1 polynomial, little-endian (coeffs[0] is constant)
+}
+
+// NewFamily builds a k-wise independent function from a stream of seed words
+// (as produced by SeedStream). k must be >= 1.
+func NewFamily(k int, seed *SeedStream) *Family {
+	if k < 1 {
+		panic("hashing: family needs k >= 1")
+	}
+	cs := make([]uint64, k)
+	for i := range cs {
+		cs[i] = seed.Next() % Prime
+	}
+	return &Family{coeffs: cs}
+}
+
+// K returns the independence parameter of the family.
+func (f *Family) K() int { return len(f.coeffs) }
+
+// Hash evaluates the polynomial at x and returns a value in [0, Prime).
+func (f *Family) Hash(x uint64) uint64 {
+	x %= Prime
+	var acc uint64
+	for i := len(f.coeffs) - 1; i >= 0; i-- {
+		acc = addMod(mulMod(acc, x), f.coeffs[i])
+	}
+	return acc
+}
+
+// Range maps x to [0, m). The bias is at most m/Prime, negligible for the
+// ranges used here (m << 2^61).
+func (f *Family) Range(x, m uint64) uint64 {
+	if m == 0 {
+		panic("hashing: Range with m = 0")
+	}
+	return f.Hash(x) % m
+}
+
+// Bit maps x to a single unbiased-up-to-1/Prime bit.
+func (f *Family) Bit(x uint64) uint64 { return f.Hash(x) & 1 }
+
+// mulMod multiplies modulo the Mersenne prime 2^61-1 using the identity
+// 2^64 = 8 (mod p).
+func mulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a, b < 2^61, so hi < 2^58 and hi*8 < 2^61.
+	r := (lo & Prime) + (lo >> 61) + hi*8
+	for r >= Prime {
+		r -= Prime
+	}
+	return r
+}
+
+func addMod(a, b uint64) uint64 {
+	r := a + b // a, b < 2^61: no overflow
+	if r >= Prime {
+		r -= Prime
+	}
+	return r
+}
+
+// SeedStream deterministically expands a small shared seed into an unbounded
+// stream of pseudo-random words via splitmix64. Two streams built from the
+// same words and salt produce identical output, which is how every node of
+// the clique derives identical hash functions from the broadcast seed.
+type SeedStream struct {
+	state uint64
+}
+
+// NewSeedStream folds the shared words and a salt into a stream.
+func NewSeedStream(words []uint64, salt uint64) *SeedStream {
+	s := salt
+	for _, w := range words {
+		s = Mix(s ^ Mix(w))
+	}
+	return &SeedStream{state: s}
+}
+
+// Next returns the next word of the stream.
+func (s *SeedStream) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return Mix(s.state)
+}
+
+// Mix is the splitmix64 finalizer: a bijective mixer with good avalanche.
+func Mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PackEdge encodes a directed edge (u, v) of a graph on up to 2^31 nodes as a
+// single word, suitable for hashing and XOR sketching.
+func PackEdge(u, v int) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// UnpackEdge inverts PackEdge.
+func UnpackEdge(e uint64) (u, v int) {
+	return int(e >> 32), int(uint32(e))
+}
+
+// PackUndirected encodes the undirected edge {u, v} canonically (smaller
+// endpoint first).
+func PackUndirected(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return PackEdge(u, v)
+}

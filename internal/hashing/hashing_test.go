@@ -1,0 +1,132 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulModAgainstBigArithmetic(t *testing.T) {
+	check := func(a, b uint64) bool {
+		a %= Prime
+		b %= Prime
+		got := mulMod(a, b)
+		// Reference via 128-bit decomposition: (a*b) mod p computed with
+		// math/big-free splitting a = a1*2^31 + a0.
+		a1, a0 := a>>31, a&((1<<31)-1)
+		// a*b = a1*2^31*b + a0*b. Reduce pieces mod p step by step.
+		t1 := mulModSlow(a1, b)
+		t1 = mulModSlow(t1, 1<<31)
+		t0 := mulModSlow(a0, b)
+		want := (t1 + t0) % Prime
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// mulModSlow multiplies mod Prime by Russian-peasant doubling (reference).
+func mulModSlow(a, b uint64) uint64 {
+	a %= Prime
+	b %= Prime
+	var r uint64
+	for b > 0 {
+		if b&1 == 1 {
+			r = (r + a) % Prime
+		}
+		a = (a * 2) % Prime
+		b >>= 1
+	}
+	return r
+}
+
+func TestFamilyDeterministicAcrossNodes(t *testing.T) {
+	words := []uint64{1, 2, 3, 4}
+	f1 := NewFamily(8, NewSeedStream(words, 77))
+	f2 := NewFamily(8, NewSeedStream(words, 77))
+	for x := uint64(0); x < 100; x++ {
+		if f1.Hash(x) != f2.Hash(x) {
+			t.Fatalf("same seed produced different functions at x=%d", x)
+		}
+	}
+	f3 := NewFamily(8, NewSeedStream(words, 78))
+	same := 0
+	for x := uint64(0); x < 100; x++ {
+		if f1.Hash(x) == f3.Hash(x) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different salts collide on %d/100 inputs", same)
+	}
+}
+
+func TestBitIsRoughlyUnbiased(t *testing.T) {
+	f := NewFamily(16, NewSeedStream([]uint64{42}, 1))
+	ones := 0
+	const trials = 20000
+	for x := 0; x < trials; x++ {
+		ones += int(f.Bit(uint64(x)))
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("bit bias: fraction of ones = %v", frac)
+	}
+}
+
+func TestRangeIsRoughlyUniform(t *testing.T) {
+	f := NewFamily(16, NewSeedStream([]uint64{7, 8}, 2))
+	const m = 16
+	const trials = 32000
+	var buckets [m]int
+	for x := 0; x < trials; x++ {
+		buckets[f.Range(uint64(x), m)]++
+	}
+	want := float64(trials) / m
+	for i, b := range buckets {
+		if math.Abs(float64(b)-want) > 0.15*want {
+			t.Errorf("bucket %d has %d entries, want about %v", i, b, want)
+		}
+	}
+}
+
+// Pairwise independence spot check: for a family with k >= 2, the joint
+// distribution of (h(x), h(y)) over random coefficient choices should be
+// close to uniform on pairs. We approximate by varying the seed.
+func TestPairwiseIndependenceSpotCheck(t *testing.T) {
+	const trials = 4000
+	matches := 0
+	for s := 0; s < trials; s++ {
+		f := NewFamily(2, NewSeedStream([]uint64{uint64(s)}, 0))
+		if f.Range(12345, 8) == f.Range(54321, 8) {
+			matches++
+		}
+	}
+	frac := float64(matches) / trials
+	if math.Abs(frac-1.0/8) > 0.03 {
+		t.Errorf("P[h(x)=h(y)] = %v, want about 1/8", frac)
+	}
+}
+
+func TestPackEdge(t *testing.T) {
+	check := func(u32, v32 uint32) bool {
+		u, v := int(u32>>1), int(v32>>1)
+		gu, gv := UnpackEdge(PackEdge(u, v))
+		if gu != u || gv != v {
+			return false
+		}
+		return PackUndirected(u, v) == PackUndirected(v, u)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeedStreamDiffers(t *testing.T) {
+	s := NewSeedStream([]uint64{1}, 0)
+	a, b := s.Next(), s.Next()
+	if a == b {
+		t.Error("consecutive stream words equal")
+	}
+}

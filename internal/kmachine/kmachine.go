@@ -1,0 +1,106 @@
+// Package kmachine implements the k-machine model simulation of Appendix A:
+// the n clique nodes are partitioned uniformly at random over k machines;
+// every NCC round is executed by routing each clique message over the
+// machine-level complete network, where each ordered machine pair's link
+// carries a bounded number of words per k-machine round (store-and-forward,
+// direct routing). Corollary 2 predicts that a T-round NCC algorithm costs
+// about n*T/k^2 k-machine rounds (up to polylog factors).
+package kmachine
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"ncc/internal/ncc"
+)
+
+// Result summarizes a k-machine simulation.
+type Result struct {
+	// K is the number of machines, BandwidthWords the per-link words per
+	// k-machine round.
+	K              int
+	BandwidthWords int
+	// NCCRounds is the simulated algorithm's round count; KRounds the number
+	// of k-machine rounds needed to route all of its traffic.
+	NCCRounds int
+	KRounds   int64
+	// CrossMessages counts clique messages between machines; IntraMessages
+	// those between co-located nodes (free).
+	CrossMessages int64
+	IntraMessages int64
+	// MaxMachineNodes is the largest machine population under the random
+	// vertex partition (about n/k + deviations).
+	MaxMachineNodes int
+	// MaxLinkWords is the largest single-round load on one directed link.
+	MaxLinkWords int
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("k=%d nccRounds=%d kRounds=%d cross=%d intra=%d",
+		r.K, r.NCCRounds, r.KRounds, r.CrossMessages, r.IntraMessages)
+}
+
+// observer accumulates the per-round link schedule.
+type observer struct {
+	machineOf []int
+	bw        int
+	res       *Result
+	loads     map[[2]int]int
+}
+
+func (o *observer) ObserveRound(round int, msgs []ncc.Envelope) {
+	clear(o.loads)
+	for _, e := range msgs {
+		p, q := o.machineOf[e.From], o.machineOf[e.To]
+		if p == q {
+			o.res.IntraMessages++
+			continue
+		}
+		o.res.CrossMessages++
+		o.loads[[2]int{p, q}] += e.Payload.Words()
+	}
+	// Direct store-and-forward routing: the round's cost is the most loaded
+	// link's transfer time (at least one k-machine round per NCC round, for
+	// the synchronous barrier).
+	worst := 0
+	for _, w := range o.loads {
+		if w > worst {
+			worst = w
+		}
+	}
+	if worst > o.res.MaxLinkWords {
+		o.res.MaxLinkWords = worst
+	}
+	o.res.KRounds += int64(max(1, (worst+o.bw-1)/o.bw))
+}
+
+// Simulate runs program on an NCC clique configured by cfg while accounting
+// its communication in the k-machine model with the given per-link bandwidth
+// (in words per round). The random vertex partition is derived from
+// cfg.Seed. Any Observer already present in cfg is replaced.
+func Simulate(k, bandwidthWords int, cfg ncc.Config, program func(*ncc.Context)) (Result, ncc.Stats, error) {
+	if k < 1 {
+		return Result{}, ncc.Stats{}, fmt.Errorf("kmachine: k = %d, need >= 1", k)
+	}
+	if bandwidthWords < 1 {
+		return Result{}, ncc.Stats{}, fmt.Errorf("kmachine: bandwidth = %d words, need >= 1", bandwidthWords)
+	}
+	res := Result{K: k, BandwidthWords: bandwidthWords}
+	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), 0x6b6d616368696e65))
+	machineOf := make([]int, cfg.N)
+	counts := make([]int, k)
+	for i := range machineOf {
+		machineOf[i] = rng.IntN(k)
+		counts[machineOf[i]]++
+	}
+	for _, c := range counts {
+		if c > res.MaxMachineNodes {
+			res.MaxMachineNodes = c
+		}
+	}
+	cfg.Observer = &observer{machineOf: machineOf, bw: bandwidthWords, res: &res, loads: map[[2]int]int{}}
+	st, err := ncc.Run(cfg, program)
+	res.NCCRounds = st.Rounds
+	return res, st, err
+}

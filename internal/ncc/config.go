@@ -1,0 +1,142 @@
+package ncc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node of the Node-Capacitated Clique. Ids are dense:
+// 0..N-1, known to every node (the clique assumption of the model).
+type NodeID = int
+
+// Payload is the content of a message. Words reports the payload size in
+// machine words, where one word stands for Theta(log n) bits; the model
+// allows O(log n)-bit messages, i.e. a constant number of words. The runtime
+// rejects payloads larger than Config.MaxWords.
+type Payload interface {
+	Words() int
+}
+
+// Envelope is a message in transit.
+type Envelope struct {
+	From    NodeID
+	To      NodeID
+	Payload Payload
+}
+
+// Observer is notified once per round with every message accepted for
+// transmission that round (after send-capacity enforcement, before
+// receive-capacity truncation). The slice must not be retained.
+type Observer interface {
+	ObserveRound(round int, msgs []Envelope)
+}
+
+// Interceptor decides the fate of a single transmitted message; returning
+// false drops it. It models targeted link faults for failure-injection tests.
+type Interceptor func(round int, from, to NodeID) bool
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// N is the number of nodes; must be at least 1.
+	N int
+
+	// CapFactor is the constant hidden in the O(log n) capacity bound:
+	// a node may send and receive up to CapFactor*ceil(log2 N) messages
+	// per round (at least 1). Defaults to DefaultCapFactor.
+	CapFactor int
+
+	// MaxWords bounds the payload size of a single message in words of
+	// Theta(log n) bits. Defaults to DefaultMaxWords. Oversized payloads
+	// panic: they are always a program bug, never a network condition.
+	MaxWords int
+
+	// Seed makes the run deterministic.
+	Seed int64
+
+	// Strict makes send-capacity violations panic instead of silently
+	// dropping the excess (receive overflow is always resolved by dropping,
+	// as the model specifies).
+	Strict bool
+
+	// MaxRounds aborts the run with ErrMaxRounds when exceeded, so a
+	// protocol bug fails a test instead of hanging it. Defaults to
+	// DefaultMaxRounds.
+	MaxRounds int
+
+	// DropProb drops each transmitted message independently with this
+	// probability (fault injection). Zero means a reliable network, which
+	// is what the model specifies below the capacity bound.
+	DropProb float64
+
+	// Interceptor, if non-nil, can drop individual messages.
+	Interceptor Interceptor
+
+	// Observer, if non-nil, sees every round's transmitted messages.
+	Observer Observer
+}
+
+// Default configuration constants.
+const (
+	DefaultCapFactor = 8
+	DefaultMaxWords  = 12
+	DefaultMaxRounds = 1 << 21
+)
+
+// ErrMaxRounds reports that a run exceeded Config.MaxRounds.
+var ErrMaxRounds = errors.New("ncc: exceeded maximum number of rounds")
+
+func (c Config) withDefaults() Config {
+	if c.CapFactor == 0 {
+		c.CapFactor = DefaultCapFactor
+	}
+	if c.MaxWords == 0 {
+		c.MaxWords = DefaultMaxWords
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = DefaultMaxRounds
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("ncc: config N = %d, need N >= 1", c.N)
+	}
+	if c.CapFactor < 1 {
+		return fmt.Errorf("ncc: config CapFactor = %d, need >= 1", c.CapFactor)
+	}
+	if c.DropProb < 0 || c.DropProb > 1 {
+		return fmt.Errorf("ncc: config DropProb = %v out of [0,1]", c.DropProb)
+	}
+	return nil
+}
+
+// Cap returns the per-round, per-direction message capacity for this config.
+func (c Config) Cap() int {
+	f := c.CapFactor
+	if f == 0 {
+		f = DefaultCapFactor
+	}
+	return f * max(1, CeilLog2(c.N))
+}
+
+// CeilLog2 returns ceil(log2(n)) for n >= 1 (0 for n = 1).
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// FloorLog2 returns floor(log2(n)) for n >= 1.
+func FloorLog2(n int) int {
+	k := -1
+	for v := n; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,18 @@
+// Package ncc implements the Node-Capacitated Clique model of Augustine et
+// al. (SPAA 2019) as an executable, deterministic simulator.
+//
+// The model: n nodes with ids 0..n-1 form a logical clique and operate in
+// synchronous rounds. Per round, a node may send up to cap distinct messages
+// of O(log n) bits to arbitrary nodes and may receive up to cap messages,
+// where cap = CapFactor * ceil(log2 n). If more than cap messages are
+// addressed to a node in one round, an arbitrary subset of cap messages is
+// delivered and the rest are dropped by the network.
+//
+// Programs are written SPMD style: Run spawns one goroutine per node, all
+// executing the same program against a Context. Context.Send buffers messages
+// for the current round and Context.EndRound blocks on the global round
+// barrier, returning the messages delivered to the node. Runs are
+// deterministic for a fixed Config.Seed: per-node RNGs are derived from the
+// seed, deliveries are ordered by sender id, and receive-overflow truncation
+// uses a seeded RNG.
+package ncc

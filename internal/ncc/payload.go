@@ -1,0 +1,14 @@
+package ncc
+
+// Word is the simplest payload: a single machine word standing for
+// Theta(log n) bits.
+type Word uint64
+
+// Words implements Payload.
+func (Word) Words() int { return 1 }
+
+// Words2 is a two-word payload.
+type Words2 [2]uint64
+
+// Words implements Payload.
+func (Words2) Words() int { return 2 }

@@ -1,0 +1,296 @@
+package ncc
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime/debug"
+	"sort"
+	"sync"
+)
+
+// Received is a message delivered to a node at a round barrier.
+type Received struct {
+	From    NodeID
+	Payload Payload
+}
+
+// Context is a node's handle on the network. It is used by exactly one
+// goroutine (the node's program) and is not safe for concurrent use.
+type Context struct {
+	id      NodeID
+	r       *run
+	rng     *rand.Rand
+	out     []Envelope
+	inbox   []Received
+	deliver chan struct{}
+	round   int
+}
+
+// ID returns the node's identifier (0..N-1).
+func (c *Context) ID() NodeID { return c.id }
+
+// N returns the number of nodes in the clique.
+func (c *Context) N() int { return c.r.cfg.N }
+
+// Cap returns the per-round send/receive capacity in messages.
+func (c *Context) Cap() int { return c.r.cap }
+
+// Round returns the number of completed rounds; it is identical at every
+// node between barriers (the network is synchronous).
+func (c *Context) Round() int { return c.round }
+
+// Rand returns the node's deterministic private random source.
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// Pending returns the number of messages buffered for sending this round.
+func (c *Context) Pending() int { return len(c.out) }
+
+// Send buffers a message for delivery at the next round barrier. Sending to
+// oneself or out of range is a program bug and panics. Payloads larger than
+// Config.MaxWords panic: the model only admits O(log n)-bit messages.
+func (c *Context) Send(to NodeID, p Payload) {
+	if to == c.id {
+		panic(fmt.Sprintf("ncc: node %d sent a message to itself", c.id))
+	}
+	if to < 0 || to >= c.r.cfg.N {
+		panic(fmt.Sprintf("ncc: node %d sent to out-of-range node %d", c.id, to))
+	}
+	if p == nil {
+		panic(fmt.Sprintf("ncc: node %d sent a nil payload", c.id))
+	}
+	if w := p.Words(); w > c.r.cfg.MaxWords {
+		panic(fmt.Sprintf("ncc: node %d payload of %d words exceeds MaxWords=%d (%T)",
+			c.id, w, c.r.cfg.MaxWords, p))
+	}
+	c.out = append(c.out, Envelope{From: c.id, To: to, Payload: p})
+}
+
+// EndRound submits the buffered messages to the round barrier, blocks until
+// every live node has done the same, and returns the messages delivered to
+// this node, ordered by sender id.
+func (c *Context) EndRound() []Received {
+	if c.r.cfg.Strict && len(c.out) > c.r.cap {
+		panic(fmt.Sprintf("ncc: node %d sent %d messages in round %d, capacity is %d",
+			c.id, len(c.out), c.round, c.r.cap))
+	}
+	select {
+	case c.r.submit <- submission{id: c.id}:
+	case <-c.r.abort:
+		panic(errAborted)
+	}
+	select {
+	case <-c.deliver:
+	case <-c.r.abort:
+		panic(errAborted)
+	}
+	c.round++
+	return c.inbox
+}
+
+type submission struct {
+	id       NodeID
+	finished bool
+}
+
+// errAborted is the sentinel panic used to unwind node goroutines when the
+// coordinator aborts a run.
+var errAborted = &abortError{}
+
+type abortError struct{}
+
+func (*abortError) Error() string { return "ncc: run aborted" }
+
+type run struct {
+	cfg    Config
+	cap    int
+	nodes  []*Context
+	submit chan submission
+	abort  chan struct{}
+	errCh  chan error
+	rng    *rand.Rand
+	stats  Stats
+	err    error
+	// scratch, reused across rounds
+	perRecv  map[NodeID][]Envelope
+	sendCnt  []int
+	transmit []Envelope
+}
+
+// Run executes program on every node of a fresh network and returns the run
+// statistics. It returns an error if the run was aborted (node panic or
+// Config.MaxRounds exceeded).
+func Run(cfg Config, program func(*Context)) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Stats{}, err
+	}
+	r := &run{
+		cfg:     cfg,
+		cap:     cfg.Cap(),
+		submit:  make(chan submission, cfg.N),
+		abort:   make(chan struct{}),
+		errCh:   make(chan error, cfg.N),
+		rng:     rand.New(rand.NewPCG(uint64(cfg.Seed), 0x9e3779b97f4a7c15)),
+		perRecv: make(map[NodeID][]Envelope),
+		sendCnt: make([]int, cfg.N),
+	}
+	r.nodes = make([]*Context, cfg.N)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.N; i++ {
+		ctx := &Context{
+			id:      i,
+			r:       r,
+			rng:     rand.New(rand.NewPCG(uint64(cfg.Seed)^0x5851f42d4c957f2d, uint64(i)+1)),
+			deliver: make(chan struct{}, 1),
+		}
+		r.nodes[i] = ctx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					if v == errAborted {
+						return
+					}
+					select {
+					case r.errCh <- fmt.Errorf("ncc: node %d panicked: %v\n%s", ctx.id, v, debug.Stack()):
+					default:
+					}
+					return
+				}
+				select {
+				case r.submit <- submission{id: ctx.id, finished: true}:
+				case <-r.abort:
+				}
+			}()
+			program(ctx)
+		}()
+	}
+	r.coordinate()
+	wg.Wait()
+	return r.stats, r.err
+}
+
+// Collect runs program on every node and gathers the per-node return values.
+func Collect[T any](cfg Config, program func(*Context) T) ([]T, Stats, error) {
+	out := make([]T, cfg.N)
+	st, err := Run(cfg, func(ctx *Context) {
+		out[ctx.ID()] = program(ctx)
+	})
+	return out, st, err
+}
+
+func (r *run) fail(err error) {
+	r.err = err
+	close(r.abort)
+}
+
+func (r *run) coordinate() {
+	alive := r.cfg.N
+	finished := make([]bool, r.cfg.N)
+	submitted := make([]NodeID, 0, r.cfg.N)
+	for alive > 0 {
+		submitted = submitted[:0]
+		for len(submitted) < alive {
+			select {
+			case s := <-r.submit:
+				if s.finished {
+					finished[s.id] = true
+					alive--
+					continue
+				}
+				submitted = append(submitted, s.id)
+			case err := <-r.errCh:
+				r.fail(err)
+				return
+			}
+		}
+		if alive == 0 {
+			return
+		}
+		if r.stats.Rounds >= r.cfg.MaxRounds {
+			r.fail(fmt.Errorf("%w (%d)", ErrMaxRounds, r.cfg.MaxRounds))
+			return
+		}
+		r.deliverRound(submitted, finished)
+	}
+}
+
+// deliverRound enforces capacities, applies faults, and hands each submitted
+// node its inbox for the round just completed.
+func (r *run) deliverRound(submitted []NodeID, finished []bool) {
+	round := r.stats.Rounds
+	r.transmit = r.transmit[:0]
+	// Gather outboxes in sender-id order for determinism.
+	sort.Ints(submitted)
+	for _, id := range submitted {
+		ctx := r.nodes[id]
+		out := ctx.out
+		if len(out) > r.cap {
+			// Non-strict: the excess is dropped (strict mode already
+			// panicked in EndRound).
+			r.stats.DroppedSendOverflow += int64(len(out) - r.cap)
+			out = out[:r.cap]
+		}
+		if len(ctx.out) > r.stats.MaxSendLoad {
+			r.stats.MaxSendLoad = len(ctx.out)
+		}
+		for _, e := range out {
+			if finished[e.To] {
+				r.stats.DroppedToFinished++
+				continue
+			}
+			if r.cfg.DropProb > 0 && r.rng.Float64() < r.cfg.DropProb {
+				r.stats.DroppedFault++
+				continue
+			}
+			if r.cfg.Interceptor != nil && !r.cfg.Interceptor(round, e.From, e.To) {
+				r.stats.DroppedFault++
+				continue
+			}
+			r.transmit = append(r.transmit, e)
+		}
+		ctx.out = ctx.out[:0]
+	}
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveRound(round, r.transmit)
+	}
+	// Group per receiver.
+	for _, e := range r.transmit {
+		r.stats.Messages++
+		r.stats.Words += int64(e.Payload.Words())
+		r.perRecv[e.To] = append(r.perRecv[e.To], e)
+	}
+	// Deliver, truncating overloads to an arbitrary (seeded-random) subset.
+	for _, id := range submitted {
+		ctx := r.nodes[id]
+		msgs := r.perRecv[id]
+		if len(msgs) > r.stats.MaxRecvOffered {
+			r.stats.MaxRecvOffered = len(msgs)
+		}
+		if len(msgs) > r.cap {
+			r.stats.DroppedRecvOverflow += int64(len(msgs) - r.cap)
+			r.rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+			msgs = msgs[:r.cap]
+			sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+		}
+		if len(msgs) > r.stats.MaxRecvDelivered {
+			r.stats.MaxRecvDelivered = len(msgs)
+		}
+		ctx.inbox = ctx.inbox[:0]
+		for _, e := range msgs {
+			ctx.inbox = append(ctx.inbox, Received{From: e.From, Payload: e.Payload})
+		}
+		delete(r.perRecv, id)
+	}
+	// Anything addressed to a node that neither submitted nor is finished is
+	// impossible (every live node submitted), but messages to finished nodes
+	// were already filtered; clear stale entries defensively.
+	for k := range r.perRecv {
+		delete(r.perRecv, k)
+	}
+	r.stats.Rounds++
+	for _, id := range submitted {
+		r.nodes[id].deliver <- struct{}{}
+	}
+}

@@ -1,0 +1,398 @@
+package ncc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {17, 5}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.n); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := FloorLog2(c.n); got != c.want {
+			t.Errorf("FloorLog2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	const rounds = 5
+	cfg := Config{N: 2, Seed: 1, Strict: true}
+	st, err := Run(cfg, func(ctx *Context) {
+		peer := 1 - ctx.ID()
+		for i := 0; i < rounds; i++ {
+			ctx.Send(peer, Word(uint64(ctx.ID()*100+i)))
+			got := ctx.EndRound()
+			if len(got) != 1 {
+				panic("expected exactly one message")
+			}
+			if got[0].From != peer {
+				panic("wrong sender")
+			}
+			want := Word(uint64(peer*100 + i))
+			if got[0].Payload.(Word) != want {
+				panic("wrong payload")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != rounds {
+		t.Errorf("rounds = %d, want %d", st.Rounds, rounds)
+	}
+	if st.Messages != 2*rounds {
+		t.Errorf("messages = %d, want %d", st.Messages, 2*rounds)
+	}
+	if st.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", st.Dropped())
+	}
+}
+
+func TestRoundCounterIsGlobal(t *testing.T) {
+	cfg := Config{N: 8, Seed: 3, Strict: true}
+	_, err := Run(cfg, func(ctx *Context) {
+		for i := 0; i < 10; i++ {
+			if ctx.Round() != i {
+				panic("round counter out of sync")
+			}
+			ctx.EndRound()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	program := func(ctx *Context) {
+		for i := 0; i < 20; i++ {
+			to := ctx.Rand().IntN(ctx.N())
+			if to != ctx.ID() {
+				ctx.Send(to, Word(ctx.Rand().Uint64()))
+			}
+			ctx.EndRound()
+		}
+	}
+	cfg := Config{N: 32, Seed: 42}
+	st1, err1 := Run(cfg, program)
+	st2, err2 := Run(cfg, program)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if st1 != st2 {
+		t.Errorf("same seed gave different stats:\n%v\n%v", st1, st2)
+	}
+}
+
+func TestReceiveOverflowDrops(t *testing.T) {
+	// Every node floods node 0 in one round; node 0 must receive exactly cap
+	// messages, and the overflow must be counted as dropped.
+	cfg := Config{N: 64, CapFactor: 2, Seed: 7}
+	capacity := cfg.Cap()
+	got := 0
+	_, err := Run(cfg, func(ctx *Context) {
+		if ctx.ID() != 0 {
+			ctx.Send(0, Word(1))
+			ctx.EndRound()
+			return
+		}
+		in := ctx.EndRound()
+		got = len(in)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != capacity {
+		t.Errorf("node 0 received %d messages, want cap=%d", got, capacity)
+	}
+}
+
+func TestReceiveOverflowStats(t *testing.T) {
+	cfg := Config{N: 64, CapFactor: 2, Seed: 7}
+	st, err := Run(cfg, func(ctx *Context) {
+		if ctx.ID() != 0 {
+			ctx.Send(0, Word(1))
+		}
+		ctx.EndRound()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDropped := int64(63 - cfg.Cap())
+	if st.DroppedRecvOverflow != wantDropped {
+		t.Errorf("DroppedRecvOverflow = %d, want %d", st.DroppedRecvOverflow, wantDropped)
+	}
+	if st.MaxRecvOffered != 63 {
+		t.Errorf("MaxRecvOffered = %d, want 63", st.MaxRecvOffered)
+	}
+	if st.MaxRecvDelivered != cfg.Cap() {
+		t.Errorf("MaxRecvDelivered = %d, want %d", st.MaxRecvDelivered, cfg.Cap())
+	}
+}
+
+func TestStrictSendCapPanics(t *testing.T) {
+	cfg := Config{N: 4, CapFactor: 1, Seed: 1, Strict: true}
+	_, err := Run(cfg, func(ctx *Context) {
+		if ctx.ID() == 0 {
+			for i := 0; i < ctx.Cap()+1; i++ {
+				ctx.Send(1+i%3, Word(0))
+			}
+		}
+		ctx.EndRound()
+	})
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("want capacity panic error, got %v", err)
+	}
+}
+
+func TestNonStrictSendCapDrops(t *testing.T) {
+	cfg := Config{N: 4, CapFactor: 1, Seed: 1}
+	st, err := Run(cfg, func(ctx *Context) {
+		if ctx.ID() == 0 {
+			for i := 0; i < ctx.Cap()+3; i++ {
+				ctx.Send(1+i%3, Word(0))
+			}
+		}
+		ctx.EndRound()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedSendOverflow != 3 {
+		t.Errorf("DroppedSendOverflow = %d, want 3", st.DroppedSendOverflow)
+	}
+}
+
+func TestMaxRounds(t *testing.T) {
+	cfg := Config{N: 2, Seed: 1, MaxRounds: 10}
+	_, err := Run(cfg, func(ctx *Context) {
+		for {
+			ctx.EndRound()
+		}
+	})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("want ErrMaxRounds, got %v", err)
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	_, err := Run(Config{N: 2, Seed: 1}, func(ctx *Context) {
+		ctx.Send(ctx.ID(), Word(0))
+		ctx.EndRound()
+	})
+	if err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Fatalf("want self-send panic, got %v", err)
+	}
+}
+
+type bigPayload struct{}
+
+func (bigPayload) Words() int { return 1000 }
+
+func TestOversizedPayloadPanics(t *testing.T) {
+	_, err := Run(Config{N: 2, Seed: 1}, func(ctx *Context) {
+		ctx.Send(1-ctx.ID(), bigPayload{})
+		ctx.EndRound()
+	})
+	if err == nil || !strings.Contains(err.Error(), "MaxWords") {
+		t.Fatalf("want MaxWords panic, got %v", err)
+	}
+}
+
+func TestMessagesToFinishedNodesAreDropped(t *testing.T) {
+	cfg := Config{N: 4, Seed: 1}
+	st, err := Run(cfg, func(ctx *Context) {
+		if ctx.ID() != 0 {
+			return // finish immediately
+		}
+		for i := 0; i < 3; i++ {
+			ctx.Send(1, Word(0))
+			ctx.EndRound()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedToFinished != 3 {
+		t.Errorf("DroppedToFinished = %d, want 3", st.DroppedToFinished)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	vals, _, err := Collect(Config{N: 8, Seed: 1}, func(ctx *Context) int {
+		return ctx.ID() * ctx.ID()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Errorf("vals[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+type countObserver struct{ msgs int }
+
+func (o *countObserver) ObserveRound(round int, msgs []Envelope) { o.msgs += len(msgs) }
+
+func TestObserver(t *testing.T) {
+	obs := &countObserver{}
+	cfg := Config{N: 4, Seed: 1, Observer: obs}
+	st, err := Run(cfg, func(ctx *Context) {
+		ctx.Send((ctx.ID()+1)%ctx.N(), Word(0))
+		ctx.EndRound()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(obs.msgs) != st.Messages {
+		t.Errorf("observer saw %d messages, stats say %d", obs.msgs, st.Messages)
+	}
+}
+
+func TestDropProbOne(t *testing.T) {
+	cfg := Config{N: 4, Seed: 1, DropProb: 1}
+	var deliveredAny bool
+	_, err := Run(cfg, func(ctx *Context) {
+		ctx.Send((ctx.ID()+1)%ctx.N(), Word(0))
+		if len(ctx.EndRound()) > 0 {
+			deliveredAny = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deliveredAny {
+		t.Error("DropProb=1 still delivered messages")
+	}
+}
+
+func TestInterceptor(t *testing.T) {
+	cfg := Config{N: 4, Seed: 1, Interceptor: func(round int, from, to NodeID) bool {
+		return to != 2 // kill everything addressed to node 2
+	}}
+	counts := make([]int, 4)
+	_, err := Run(cfg, func(ctx *Context) {
+		for to := 0; to < ctx.N(); to++ {
+			if to != ctx.ID() {
+				ctx.Send(to, Word(0))
+			}
+		}
+		counts[ctx.ID()] = len(ctx.EndRound())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[2] != 0 {
+		t.Errorf("node 2 received %d messages despite interceptor", counts[2])
+	}
+	if counts[1] != 3 {
+		t.Errorf("node 1 received %d messages, want 3", counts[1])
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	_, err := Run(Config{N: 4, Seed: 1}, func(ctx *Context) {
+		if ctx.ID() == 2 {
+			panic("boom")
+		}
+		for i := 0; i < 100; i++ {
+			ctx.EndRound()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want boom panic, got %v", err)
+	}
+}
+
+// Property: for random fan-out patterns, every transmitted message is either
+// delivered or accounted for in a drop counter.
+func TestConservationProperty(t *testing.T) {
+	check := func(seed int64, n8 uint8, fan uint8) bool {
+		n := 2 + int(n8)%30
+		f := 1 + int(fan)%5
+		var delivered int64
+		deliveredPer := make([]int64, n)
+		cfg := Config{N: n, CapFactor: 1, Seed: seed}
+		st, err := Run(cfg, func(ctx *Context) {
+			for i := 0; i < 3; i++ {
+				for j := 0; j < f; j++ {
+					to := ctx.Rand().IntN(ctx.N())
+					if to != ctx.ID() {
+						ctx.Send(to, Word(0))
+					}
+				}
+				deliveredPer[ctx.ID()] += int64(len(ctx.EndRound()))
+			}
+		})
+		if err != nil {
+			return false
+		}
+		delivered = 0
+		for _, d := range deliveredPer {
+			delivered += d
+		}
+		return delivered+st.DroppedRecvOverflow == st.Messages
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := &Timeline{}
+	cfg := Config{N: 8, Seed: 1, Observer: tl, Strict: true}
+	st, err := Run(cfg, func(ctx *Context) {
+		for r := 0; r < 5; r++ {
+			if r == 3 { // make round 3 the busiest
+				for to := 0; to < ctx.N(); to++ {
+					if to != ctx.ID() {
+						ctx.Send(to, Word(1))
+					}
+				}
+			} else {
+				ctx.Send((ctx.ID()+1)%ctx.N(), Word(1))
+			}
+			ctx.EndRound()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Samples) != st.Rounds {
+		t.Fatalf("timeline has %d samples, run had %d rounds", len(tl.Samples), st.Rounds)
+	}
+	if tl.TotalMessages() != st.Messages {
+		t.Errorf("timeline total %d != stats %d", tl.TotalMessages(), st.Messages)
+	}
+	busyRound, sample := tl.Busiest()
+	if busyRound != 3 {
+		t.Errorf("busiest round = %d, want 3", busyRound)
+	}
+	if sample.MaxRecvOffered != 7 {
+		t.Errorf("busiest MaxRecvOffered = %d, want 7", sample.MaxRecvOffered)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := &Timeline{}
+	if i, s := tl.Busiest(); i != 0 || s.Messages != 0 {
+		t.Error("empty timeline Busiest not zero")
+	}
+}

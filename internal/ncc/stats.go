@@ -1,0 +1,55 @@
+package ncc
+
+import "fmt"
+
+// Stats aggregates what happened during a run. All load figures are measured
+// per node per round.
+type Stats struct {
+	// Rounds is the number of completed communication rounds.
+	Rounds int
+
+	// Messages counts messages accepted for transmission.
+	Messages int64
+
+	// Words counts payload words accepted for transmission.
+	Words int64
+
+	// MaxSendLoad is the maximum number of messages any node attempted to
+	// send in a single round (before send-capacity enforcement).
+	MaxSendLoad int
+
+	// MaxRecvOffered is the maximum number of messages addressed to a
+	// single node in a single round (before receive-capacity truncation).
+	// The model's w.h.p. guarantees say this stays O(log n); experiment
+	// E-LOAD checks it.
+	MaxRecvOffered int
+
+	// MaxRecvDelivered is the maximum number of messages actually
+	// delivered to a node in one round (always <= capacity).
+	MaxRecvDelivered int
+
+	// DroppedRecvOverflow counts messages dropped because more than cap
+	// messages were addressed to one node in one round.
+	DroppedRecvOverflow int64
+
+	// DroppedSendOverflow counts messages dropped because a node tried to
+	// send more than cap messages in one round (non-strict mode only).
+	DroppedSendOverflow int64
+
+	// DroppedFault counts messages dropped by DropProb or Interceptor.
+	DroppedFault int64
+
+	// DroppedToFinished counts messages addressed to nodes whose program
+	// had already returned.
+	DroppedToFinished int64
+}
+
+// Dropped returns the total number of messages dropped for any reason.
+func (s Stats) Dropped() int64 {
+	return s.DroppedRecvOverflow + s.DroppedSendOverflow + s.DroppedFault + s.DroppedToFinished
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d msgs=%d words=%d maxSend=%d maxRecvOffered=%d dropped=%d",
+		s.Rounds, s.Messages, s.Words, s.MaxSendLoad, s.MaxRecvOffered, s.Dropped())
+}

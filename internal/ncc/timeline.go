@@ -1,0 +1,59 @@
+package ncc
+
+// Timeline is an Observer that records a per-round traffic series — the raw
+// material for round/load plots (e.g. visualizing an algorithm's phase
+// structure or the O(log n) load discipline over time).
+type Timeline struct {
+	Samples []RoundSample
+}
+
+// RoundSample summarizes one round's transmitted traffic.
+type RoundSample struct {
+	Messages int
+	Words    int
+	// MaxRecvOffered is the largest number of messages addressed to a single
+	// node this round.
+	MaxRecvOffered int
+}
+
+// ObserveRound implements Observer.
+func (tl *Timeline) ObserveRound(round int, msgs []Envelope) {
+	var s RoundSample
+	per := map[NodeID]int{}
+	for _, e := range msgs {
+		s.Messages++
+		s.Words += e.Payload.Words()
+		per[e.To]++
+	}
+	for _, c := range per {
+		if c > s.MaxRecvOffered {
+			s.MaxRecvOffered = c
+		}
+	}
+	tl.Samples = append(tl.Samples, s)
+}
+
+// Busiest returns the index and sample of the round with the most messages
+// (zeroes if the timeline is empty).
+func (tl *Timeline) Busiest() (int, RoundSample) {
+	best := -1
+	var out RoundSample
+	for i, s := range tl.Samples {
+		if best == -1 || s.Messages > out.Messages {
+			best, out = i, s
+		}
+	}
+	if best == -1 {
+		return 0, RoundSample{}
+	}
+	return best, out
+}
+
+// TotalMessages sums the series.
+func (tl *Timeline) TotalMessages() int64 {
+	var t int64
+	for _, s := range tl.Samples {
+		t += int64(s.Messages)
+	}
+	return t
+}

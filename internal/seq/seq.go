@@ -1,0 +1,164 @@
+// Package seq provides sequential reference algorithms used to verify the
+// distributed algorithms' outputs and as quality baselines in the
+// experiments: Kruskal's MST (with the same weight-then-edge-key tie
+// breaking as the distributed FindMin), greedy MIS, greedy maximal matching,
+// and degeneracy-order greedy coloring.
+package seq
+
+import (
+	"sort"
+
+	"ncc/internal/graph"
+)
+
+// DSU is a union-find structure with path compression and union by size.
+type DSU struct {
+	parent []int
+	size   []int
+}
+
+// NewDSU creates n singletons.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int, n), size: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Find returns the representative of x.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; returns false if already joined.
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	return true
+}
+
+// Edge is a weighted undirected edge.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// SortKey is the total order the MST algorithms use: weight first, then the
+// canonical undirected edge key — this makes all weights distinct, which
+// Boruvka-style merging requires, and makes the minimum spanning forest
+// unique. Supports n <= 2^20 nodes and weights up to 2^24-1 (the key must fit
+// one Theta(log n)-bit word).
+func SortKey(u, v int, w int64, n int) uint64 {
+	if n > 1<<20 {
+		panic("seq: SortKey supports at most 2^20 nodes")
+	}
+	if w < 0 || w >= 1<<24 {
+		panic("seq: SortKey supports weights in [0, 2^24)")
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(w)<<40 | uint64(u)<<20 | uint64(v)
+}
+
+// UnpackSortKey inverts SortKey.
+func UnpackSortKey(k uint64) (u, v int, w int64) {
+	return int(k >> 20 & 0xfffff), int(k & 0xfffff), int64(k >> 40)
+}
+
+// MSTKruskal returns the edges of the minimum spanning forest of wg under
+// the SortKey order, plus the total weight.
+func MSTKruskal(wg *graph.Weighted) ([]Edge, int64) {
+	var edges []Edge
+	wg.Edges(func(u, v int) {
+		edges = append(edges, Edge{U: u, V: v, W: wg.Weight(u, v)})
+	})
+	n := wg.N()
+	sort.Slice(edges, func(i, j int) bool {
+		return SortKey(edges[i].U, edges[i].V, edges[i].W, n) < SortKey(edges[j].U, edges[j].V, edges[j].W, n)
+	})
+	dsu := NewDSU(n)
+	var out []Edge
+	var total int64
+	for _, e := range edges {
+		if dsu.Union(e.U, e.V) {
+			out = append(out, e)
+			total += e.W
+		}
+	}
+	return out, total
+}
+
+// GreedyMIS returns a maximal independent set (in id order).
+func GreedyMIS(g *graph.Graph) []bool {
+	in := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	for u := 0; u < g.N(); u++ {
+		if blocked[u] {
+			continue
+		}
+		in[u] = true
+		for _, v := range g.Neighbors(u) {
+			blocked[v] = true
+		}
+	}
+	return in
+}
+
+// GreedyMatching returns a maximal matching as a partner array (-1 if
+// unmatched), matching edges greedily in id order.
+func GreedyMatching(g *graph.Graph) []int {
+	mate := make([]int, g.N())
+	for i := range mate {
+		mate[i] = -1
+	}
+	g.Edges(func(u, v int) {
+		if mate[u] == -1 && mate[v] == -1 {
+			mate[u], mate[v] = v, u
+		}
+	})
+	return mate
+}
+
+// GreedyColoring colors in reverse degeneracy order with the smallest free
+// color, using at most degeneracy+1 colors. Returns the colors and the
+// number of colors used.
+func GreedyColoring(g *graph.Graph) ([]int, int) {
+	_, order := graph.Degeneracy(g)
+	colors := make([]int, g.N())
+	for i := range colors {
+		colors[i] = -1
+	}
+	maxC := 0
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		used := map[int]bool{}
+		for _, v := range g.Neighbors(u) {
+			if colors[v] >= 0 {
+				used[colors[v]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[u] = c
+		if c+1 > maxC {
+			maxC = c + 1
+		}
+	}
+	return colors, maxC
+}

@@ -1,0 +1,133 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ncc/internal/graph"
+)
+
+func TestDSU(t *testing.T) {
+	d := NewDSU(6)
+	if !d.Union(0, 1) || !d.Union(2, 3) {
+		t.Fatal("fresh unions failed")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeated union succeeded")
+	}
+	if d.Find(0) != d.Find(1) || d.Find(0) == d.Find(2) {
+		t.Fatal("find inconsistent")
+	}
+	d.Union(1, 3)
+	if d.Find(0) != d.Find(2) {
+		t.Fatal("transitive union broken")
+	}
+}
+
+func TestKruskalOnKnownGraph(t *testing.T) {
+	// Square with diagonal: 0-1 (1), 1-2 (2), 2-3 (3), 3-0 (4), 0-2 (5).
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	b.AddEdge(0, 2)
+	wg := graph.NewWeighted(b.Build())
+	wg.SetWeight(0, 1, 1)
+	wg.SetWeight(1, 2, 2)
+	wg.SetWeight(2, 3, 3)
+	wg.SetWeight(3, 0, 4)
+	wg.SetWeight(0, 2, 5)
+	edges, total := MSTKruskal(wg)
+	if total != 6 || len(edges) != 3 {
+		t.Errorf("MST weight %d (%d edges), want 6 (3 edges)", total, len(edges))
+	}
+}
+
+func TestKruskalSpansForest(t *testing.T) {
+	check := func(seed int64, n8 uint8) bool {
+		n := 4 + int(n8)%30
+		g := graph.GNP(n, 0.3, seed)
+		wg := graph.RandomWeights(g, 50, seed+1)
+		edges, _ := MSTKruskal(wg)
+		_, nc := graph.Components(g)
+		return len(edges) == n-nc
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMISValid(t *testing.T) {
+	check := func(seed int64, n8 uint8) bool {
+		n := 3 + int(n8)%40
+		g := graph.GNP(n, 0.25, seed)
+		in := GreedyMIS(g)
+		for u := 0; u < n; u++ {
+			cov := in[u]
+			for _, v := range g.Neighbors(u) {
+				if in[u] && in[v] {
+					return false
+				}
+				if in[v] {
+					cov = true
+				}
+			}
+			if !cov {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMatchingValid(t *testing.T) {
+	check := func(seed int64, n8 uint8) bool {
+		n := 3 + int(n8)%40
+		g := graph.GNP(n, 0.25, seed)
+		mate := GreedyMatching(g)
+		for u := 0; u < n; u++ {
+			if mate[u] != -1 && mate[mate[u]] != u {
+				return false
+			}
+		}
+		bad := false
+		g.Edges(func(u, v int) {
+			if mate[u] == -1 && mate[v] == -1 {
+				bad = true
+			}
+		})
+		return !bad
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyColoringBound(t *testing.T) {
+	for _, tc := range []struct {
+		g *graph.Graph
+	}{
+		{graph.Path(20)},
+		{graph.Cycle(21)},
+		{graph.Complete(7)},
+		{graph.Grid(5, 6)},
+		{graph.KForest(60, 3, 4)},
+	} {
+		colors, used := GreedyColoring(tc.g)
+		d, _ := graph.Degeneracy(tc.g)
+		if used > d+1 {
+			t.Errorf("%v: %d colors exceed degeneracy+1 = %d", tc.g, used, d+1)
+		}
+		for u := 0; u < tc.g.N(); u++ {
+			for _, v := range tc.g.Neighbors(u) {
+				if colors[u] == colors[v] {
+					t.Fatalf("%v: conflict on edge (%d,%d)", tc.g, u, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package verify checks the outputs of the distributed algorithms against
+// their specifications (and, where the answer is unique, against sequential
+// reference results): spanning forests and MST weight, BFS trees, maximal
+// independent sets, maximal matchings, colorings, and bounded-outdegree
+// orientations.
+package verify
+
+import (
+	"fmt"
+
+	"ncc/internal/graph"
+	"ncc/internal/hashing"
+	"ncc/internal/seq"
+)
+
+// SpanningForest checks that the given edge set is a spanning forest of g:
+// every edge exists, no cycles, and the number of edges is n minus the number
+// of components (so it spans every component).
+func SpanningForest(g *graph.Graph, edges [][2]int) error {
+	dsu := seq.NewDSU(g.N())
+	for _, e := range edges {
+		if !g.HasEdge(e[0], e[1]) {
+			return fmt.Errorf("edge (%d,%d) not in graph", e[0], e[1])
+		}
+		if !dsu.Union(e[0], e[1]) {
+			return fmt.Errorf("edge (%d,%d) closes a cycle", e[0], e[1])
+		}
+	}
+	_, nc := graph.Components(g)
+	if want := g.N() - nc; len(edges) != want {
+		return fmt.Errorf("forest has %d edges, want %d (n=%d, components=%d)", len(edges), want, g.N(), nc)
+	}
+	return nil
+}
+
+// MST checks that edges form a spanning forest whose total weight equals
+// Kruskal's (the forest is unique under the weight-plus-edge-key order, so
+// weight equality means the exact same forest).
+func MST(wg *graph.Weighted, edges [][2]int) error {
+	if err := SpanningForest(wg.Graph, edges); err != nil {
+		return err
+	}
+	var total int64
+	for _, e := range edges {
+		total += wg.Weight(e[0], e[1])
+	}
+	_, want := seq.MSTKruskal(wg)
+	if total != want {
+		return fmt.Errorf("forest weight %d, Kruskal weight %d", total, want)
+	}
+	return nil
+}
+
+// BFS checks distances and parents against a sequential BFS from src.
+// Unreached nodes must report dist -1. Parents must be neighbors one step
+// closer to src (any such parent is accepted; the minimum-id tie-break is
+// checked only when strict is set).
+func BFS(g *graph.Graph, src int, dist, parent []int, strict bool) error {
+	wantDist, wantParent := graph.BFSDistances(g, src)
+	for u := 0; u < g.N(); u++ {
+		if dist[u] != wantDist[u] {
+			return fmt.Errorf("node %d: dist %d, want %d", u, dist[u], wantDist[u])
+		}
+		if u == src || wantDist[u] == -1 {
+			continue
+		}
+		p := parent[u]
+		if p < 0 || p >= g.N() || !g.HasEdge(u, p) {
+			return fmt.Errorf("node %d: parent %d is not a neighbor", u, p)
+		}
+		if dist[p] != dist[u]-1 {
+			return fmt.Errorf("node %d: parent %d at distance %d, want %d", u, p, dist[p], dist[u]-1)
+		}
+		if strict && p != wantParent[u] {
+			return fmt.Errorf("node %d: parent %d, want minimum-id parent %d", u, p, wantParent[u])
+		}
+	}
+	return nil
+}
+
+// MIS checks independence and maximality.
+func MIS(g *graph.Graph, in []bool) error {
+	for u := 0; u < g.N(); u++ {
+		covered := in[u]
+		for _, v := range g.Neighbors(u) {
+			if in[u] && in[int(v)] {
+				return fmt.Errorf("adjacent nodes %d and %d both in set", u, v)
+			}
+			if in[int(v)] {
+				covered = true
+			}
+		}
+		if !covered {
+			return fmt.Errorf("node %d neither in set nor adjacent to it (not maximal)", u)
+		}
+	}
+	return nil
+}
+
+// Matching checks that mate is a consistent maximal matching: symmetric
+// partners over real edges, and no edge with both endpoints unmatched.
+func Matching(g *graph.Graph, mate []int) error {
+	for u := 0; u < g.N(); u++ {
+		m := mate[u]
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= g.N() || mate[m] != u {
+			return fmt.Errorf("node %d claims partner %d but is not reciprocated", u, m)
+		}
+		if !g.HasEdge(u, m) {
+			return fmt.Errorf("matched pair (%d,%d) is not an edge", u, m)
+		}
+	}
+	ok := true
+	var bu, bv int
+	g.Edges(func(u, v int) {
+		if mate[u] == -1 && mate[v] == -1 {
+			ok = false
+			bu, bv = u, v
+		}
+	})
+	if !ok {
+		return fmt.Errorf("edge (%d,%d) has both endpoints unmatched (not maximal)", bu, bv)
+	}
+	return nil
+}
+
+// Coloring checks properness and that at most maxColors colors are used
+// (pass 0 to skip the bound).
+func Coloring(g *graph.Graph, colors []int, maxColors int) error {
+	for u := 0; u < g.N(); u++ {
+		if colors[u] < 0 {
+			return fmt.Errorf("node %d uncolored", u)
+		}
+		if maxColors > 0 && colors[u] >= maxColors {
+			return fmt.Errorf("node %d uses color %d, bound is %d", u, colors[u], maxColors)
+		}
+		for _, v := range g.Neighbors(u) {
+			if colors[u] == colors[int(v)] {
+				return fmt.Errorf("adjacent nodes %d and %d share color %d", u, v, colors[u])
+			}
+		}
+	}
+	return nil
+}
+
+// ColorsUsed counts distinct colors.
+func ColorsUsed(colors []int) int {
+	seen := map[int]bool{}
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// Orientation checks that the per-node out-neighbor lists cover every edge
+// exactly once (in exactly one direction) and that every outdegree is at
+// most bound (pass 0 to skip the bound).
+func Orientation(g *graph.Graph, out [][]int, bound int) error {
+	seen := make(map[uint64]int)
+	for u := 0; u < g.N(); u++ {
+		if bound > 0 && len(out[u]) > bound {
+			return fmt.Errorf("node %d has outdegree %d, bound %d", u, len(out[u]), bound)
+		}
+		for _, v := range out[u] {
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("oriented non-edge (%d,%d)", u, v)
+			}
+			seen[hashing.PackUndirected(u, v)]++
+		}
+	}
+	if len(seen) != g.M() {
+		return fmt.Errorf("%d edges oriented, graph has %d", len(seen), g.M())
+	}
+	for k, c := range seen {
+		if c != 1 {
+			u, v := hashing.UnpackEdge(k)
+			return fmt.Errorf("edge (%d,%d) oriented %d times", u, v, c)
+		}
+	}
+	return nil
+}
+
+// MaxOutdegree returns the largest outdegree in an orientation.
+func MaxOutdegree(out [][]int) int {
+	d := 0
+	for _, o := range out {
+		if len(o) > d {
+			d = len(o)
+		}
+	}
+	return d
+}
+
+// ForestPartition checks that the given edge groups partition all edges of g
+// and that every group is acyclic (a forest) — the Nash-Williams
+// decomposition property of Section 2.1.
+func ForestPartition(g *graph.Graph, forests [][][2]int) error {
+	total := 0
+	seen := make(map[uint64]bool)
+	for f, edges := range forests {
+		dsu := seq.NewDSU(g.N())
+		for _, e := range edges {
+			if !g.HasEdge(e[0], e[1]) {
+				return fmt.Errorf("forest %d contains non-edge (%d,%d)", f, e[0], e[1])
+			}
+			key := hashing.PackUndirected(e[0], e[1])
+			if seen[key] {
+				return fmt.Errorf("edge (%d,%d) appears in two forests", e[0], e[1])
+			}
+			seen[key] = true
+			if !dsu.Union(e[0], e[1]) {
+				return fmt.Errorf("forest %d contains a cycle through (%d,%d)", f, e[0], e[1])
+			}
+			total++
+		}
+	}
+	if total != g.M() {
+		return fmt.Errorf("forests cover %d edges, graph has %d", total, g.M())
+	}
+	return nil
+}

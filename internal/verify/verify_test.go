@@ -1,0 +1,156 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"ncc/internal/graph"
+	"ncc/internal/seq"
+)
+
+func TestSpanningForestAcceptsAndRejects(t *testing.T) {
+	g := graph.Cycle(5)
+	good := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	if err := SpanningForest(g, good); err != nil {
+		t.Errorf("valid forest rejected: %v", err)
+	}
+	cycle := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	if err := SpanningForest(g, cycle); err == nil {
+		t.Error("cycle accepted")
+	}
+	short := [][2]int{{0, 1}, {1, 2}}
+	if err := SpanningForest(g, short); err == nil {
+		t.Error("non-spanning forest accepted")
+	}
+	nonEdge := [][2]int{{0, 2}, {1, 2}, {2, 3}, {3, 4}}
+	if err := SpanningForest(g, nonEdge); err == nil {
+		t.Error("non-edge accepted")
+	}
+}
+
+func TestMSTRejectsSuboptimal(t *testing.T) {
+	// Triangle with one heavy edge.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	wg := graph.NewWeighted(b.Build())
+	wg.SetWeight(0, 1, 1)
+	wg.SetWeight(1, 2, 1)
+	wg.SetWeight(0, 2, 10)
+	if err := MST(wg, [][2]int{{0, 1}, {1, 2}}); err != nil {
+		t.Errorf("optimal tree rejected: %v", err)
+	}
+	if err := MST(wg, [][2]int{{0, 1}, {0, 2}}); err == nil {
+		t.Error("suboptimal tree accepted")
+	}
+}
+
+func TestBFSVerifier(t *testing.T) {
+	g := graph.Path(4)
+	dist, parent := graph.BFSDistances(g, 0)
+	if err := BFS(g, 0, dist, parent, true); err != nil {
+		t.Errorf("valid BFS rejected: %v", err)
+	}
+	bad := append([]int(nil), dist...)
+	bad[3] = 7
+	if err := BFS(g, 0, bad, parent, true); err == nil {
+		t.Error("wrong distance accepted")
+	}
+	badP := append([]int(nil), parent...)
+	badP[3] = 1 // not a neighbor one step closer
+	if err := BFS(g, 0, dist, badP, false); err == nil {
+		t.Error("invalid parent accepted")
+	}
+}
+
+func TestMISVerifier(t *testing.T) {
+	g := graph.Path(4)
+	if err := MIS(g, []bool{true, false, true, false}); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+	if err := MIS(g, []bool{true, true, false, true}); err == nil {
+		t.Error("dependent set accepted")
+	}
+	if err := MIS(g, []bool{true, false, false, false}); err == nil {
+		t.Error("non-maximal set accepted")
+	}
+}
+
+func TestMatchingVerifier(t *testing.T) {
+	g := graph.Path(4)
+	if err := Matching(g, []int{1, 0, 3, 2}); err != nil {
+		t.Errorf("valid matching rejected: %v", err)
+	}
+	if err := Matching(g, []int{1, 0, -1, -1}); err == nil {
+		t.Error("non-maximal matching accepted (edge 2-3 open)")
+	}
+	if err := Matching(g, []int{2, -1, 0, -1}); err == nil {
+		t.Error("matching over non-edge accepted")
+	}
+	if err := Matching(g, []int{1, 2, 1, -1}); err == nil {
+		t.Error("asymmetric matching accepted")
+	}
+}
+
+func TestColoringVerifier(t *testing.T) {
+	g := graph.Cycle(4)
+	if err := Coloring(g, []int{0, 1, 0, 1}, 2); err != nil {
+		t.Errorf("valid coloring rejected: %v", err)
+	}
+	if err := Coloring(g, []int{0, 0, 1, 1}, 2); err == nil {
+		t.Error("conflicting coloring accepted")
+	}
+	if err := Coloring(g, []int{0, 1, 0, 5}, 2); err == nil {
+		t.Error("out-of-palette color accepted")
+	}
+	if err := Coloring(g, []int{0, 1, 0, -1}, 2); err == nil {
+		t.Error("uncolored node accepted")
+	}
+	if ColorsUsed([]int{0, 1, 0, 1}) != 2 {
+		t.Error("ColorsUsed wrong")
+	}
+}
+
+func TestOrientationVerifier(t *testing.T) {
+	g := graph.Path(3)
+	if err := Orientation(g, [][]int{{1}, {2}, {}}, 1); err != nil {
+		t.Errorf("valid orientation rejected: %v", err)
+	}
+	if err := Orientation(g, [][]int{{1}, {0, 2}, {}}, 0); err == nil {
+		t.Error("doubly-oriented edge accepted")
+	}
+	if err := Orientation(g, [][]int{{1}, {}, {}}, 0); err == nil {
+		t.Error("unoriented edge accepted")
+	}
+	if err := Orientation(g, [][]int{{1}, {2}, {}}, 0); err != nil {
+		t.Errorf("bound=0 should skip outdegree check: %v", err)
+	}
+	if err := Orientation(g, [][]int{{1, 2}, {}, {}}, 1); err == nil {
+		t.Error("non-edge orientation accepted")
+	}
+	if MaxOutdegree([][]int{{1}, {2, 0}, {}}) != 2 {
+		t.Error("MaxOutdegree wrong")
+	}
+}
+
+func TestVerifierErrorsAreDescriptive(t *testing.T) {
+	g := graph.Path(4)
+	err := MIS(g, []bool{true, true, false, true})
+	if err == nil || !strings.Contains(err.Error(), "adjacent") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestMSTAgainstKruskalRandom(t *testing.T) {
+	g := graph.GNP(20, 0.3, 5)
+	wg := graph.RandomWeights(g, 100, 6)
+	edges, _ := seq.MSTKruskal(wg)
+	var pairs [][2]int
+	for _, e := range edges {
+		pairs = append(pairs, [2]int{e.U, e.V})
+	}
+	if err := MST(wg, pairs); err != nil {
+		t.Errorf("Kruskal's own output rejected: %v", err)
+	}
+}
