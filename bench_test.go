@@ -1,6 +1,6 @@
 package nccrepro
 
-// One testing.B benchmark per experiment row of DESIGN.md's index. The
+// One testing.B benchmark per experiment of cmd/nccbench (see README.md). The
 // interesting metric of the NCC model is rounds (and message counts), not
 // wall-clock time, so every benchmark reports rounds/op, msgs/op and
 // maxRecvLoad/op via b.ReportMetric; ns/op measures only the simulator.
@@ -365,21 +365,28 @@ func BenchmarkTreeSetupStar(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures the raw simulator (rounds/sec with a
-// trivial program), to separate harness cost from algorithm cost.
+// trivial program), to separate harness cost from algorithm cost. The
+// workers sub-benchmarks compare the serial coordinator against the sharded
+// delivery pool (identical results per seed; see also the BenchmarkEngine*
+// set in internal/ncc for dense/sparse/overload traffic shapes).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	const n = 256
-	for i := 0; i < b.N; i++ {
-		_, err := ncc.Run(ncc.Config{N: n, Seed: 1}, func(ctx *ncc.Context) {
-			for r := 0; r < 100; r++ {
-				ctx.Send((ctx.ID()+1)%n, ncc.Word(1))
-				ctx.EndRound()
+	for _, w := range []int{1, 0} { // 1 = serial, 0 = GOMAXPROCS
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := ncc.Run(ncc.Config{N: n, Seed: 1, Workers: w}, func(ctx *ncc.Context) {
+					for r := 0; r < 100; r++ {
+						ctx.Send((ctx.ID()+1)%n, ncc.Word(1))
+						ctx.EndRound()
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
+			b.ReportMetric(float64(100*b.N), "simRounds")
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
 	}
-	b.ReportMetric(float64(100*b.N), "simRounds")
 }
 
 func sizeName(k string, v int) string {

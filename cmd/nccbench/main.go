@@ -1,52 +1,70 @@
 // Command nccbench regenerates the paper's evaluation: every Table 1 row and
-// every theorem-level bound as a measured table (see DESIGN.md's experiment
+// every theorem-level bound as a measured table (see README.md's experiment
 // index).
 //
 // Usage:
 //
 //	nccbench -list
 //	nccbench -exp mst
-//	nccbench -exp all [-quick]
+//	nccbench -exp all [-quick] [-workers 4]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ncc/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment name (see -list) or 'all'")
-	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, runs the selected
+// experiments, and returns a process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nccbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment name (see -list) or 'all'")
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
+	list := fs.Bool("list", false, "list experiments and exit")
+	workers := fs.Int("workers", 0, "round-engine delivery workers (0 = GOMAXPROCS); does not change results")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	bench.Workers = *workers
 
 	if *list {
 		for _, e := range bench.All() {
-			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
+			fmt.Fprintf(stdout, "%-12s %s\n", e.Name, e.Desc)
 		}
-		return
+		return 0
 	}
 	if *exp == "all" {
 		for _, e := range bench.All() {
-			fmt.Printf("\n### experiment %s — %s\n", e.Name, e.Desc)
-			if err := e.Run(os.Stdout, *quick); err != nil {
-				fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.Name, err)
-				os.Exit(1)
+			fmt.Fprintf(stdout, "\n### experiment %s — %s\n", e.Name, e.Desc)
+			if err := e.Run(stdout, *quick); err != nil {
+				fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.Name, err)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 	e, ok := bench.Get(*exp)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", *exp)
+		return 2
 	}
-	fmt.Printf("### experiment %s — %s\n", e.Name, e.Desc)
-	if err := e.Run(os.Stdout, *quick); err != nil {
-		fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
-		os.Exit(1)
+	fmt.Fprintf(stdout, "### experiment %s — %s\n", e.Name, e.Desc)
+	if err := e.Run(stdout, *quick); err != nil {
+		fmt.Fprintf(stderr, "experiment failed: %v\n", err)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestListExperiments(t *testing.T) {
+	code, out, errw := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	for _, want := range []string{"mst", "bfs", "coloring", "kmachine"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOneExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	code, out, errw := runCapture(t, "-exp", "bfs", "-quick")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	if !strings.Contains(out, "### experiment bfs") || !strings.Contains(out, "==") {
+		t.Errorf("experiment produced no table:\n%s", out)
+	}
+}
+
+func TestWorkersFlagDoesNotChangeMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	code1, out1, errw1 := runCapture(t, "-exp", "bfs", "-quick", "-workers", "1")
+	if code1 != 0 {
+		t.Fatalf("workers=1 exit %d, stderr: %s", code1, errw1)
+	}
+	code, out8, errw := runCapture(t, "-exp", "bfs", "-quick", "-workers", "8")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	if out1 != out8 {
+		t.Errorf("-workers changed measured tables:\n--- w=1:\n%s\n--- w=8:\n%s", out1, out8)
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	code, _, errw := runCapture(t, "-exp", "nope")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw, "unknown experiment") {
+		t.Errorf("stderr missing diagnosis: %s", errw)
+	}
+}

@@ -7,12 +7,14 @@
 //	nccrun -algo mst -graph gnm -n 128 -m 384
 //	nccrun -algo mis -graph kforest -n 256 -k 4
 //	nccrun -algo bfs -graph grid -rows 8 -cols 16 -src 0
-//	nccrun -algo coloring -graph pa -n 200 -k 3
+//	nccrun -algo coloring -graph pa -n 200 -k 3 -workers 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ncc/internal/core"
@@ -22,50 +24,100 @@ import (
 )
 
 func main() {
-	algo := flag.String("algo", "mst", "algorithm: mst | bfs | mis | matching | coloring | orientation | components")
-	gname := flag.String("graph", "gnm", "graph family: gnm | gnp | kforest | grid | star | tree | cycle | path | pa | hypercube")
-	n := flag.Int("n", 64, "number of nodes")
-	m := flag.Int("m", 0, "edges for gnm (default 3n)")
-	p := flag.Float64("p", 0.1, "edge probability for gnp")
-	k := flag.Int("k", 2, "forests for kforest / attachments for pa / dimension for hypercube")
-	rows := flag.Int("rows", 8, "grid rows")
-	cols := flag.Int("cols", 8, "grid cols")
-	src := flag.Int("src", 0, "BFS source")
-	maxW := flag.Int64("maxw", 1000, "maximum edge weight for mst")
-	seed := flag.Int64("seed", 1, "seed (runs are deterministic per seed)")
-	capf := flag.Int("capfactor", ncc.DefaultCapFactor, "capacity = capfactor * ceil(log2 n) messages/round")
-	timelineCSV := flag.String("timeline", "", "write a per-round traffic CSV (round,messages,words,maxRecvOffered) to this file")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	g := buildGraph(*gname, *n, *m, *p, *k, *rows, *cols, *seed)
-	cfg := ncc.Config{N: g.N(), Seed: *seed, CapFactor: *capf, Strict: true}
+// run is the testable entry point: it parses args, executes one algorithm,
+// and returns a process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nccrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	algo := fs.String("algo", "mst", "algorithm: mst | bfs | mis | matching | coloring | orientation | components")
+	gname := fs.String("graph", "gnm", "graph family: gnm | gnp | kforest | grid | star | tree | cycle | path | pa | hypercube")
+	n := fs.Int("n", 64, "number of nodes")
+	m := fs.Int("m", 0, "edges for gnm (default 3n)")
+	p := fs.Float64("p", 0.1, "edge probability for gnp")
+	k := fs.Int("k", 2, "forests for kforest / attachments for pa / dimension for hypercube")
+	rows := fs.Int("rows", 8, "grid rows")
+	cols := fs.Int("cols", 8, "grid cols")
+	src := fs.Int("src", 0, "BFS source")
+	maxW := fs.Int64("maxw", 1000, "maximum edge weight for mst")
+	seed := fs.Int64("seed", 1, "seed (runs are deterministic per seed)")
+	capf := fs.Int("capfactor", ncc.DefaultCapFactor, "capacity = capfactor * ceil(log2 n) messages/round")
+	workers := fs.Int("workers", 0, "round-engine delivery workers (0 = GOMAXPROCS); does not change results")
+	timelineCSV := fs.String("timeline", "", "write a per-round traffic CSV (round,messages,words,maxRecvOffered) to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	g, err := buildGraph(*gname, *n, *m, *p, *k, *rows, *cols, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	cfg := ncc.Config{N: g.N(), Seed: *seed, CapFactor: *capf, Workers: *workers, Strict: true}
 	var tl *ncc.Timeline
 	if *timelineCSV != "" {
 		tl = &ncc.Timeline{}
 		cfg.Observer = tl
 	}
-	fmt.Printf("graph: %v  (max degree %d, degeneracy %d)\n", g, g.MaxDegree(), degeneracyOf(g))
-	fmt.Printf("model: n=%d, capacity=%d msgs/round\n", g.N(), cfg.Cap())
+	fmt.Fprintf(stdout, "graph: %v  (max degree %d, degeneracy %d)\n", g, g.MaxDegree(), degeneracyOf(g))
+	fmt.Fprintf(stdout, "model: n=%d, capacity=%d msgs/round\n", g.N(), cfg.Cap())
 
+	st, err := runAlgo(*algo, cfg, g, *src, *maxW, *seed, stdout)
+	if err != nil {
+		if errors.Is(err, errUnknownAlgo) {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "stats: %v\n", st)
+	if tl != nil {
+		if err := writeTimeline(*timelineCSV, tl); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "timeline: %d rounds written to %s\n", len(tl.Samples), *timelineCSV)
+	}
+	return 0
+}
+
+// errUnknownAlgo marks an unrecognized -algo name, a usage error (exit 2)
+// rather than a run failure (exit 1).
+var errUnknownAlgo = errors.New("unknown algorithm")
+
+// runAlgo executes and verifies one algorithm, printing its result summary.
+func runAlgo(algo string, cfg ncc.Config, g *graph.Graph, src int, maxW int64, seed int64, stdout io.Writer) (ncc.Stats, error) {
 	var st ncc.Stats
 	var err error
-	switch *algo {
+	switch algo {
 	case "mst":
-		wg := graph.RandomWeights(g, *maxW, *seed+1)
+		wg := graph.RandomWeights(g, maxW, seed+1)
 		var perNode [][][2]int
 		perNode, st, err = core.RunMST(cfg, wg)
-		exitIf(err)
+		if err != nil {
+			return st, err
+		}
 		edges := core.CollectMSTEdges(perNode)
-		exitIf(verify.MST(wg, edges))
+		if err := verify.MST(wg, edges); err != nil {
+			return st, err
+		}
 		var total int64
 		for _, e := range edges {
 			total += wg.Weight(e[0], e[1])
 		}
-		fmt.Printf("minimum spanning forest: %d edges, total weight %d (verified against Kruskal)\n", len(edges), total)
+		fmt.Fprintf(stdout, "minimum spanning forest: %d edges, total weight %d (verified against Kruskal)\n", len(edges), total)
 	case "bfs":
 		var res []core.BFSResult
-		res, st, err = core.RunBFS(cfg, g, *src)
-		exitIf(err)
+		res, st, err = core.RunBFS(cfg, g, src)
+		if err != nil {
+			return st, err
+		}
 		dist := make([]int, g.N())
 		parent := make([]int, g.N())
 		reached, ecc := 0, 0
@@ -76,72 +128,87 @@ func main() {
 				ecc = max(ecc, r.Dist)
 			}
 		}
-		exitIf(verify.BFS(g, *src, dist, parent, true))
-		fmt.Printf("BFS tree from %d: %d nodes reached, eccentricity %d (verified)\n", *src, reached, ecc)
+		if err := verify.BFS(g, src, dist, parent, true); err != nil {
+			return st, err
+		}
+		fmt.Fprintf(stdout, "BFS tree from %d: %d nodes reached, eccentricity %d (verified)\n", src, reached, ecc)
 	case "mis":
 		var in []bool
 		in, st, err = core.RunMIS(cfg, g)
-		exitIf(err)
-		exitIf(verify.MIS(g, in))
+		if err != nil {
+			return st, err
+		}
+		if err := verify.MIS(g, in); err != nil {
+			return st, err
+		}
 		size := 0
 		for _, b := range in {
 			if b {
 				size++
 			}
 		}
-		fmt.Printf("maximal independent set of size %d (verified)\n", size)
+		fmt.Fprintf(stdout, "maximal independent set of size %d (verified)\n", size)
 	case "matching":
 		var mate []int
 		mate, st, err = core.RunMatching(cfg, g)
-		exitIf(err)
-		exitIf(verify.Matching(g, mate))
+		if err != nil {
+			return st, err
+		}
+		if err := verify.Matching(g, mate); err != nil {
+			return st, err
+		}
 		size := 0
 		for u, v := range mate {
 			if v > u {
 				size++
 			}
 		}
-		fmt.Printf("maximal matching of size %d (verified)\n", size)
+		fmt.Fprintf(stdout, "maximal matching of size %d (verified)\n", size)
 	case "coloring":
 		var res []core.ColorResult
 		res, st, err = core.RunColoring(cfg, g)
-		exitIf(err)
+		if err != nil {
+			return st, err
+		}
 		colors := make([]int, g.N())
 		palette := 0
 		for u, r := range res {
 			colors[u], palette = r.Color, r.Palette
 		}
-		exitIf(verify.Coloring(g, colors, palette))
-		fmt.Printf("proper coloring with %d colors (palette bound %d, verified)\n", verify.ColorsUsed(colors), palette)
+		if err := verify.Coloring(g, colors, palette); err != nil {
+			return st, err
+		}
+		fmt.Fprintf(stdout, "proper coloring with %d colors (palette bound %d, verified)\n", verify.ColorsUsed(colors), palette)
 	case "orientation":
 		var os []*core.Orientation
 		os, st, err = core.RunOrientation(cfg, g, core.OrientParams{})
-		exitIf(err)
-		exitIf(verify.Orientation(g, core.OutLists(os), 0))
-		fmt.Printf("orientation with max outdegree %d over %d levels (verified)\n",
+		if err != nil {
+			return st, err
+		}
+		if err := verify.Orientation(g, core.OutLists(os), 0); err != nil {
+			return st, err
+		}
+		fmt.Fprintf(stdout, "orientation with max outdegree %d over %d levels (verified)\n",
 			verify.MaxOutdegree(core.OutLists(os)), os[0].Levels)
 	case "components":
 		var labels []int
 		labels, st, err = core.RunComponents(cfg, g)
-		exitIf(err)
+		if err != nil {
+			return st, err
+		}
 		distinct := map[int]bool{}
 		for _, l := range labels {
 			distinct[l] = true
 		}
 		_, want := graph.Components(g)
 		if len(distinct) != want {
-			exitIf(fmt.Errorf("found %d components, sequential says %d", len(distinct), want))
+			return st, fmt.Errorf("found %d components, sequential says %d", len(distinct), want)
 		}
-		fmt.Printf("%d connected components labeled (verified)\n", len(distinct))
+		fmt.Fprintf(stdout, "%d connected components labeled (verified)\n", len(distinct))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
-		os.Exit(2)
+		return st, fmt.Errorf("%w %q", errUnknownAlgo, algo)
 	}
-	fmt.Printf("stats: %v\n", st)
-	if tl != nil {
-		exitIf(writeTimeline(*timelineCSV, tl))
-		fmt.Printf("timeline: %d rounds written to %s\n", len(tl.Samples), *timelineCSV)
-	}
+	return st, nil
 }
 
 func writeTimeline(path string, tl *ncc.Timeline) error {
@@ -161,46 +228,37 @@ func writeTimeline(path string, tl *ncc.Timeline) error {
 	return nil
 }
 
-func buildGraph(name string, n, m int, p float64, k, rows, cols int, seed int64) *graph.Graph {
+func buildGraph(name string, n, m int, p float64, k, rows, cols int, seed int64) (*graph.Graph, error) {
 	switch name {
 	case "gnm":
 		if m == 0 {
 			m = 3 * n
 		}
-		return graph.GNM(n, m, seed)
+		return graph.GNM(n, m, seed), nil
 	case "gnp":
-		return graph.GNP(n, p, seed)
+		return graph.GNP(n, p, seed), nil
 	case "kforest":
-		return graph.KForest(n, k, seed)
+		return graph.KForest(n, k, seed), nil
 	case "grid":
-		return graph.Grid(rows, cols)
+		return graph.Grid(rows, cols), nil
 	case "star":
-		return graph.Star(n)
+		return graph.Star(n), nil
 	case "tree":
-		return graph.RandomTree(n, seed)
+		return graph.RandomTree(n, seed), nil
 	case "cycle":
-		return graph.Cycle(n)
+		return graph.Cycle(n), nil
 	case "path":
-		return graph.Path(n)
+		return graph.Path(n), nil
 	case "pa":
-		return graph.PreferentialAttachment(n, k, seed)
+		return graph.PreferentialAttachment(n, k, seed), nil
 	case "hypercube":
-		return graph.Hypercube(k)
+		return graph.Hypercube(k), nil
 	default:
-		fmt.Fprintf(os.Stderr, "unknown graph family %q\n", name)
-		os.Exit(2)
-		return nil
+		return nil, fmt.Errorf("unknown graph family %q", name)
 	}
 }
 
 func degeneracyOf(g *graph.Graph) int {
 	d, _ := graph.Degeneracy(g)
 	return d
-}
-
-func exitIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run and returns (exit code, stdout, stderr).
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunBFSEndToEnd(t *testing.T) {
+	code, out, errw := runCapture(t, "-algo", "bfs", "-graph", "grid", "-rows", "4", "-cols", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	for _, want := range []string{"graph:", "BFS tree from 0", "(verified)", "stats: rounds="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunColoringWithWorkers(t *testing.T) {
+	// The -workers flag must not change results: same seed, two worker
+	// counts, identical output.
+	code1, out1, errw1 := runCapture(t, "-algo", "coloring", "-graph", "kforest", "-n", "32", "-workers", "1")
+	if code1 != 0 {
+		t.Fatalf("workers=1 exit %d, stderr: %s", code1, errw1)
+	}
+	code, out8, errw := runCapture(t, "-algo", "coloring", "-graph", "kforest", "-n", "32", "-workers", "8")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	if !strings.Contains(out8, "proper coloring") {
+		t.Errorf("output missing coloring summary:\n%s", out8)
+	}
+	if out1 != out8 {
+		t.Errorf("-workers changed output:\n--- w=1:\n%s\n--- w=8:\n%s", out1, out8)
+	}
+}
+
+func TestRunTimelineCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tl.csv")
+	code, out, errw := runCapture(t, "-algo", "mis", "-graph", "cycle", "-n", "16", "-timeline", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	if !strings.Contains(out, "timeline:") {
+		t.Errorf("output missing timeline summary:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "round,messages,words,maxRecvOffered\n") {
+		t.Errorf("CSV missing header:\n%.100s", data)
+	}
+}
+
+func TestRunRejectsUnknownAlgo(t *testing.T) {
+	code, _, errw := runCapture(t, "-algo", "nope", "-n", "8")
+	if code != 2 {
+		t.Fatalf("exit = %d, want usage-error exit 2", code)
+	}
+	if !strings.Contains(errw, "unknown algorithm") {
+		t.Errorf("stderr missing diagnosis: %s", errw)
+	}
+}
+
+func TestRunRejectsUnknownGraph(t *testing.T) {
+	code, _, errw := runCapture(t, "-graph", "nope")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errw)
+	}
+	if !strings.Contains(errw, "unknown graph family") {
+		t.Errorf("stderr missing diagnosis: %s", errw)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	code, _, _ := runCapture(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

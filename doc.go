@@ -5,6 +5,6 @@
 // and graph algorithms, naive baselines, the k-machine simulation of
 // Appendix A, and an experiment harness regenerating every stated bound.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for measured results.
+// See README.md for a tour of the package layout, the round-engine
+// architecture, and how to run the examples and benchmarks.
 package nccrepro

@@ -1,0 +1,3 @@
+module ncc
+
+go 1.22

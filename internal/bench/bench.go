@@ -1,6 +1,6 @@
 // Package bench is the experiment harness: it regenerates every entry of the
 // paper's Table 1 and every theorem-level bound as a measured table (see
-// DESIGN.md's experiment index and EXPERIMENTS.md for recorded results).
+// README.md's experiment index).
 package bench
 
 import (
@@ -9,6 +9,13 @@ import (
 	"sort"
 	"strings"
 )
+
+// Workers is the round-engine worker count applied to every experiment's
+// simulation run (0 = the engine default, GOMAXPROCS). It is set by
+// cmd/nccbench's -workers flag; changing it never changes measured rounds,
+// messages, or loads — the engine is deterministic per seed — only the
+// wall-clock time of the sweep.
+var Workers int
 
 // Table accumulates aligned rows for printing.
 type Table struct {

@@ -23,7 +23,7 @@ func logn(n int) float64 { return math.Log2(float64(max(n, 2))) }
 func MeasureMST(n, m int, seed int64) (ncc.Stats, error) {
 	g := graph.GNM(n, m, seed)
 	wg := graph.RandomWeights(g, int64(n)*int64(n), seed+1)
-	perNode, st, err := core.RunMST(ncc.Config{N: n, Seed: seed, Strict: true}, wg)
+	perNode, st, err := core.RunMST(ncc.Config{N: n, Seed: seed, Strict: true, Workers: Workers}, wg)
 	if err != nil {
 		return st, err
 	}
@@ -69,7 +69,7 @@ func measureCentralizedMST(n, m int, seed int64) (ncc.Stats, error) {
 	wg := graph.RandomWeights(g, int64(n)*int64(n), seed+1)
 	var mu sync.Mutex
 	var forest [][2]int
-	st, err := ncc.Run(ncc.Config{N: n, Seed: seed, Strict: true}, func(ctx *ncc.Context) {
+	st, err := ncc.Run(ncc.Config{N: n, Seed: seed, Strict: true, Workers: Workers}, func(ctx *ncc.Context) {
 		f := baseline.CentralizedMST(comm.NewSession(ctx), wg)
 		if ctx.ID() == 0 {
 			mu.Lock()
@@ -88,7 +88,7 @@ func measureCentralizedMST(n, m int, seed int64) (ncc.Stats, error) {
 
 // MeasureBFS runs the broadcast-tree BFS on g from src and verifies it.
 func MeasureBFS(g *graph.Graph, src int, seed int64) (ncc.Stats, error) {
-	res, st, err := core.RunBFS(ncc.Config{N: g.N(), Seed: seed, Strict: true}, g, src)
+	res, st, err := core.RunBFS(ncc.Config{N: g.N(), Seed: seed, Strict: true, Workers: Workers}, g, src)
 	if err != nil {
 		return st, err
 	}
@@ -172,7 +172,7 @@ func init() {
 			}
 			return arboricitySweep(w, "T1-MIS: rounds vs (a+log n) log n", n, ks, 100,
 				func(g *graph.Graph) (ncc.Stats, error) {
-					in, st, err := core.RunMIS(ncc.Config{N: g.N(), Seed: 3, Strict: true}, g)
+					in, st, err := core.RunMIS(ncc.Config{N: g.N(), Seed: 3, Strict: true, Workers: Workers}, g)
 					if err != nil {
 						return st, err
 					}
@@ -190,7 +190,7 @@ func init() {
 			}
 			return arboricitySweep(w, "T1-MM: rounds vs (a+log n) log n", n, ks, 200,
 				func(g *graph.Graph) (ncc.Stats, error) {
-					mate, st, err := core.RunMatching(ncc.Config{N: g.N(), Seed: 5, Strict: true}, g)
+					mate, st, err := core.RunMatching(ncc.Config{N: g.N(), Seed: 5, Strict: true, Workers: Workers}, g)
 					if err != nil {
 						return st, err
 					}
@@ -210,7 +210,7 @@ func init() {
 				"arboricity<=k", "rounds", "bound", "ratio", "palette", "colorsUsed", "greedy(deg+1)")
 			for _, k := range ks {
 				g := graph.KForest(n, k, 300+int64(k))
-				res, st, err := core.RunColoring(ncc.Config{N: n, Seed: 7, Strict: true}, g)
+				res, st, err := core.RunColoring(ncc.Config{N: n, Seed: 7, Strict: true, Workers: Workers}, g)
 				if err != nil {
 					return err
 				}
@@ -244,7 +244,7 @@ func init() {
 				"arboricity<=k", "rounds", "bound", "ratio", "maxOutdeg", "outdeg/k", "rescues")
 			for _, k := range ks {
 				g := graph.KForest(n, k, 400+int64(k))
-				os, st, err := core.RunOrientation(ncc.Config{N: n, Seed: 9, Strict: true}, g, core.OrientParams{})
+				os, st, err := core.RunOrientation(ncc.Config{N: n, Seed: 9, Strict: true, Workers: Workers}, g, core.OrientParams{})
 				if err != nil {
 					return err
 				}
@@ -280,7 +280,7 @@ func init() {
 				"n", "rounds", "log n", "rounds/log n")
 			for _, n := range sizes {
 				var setup, total int
-				st, err := ncc.Run(ncc.Config{N: n, Seed: 1, Strict: true}, func(ctx *ncc.Context) {
+				st, err := ncc.Run(ncc.Config{N: n, Seed: 1, Strict: true, Workers: Workers}, func(ctx *ncc.Context) {
 					s := comm.NewSession(ctx)
 					if ctx.ID() == 0 {
 						setup = ctx.Round()
@@ -377,7 +377,7 @@ func measureTreesMulticast(n, members int) (congestion int, mcRounds int, err er
 }
 
 func runSession(n int, seed int64, fn func(*comm.Session)) (ncc.Stats, error) {
-	return ncc.Run(ncc.Config{N: n, Seed: seed, Strict: true}, func(ctx *ncc.Context) {
+	return ncc.Run(ncc.Config{N: n, Seed: seed, Strict: true, Workers: Workers}, func(ctx *ncc.Context) {
 		fn(comm.NewSession(ctx))
 	})
 }
@@ -394,7 +394,7 @@ func init() {
 			t := NewTable("E-CAP: broadcast and gossip rounds (CapFactor=1)",
 				"n", "gossip", "n/cap", "direct bcast", "butterfly bcast(+setup)")
 			for _, n := range sizes {
-				cfg := ncc.Config{N: n, CapFactor: 1, Seed: 3, Strict: true}
+				cfg := ncc.Config{N: n, CapFactor: 1, Seed: 3, Strict: true, Workers: Workers}
 				stG, err := ncc.Run(cfg, func(ctx *ncc.Context) {
 					baseline.Gossip(ctx, uint64(ctx.ID()))
 				})
@@ -425,7 +425,7 @@ func init() {
 				"capFactor", "naive rounds", "tree-based rounds")
 			star := graph.Star(n)
 			for _, cf := range []int{1, 4, 16} {
-				cfg := ncc.Config{N: n, CapFactor: cf, Seed: 5, Strict: true}
+				cfg := ncc.Config{N: n, CapFactor: cf, Seed: 5, Strict: true, Workers: Workers}
 				stN, err := ncc.Run(cfg, func(ctx *ncc.Context) {
 					baseline.NaiveBFS(comm.NewSession(ctx), star, 0)
 				})
@@ -467,7 +467,7 @@ func init() {
 				core.BFS(s, g, trees, lhat, 0)
 			}
 			for _, k := range ks {
-				res, _, err := kmachine.Simulate(k, 4, ncc.Config{N: n, Seed: 5, Strict: true}, program)
+				res, _, err := kmachine.Simulate(k, 4, ncc.Config{N: n, Seed: 5, Strict: true, Workers: Workers}, program)
 				if err != nil {
 					return err
 				}
@@ -496,15 +496,15 @@ func init() {
 			wg := graph.RandomWeights(g, 1000, 3)
 			jobs := []job{
 				{"orientation", func() (ncc.Stats, error) {
-					_, st, err := core.RunOrientation(ncc.Config{N: n, Seed: 1, Strict: true}, g, core.OrientParams{})
+					_, st, err := core.RunOrientation(ncc.Config{N: n, Seed: 1, Strict: true, Workers: Workers}, g, core.OrientParams{})
 					return st, err
 				}},
 				{"mis", func() (ncc.Stats, error) {
-					_, st, err := core.RunMIS(ncc.Config{N: n, Seed: 2, Strict: true}, g)
+					_, st, err := core.RunMIS(ncc.Config{N: n, Seed: 2, Strict: true, Workers: Workers}, g)
 					return st, err
 				}},
 				{"mst", func() (ncc.Stats, error) {
-					_, st, err := core.RunMST(ncc.Config{N: n, Seed: 3, Strict: true}, wg)
+					_, st, err := core.RunMST(ncc.Config{N: n, Seed: 3, Strict: true, Workers: Workers}, wg)
 					return st, err
 				}},
 			}
@@ -595,7 +595,7 @@ func init() {
 			fmt.Fprintln(w, "shape check: the naive columns grow with Delta resp. m (linear slopes), the")
 			fmt.Fprintln(w, "primitive columns stay polylog-flat. At laptop-scale n the primitives' fixed")
 			fmt.Fprintln(w, "polylog costs still dominate in absolute terms; the crossovers extrapolate to")
-			fmt.Fprintln(w, "n in the 10^4-10^6 range (see EXPERIMENTS.md).")
+			fmt.Fprintln(w, "n in the 10^4-10^6 range.")
 			return nil
 		},
 	})

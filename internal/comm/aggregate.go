@@ -1,6 +1,10 @@
 package comm
 
-import "ncc/internal/ncc"
+import (
+	"slices"
+
+	"ncc/internal/ncc"
+)
 
 // Agg is one aggregation-group membership of the calling node: the group's
 // identity, the node that must receive the aggregate, and this node's input
@@ -90,9 +94,18 @@ func (s *Session) deliverResults(r *combineRouter, window int) []GroupVal {
 	var mine []GroupVal
 	plan := make([][]*pkt, window)
 	if r != nil {
-		for _, p := range r.completed() {
+		// Iterate completed groups in sorted order: ranging over the map
+		// directly would pair packets with random rounds in a different order
+		// every process run, breaking the per-seed determinism of the engine.
+		done := r.completed()
+		groups := make([]uint64, 0, len(done))
+		for g := range done {
+			groups = append(groups, g)
+		}
+		slices.Sort(groups)
+		for _, g := range groups {
 			t := randRound(ctx.Rand(), window)
-			plan[t] = append(plan[t], p)
+			plan[t] = append(plan[t], done[g])
 		}
 	}
 	for t := 0; t < window; t++ {

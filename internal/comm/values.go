@@ -99,6 +99,13 @@ func CombineMaxPair(a, b Value) Value {
 	return x
 }
 
+// CombineMaxEach takes the componentwise maximum of pairs (two independent
+// MaxAll reductions in one aggregation).
+func CombineMaxEach(a, b Value) Value {
+	x, y := a.(Pair), b.(Pair)
+	return Pair{A: max(x.A, y.A), B: max(x.B, y.B)}
+}
+
 // CombineSumPair adds pairs componentwise.
 func CombineSumPair(a, b Value) Value {
 	x, y := a.(Pair), b.(Pair)

@@ -26,9 +26,30 @@ const paletteEps = 0.25
 func Coloring(s *comm.Session, g *graph.Graph, o *Orientation) ColorResult {
 	me := s.Ctx.ID()
 	trees := InNeighborTrees(s, o)
-	ahatU, _ := s.MaxAll(uint64(max(len(o.Same), len(o.Out))), true)
-	ahat := max(int(ahatU), 1)
+	// ahat is the orientation's maximum out-degree, the O(a) quantity of
+	// Theorem 4.12 (<= d* <= 4a), and sizes the paper's palette
+	// 2(1+eps)*ahat. Seeding it with len(o.Same) as well (as the original
+	// code did) inflates the palette past the certified bound on skewed
+	// graphs: Same counts in-neighbors too. Both global maxima are computed
+	// in one componentwise-max aggregation.
+	agg, _ := s.AggregateAndBroadcast(comm.Pair{
+		A: uint64(len(o.Out)),
+		B: uint64(len(o.Same) + len(o.Later)),
+	}, true, comm.CombineMaxEach)
+	maxes := agg.(comm.Pair)
+	ahat := max(int(maxes.A), 1)
 	palette := int(2 * (1 + paletteEps) * float64(ahat))
+	// Before a node fixes, it prunes the fixed colors of its out-neighbors
+	// (multicast below) AND of its same-level smaller-id in-neighbors
+	// (aggregation below) — up to |Same| + |Later| colors, which can exceed
+	// 2(1+eps)*ahat on graphs where one node's level peers all have smaller
+	// ids. Floor the palette at that conflict degree plus slack so the free
+	// set provably never empties (the analogue of the orientation's rescue
+	// fallback: certainty instead of w.h.p.). The floor stays within the
+	// O(a) bound: conflict degree <= d* <= 4a.
+	if floor := int(maxes.B) + 2; palette < floor {
+		palette = floor
+	}
 	if palette < 3 {
 		palette = 3
 	}

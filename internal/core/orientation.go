@@ -59,7 +59,7 @@ type Orientation struct {
 	// bound the algorithm certifies.
 	DStar int
 	// Rescues counts neighbors resolved by the direct-probe fallback rather
-	// than the sketch (0 in virtually every run; see DESIGN.md).
+	// than the sketch (0 in virtually every run).
 	Rescues int
 }
 
@@ -310,7 +310,7 @@ func Orient(s *comm.Session, g *graph.Graph, p OrientParams) *Orientation {
 			}
 		}
 
-		// ---- Rescue fallback (robustness; see DESIGN.md): directly probe any
+		// ---- Rescue fallback (robustness beyond the paper): directly probe any
 		// still-unresolved neighbors. Triggers only on sketch failure. ----
 		needRescue := status == stActive && !solved
 		unk := 0

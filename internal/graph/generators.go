@@ -181,8 +181,20 @@ func PreferentialAttachment(n, k int, seed int64) *Graph {
 	r := rng(seed)
 	b := NewBuilder(n)
 	var targets []int // multiset of endpoints, degree-proportional
+	// added is an ordered slice, not a map: appending endpoints to targets in
+	// map-iteration order would make the "seeded" generator produce a
+	// different graph every process run.
+	added := make([]int, 0, k)
+	contains := func(u int) bool {
+		for _, x := range added {
+			if x == u {
+				return true
+			}
+		}
+		return false
+	}
 	for v := 1; v < n; v++ {
-		added := map[int]bool{}
+		added = added[:0]
 		for i := 0; i < k && i < v; i++ {
 			var u int
 			if len(targets) == 0 {
@@ -190,15 +202,15 @@ func PreferentialAttachment(n, k int, seed int64) *Graph {
 			} else {
 				u = targets[r.IntN(len(targets))]
 			}
-			if u == v || added[u] {
+			if u == v || contains(u) {
 				u = r.IntN(v)
 			}
-			if u != v && !added[u] {
-				added[u] = true
+			if u != v && !contains(u) {
+				added = append(added, u)
 				b.AddEdge(u, v)
 			}
 		}
-		for u := range added {
+		for _, u := range added {
 			targets = append(targets, u, v)
 		}
 	}

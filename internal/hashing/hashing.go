@@ -2,8 +2,8 @@
 // communication primitives rely on: k-wise independent families realized as
 // degree-(k-1) polynomials over GF(p) with the Mersenne prime p = 2^61-1, and
 // a fast seed-derivation mixer (splitmix64) used to expand the O(log^2 n)
-// broadcast random bits into the per-invocation functions (see DESIGN.md,
-// "Substitutions").
+// broadcast random bits into the per-invocation functions (a standard
+// substitution for the paper's abstract shared-randomness assumption).
 package hashing
 
 import "math/bits"

@@ -3,6 +3,7 @@ package ncc
 import (
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // NodeID identifies a node of the Node-Capacitated Clique. Ids are dense:
@@ -68,11 +69,21 @@ type Config struct {
 	// is what the model specifies below the capacity bound.
 	DropProb float64
 
-	// Interceptor, if non-nil, can drop individual messages.
+	// Interceptor, if non-nil, can drop individual messages. With Workers >
+	// 1 it is called from multiple goroutines concurrently and must be safe
+	// for concurrent use (pure functions trivially are).
 	Interceptor Interceptor
 
-	// Observer, if non-nil, sees every round's transmitted messages.
+	// Observer, if non-nil, sees every round's transmitted messages. It is
+	// always called from a single goroutine, regardless of Workers.
 	Observer Observer
+
+	// Workers is the number of goroutines the coordinator uses to filter,
+	// group, and deliver each round's traffic. 0 (the default) means
+	// GOMAXPROCS. Runs are bit-for-bit deterministic for a fixed Seed
+	// regardless of Workers: every random decision is seeded per (round,
+	// node), never drawn from a shared stream.
+	Workers int
 }
 
 // Default configuration constants.
@@ -95,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRounds == 0 {
 		c.MaxRounds = DefaultMaxRounds
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -107,6 +121,9 @@ func (c Config) validate() error {
 	}
 	if c.DropProb < 0 || c.DropProb > 1 {
 		return fmt.Errorf("ncc: config DropProb = %v out of [0,1]", c.DropProb)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("ncc: config Workers = %d, need >= 0", c.Workers)
 	}
 	return nil
 }

@@ -11,8 +11,13 @@
 // Programs are written SPMD style: Run spawns one goroutine per node, all
 // executing the same program against a Context. Context.Send buffers messages
 // for the current round and Context.EndRound blocks on the global round
-// barrier, returning the messages delivered to the node. Runs are
-// deterministic for a fixed Config.Seed: per-node RNGs are derived from the
-// seed, deliveries are ordered by sender id, and receive-overflow truncation
-// uses a seeded RNG.
+// barrier, returning the messages delivered to the node.
+//
+// Round delivery is executed by a pool of Config.Workers goroutines
+// (default GOMAXPROCS) that shard senders for capacity/fault filtering and
+// receivers for grouping, overload truncation, and inbox fill. Runs are
+// bit-for-bit deterministic for a fixed Config.Seed regardless of the worker
+// count: per-node program RNGs are derived from the seed, deliveries are
+// ordered by sender id, fault decisions use a per-(round, sender) PRNG, and
+// receive-overflow truncation uses a per-(round, receiver) PRNG.
 package ncc

@@ -1,0 +1,100 @@
+package ncc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// Engine microbenchmarks: raw round-delivery throughput of the simulator
+// itself (trivial per-node programs), across the three traffic shapes that
+// stress different engine paths. Sub-benchmarks vary Config.Workers so the
+// serial coordinator (w=1) can be compared against the sharded worker pool
+// (w=GOMAXPROCS and a fixed w=8) on the same host:
+//
+//	go test ./internal/ncc -run '^$' -bench BenchmarkEngine -benchmem
+//
+// On a multi-core host the dense n=1024 case is the headline number; rounds
+// are reported via the rounds/s metric so worker counts compare directly.
+
+const benchRounds = 20
+
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 && p != 8 {
+		counts = append(counts, p)
+	}
+	counts = append(counts, 8)
+	return counts
+}
+
+func runEngineBench(b *testing.B, n, workers int, program func(*Context)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := Run(Config{N: n, Seed: 1, Workers: workers}, program)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Rounds != benchRounds {
+			b.Fatalf("rounds = %d, want %d", st.Rounds, benchRounds)
+		}
+	}
+	b.ReportMetric(float64(benchRounds*b.N)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+// BenchmarkEngineDense saturates every node's send and receive capacity:
+// node u sends cap messages to u+1..u+cap (mod n), so every node also
+// receives exactly cap messages — the all-to-all worst case of the model.
+func BenchmarkEngineDense(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n=%d/w=%d", n, w), func(b *testing.B) {
+				runEngineBench(b, n, w, func(ctx *Context) {
+					for r := 0; r < benchRounds; r++ {
+						for k := 1; k <= ctx.Cap(); k++ {
+							ctx.Send((ctx.ID()+k)%ctx.N(), Word(uint64(k)))
+						}
+						ctx.EndRound()
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkEngineSparse sends one message per node per round (a ring): the
+// barrier and coordination overhead dominates, not envelope shuffling.
+func BenchmarkEngineSparse(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n=%d/w=%d", n, w), func(b *testing.B) {
+				runEngineBench(b, n, w, func(ctx *Context) {
+					for r := 0; r < benchRounds; r++ {
+						ctx.Send((ctx.ID()+1)%ctx.N(), Word(1))
+						ctx.EndRound()
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkEngineOverload floods node 0 from every other node each round,
+// exercising the receive-overflow truncation path (seeded shuffle + resort).
+func BenchmarkEngineOverload(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n=%d/w=%d", n, w), func(b *testing.B) {
+				runEngineBench(b, n, w, func(ctx *Context) {
+					for r := 0; r < benchRounds; r++ {
+						if ctx.ID() != 0 {
+							ctx.Send(0, Word(uint64(r)))
+						}
+						ctx.EndRound()
+					}
+				})
+			})
+		}
+	}
+}

@@ -2,9 +2,9 @@ package ncc
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"runtime/debug"
-	"sort"
 	"sync"
 )
 
@@ -17,13 +17,12 @@ type Received struct {
 // Context is a node's handle on the network. It is used by exactly one
 // goroutine (the node's program) and is not safe for concurrent use.
 type Context struct {
-	id      NodeID
-	r       *run
-	rng     *rand.Rand
-	out     []Envelope
-	inbox   []Received
-	deliver chan struct{}
-	round   int
+	id    NodeID
+	r     *run
+	rng   *rand.Rand
+	out   []Envelope
+	inbox []Received
+	round int
 }
 
 // ID returns the node's identifier (0..N-1).
@@ -67,19 +66,25 @@ func (c *Context) Send(to NodeID, p Payload) {
 
 // EndRound submits the buffered messages to the round barrier, blocks until
 // every live node has done the same, and returns the messages delivered to
-// this node, ordered by sender id.
+// this node, ordered by sender id. The returned slice is reused at the next
+// barrier and must not be retained across rounds.
 func (c *Context) EndRound() []Received {
 	if c.r.cfg.Strict && len(c.out) > c.r.cap {
 		panic(fmt.Sprintf("ncc: node %d sent %d messages in round %d, capacity is %d",
 			c.id, len(c.out), c.round, c.r.cap))
 	}
+	// The release channel must be captured before submitting: once every
+	// live node has submitted, the coordinator delivers the round and then
+	// swaps r.release (the submit send/receive pair orders that swap after
+	// this read, and the close orders the next read after the swap).
+	release := c.r.release
 	select {
 	case c.r.submit <- submission{id: c.id}:
 	case <-c.r.abort:
 		panic(errAborted)
 	}
 	select {
-	case <-c.deliver:
+	case <-release:
 	case <-c.r.abort:
 		panic(errAborted)
 	}
@@ -101,19 +106,28 @@ type abortError struct{}
 func (*abortError) Error() string { return "ncc: run aborted" }
 
 type run struct {
-	cfg    Config
-	cap    int
-	nodes  []*Context
-	submit chan submission
-	abort  chan struct{}
-	errCh  chan error
-	rng    *rand.Rand
-	stats  Stats
-	err    error
-	// scratch, reused across rounds
-	perRecv  map[NodeID][]Envelope
-	sendCnt  []int
-	transmit []Envelope
+	cfg        Config
+	cap        int
+	workers    int
+	shardWidth int // ceil(N / workers); node id / shardWidth = its shard
+	nodes      []*Context
+	submit     chan submission
+	abort      chan struct{}
+	errCh      chan error
+	release    chan struct{} // closed to release one round's barrier, then swapped
+	stats      Stats
+	err        error
+	pool       *workerPool
+
+	// Scratch, reused across rounds. buckets[i][j] holds the envelopes sent
+	// by sender shard i to receiver shard j this round; perRecv[v] stages
+	// receiver v's grouped messages; shardStats and obsShards are the
+	// per-worker partial results merged by the coordinator.
+	buckets    [][][]Envelope
+	perRecv    [][]Envelope
+	shardStats []Stats
+	obsShards  [][]Envelope
+	obsBuf     []Envelope
 }
 
 // Run executes program on every node of a fresh network and returns the run
@@ -127,21 +141,32 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 	r := &run{
 		cfg:     cfg,
 		cap:     cfg.Cap(),
+		workers: max(1, min(cfg.Workers, cfg.N)),
 		submit:  make(chan submission, cfg.N),
 		abort:   make(chan struct{}),
 		errCh:   make(chan error, cfg.N),
-		rng:     rand.New(rand.NewPCG(uint64(cfg.Seed), 0x9e3779b97f4a7c15)),
-		perRecv: make(map[NodeID][]Envelope),
-		sendCnt: make([]int, cfg.N),
+		release: make(chan struct{}),
+	}
+	w := r.workers
+	r.shardWidth = (cfg.N + w - 1) / w
+	r.buckets = make([][][]Envelope, w)
+	for i := range r.buckets {
+		r.buckets[i] = make([][]Envelope, w)
+	}
+	r.perRecv = make([][]Envelope, cfg.N)
+	r.shardStats = make([]Stats, w)
+	r.obsShards = make([][]Envelope, w)
+	if w > 1 {
+		r.pool = newWorkerPool(w)
+		defer r.pool.close()
 	}
 	r.nodes = make([]*Context, cfg.N)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.N; i++ {
 		ctx := &Context{
-			id:      i,
-			r:       r,
-			rng:     rand.New(rand.NewPCG(uint64(cfg.Seed)^0x5851f42d4c957f2d, uint64(i)+1)),
-			deliver: make(chan struct{}, 1),
+			id:  i,
+			r:   r,
+			rng: rand.New(rand.NewPCG(uint64(cfg.Seed)^0x5851f42d4c957f2d, uint64(i)+1)),
 		}
 		r.nodes[i] = ctx
 		wg.Add(1)
@@ -188,10 +213,12 @@ func (r *run) fail(err error) {
 func (r *run) coordinate() {
 	alive := r.cfg.N
 	finished := make([]bool, r.cfg.N)
-	submitted := make([]NodeID, 0, r.cfg.N)
 	for alive > 0 {
-		submitted = submitted[:0]
-		for len(submitted) < alive {
+		// Barrier: every live node submits exactly once per round (a node
+		// blocked at the barrier cannot finish, so the live set is stable
+		// once the count is reached).
+		waiting := 0
+		for waiting < alive {
 			select {
 			case s := <-r.submit:
 				if s.finished {
@@ -199,7 +226,7 @@ func (r *run) coordinate() {
 					alive--
 					continue
 				}
-				submitted = append(submitted, s.id)
+				waiting++
 			case err := <-r.errCh:
 				r.fail(err)
 				return
@@ -212,85 +239,320 @@ func (r *run) coordinate() {
 			r.fail(fmt.Errorf("%w (%d)", ErrMaxRounds, r.cfg.MaxRounds))
 			return
 		}
-		r.deliverRound(submitted, finished)
+		if !r.deliverRound(finished) {
+			return
+		}
+		// Release every submitted node with one broadcast: swap in a fresh
+		// barrier channel, then close the old one.
+		next := make(chan struct{})
+		old := r.release
+		r.release = next
+		close(old)
 	}
 }
 
-// deliverRound enforces capacities, applies faults, and hands each submitted
-// node its inbox for the round just completed.
-func (r *run) deliverRound(submitted []NodeID, finished []bool) {
+// shardRange returns the contiguous node-id range [lo, hi) covered by shard i
+// of r.workers equal shards.
+func (r *run) shardRange(i int) (int, int) {
+	lo := i * r.shardWidth
+	hi := min(lo+r.shardWidth, r.cfg.N)
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// shardOf returns the receiver shard covering node id.
+func (r *run) shardOf(id NodeID) int {
+	return id / r.shardWidth
+}
+
+// roundPCG seeds a PRNG from (run seed, round, node, salt) so that random
+// decisions are a pure function of the configuration — never of worker
+// scheduling — keeping runs bit-for-bit deterministic for a fixed Config.Seed
+// regardless of Config.Workers.
+func roundPCG(seed int64, round int, node NodeID, salt uint64) rand.PCG {
+	var p rand.PCG
+	p.Seed(uint64(seed)^salt, uint64(round)<<32|uint64(uint32(node)))
+	return p
+}
+
+const (
+	saltFault = 0x9e3779b97f4a7c15
+	saltRecv  = 0xbf58476d1ce4e5b9
+)
+
+func pcgFloat64(p *rand.PCG) float64 {
+	return float64(p.Uint64()>>11) * 0x1.0p-53
+}
+
+// pcgIntN returns a uniform int in [0, n) by rejection sampling.
+func pcgIntN(p *rand.PCG, n int) int {
+	bound := math.MaxUint64 - math.MaxUint64%uint64(n)
+	for {
+		if v := p.Uint64(); v < bound {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// deliverRound enforces capacities, applies faults, and hands each live node
+// its inbox for the round just completed. Work is partitioned over
+// r.workers shards: senders are sharded for capacity/fault filtering,
+// receivers are sharded for grouping, overload truncation, and inbox fill.
+// Returns false if the round was aborted by a worker panic (user Interceptor,
+// Observer, or Payload callback).
+func (r *run) deliverRound(finished []bool) bool {
 	round := r.stats.Rounds
-	r.transmit = r.transmit[:0]
-	// Gather outboxes in sender-id order for determinism.
-	sort.Ints(submitted)
-	for _, id := range submitted {
-		ctx := r.nodes[id]
-		out := ctx.out
-		if len(out) > r.cap {
-			// Non-strict: the excess is dropped (strict mode already
-			// panicked in EndRound).
-			r.stats.DroppedSendOverflow += int64(len(out) - r.cap)
-			out = out[:r.cap]
+	observing := r.cfg.Observer != nil
+
+	// Phase A: each sender shard filters its nodes' outboxes (send-capacity
+	// truncation, finished/fault/interceptor drops) into per-receiver-shard
+	// buckets, preserving ascending sender-id order within each bucket.
+	err := r.runShards(func(i int) {
+		st := &r.shardStats[i]
+		*st = Stats{}
+		buckets := r.buckets[i]
+		for j := range buckets {
+			buckets[j] = buckets[j][:0]
 		}
-		if len(ctx.out) > r.stats.MaxSendLoad {
-			r.stats.MaxSendLoad = len(ctx.out)
+		if observing {
+			r.obsShards[i] = r.obsShards[i][:0]
 		}
-		for _, e := range out {
-			if finished[e.To] {
-				r.stats.DroppedToFinished++
+		lo, hi := r.shardRange(i)
+		for id := lo; id < hi; id++ {
+			if finished[id] {
 				continue
 			}
-			if r.cfg.DropProb > 0 && r.rng.Float64() < r.cfg.DropProb {
-				r.stats.DroppedFault++
+			ctx := r.nodes[id]
+			out := ctx.out
+			if len(out) > st.MaxSendLoad {
+				st.MaxSendLoad = len(out)
+			}
+			if len(out) > r.cap {
+				// Non-strict: the excess is dropped (strict mode already
+				// panicked in EndRound).
+				st.DroppedSendOverflow += int64(len(out) - r.cap)
+				out = out[:r.cap]
+			}
+			var frng rand.PCG
+			if r.cfg.DropProb > 0 {
+				frng = roundPCG(r.cfg.Seed, round, id, saltFault)
+			}
+			for _, e := range out {
+				if finished[e.To] {
+					st.DroppedToFinished++
+					continue
+				}
+				if r.cfg.DropProb > 0 && pcgFloat64(&frng) < r.cfg.DropProb {
+					st.DroppedFault++
+					continue
+				}
+				if r.cfg.Interceptor != nil && !r.cfg.Interceptor(round, e.From, e.To) {
+					st.DroppedFault++
+					continue
+				}
+				st.Messages++
+				st.Words += int64(e.Payload.Words())
+				j := r.shardOf(e.To)
+				buckets[j] = append(buckets[j], e)
+				if observing {
+					r.obsShards[i] = append(r.obsShards[i], e)
+				}
+			}
+			ctx.out = ctx.out[:0]
+		}
+	})
+	if err != nil {
+		r.fail(err)
+		return false
+	}
+	r.mergeShardStats()
+
+	if observing {
+		// Concatenating the shard buffers in shard order reproduces the
+		// global ascending sender-id order of the serial engine.
+		r.obsBuf = r.obsBuf[:0]
+		for _, s := range r.obsShards {
+			r.obsBuf = append(r.obsBuf, s...)
+		}
+		if err := r.observeRound(round); err != nil {
+			r.fail(err)
+			return false
+		}
+	}
+
+	// Phase B: each receiver shard groups its buckets per receiver (sender
+	// shards visited in ascending order keep messages sender-sorted),
+	// truncates overloads to a seeded-random subset, and fills inboxes.
+	err = r.runShards(func(j int) {
+		st := &r.shardStats[j]
+		*st = Stats{}
+		for i := 0; i < r.workers; i++ {
+			for _, e := range r.buckets[i][j] {
+				r.perRecv[e.To] = append(r.perRecv[e.To], e)
+			}
+		}
+		lo, hi := r.shardRange(j)
+		for id := lo; id < hi; id++ {
+			if finished[id] {
 				continue
 			}
-			if r.cfg.Interceptor != nil && !r.cfg.Interceptor(round, e.From, e.To) {
-				r.stats.DroppedFault++
-				continue
+			ctx := r.nodes[id]
+			buf := r.perRecv[id]
+			msgs := buf
+			if len(msgs) > st.MaxRecvOffered {
+				st.MaxRecvOffered = len(msgs)
 			}
-			r.transmit = append(r.transmit, e)
+			if len(msgs) > r.cap {
+				st.DroppedRecvOverflow += int64(len(msgs) - r.cap)
+				rng := roundPCG(r.cfg.Seed, round, id, saltRecv)
+				for k := len(msgs) - 1; k > 0; k-- {
+					l := pcgIntN(&rng, k+1)
+					msgs[k], msgs[l] = msgs[l], msgs[k]
+				}
+				msgs = msgs[:r.cap]
+				sortEnvelopesByFrom(msgs)
+			}
+			if len(msgs) > st.MaxRecvDelivered {
+				st.MaxRecvDelivered = len(msgs)
+			}
+			ctx.inbox = ctx.inbox[:0]
+			for _, e := range msgs {
+				ctx.inbox = append(ctx.inbox, Received{From: e.From, Payload: e.Payload})
+			}
+			r.perRecv[id] = buf[:0]
 		}
-		ctx.out = ctx.out[:0]
+	})
+	if err != nil {
+		r.fail(err)
+		return false
 	}
-	if r.cfg.Observer != nil {
-		r.cfg.Observer.ObserveRound(round, r.transmit)
-	}
-	// Group per receiver.
-	for _, e := range r.transmit {
-		r.stats.Messages++
-		r.stats.Words += int64(e.Payload.Words())
-		r.perRecv[e.To] = append(r.perRecv[e.To], e)
-	}
-	// Deliver, truncating overloads to an arbitrary (seeded-random) subset.
-	for _, id := range submitted {
-		ctx := r.nodes[id]
-		msgs := r.perRecv[id]
-		if len(msgs) > r.stats.MaxRecvOffered {
-			r.stats.MaxRecvOffered = len(msgs)
-		}
-		if len(msgs) > r.cap {
-			r.stats.DroppedRecvOverflow += int64(len(msgs) - r.cap)
-			r.rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
-			msgs = msgs[:r.cap]
-			sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
-		}
-		if len(msgs) > r.stats.MaxRecvDelivered {
-			r.stats.MaxRecvDelivered = len(msgs)
-		}
-		ctx.inbox = ctx.inbox[:0]
-		for _, e := range msgs {
-			ctx.inbox = append(ctx.inbox, Received{From: e.From, Payload: e.Payload})
-		}
-		delete(r.perRecv, id)
-	}
-	// Anything addressed to a node that neither submitted nor is finished is
-	// impossible (every live node submitted), but messages to finished nodes
-	// were already filtered; clear stale entries defensively.
-	for k := range r.perRecv {
-		delete(r.perRecv, k)
-	}
+	r.mergeShardStats()
+
 	r.stats.Rounds++
-	for _, id := range submitted {
-		r.nodes[id].deliver <- struct{}{}
+	return true
+}
+
+// recoverDeliveryPanic converts a panic in user callback code (Interceptor,
+// Observer, Payload.Words) run during round delivery into an error via the
+// named return, so the run aborts cleanly instead of crashing the process or
+// deadlocking the node goroutines.
+func recoverDeliveryPanic(err *error) {
+	if v := recover(); v != nil {
+		*err = fmt.Errorf("ncc: round delivery panicked: %v\n%s", v, debug.Stack())
 	}
+}
+
+// observeRound invokes the user Observer with delivery-panic recovery.
+func (r *run) observeRound(round int) (err error) {
+	defer recoverDeliveryPanic(&err)
+	r.cfg.Observer.ObserveRound(round, r.obsBuf)
+	return nil
+}
+
+func (r *run) mergeShardStats() {
+	for i := range r.shardStats {
+		p := &r.shardStats[i]
+		r.stats.Messages += p.Messages
+		r.stats.Words += p.Words
+		r.stats.DroppedRecvOverflow += p.DroppedRecvOverflow
+		r.stats.DroppedSendOverflow += p.DroppedSendOverflow
+		r.stats.DroppedFault += p.DroppedFault
+		r.stats.DroppedToFinished += p.DroppedToFinished
+		r.stats.MaxSendLoad = max(r.stats.MaxSendLoad, p.MaxSendLoad)
+		r.stats.MaxRecvOffered = max(r.stats.MaxRecvOffered, p.MaxRecvOffered)
+		r.stats.MaxRecvDelivered = max(r.stats.MaxRecvDelivered, p.MaxRecvDelivered)
+	}
+}
+
+// sortEnvelopesByFrom is a small insertion sort: post-truncation inboxes hold
+// at most cap = O(log n) messages, where it beats sort.SliceStable and
+// allocates nothing. It is stable, preserving send order per sender.
+func sortEnvelopesByFrom(msgs []Envelope) {
+	for i := 1; i < len(msgs); i++ {
+		e := msgs[i]
+		j := i - 1
+		for j >= 0 && msgs[j].From > e.From {
+			msgs[j+1] = msgs[j]
+			j--
+		}
+		msgs[j+1] = e
+	}
+}
+
+// runShards executes fn(i) for every shard 0..workers-1, inline when the run
+// is serial and on the worker pool otherwise. A panic inside fn (user
+// Interceptor, Observer, or Payload code) is returned as an error instead of
+// crashing the process.
+func (r *run) runShards(fn func(int)) (err error) {
+	if r.pool == nil {
+		defer recoverDeliveryPanic(&err)
+		for i := 0; i < r.workers; i++ {
+			fn(i)
+		}
+		return nil
+	}
+	return r.pool.run(r.workers, fn)
+}
+
+// workerPool is a fixed set of goroutines executing round-delivery shards.
+// It exists so the engine does not pay a goroutine spawn per phase per round.
+type workerPool struct {
+	jobs chan poolJob
+}
+
+type poolJob struct {
+	fn    func(int)
+	shard int
+	wg    *sync.WaitGroup
+	panic *panicBox
+}
+
+type panicBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{jobs: make(chan poolJob)}
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range p.jobs {
+				err := func() (err error) {
+					defer recoverDeliveryPanic(&err)
+					j.fn(j.shard)
+					return nil
+				}()
+				if err != nil {
+					j.panic.mu.Lock()
+					if j.panic.err == nil {
+						j.panic.err = err
+					}
+					j.panic.mu.Unlock()
+				}
+				// Done must come after the error store: the dispatcher reads
+				// the box as soon as Wait returns.
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run dispatches fn over shards 0..n-1 and waits for completion, returning
+// the first panic (if any) as an error.
+func (p *workerPool) run(n int, fn func(int)) error {
+	var wg sync.WaitGroup
+	var box panicBox
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.jobs <- poolJob{fn: fn, shard: i, wg: &wg, panic: &box}
+	}
+	wg.Wait()
+	return box.err
+}
+
+func (p *workerPool) close() {
+	close(p.jobs)
 }

@@ -1,0 +1,172 @@
+package ncc
+
+import "testing"
+
+// TestWorkerCountInvariance is the determinism regression test of the
+// parallel round engine: a fixed seed must yield bit-for-bit identical Stats
+// (rounds, messages, words, and every drop counter) and identical per-node
+// deliveries no matter how many workers deliver the rounds. The program is
+// deliberately nasty: random fan-out, periodic all-to-one overload bursts
+// (receive truncation), send overflow (non-strict send truncation), and an
+// early finisher (drops to finished nodes).
+func TestWorkerCountInvariance(t *testing.T) {
+	const n, rounds = 96, 40
+	type digest struct {
+		st  Stats
+		sum []uint64
+	}
+	runWith := func(workers int, dropProb float64) digest {
+		cfg := Config{N: n, Seed: 12345, CapFactor: 2, Workers: workers, DropProb: dropProb,
+			Interceptor: func(round int, from, to NodeID) bool {
+				return (round+from+to)%17 != 0 // deterministic targeted faults
+			}}
+		sums := make([]uint64, n)
+		st, err := Run(cfg, func(ctx *Context) {
+			me := ctx.ID()
+			for r := 0; r < rounds; r++ {
+				if me == n-1 && r == rounds/2 {
+					return
+				}
+				switch {
+				case r%5 == 3:
+					if me != 0 {
+						ctx.Send(0, Word(uint64(r)))
+					}
+				case r%7 == 5 && me%3 == 0:
+					for i := 0; i < ctx.Cap()+4; i++ {
+						ctx.Send((me+1+i%(n-1))%n, Word(uint64(i)))
+					}
+				default:
+					for i := 0; i < 1+ctx.Rand().IntN(4); i++ {
+						to := ctx.Rand().IntN(n)
+						if to != me {
+							ctx.Send(to, Word(ctx.Rand().Uint64()))
+						}
+					}
+				}
+				for _, rc := range ctx.EndRound() {
+					sums[me] = sums[me]*31 + uint64(rc.From)*2654435761 + uint64(rc.Payload.(Word))
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return digest{st: st, sum: sums}
+	}
+
+	for _, dropProb := range []float64{0, 0.15} {
+		base := runWith(1, dropProb)
+		if base.st.Dropped() == 0 {
+			t.Fatalf("dropProb=%v: traffic pattern produced no drops; test is vacuous", dropProb)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			got := runWith(workers, dropProb)
+			if got.st != base.st {
+				t.Errorf("dropProb=%v: workers=%d stats diverge from workers=1:\n  w1: %+v\n  w%d: %+v",
+					dropProb, workers, base.st, workers, got.st)
+			}
+			for v := range got.sum {
+				if got.sum[v] != base.sum[v] {
+					t.Errorf("dropProb=%v: workers=%d node %d received different messages", dropProb, workers, v)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersMoreThanNodes checks the engine clamps oversized worker counts.
+func TestWorkersMoreThanNodes(t *testing.T) {
+	st, err := Run(Config{N: 3, Seed: 1, Workers: 64}, func(ctx *Context) {
+		ctx.Send((ctx.ID()+1)%3, Word(7))
+		ctx.EndRound()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages != 3 || st.Rounds != 1 {
+		t.Errorf("stats = %+v, want 3 messages in 1 round", st)
+	}
+}
+
+// TestNegativeWorkersRejected checks config validation.
+func TestNegativeWorkersRejected(t *testing.T) {
+	_, err := Run(Config{N: 2, Seed: 1, Workers: -1}, func(ctx *Context) {})
+	if err == nil {
+		t.Fatal("Workers=-1 accepted")
+	}
+}
+
+// TestParallelWorkersDeliverOrdered re-runs the core barrier contract (inbox
+// sorted by sender id) through the pooled path.
+func TestParallelWorkersDeliverOrdered(t *testing.T) {
+	const n = 64
+	cfg := Config{N: n, Seed: 2, Workers: 4, Strict: true}
+	_, err := Run(cfg, func(ctx *Context) {
+		for r := 0; r < 5; r++ {
+			for k := 1; k <= 3; k++ {
+				ctx.Send((ctx.ID()+k)%n, Word(uint64(k)))
+			}
+			in := ctx.EndRound()
+			for i := 1; i < len(in); i++ {
+				if in[i].From < in[i-1].From {
+					panic("inbox not sorted by sender id")
+				}
+			}
+			if len(in) != 3 {
+				panic("expected exactly 3 messages")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+type panickyObserver struct{}
+
+func (panickyObserver) ObserveRound(round int, msgs []Envelope) {
+	if round == 2 {
+		panic("observer boom")
+	}
+}
+
+// TestObserverPanicSurfaces checks that a panic inside a user Observer aborts
+// the run with an error instead of escaping the coordinator and leaving every
+// node goroutine blocked at the barrier.
+func TestObserverPanicSurfaces(t *testing.T) {
+	_, err := Run(Config{N: 8, Seed: 1, Observer: panickyObserver{}}, func(ctx *Context) {
+		for r := 0; r < 10; r++ {
+			ctx.Send((ctx.ID()+1)%ctx.N(), Word(0))
+			ctx.EndRound()
+		}
+	})
+	if err == nil {
+		t.Fatal("observer panic not surfaced")
+	}
+}
+
+// TestInterceptorPanicSurfaces checks that a panic inside user callback code
+// running on a delivery worker aborts the run with an error instead of
+// crashing the process.
+func TestInterceptorPanicSurfaces(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := Config{N: 8, Seed: 1, Workers: workers,
+			Interceptor: func(round int, from, to NodeID) bool {
+				if round == 2 {
+					panic("interceptor boom")
+				}
+				return true
+			}}
+		_, err := Run(cfg, func(ctx *Context) {
+			for r := 0; r < 10; r++ {
+				ctx.Send((ctx.ID()+1)%ctx.N(), Word(0))
+				ctx.EndRound()
+			}
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: interceptor panic not surfaced", workers)
+		}
+	}
+}
