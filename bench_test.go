@@ -10,6 +10,7 @@ package nccrepro
 import (
 	"testing"
 
+	"ncc/internal/algo"
 	"ncc/internal/baseline"
 	"ncc/internal/bench"
 	"ncc/internal/comm"
@@ -18,6 +19,20 @@ import (
 	"ncc/internal/kmachine"
 	"ncc/internal/ncc"
 )
+
+// measure resolves an algorithm through the registry and fails the benchmark
+// on run or verification errors.
+func measure(b *testing.B, name string, g *graph.Graph, seed int64) ncc.Stats {
+	b.Helper()
+	res, err := algo.MustGet(name).Execute(ncc.Config{Seed: seed, Strict: true}, g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Verified {
+		b.Fatalf("%s verification: %s", name, res.VerifyErr)
+	}
+	return res.Stats
+}
 
 func report(b *testing.B, st ncc.Stats) {
 	b.ReportMetric(float64(st.Rounds), "rounds/op")
@@ -120,11 +135,7 @@ func BenchmarkMIS(b *testing.B) {
 		b.Run(sizeName("arbo", k), func(b *testing.B) {
 			g := graph.KForest(96, k, 100+int64(k))
 			for i := 0; i < b.N; i++ {
-				_, st, err := core.RunMIS(ncc.Config{N: g.N(), Seed: 3, Strict: true}, g)
-				if err != nil {
-					b.Fatal(err)
-				}
-				report(b, st)
+				report(b, measure(b, "mis", g, 3))
 			}
 		})
 	}
@@ -136,11 +147,7 @@ func BenchmarkMatching(b *testing.B) {
 		b.Run(sizeName("arbo", k), func(b *testing.B) {
 			g := graph.KForest(96, k, 200+int64(k))
 			for i := 0; i < b.N; i++ {
-				_, st, err := core.RunMatching(ncc.Config{N: g.N(), Seed: 5, Strict: true}, g)
-				if err != nil {
-					b.Fatal(err)
-				}
-				report(b, st)
+				report(b, measure(b, "matching", g, 5))
 			}
 		})
 	}
@@ -152,11 +159,7 @@ func BenchmarkColoring(b *testing.B) {
 		b.Run(sizeName("arbo", k), func(b *testing.B) {
 			g := graph.KForest(96, k, 300+int64(k))
 			for i := 0; i < b.N; i++ {
-				_, st, err := core.RunColoring(ncc.Config{N: g.N(), Seed: 7, Strict: true}, g)
-				if err != nil {
-					b.Fatal(err)
-				}
-				report(b, st)
+				report(b, measure(b, "coloring", g, 7))
 			}
 		})
 	}
@@ -168,11 +171,7 @@ func BenchmarkOrientation(b *testing.B) {
 		b.Run(sizeName("arbo", k), func(b *testing.B) {
 			g := graph.KForest(96, k, 400+int64(k))
 			for i := 0; i < b.N; i++ {
-				_, st, err := core.RunOrientation(ncc.Config{N: g.N(), Seed: 9, Strict: true}, g, core.OrientParams{})
-				if err != nil {
-					b.Fatal(err)
-				}
-				report(b, st)
+				report(b, measure(b, "orientation", g, 9))
 			}
 		})
 	}

@@ -1,12 +1,14 @@
 // Command nccbench regenerates the paper's evaluation: every Table 1 row and
 // every theorem-level bound as a measured table (see README.md's experiment
-// index).
+// index). With -json, every experiment header, table and note is emitted as
+// one self-describing JSON line, producing a diffable benchmark-trajectory
+// artifact (CI uploads the quick sweep on every push).
 //
 // Usage:
 //
 //	nccbench -list
 //	nccbench -exp mst
-//	nccbench -exp all [-quick] [-workers 4]
+//	nccbench -exp all [-quick] [-workers 4] [-json]
 package main
 
 import (
@@ -31,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exp := fs.String("exp", "all", "experiment name (see -list) or 'all'")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
 	list := fs.Bool("list", false, "list experiments and exit")
+	jsonOut := fs.Bool("json", false, "emit experiment output as JSON lines")
 	workers := fs.Int("workers", 0, "round-engine delivery workers (0 = GOMAXPROCS); does not change results")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -46,25 +49,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	var selected []bench.Experiment
 	if *exp == "all" {
-		for _, e := range bench.All() {
-			fmt.Fprintf(stdout, "\n### experiment %s — %s\n", e.Name, e.Desc)
-			if err := e.Run(stdout, *quick); err != nil {
-				fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.Name, err)
-				return 1
-			}
+		selected = bench.All()
+	} else {
+		e, ok := bench.Get(*exp)
+		if !ok {
+			fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", *exp)
+			return 2
 		}
-		return 0
+		selected = []bench.Experiment{e}
 	}
-	e, ok := bench.Get(*exp)
-	if !ok {
-		fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", *exp)
-		return 2
-	}
-	fmt.Fprintf(stdout, "### experiment %s — %s\n", e.Name, e.Desc)
-	if err := e.Run(stdout, *quick); err != nil {
-		fmt.Fprintf(stderr, "experiment failed: %v\n", err)
-		return 1
+	r := bench.NewReporter(stdout, *jsonOut)
+	for _, e := range selected {
+		r.Begin(e)
+		if err := e.Run(r, *quick); err != nil {
+			fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.Name, err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,36 @@ func TestWorkersFlagDoesNotChangeMeasurements(t *testing.T) {
 	}
 	if out1 != out8 {
 		t.Errorf("-workers changed measured tables:\n--- w=1:\n%s\n--- w=8:\n%s", out1, out8)
+	}
+}
+
+func TestJSONModeEmitsParseableLines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	code, out, errw := runCapture(t, "-exp", "load", "-quick", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("JSON mode emitted %d lines:\n%s", len(lines), out)
+	}
+	sawTable := false
+	for _, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line does not parse as JSON: %q: %v", line, err)
+		}
+		if v["experiment"] != "load" {
+			t.Errorf("line missing experiment tag: %q", line)
+		}
+		if _, ok := v["table"]; ok {
+			sawTable = true
+		}
+	}
+	if !sawTable {
+		t.Errorf("no table line in JSON output:\n%s", out)
 	}
 }
 

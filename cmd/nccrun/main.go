@@ -1,39 +1,53 @@
-// Command nccrun executes one Node-Capacitated Clique algorithm on one
-// generated input graph and prints the result summary plus the run
-// statistics (rounds, messages, loads).
+// Command nccrun executes Node-Capacitated Clique algorithms on generated
+// input graphs. Algorithms and graph families are resolved through the
+// registries (internal/algo, internal/graph); a run is described by a
+// scenario — assembled from flags or loaded from a JSON file — and can sweep
+// over n, capfactor and seeds. Results print as human-readable summaries or,
+// with -json, as one JSON record per run (scenario echo + graph info + stats
+// + verification status).
 //
 // Usage examples:
 //
+//	nccrun -list
 //	nccrun -algo mst -graph gnm -n 128 -m 384
-//	nccrun -algo mis -graph kforest -n 256 -k 4
-//	nccrun -algo bfs -graph grid -rows 8 -cols 16 -src 0
-//	nccrun -algo coloring -graph pa -n 200 -k 3 -workers 4
+//	nccrun -algo mis -graph kforest -n 256 -k 4 -json
+//	nccrun -algo bfs -graph grid -rows 8 -cols 16 -src 0 -timeline rounds.csv
+//	nccrun -algo matching -graph bipartite -gparam n1=64,n2=32,p=0.1
+//	nccrun -algo coloring -graph pa -n 200 -k 3 -sweep-n 64,128,256 -sweep-seeds 1,2,3 -json
+//	nccrun -scenario scenarios/mis-sweep.json -json
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
-	"ncc/internal/core"
+	"ncc/internal/algo"
 	"ncc/internal/graph"
 	"ncc/internal/ncc"
-	"ncc/internal/verify"
+	"ncc/internal/param"
+	"ncc/internal/scenario"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is the testable entry point: it parses args, executes one algorithm,
-// and returns a process exit code.
+// run is the testable entry point: it parses args, executes the scenario,
+// and returns a process exit code (0 ok, 1 run/verification failure, 2 usage).
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("nccrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	algo := fs.String("algo", "mst", "algorithm: mst | bfs | mis | matching | coloring | orientation | components")
-	gname := fs.String("graph", "gnm", "graph family: gnm | gnp | kforest | grid | star | tree | cycle | path | pa | hypercube")
+	scenarioFile := fs.String("scenario", "", "load the scenario from this JSON file (overrides the per-run flags)")
+	list := fs.Bool("list", false, "list registered algorithms and graph families, then exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON record per run instead of human-readable text")
+	algoName := fs.String("algo", "mst", "algorithm (see -list)")
+	gname := fs.String("graph", "gnm", "graph family (see -list)")
 	n := fs.Int("n", 64, "number of nodes")
 	m := fs.Int("m", 0, "edges for gnm (default 3n)")
 	p := fs.Float64("p", 0.1, "edge probability for gnp")
@@ -44,8 +58,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxW := fs.Int64("maxw", 1000, "maximum edge weight for mst")
 	seed := fs.Int64("seed", 1, "seed (runs are deterministic per seed)")
 	capf := fs.Int("capfactor", ncc.DefaultCapFactor, "capacity = capfactor * ceil(log2 n) messages/round")
+	gparam := fs.String("gparam", "", "extra graph params as name=value,... (for families like bipartite or disjoint)")
+	aparam := fs.String("aparam", "", "extra algorithm params as name=value,...")
 	workers := fs.Int("workers", 0, "round-engine delivery workers (0 = GOMAXPROCS); does not change results")
 	timelineCSV := fs.String("timeline", "", "write a per-round traffic CSV (round,messages,words,maxRecvOffered) to this file")
+	sweepN := fs.String("sweep-n", "", "comma-separated n values to sweep")
+	sweepCap := fs.String("sweep-capfactor", "", "comma-separated capfactor values to sweep")
+	sweepSeeds := fs.String("sweep-seeds", "", "comma-separated seeds to sweep")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -53,162 +72,289 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	g, err := buildGraph(*gname, *n, *m, *p, *k, *rows, *cols, *seed)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+	if *list {
+		printRegistries(stdout)
+		return 0
 	}
-	cfg := ncc.Config{N: g.N(), Seed: *seed, CapFactor: *capf, Workers: *workers, Strict: true}
-	var tl *ncc.Timeline
-	if *timelineCSV != "" {
-		tl = &ncc.Timeline{}
-		cfg.Observer = tl
-	}
-	fmt.Fprintf(stdout, "graph: %v  (max degree %d, degeneracy %d)\n", g, g.MaxDegree(), degeneracyOf(g))
-	fmt.Fprintf(stdout, "model: n=%d, capacity=%d msgs/round\n", g.N(), cfg.Cap())
 
-	st, err := runAlgo(*algo, cfg, g, *src, *maxW, *seed, stdout)
-	if err != nil {
-		if errors.Is(err, errUnknownAlgo) {
+	var s scenario.Scenario
+	if *scenarioFile != "" {
+		var err error
+		s, err = scenario.Load(*scenarioFile)
+		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		fmt.Fprintln(stderr, "error:", err)
-		return 1
-	}
-	fmt.Fprintf(stdout, "stats: %v\n", st)
-	if tl != nil {
-		if err := writeTimeline(*timelineCSV, tl); err != nil {
-			fmt.Fprintln(stderr, "error:", err)
-			return 1
+		if *workers != 0 {
+			s.Model.Workers = *workers
 		}
-		fmt.Fprintf(stdout, "timeline: %d rounds written to %s\n", len(tl.Samples), *timelineCSV)
+	} else {
+		flagVals := param.Values{
+			"n": float64(*n), "m": float64(*m), "p": *p, "k": float64(*k),
+			"rows": float64(*rows), "cols": float64(*cols),
+			"src": float64(*src), "maxw": float64(*maxW),
+		}
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		var err error
+		s, err = fromFlags(*algoName, *gname, flagVals, explicit, *gparam, *aparam, *seed, *capf, *workers)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		sweep, err := parseSweep(*sweepN, *sweepCap, *sweepSeeds)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		s.Sweep = sweep
 	}
-	return 0
+	if err := s.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	runs := s.Expand()
+	if *timelineCSV != "" && len(runs) != 1 {
+		fmt.Fprintln(stderr, "-timeline requires a single run, not a sweep")
+		return 2
+	}
+
+	code := 0
+	for _, c := range runs {
+		var tl *ncc.Timeline
+		if *timelineCSV != "" {
+			tl = &ncc.Timeline{}
+		}
+		rec, err := scenario.RunOne(c, observerOrNil(tl))
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		if *jsonOut {
+			line, jerr := json.Marshal(rec)
+			if jerr != nil {
+				fmt.Fprintln(stderr, "error:", jerr)
+				return 1
+			}
+			fmt.Fprintln(stdout, string(line))
+		} else if len(runs) == 1 {
+			printSingle(stdout, rec)
+		} else {
+			printSweepLine(stdout, rec)
+		}
+		switch {
+		case rec.Error != "":
+			fmt.Fprintln(stderr, "error:", rec.Error)
+			code = 1
+		case !rec.Verified:
+			fmt.Fprintln(stderr, "verification failed:", rec.VerifyErr)
+			code = 1
+		}
+		if tl != nil && rec.Error == "" {
+			if err := writeTimeline(*timelineCSV, tl); err != nil {
+				fmt.Fprintln(stderr, "error:", err)
+				return 1
+			}
+			if !*jsonOut {
+				fmt.Fprintf(stdout, "timeline: %d rounds written to %s\n", len(tl.Samples), *timelineCSV)
+			}
+		}
+	}
+	return code
 }
 
-// errUnknownAlgo marks an unrecognized -algo name, a usage error (exit 2)
-// rather than a run failure (exit 1).
-var errUnknownAlgo = errors.New("unknown algorithm")
-
-// runAlgo executes and verifies one algorithm, printing its result summary.
-func runAlgo(algo string, cfg ncc.Config, g *graph.Graph, src int, maxW int64, seed int64, stdout io.Writer) (ncc.Stats, error) {
-	var st ncc.Stats
-	var err error
-	switch algo {
-	case "mst":
-		wg := graph.RandomWeights(g, maxW, seed+1)
-		var perNode [][][2]int
-		perNode, st, err = core.RunMST(cfg, wg)
-		if err != nil {
-			return st, err
-		}
-		edges := core.CollectMSTEdges(perNode)
-		if err := verify.MST(wg, edges); err != nil {
-			return st, err
-		}
-		var total int64
-		for _, e := range edges {
-			total += wg.Weight(e[0], e[1])
-		}
-		fmt.Fprintf(stdout, "minimum spanning forest: %d edges, total weight %d (verified against Kruskal)\n", len(edges), total)
-	case "bfs":
-		var res []core.BFSResult
-		res, st, err = core.RunBFS(cfg, g, src)
-		if err != nil {
-			return st, err
-		}
-		dist := make([]int, g.N())
-		parent := make([]int, g.N())
-		reached, ecc := 0, 0
-		for u, r := range res {
-			dist[u], parent[u] = r.Dist, r.Parent
-			if r.Dist >= 0 {
-				reached++
-				ecc = max(ecc, r.Dist)
-			}
-		}
-		if err := verify.BFS(g, src, dist, parent, true); err != nil {
-			return st, err
-		}
-		fmt.Fprintf(stdout, "BFS tree from %d: %d nodes reached, eccentricity %d (verified)\n", src, reached, ecc)
-	case "mis":
-		var in []bool
-		in, st, err = core.RunMIS(cfg, g)
-		if err != nil {
-			return st, err
-		}
-		if err := verify.MIS(g, in); err != nil {
-			return st, err
-		}
-		size := 0
-		for _, b := range in {
-			if b {
-				size++
-			}
-		}
-		fmt.Fprintf(stdout, "maximal independent set of size %d (verified)\n", size)
-	case "matching":
-		var mate []int
-		mate, st, err = core.RunMatching(cfg, g)
-		if err != nil {
-			return st, err
-		}
-		if err := verify.Matching(g, mate); err != nil {
-			return st, err
-		}
-		size := 0
-		for u, v := range mate {
-			if v > u {
-				size++
-			}
-		}
-		fmt.Fprintf(stdout, "maximal matching of size %d (verified)\n", size)
-	case "coloring":
-		var res []core.ColorResult
-		res, st, err = core.RunColoring(cfg, g)
-		if err != nil {
-			return st, err
-		}
-		colors := make([]int, g.N())
-		palette := 0
-		for u, r := range res {
-			colors[u], palette = r.Color, r.Palette
-		}
-		if err := verify.Coloring(g, colors, palette); err != nil {
-			return st, err
-		}
-		fmt.Fprintf(stdout, "proper coloring with %d colors (palette bound %d, verified)\n", verify.ColorsUsed(colors), palette)
-	case "orientation":
-		var os []*core.Orientation
-		os, st, err = core.RunOrientation(cfg, g, core.OrientParams{})
-		if err != nil {
-			return st, err
-		}
-		if err := verify.Orientation(g, core.OutLists(os), 0); err != nil {
-			return st, err
-		}
-		fmt.Fprintf(stdout, "orientation with max outdegree %d over %d levels (verified)\n",
-			verify.MaxOutdegree(core.OutLists(os)), os[0].Levels)
-	case "components":
-		var labels []int
-		labels, st, err = core.RunComponents(cfg, g)
-		if err != nil {
-			return st, err
-		}
-		distinct := map[int]bool{}
-		for _, l := range labels {
-			distinct[l] = true
-		}
-		_, want := graph.Components(g)
-		if len(distinct) != want {
-			return st, fmt.Errorf("found %d components, sequential says %d", len(distinct), want)
-		}
-		fmt.Fprintf(stdout, "%d connected components labeled (verified)\n", len(distinct))
-	default:
-		return st, fmt.Errorf("%w %q", errUnknownAlgo, algo)
+// observerOrNil converts a possibly-nil *ncc.Timeline to an ncc.Observer
+// without boxing a typed nil into the interface.
+func observerOrNil(tl *ncc.Timeline) ncc.Observer {
+	if tl == nil {
+		return nil
 	}
-	return st, nil
+	return tl
+}
+
+// fromFlags assembles a scenario from the per-run flags. A dedicated flag
+// (-n, -rows, ...) is kept only when the chosen graph family or algorithm
+// declares a parameter of that name; passing one explicitly that neither
+// declares is a usage error, never a silent no-op. -gparam/-aparam reach
+// parameters that have no dedicated flag (e.g. bipartite's n1/n2).
+func fromFlags(algoName, gname string, flagVals param.Values, explicit map[string]bool,
+	gparam, aparam string, seed int64, capf, workers int) (scenario.Scenario, error) {
+	d, ok := algo.Get(algoName)
+	if !ok {
+		return scenario.Scenario{}, algo.ErrUnknown(algoName)
+	}
+	f, ok := graph.GetFamily(gname)
+	if !ok {
+		return scenario.Scenario{}, fmt.Errorf("unknown graph family %q (have %s)",
+			gname, strings.Join(graph.FamilyNames(), ", "))
+	}
+	declared := func(defs []param.Def, name string) bool {
+		for _, def := range defs {
+			if def.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	pick := func(defs []param.Def) param.Values {
+		out := param.Values{}
+		for _, def := range defs {
+			if v, ok := flagVals[def.Name]; ok {
+				out[def.Name] = v
+			}
+		}
+		return out
+	}
+	for name := range flagVals {
+		if explicit[name] && !declared(f.Params, name) && !declared(d.Params, name) {
+			return scenario.Scenario{}, fmt.Errorf(
+				"-%s: graph family %s takes %s and algorithm %s takes %s",
+				name, f.Name, orNone(param.Describe(f.Params)), d.Name, orNone(param.Describe(d.Params)))
+		}
+	}
+	gp, err := parseParams(gparam)
+	if err != nil {
+		return scenario.Scenario{}, fmt.Errorf("-gparam: %w", err)
+	}
+	ap, err := parseParams(aparam)
+	if err != nil {
+		return scenario.Scenario{}, fmt.Errorf("-aparam: %w", err)
+	}
+	return scenario.Scenario{
+		Algo:   d.Name,
+		Graph:  graph.Spec{Family: f.Name, Params: merge(pick(f.Params), gp), Seed: seed},
+		Params: merge(pick(d.Params), ap),
+		Model:  scenario.Model{CapFactor: capf, Workers: workers, Seed: seed},
+	}, nil
+}
+
+func orNone(desc string) string {
+	if desc == "" {
+		return "no params"
+	}
+	return desc
+}
+
+// parseParams decodes a "name=value,name=value" list.
+func parseParams(list string) (param.Values, error) {
+	out := param.Values{}
+	for _, item := range splitList(list) {
+		name, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not name=value", item)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", item, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// merge overlays b onto a.
+func merge(a, b param.Values) param.Values {
+	for k, v := range b {
+		a[k] = v
+	}
+	return a
+}
+
+func parseSweep(ns, cfs, seeds string) (*scenario.Sweep, error) {
+	sw := &scenario.Sweep{}
+	var err error
+	if sw.N, err = parseInts(ns); err != nil {
+		return nil, fmt.Errorf("-sweep-n: %w", err)
+	}
+	if sw.CapFactor, err = parseInts(cfs); err != nil {
+		return nil, fmt.Errorf("-sweep-capfactor: %w", err)
+	}
+	for _, s := range splitList(seeds) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-sweep-seeds: %w", err)
+		}
+		sw.Seeds = append(sw.Seeds, v)
+	}
+	if len(sw.N) == 0 && len(sw.CapFactor) == 0 && len(sw.Seeds) == 0 {
+		return nil, nil
+	}
+	return sw, nil
+}
+
+func parseInts(list string) ([]int, error) {
+	var out []int
+	for _, s := range splitList(list) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitList(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// printSingle renders one run the way nccrun always has: graph, model,
+// summary with verification marker, stats.
+func printSingle(w io.Writer, rec scenario.Record) {
+	if rec.Graph.Desc != "" {
+		fmt.Fprintf(w, "graph: %s  (max degree %d, degeneracy %d)\n",
+			rec.Graph.Desc, rec.Graph.MaxDegree, rec.Graph.Degeneracy)
+		fmt.Fprintf(w, "model: n=%d, capacity=%d msgs/round\n", rec.Graph.N, rec.Capacity)
+	}
+	if rec.Error != "" {
+		return
+	}
+	fmt.Fprintf(w, "%s (%s)\n", rec.Summary, verdict(rec))
+	fmt.Fprintf(w, "stats: %v\n", rec.Stats)
+}
+
+// printSweepLine renders one sweep entry compactly.
+func printSweepLine(w io.Writer, rec scenario.Record) {
+	if rec.Error != "" {
+		fmt.Fprintf(w, "%s capfactor=%d seed=%d: error: %s\n",
+			rec.Scenario.Graph, rec.Scenario.Model.CapFactor, rec.Scenario.Model.Seed, rec.Error)
+		return
+	}
+	fmt.Fprintf(w, "%s capfactor=%d seed=%d: %s (%s) | %v\n",
+		rec.Scenario.Graph, rec.Scenario.Model.CapFactor, rec.Scenario.Model.Seed,
+		rec.Summary, verdict(rec), rec.Stats)
+}
+
+func verdict(rec scenario.Record) string {
+	if rec.Verified {
+		return "verified"
+	}
+	return "NOT verified: " + rec.VerifyErr
+}
+
+func printRegistries(w io.Writer) {
+	fmt.Fprintln(w, "algorithms:")
+	for _, d := range algo.All() {
+		fmt.Fprintf(w, "  %-12s %s\n", d.Name, d.Desc)
+		if len(d.Params) > 0 {
+			fmt.Fprintf(w, "  %-12s params: %s\n", "", param.Describe(d.Params))
+		}
+	}
+	fmt.Fprintln(w, "graph families:")
+	for _, f := range graph.Families() {
+		seeded := ""
+		if f.Seeded {
+			seeded = " [seeded]"
+		}
+		fmt.Fprintf(w, "  %-12s %s%s\n", f.Name, f.Desc, seeded)
+		fmt.Fprintf(w, "  %-12s params: %s\n", "", param.Describe(f.Params))
+	}
 }
 
 func writeTimeline(path string, tl *ncc.Timeline) error {
@@ -226,39 +372,4 @@ func writeTimeline(path string, tl *ncc.Timeline) error {
 		}
 	}
 	return nil
-}
-
-func buildGraph(name string, n, m int, p float64, k, rows, cols int, seed int64) (*graph.Graph, error) {
-	switch name {
-	case "gnm":
-		if m == 0 {
-			m = 3 * n
-		}
-		return graph.GNM(n, m, seed), nil
-	case "gnp":
-		return graph.GNP(n, p, seed), nil
-	case "kforest":
-		return graph.KForest(n, k, seed), nil
-	case "grid":
-		return graph.Grid(rows, cols), nil
-	case "star":
-		return graph.Star(n), nil
-	case "tree":
-		return graph.RandomTree(n, seed), nil
-	case "cycle":
-		return graph.Cycle(n), nil
-	case "path":
-		return graph.Path(n), nil
-	case "pa":
-		return graph.PreferentialAttachment(n, k, seed), nil
-	case "hypercube":
-		return graph.Hypercube(k), nil
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", name)
-	}
-}
-
-func degeneracyOf(g *graph.Graph) int {
-	d, _ := graph.Degeneracy(g)
-	return d
 }

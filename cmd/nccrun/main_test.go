@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -49,6 +51,40 @@ func TestRunColoringWithWorkers(t *testing.T) {
 
 func TestRunTimelineCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tl.csv")
+	// JSON mode exposes the measured round count, so the CSV row count can be
+	// checked exactly: header + one row per round.
+	code, out, errw := runCapture(t, "-algo", "mis", "-graph", "cycle", "-n", "16", "-timeline", path, "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	var rec struct {
+		Stats struct {
+			Rounds int `json:"rounds"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Fatalf("JSON record does not parse: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if lines[0] != "round,messages,words,maxRecvOffered" {
+		t.Errorf("CSV missing header: %q", lines[0])
+	}
+	if rows := len(lines) - 1; rows != rec.Stats.Rounds {
+		t.Errorf("CSV has %d rows, run took %d rounds", rows, rec.Stats.Rounds)
+	}
+	for i, line := range lines[1:] {
+		if !strings.HasPrefix(line, strconv.Itoa(i)+",") {
+			t.Fatalf("row %d misnumbered: %q", i, line)
+		}
+	}
+}
+
+func TestRunTimelineSummaryLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tl.csv")
 	code, out, errw := runCapture(t, "-algo", "mis", "-graph", "cycle", "-n", "16", "-timeline", path)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errw)
@@ -56,12 +92,120 @@ func TestRunTimelineCSV(t *testing.T) {
 	if !strings.Contains(out, "timeline:") {
 		t.Errorf("output missing timeline summary:\n%s", out)
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
+}
+
+func TestRunTimelineUnwritablePath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "tl.csv")
+	code, _, errw := runCapture(t, "-algo", "mis", "-graph", "cycle", "-n", "16", "-timeline", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for unwritable timeline path", code)
+	}
+	if !strings.Contains(errw, "error:") {
+		t.Errorf("stderr missing diagnosis: %s", errw)
+	}
+}
+
+func TestRunTimelineRejectsSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tl.csv")
+	code, _, errw := runCapture(t, "-algo", "mis", "-graph", "cycle", "-n", "16",
+		"-timeline", path, "-sweep-seeds", "1,2")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errw)
+	}
+}
+
+func TestRunJSONRecordParses(t *testing.T) {
+	code, out, errw := runCapture(t, "-algo", "mis", "-graph", "kforest", "-n", "24", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("-json must emit exactly one line, got %d:\n%s", len(lines), out)
+	}
+	var rec struct {
+		Scenario struct {
+			Algo  string `json:"algo"`
+			Graph struct {
+				Family string `json:"family"`
+			} `json:"graph"`
+		} `json:"scenario"`
+		Stats struct {
+			Rounds int `json:"rounds"`
+		} `json:"stats"`
+		Verified bool `json:"verified"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("JSON record does not parse: %v\n%s", err, lines[0])
+	}
+	if rec.Scenario.Algo != "mis" || rec.Scenario.Graph.Family != "kforest" {
+		t.Errorf("scenario echo wrong: %+v", rec.Scenario)
+	}
+	if !rec.Verified || rec.Stats.Rounds == 0 {
+		t.Errorf("record incomplete: verified=%v rounds=%d", rec.Verified, rec.Stats.Rounds)
+	}
+}
+
+func TestRunSweepIsDeterministic(t *testing.T) {
+	args := []string{"-algo", "mis", "-graph", "kforest", "-n", "16",
+		"-sweep-n", "12,16", "-sweep-seeds", "1,2", "-json"}
+	code1, out1, errw1 := runCapture(t, args...)
+	if code1 != 0 {
+		t.Fatalf("exit %d, stderr: %s", code1, errw1)
+	}
+	lines := strings.Split(strings.TrimSpace(out1), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("sweep produced %d records, want 4:\n%s", len(lines), out1)
+	}
+	for _, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("sweep line does not parse: %v\n%s", err, line)
+		}
+	}
+	code2, out2, _ := runCapture(t, args...)
+	if code2 != 0 || out1 != out2 {
+		t.Errorf("sweep output not deterministic across runs")
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	spec := `{
+		"algo": "coloring",
+		"graph": {"family": "kforest", "params": {"n": 20, "k": 2}, "seed": 3},
+		"model": {"seed": 3},
+		"sweep": {"seeds": [3, 4]}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(data), "round,messages,words,maxRecvOffered\n") {
-		t.Errorf("CSV missing header:\n%.100s", data)
+	code, out, errw := runCapture(t, "-scenario", path, "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	if n := strings.Count(strings.TrimSpace(out), "\n") + 1; n != 2 {
+		t.Errorf("got %d records, want 2:\n%s", n, out)
+	}
+	if strings.Contains(out, `"verified":false`) {
+		t.Errorf("scenario runs failed verification:\n%s", out)
+	}
+	// The shipped example scenario must stay loadable.
+	code, _, errw = runCapture(t, "-scenario", filepath.Join("..", "..", "scenarios", "mis-sweep.json"), "-json")
+	if code != 0 {
+		t.Fatalf("shipped scenario rejected: exit %d, stderr: %s", code, errw)
+	}
+}
+
+func TestRunListsRegistries(t *testing.T) {
+	code, out, errw := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	for _, want := range []string{"algorithms:", "graph families:", "mst", "kforest", "params:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
 	}
 }
 
@@ -82,6 +226,42 @@ func TestRunRejectsUnknownGraph(t *testing.T) {
 	}
 	if !strings.Contains(errw, "unknown graph family") {
 		t.Errorf("stderr missing diagnosis: %s", errw)
+	}
+}
+
+func TestRunRejectsUndeclaredExplicitFlag(t *testing.T) {
+	// bipartite is sized by n1/n2, so an explicit -n must be rejected loudly
+	// instead of silently running the default-size graph.
+	code, _, errw := runCapture(t, "-algo", "mis", "-graph", "bipartite", "-n", "128")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errw)
+	}
+	if !strings.Contains(errw, "-n") || !strings.Contains(errw, "bipartite") {
+		t.Errorf("stderr missing diagnosis: %s", errw)
+	}
+	// The same -n left at its default is fine: nothing was silently dropped.
+	code, _, errw = runCapture(t, "-algo", "mis", "-graph", "bipartite", "-gparam", "n1=10,n2=10,p=0.4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+}
+
+func TestRunGParamSizesUndeclaredFamilies(t *testing.T) {
+	code, out, errw := runCapture(t, "-algo", "mis", "-graph", "disjoint",
+		"-gparam", "parts=2,size=6", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	var rec struct {
+		Graph struct {
+			N int `json:"n"`
+		} `json:"graph"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Graph.N != 12 {
+		t.Errorf("graph has %d nodes, want parts*size = 12", rec.Graph.N)
 	}
 }
 

@@ -1,0 +1,56 @@
+// Execution smoke tests for the example programs: each one is built and run
+// at a tiny problem size, so the examples are exercised — not just compiled —
+// by `go test ./...` and CI.
+package examples
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./" + dir}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}
+
+func TestQuickstartExample(t *testing.T) {
+	out := runExample(t, "quickstart", "-n", "16")
+	for _, want := range []string{"MST:", "verified optimal", "cost:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSocialNetworkExample(t *testing.T) {
+	out := runExample(t, "socialnetwork", "-n", "24")
+	for _, want := range []string{"MIS:", "coordinators", "coloring:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHybridExample(t *testing.T) {
+	out := runExample(t, "hybrid", "-side", "4")
+	for _, want := range []string{"overlay BFS", "naive flooding"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKMachineExample(t *testing.T) {
+	out := runExample(t, "kmachine", "-n", "20")
+	for _, want := range []string{"k-machine simulation", "k= 2:", "verified against Kruskal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,47 +1,47 @@
-// Quickstart: build a Node-Capacitated Clique, hand every node its local view
-// of a weighted input graph, and compute a verified minimum spanning tree in
-// polylogarithmically many rounds (Theorem 3.2 of the paper).
+// Quickstart: describe a run declaratively — a graph spec, an algorithm from
+// the registry, the clique model — and execute it with one call. The scenario
+// below computes a verified minimum spanning tree of a random connected graph
+// in polylogarithmically many rounds (Theorem 3.2 of the paper); the same
+// struct round-trips through JSON (see scenarios/ and `nccrun -scenario`).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"ncc/internal/core"
 	"ncc/internal/graph"
-	"ncc/internal/ncc"
-	"ncc/internal/verify"
+	"ncc/internal/param"
+	"ncc/internal/scenario"
 )
 
 func main() {
-	// An input graph: a random connected graph with random weights. In the
-	// NCC model each node initially knows only its own adjacency; the drivers
-	// enforce that discipline.
-	g := graph.KForest(64, 2, 7)
-	wg := graph.RandomWeights(g, 1000, 8)
-	fmt.Printf("input: %v, max degree %d\n", g, g.MaxDegree())
+	n := flag.Int("n", 64, "number of nodes")
+	flag.Parse()
 
-	// The clique: 64 nodes, each allowed CapFactor*ceil(log2 n) messages of
-	// O(log n) bits per synchronous round.
-	cfg := ncc.Config{N: g.N(), Seed: 42, Strict: true}
-	fmt.Printf("model: capacity %d messages/node/round\n", cfg.Cap())
-
-	perNode, stats, err := core.RunMST(cfg, wg)
+	s := scenario.Scenario{
+		Name: "quickstart-mst",
+		Algo: "mst",
+		// A random connected graph: 2 superimposed spanning trees. In the NCC
+		// model each node initially knows only its own adjacency; the
+		// algorithms enforce that discipline.
+		Graph:  graph.Spec{Family: "kforest", Params: param.Values{"n": float64(*n), "k": 2}, Seed: 7},
+		Params: param.Values{"maxw": 1000},
+		Model:  scenario.Model{Seed: 42},
+	}
+	rec, err := scenario.RunOne(s, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if !rec.Verified {
+		log.Fatalf("verification failed: %s", rec.VerifyErr)
+	}
 
+	fmt.Printf("input: %s, max degree %d\n", rec.Graph.Desc, rec.Graph.MaxDegree)
+	fmt.Printf("model: capacity %d messages/node/round\n", rec.Capacity)
 	// Each MST edge is known to at least one endpoint (the paper's output
-	// contract); merge and verify against Kruskal.
-	edges := core.CollectMSTEdges(perNode)
-	if err := verify.MST(wg, edges); err != nil {
-		log.Fatal(err)
-	}
-	var total int64
-	for _, e := range edges {
-		total += wg.Weight(e[0], e[1])
-	}
-	fmt.Printf("MST: %d edges, weight %d — verified optimal\n", len(edges), total)
+	// contract); the registry's built-in verifier checked it against Kruskal.
+	fmt.Printf("MST: %s — verified optimal\n", rec.Summary)
 	fmt.Printf("cost: %d rounds, %d messages, max offered receive load %d (cap %d), %d drops\n",
-		stats.Rounds, stats.Messages, stats.MaxRecvOffered, cfg.Cap(), stats.Dropped())
+		rec.Stats.Rounds, rec.Stats.Messages, rec.Stats.MaxRecvOffered, rec.Capacity, rec.Stats.Dropped())
 }

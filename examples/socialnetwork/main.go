@@ -3,57 +3,59 @@
 // heavy-tailed degrees. On a preferential-attachment graph we compute a
 // maximal independent set (e.g. a set of mutually non-adjacent coordinators)
 // and an O(a)-coloring (e.g. interference-free slot assignment), both in
-// O((a + log n) polylog n) rounds despite hub nodes of huge degree.
+// O((a + log n) polylog n) rounds despite hub nodes of huge degree. Both
+// algorithms are resolved through the registry, which pairs each run with
+// its verifier and summarizer.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"ncc/internal/core"
+	"ncc/internal/algo"
 	"ncc/internal/graph"
 	"ncc/internal/ncc"
-	"ncc/internal/verify"
+	"ncc/internal/param"
 )
 
 func main() {
-	const n = 200
-	g := graph.PreferentialAttachment(n, 3, 99)
+	n := flag.Int("n", 200, "number of nodes")
+	flag.Parse()
+
+	g, err := graph.Build(graph.Spec{
+		Family: "pa",
+		Params: param.Values{"n": float64(*n), "k": 3},
+		Seed:   99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	deg, _ := graph.Degeneracy(g)
 	fmt.Printf("network: %v, max degree %d (hubs!), degeneracy %d (sparse)\n",
 		g, g.MaxDegree(), deg)
 
-	cfg := ncc.Config{N: n, Seed: 7, Strict: true}
+	cfg := ncc.Config{Seed: 7, Strict: true}
 
 	// Coordinators: a maximal independent set.
-	in, st1, err := core.RunMIS(cfg, g)
+	mis, err := algo.MustGet("mis").Execute(cfg, g, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := verify.MIS(g, in); err != nil {
-		log.Fatal(err)
+	if !mis.Verified {
+		log.Fatalf("MIS verification failed: %s", mis.VerifyErr)
 	}
-	size := 0
-	for _, b := range in {
-		if b {
-			size++
-		}
-	}
-	fmt.Printf("MIS: %d coordinators, no two adjacent, every node covered (%d rounds)\n", size, st1.Rounds)
+	fmt.Printf("MIS: %d coordinators, no two adjacent, every node covered (%d rounds)\n",
+		int(mis.Metrics["size"]), mis.Stats.Rounds)
 
 	// Slot assignment: an O(a)-coloring.
-	res, st2, err := core.RunColoring(cfg, g)
+	col, err := algo.MustGet("coloring").Execute(cfg, g, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	colors := make([]int, n)
-	palette := 0
-	for u, r := range res {
-		colors[u], palette = r.Color, r.Palette
-	}
-	if err := verify.Coloring(g, colors, palette); err != nil {
-		log.Fatal(err)
+	if !col.Verified {
+		log.Fatalf("coloring verification failed: %s", col.VerifyErr)
 	}
 	fmt.Printf("coloring: %d slots used (palette bound %d = O(arboricity), independent of max degree %d) in %d rounds\n",
-		verify.ColorsUsed(colors), palette, g.MaxDegree(), st2.Rounds)
+		int(col.Metrics["colorsUsed"]), int(col.Metrics["palette"]), g.MaxDegree(), col.Stats.Rounds)
 }

@@ -1,0 +1,180 @@
+// Package algo is the algorithm registry: every NCC algorithm registers a
+// typed descriptor — name, declared parameters, per-node program, built-in
+// verifier and result summarizer — and the CLIs, the scenario runner and the
+// benchmarks resolve algorithms exclusively through it. Registering an
+// algorithm here makes it runnable, sweepable and verifiable everywhere at
+// once; there is no other dispatch path.
+package algo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+	"ncc/internal/ncc"
+	"ncc/internal/param"
+)
+
+// Input bundles everything a run needs beyond the clique configuration: the
+// input graph, the resolved algorithm parameters, the run seed, and any
+// derived inputs a Prepare hook materializes (currently edge weights).
+type Input struct {
+	G      *graph.Graph
+	Params param.Values
+	Seed   int64
+
+	// Weights is set by weighted algorithms' Prepare hooks (MST derives it
+	// from the maxw parameter and Seed+1) and read by their programs.
+	Weights *graph.Weighted
+}
+
+// Summary is a summarizer's digest of the per-node outputs: a one-line human
+// text (without a verification marker — presenters append that) plus named
+// machine-readable metrics for tables and JSON records.
+type Summary struct {
+	Text    string
+	Metrics map[string]float64
+}
+
+// Algorithm is a typed algorithm descriptor. T is the per-node output type.
+type Algorithm[T any] struct {
+	Name string
+	Desc string
+	// Params declares the accepted parameters (may be empty).
+	Params []param.Def
+	// Prepare, if non-nil, validates parameters against the graph and derives
+	// shared inputs (e.g. edge weights) before the clique spins up.
+	Prepare func(in *Input) error
+	// Node is the SPMD per-node program, run once per node against a fresh
+	// comm.Session.
+	Node func(s *comm.Session, in *Input) T
+	// Verify, if non-nil, checks the collected outputs against a sequential
+	// reference; a non-nil error marks the run unverified (it does not abort).
+	Verify func(in *Input, outs []T) error
+	// Summarize, if non-nil, digests the collected outputs.
+	Summarize func(in *Input, outs []T) Summary
+}
+
+// Result is what a run produces besides the raw outputs: statistics,
+// verification status and the summarizer's digest. It serializes to JSON.
+type Result struct {
+	Algo      string             `json:"algo"`
+	Summary   string             `json:"summary,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Stats     ncc.Stats          `json:"stats"`
+	Verified  bool               `json:"verified"`
+	VerifyErr string             `json:"verifyError,omitempty"`
+}
+
+// Run executes one typed algorithm against a fresh simulation of cfg (whose N
+// is forced to g.N()) and returns the result plus the raw per-node outputs.
+// Failures of the simulation itself (config errors, round-limit aborts)
+// return an error; verification failures only clear Result.Verified.
+func Run[T any](a Algorithm[T], cfg ncc.Config, g *graph.Graph, p param.Values) (*Result, []T, error) {
+	vals, err := param.Resolve(p, a.Params)
+	if err != nil {
+		return nil, nil, fmt.Errorf("algorithm %s: %w", a.Name, err)
+	}
+	cfg.N = g.N()
+	in := &Input{G: g, Params: vals, Seed: cfg.Seed}
+	if a.Prepare != nil {
+		if err := a.Prepare(in); err != nil {
+			return nil, nil, fmt.Errorf("algorithm %s: %w", a.Name, err)
+		}
+	}
+	outs, st, err := ncc.Collect(cfg, func(ctx *ncc.Context) T {
+		return a.Node(comm.NewSession(ctx), in)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{Algo: a.Name, Stats: st, Verified: true}
+	if a.Verify != nil {
+		if verr := a.Verify(in, outs); verr != nil {
+			res.Verified = false
+			res.VerifyErr = verr.Error()
+		}
+	}
+	if a.Summarize != nil {
+		s := a.Summarize(in, outs)
+		res.Summary = s.Text
+		res.Metrics = s.Metrics
+	}
+	return res, outs, nil
+}
+
+// Descriptor is the type-erased registry entry for one algorithm.
+type Descriptor struct {
+	Name   string
+	Desc   string
+	Params []param.Def
+	run    func(cfg ncc.Config, g *graph.Graph, p param.Values) (*Result, error)
+}
+
+// Execute runs the algorithm on g under cfg with parameter bag p.
+func (d Descriptor) Execute(cfg ncc.Config, g *graph.Graph, p param.Values) (*Result, error) {
+	return d.run(cfg, g, p)
+}
+
+var registry = map[string]Descriptor{}
+
+// Register adds a typed algorithm to the registry; duplicate or incomplete
+// registrations are programming errors.
+func Register[T any](a Algorithm[T]) {
+	if a.Name == "" || a.Node == nil {
+		panic("algo: Register needs a name and a node program")
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic(fmt.Sprintf("algo: algorithm %q registered twice", a.Name))
+	}
+	registry[a.Name] = Descriptor{
+		Name:   a.Name,
+		Desc:   a.Desc,
+		Params: a.Params,
+		run: func(cfg ncc.Config, g *graph.Graph, p param.Values) (*Result, error) {
+			res, _, err := Run(a, cfg, g, p)
+			return res, err
+		},
+	}
+}
+
+// Get looks up a registered algorithm.
+func Get(name string) (Descriptor, bool) {
+	d, ok := registry[name]
+	return d, ok
+}
+
+// MustGet is Get for algorithm names fixed at compile time.
+func MustGet(name string) Descriptor {
+	d, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("algo: unknown algorithm %q", name))
+	}
+	return d
+}
+
+// Names lists registered algorithms in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered algorithm, ordered by name.
+func All() []Descriptor {
+	out := make([]Descriptor, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// ErrUnknown formats the canonical unknown-algorithm error.
+func ErrUnknown(name string) error {
+	return fmt.Errorf("unknown algorithm %q (have %s)", name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,110 @@
+package algo_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ncc/internal/algo"
+	"ncc/internal/graph"
+	"ncc/internal/ncc"
+	"ncc/internal/param"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.Build(graph.Spec{Family: "kforest", Params: param.Values{"n": 24, "k": 2}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEveryAlgorithmRunsAndVerifies(t *testing.T) {
+	g := testGraph(t)
+	for _, d := range algo.All() {
+		t.Run(d.Name, func(t *testing.T) {
+			res, err := d.Execute(ncc.Config{Seed: 3, Strict: true}, g, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified {
+				t.Fatalf("unverified: %s", res.VerifyErr)
+			}
+			if res.Summary == "" {
+				t.Error("empty summary")
+			}
+			if res.Stats.Rounds == 0 {
+				t.Error("zero rounds recorded")
+			}
+		})
+	}
+}
+
+func TestRegistryContainsTheSuite(t *testing.T) {
+	for _, want := range []string{"orientation", "bfs", "mis", "matching", "coloring", "mst", "components", "forests"} {
+		if _, ok := algo.Get(want); !ok {
+			t.Errorf("algorithm %q not registered", want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownParam(t *testing.T) {
+	g := testGraph(t)
+	_, err := algo.MustGet("mis").Execute(ncc.Config{Seed: 1, Strict: true}, g, param.Values{"bogus": 1})
+	if err == nil || !strings.Contains(err.Error(), "unknown params bogus") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBFSRejectsOutOfRangeSource(t *testing.T) {
+	g := testGraph(t)
+	_, err := algo.MustGet("bfs").Execute(ncc.Config{Seed: 1, Strict: true}, g, param.Values{"src": 1000})
+	if err == nil || !strings.Contains(err.Error(), "src") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMSTSummaryAndMetrics(t *testing.T) {
+	g := testGraph(t)
+	res, err := algo.MustGet("mst").Execute(ncc.Config{Seed: 3, Strict: true}, g, param.Values{"maxw": 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("unverified: %s", res.VerifyErr)
+	}
+	// A connected 24-node graph has a 23-edge spanning tree.
+	if res.Metrics["edges"] != 23 {
+		t.Errorf("edges metric = %v, want 23", res.Metrics["edges"])
+	}
+	if !strings.Contains(res.Summary, "minimum spanning forest: 23 edges") {
+		t.Errorf("summary = %q", res.Summary)
+	}
+}
+
+func TestResultSerializesDeterministically(t *testing.T) {
+	g := testGraph(t)
+	var lines []string
+	for i := 0; i < 2; i++ {
+		res, err := algo.MustGet("coloring").Execute(ncc.Config{Seed: 7, Strict: true, Workers: 1 + i*7}, g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	if lines[0] != lines[1] {
+		t.Errorf("same seed serialized differently:\n%s\n%s", lines[0], lines[1])
+	}
+	var back map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &back); err != nil {
+		t.Fatalf("result JSON does not parse: %v", err)
+	}
+	if back["verified"] != true {
+		t.Errorf("verified flag missing from JSON: %s", lines[0])
+	}
+}

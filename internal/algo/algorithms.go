@@ -1,0 +1,274 @@
+package algo
+
+import (
+	"fmt"
+
+	"ncc/internal/comm"
+	"ncc/internal/core"
+	"ncc/internal/graph"
+	"ncc/internal/param"
+	"ncc/internal/verify"
+)
+
+// The paper's algorithm suite (Table 1 plus the Section 4/5 building blocks),
+// registered as typed descriptors. Each entry wires the per-node program to
+// its sequential verifier and a summarizer that feeds both the CLIs' human
+// output and the JSON/metrics pipeline.
+
+func init() {
+	Register(Algorithm[*core.Orientation]{
+		Name: "orientation",
+		Desc: "O(a)-orientation with max outdegree O(a) (Theorem 4.12)",
+		Node: func(s *comm.Session, in *Input) *core.Orientation {
+			return core.Orient(s, in.G, core.OrientParams{})
+		},
+		Verify: func(in *Input, outs []*core.Orientation) error {
+			return verify.Orientation(in.G, core.OutLists(outs), 0)
+		},
+		Summarize: func(in *Input, outs []*core.Orientation) Summary {
+			rescues := 0
+			for _, o := range outs {
+				rescues += o.Rescues
+			}
+			od := verify.MaxOutdegree(core.OutLists(outs))
+			return Summary{
+				Text: fmt.Sprintf("orientation with max outdegree %d over %d levels", od, outs[0].Levels),
+				Metrics: map[string]float64{
+					"maxOutdegree": float64(od),
+					"levels":       float64(outs[0].Levels),
+					"rescues":      float64(rescues),
+				},
+			}
+		},
+	})
+
+	Register(Algorithm[core.BFSResult]{
+		Name:   "bfs",
+		Desc:   "BFS tree over broadcast trees in O((a+D+log n) log n) rounds (Theorem 5.2)",
+		Params: []param.Def{param.Int("src", 0, "BFS source node")},
+		Prepare: func(in *Input) error {
+			if src := in.Params.Int("src"); src < 0 || src >= in.G.N() {
+				return fmt.Errorf("param src = %d out of [0,%d)", src, in.G.N())
+			}
+			return nil
+		},
+		Node: func(s *comm.Session, in *Input) core.BFSResult {
+			o := core.Orient(s, in.G, core.OrientParams{})
+			trees, lhat := core.BroadcastTrees(s, in.G, o)
+			return core.BFS(s, in.G, trees, lhat, in.Params.Int("src"))
+		},
+		Verify: func(in *Input, outs []core.BFSResult) error {
+			dist, parent := bfsVectors(outs)
+			return verify.BFS(in.G, in.Params.Int("src"), dist, parent, true)
+		},
+		Summarize: func(in *Input, outs []core.BFSResult) Summary {
+			reached, ecc := 0, 0
+			for _, r := range outs {
+				if r.Dist >= 0 {
+					reached++
+					ecc = max(ecc, r.Dist)
+				}
+			}
+			return Summary{
+				Text: fmt.Sprintf("BFS tree from %d: %d nodes reached, eccentricity %d",
+					in.Params.Int("src"), reached, ecc),
+				Metrics: map[string]float64{"reached": float64(reached), "eccentricity": float64(ecc)},
+			}
+		},
+	})
+
+	Register(Algorithm[bool]{
+		Name: "mis",
+		Desc: "maximal independent set in O((a+log n) log n) rounds (Theorem 5.3)",
+		Node: func(s *comm.Session, in *Input) bool {
+			o := core.Orient(s, in.G, core.OrientParams{})
+			trees, lhat := core.BroadcastTrees(s, in.G, o)
+			return core.MIS(s, in.G, trees, lhat)
+		},
+		Verify: func(in *Input, outs []bool) error { return verify.MIS(in.G, outs) },
+		Summarize: func(in *Input, outs []bool) Summary {
+			size := 0
+			for _, b := range outs {
+				if b {
+					size++
+				}
+			}
+			return Summary{
+				Text:    fmt.Sprintf("maximal independent set of size %d", size),
+				Metrics: map[string]float64{"size": float64(size)},
+			}
+		},
+	})
+
+	Register(Algorithm[int]{
+		Name: "matching",
+		Desc: "maximal matching in O((a+log n) log n) rounds (Theorem 5.4)",
+		Node: func(s *comm.Session, in *Input) int {
+			o := core.Orient(s, in.G, core.OrientParams{})
+			trees, lhat := core.BroadcastTrees(s, in.G, o)
+			return core.Matching(s, in.G, trees, lhat)
+		},
+		Verify: func(in *Input, outs []int) error { return verify.Matching(in.G, outs) },
+		Summarize: func(in *Input, outs []int) Summary {
+			size := 0
+			for u, v := range outs {
+				if v > u {
+					size++
+				}
+			}
+			return Summary{
+				Text:    fmt.Sprintf("maximal matching of size %d", size),
+				Metrics: map[string]float64{"size": float64(size)},
+			}
+		},
+	})
+
+	Register(Algorithm[core.ColorResult]{
+		Name: "coloring",
+		Desc: "O(a)-coloring in O((a+log n) log^{3/2} n) rounds (Theorem 5.5)",
+		Node: func(s *comm.Session, in *Input) core.ColorResult {
+			o := core.Orient(s, in.G, core.OrientParams{})
+			return core.Coloring(s, in.G, o)
+		},
+		Verify: func(in *Input, outs []core.ColorResult) error {
+			colors, palette := colorVectors(outs)
+			return verify.Coloring(in.G, colors, palette)
+		},
+		Summarize: func(in *Input, outs []core.ColorResult) Summary {
+			colors, palette := colorVectors(outs)
+			used := verify.ColorsUsed(colors)
+			return Summary{
+				Text: fmt.Sprintf("proper coloring with %d colors (palette bound %d)", used, palette),
+				Metrics: map[string]float64{
+					"colorsUsed": float64(used),
+					"palette":    float64(palette),
+				},
+			}
+		},
+	})
+
+	Register(Algorithm[[][2]int]{
+		Name:   "mst",
+		Desc:   "minimum spanning forest in O(log^4 n) rounds (Theorem 3.2)",
+		Params: []param.Def{param.Int("maxw", 1000, "maximum random edge weight")},
+		Prepare: func(in *Input) error {
+			maxw := in.Params.Int64("maxw")
+			if maxw < 1 {
+				return fmt.Errorf("param maxw = %d, need >= 1", maxw)
+			}
+			in.Weights = graph.RandomWeights(in.G, maxw, in.Seed+1)
+			return nil
+		},
+		Node: func(s *comm.Session, in *Input) [][2]int {
+			return core.MST(s, in.Weights)
+		},
+		Verify: func(in *Input, outs [][][2]int) error {
+			return verify.MST(in.Weights, core.CollectMSTEdges(outs))
+		},
+		Summarize: func(in *Input, outs [][][2]int) Summary {
+			edges := core.CollectMSTEdges(outs)
+			var total int64
+			for _, e := range edges {
+				total += in.Weights.Weight(e[0], e[1])
+			}
+			return Summary{
+				Text: fmt.Sprintf("minimum spanning forest: %d edges, total weight %d", len(edges), total),
+				Metrics: map[string]float64{
+					"edges":  float64(len(edges)),
+					"weight": float64(total),
+				},
+			}
+		},
+	})
+
+	Register(Algorithm[int]{
+		Name: "components",
+		Desc: "connected-component labeling via MST sketches (Section 3)",
+		Node: func(s *comm.Session, in *Input) int {
+			return core.ComponentLabels(s, in.G)
+		},
+		Verify: func(in *Input, outs []int) error {
+			_, want := graph.Components(in.G)
+			if got := distinct(outs); got != want {
+				return fmt.Errorf("found %d components, sequential says %d", got, want)
+			}
+			return nil
+		},
+		Summarize: func(in *Input, outs []int) Summary {
+			return Summary{
+				Text:    fmt.Sprintf("%d connected components labeled", distinct(outs)),
+				Metrics: map[string]float64{"components": float64(distinct(outs))},
+			}
+		},
+	})
+
+	Register(Algorithm[forestShare]{
+		Name: "forests",
+		Desc: "O(a)-forest decomposition of the edge set (Section 4)",
+		Node: func(s *comm.Session, in *Input) forestShare {
+			o := core.Orient(s, in.G, core.OrientParams{})
+			idx, count := core.ForestDecomposition(s, o)
+			return forestShare{o: o, idx: idx, count: count}
+		},
+		Verify: func(in *Input, outs []forestShare) error {
+			os, idxs, count := forestVectors(outs)
+			for u, o := range os {
+				if len(idxs[u]) != len(o.Out) {
+					return fmt.Errorf("node %d: %d forest indices for %d out-edges", u, len(idxs[u]), len(o.Out))
+				}
+				if outs[u].count != count {
+					return fmt.Errorf("node %d reports %d forests, node 0 reports %d", u, outs[u].count, count)
+				}
+			}
+			return verify.ForestPartition(in.G, core.ForestsOf(in.G, os, idxs, count))
+		},
+		Summarize: func(in *Input, outs []forestShare) Summary {
+			_, _, count := forestVectors(outs)
+			return Summary{
+				Text:    fmt.Sprintf("edge set partitioned into %d forests", count),
+				Metrics: map[string]float64{"forests": float64(count)},
+			}
+		},
+	})
+}
+
+// forestShare is one node's share of a forest decomposition.
+type forestShare struct {
+	o     *core.Orientation
+	idx   []int
+	count int
+}
+
+func forestVectors(outs []forestShare) ([]*core.Orientation, [][]int, int) {
+	os := make([]*core.Orientation, len(outs))
+	idxs := make([][]int, len(outs))
+	for i, r := range outs {
+		os[i], idxs[i] = r.o, r.idx
+	}
+	return os, idxs, outs[0].count
+}
+
+func bfsVectors(outs []core.BFSResult) (dist, parent []int) {
+	dist = make([]int, len(outs))
+	parent = make([]int, len(outs))
+	for u, r := range outs {
+		dist[u], parent[u] = r.Dist, r.Parent
+	}
+	return dist, parent
+}
+
+func colorVectors(outs []core.ColorResult) (colors []int, palette int) {
+	colors = make([]int, len(outs))
+	for u, r := range outs {
+		colors[u], palette = r.Color, r.Palette
+	}
+	return colors, palette
+}
+
+func distinct(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}

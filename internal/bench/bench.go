@@ -1,9 +1,13 @@
 // Package bench is the experiment harness: it regenerates every entry of the
 // paper's Table 1 and every theorem-level bound as a measured table (see
-// README.md's experiment index).
+// README.md's experiment index). Algorithms and input graphs are resolved
+// through the registries (internal/algo, internal/graph); tables render as
+// aligned text or, through a JSON reporter, as machine-readable records for
+// the benchmark trajectory artifact.
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -43,7 +47,7 @@ func (t *Table) Add(cells ...any) {
 	t.Rows = append(t.Rows, row)
 }
 
-// Print renders the table.
+// Print renders the table as aligned text.
 func (t *Table) Print(w io.Writer) {
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
@@ -72,12 +76,76 @@ func (t *Table) Print(w io.Writer) {
 	}
 }
 
+// Reporter is where experiments send their output. In text mode it renders
+// aligned tables and prose notes; in JSON mode it emits one self-describing
+// JSON line per experiment header, table and note, so a quick sweep
+// serializes into a diffable benchmark-trajectory artifact.
+type Reporter struct {
+	w    io.Writer
+	json bool
+	exp  string
+}
+
+// NewReporter creates a reporter writing to w, in JSON mode if jsonMode.
+func NewReporter(w io.Writer, jsonMode bool) *Reporter {
+	return &Reporter{w: w, json: jsonMode}
+}
+
+// jsonLine marshals v onto one line. Table rows and titles never fail to
+// marshal; a failure would be a programming error, so it panics.
+func (r *Reporter) jsonLine(v any) {
+	line, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("bench: marshal report line: %v", err))
+	}
+	fmt.Fprintln(r.w, string(line))
+}
+
+// Begin announces the start of an experiment.
+func (r *Reporter) Begin(e Experiment) {
+	r.exp = e.Name
+	if r.json {
+		r.jsonLine(struct {
+			Experiment string `json:"experiment"`
+			Desc       string `json:"desc"`
+		}{e.Name, e.Desc})
+		return
+	}
+	fmt.Fprintf(r.w, "\n### experiment %s — %s\n", e.Name, e.Desc)
+}
+
+// Table reports one measured table.
+func (r *Reporter) Table(t *Table) {
+	if r.json {
+		r.jsonLine(struct {
+			Experiment string     `json:"experiment"`
+			Table      string     `json:"table"`
+			Headers    []string   `json:"headers"`
+			Rows       [][]string `json:"rows"`
+		}{r.exp, t.Title, t.Headers, t.Rows})
+		return
+	}
+	t.Print(r.w)
+}
+
+// Notef reports a prose line (shape checks, caveats).
+func (r *Reporter) Notef(format string, args ...any) {
+	if r.json {
+		r.jsonLine(struct {
+			Experiment string `json:"experiment"`
+			Note       string `json:"note"`
+		}{r.exp, fmt.Sprintf(format, args...)})
+		return
+	}
+	fmt.Fprintf(r.w, format+"\n", args...)
+}
+
 // Experiment is a named, runnable experiment. Quick mode shrinks the sweeps
 // so the full suite stays test-friendly.
 type Experiment struct {
 	Name string
 	Desc string
-	Run  func(w io.Writer, quick bool) error
+	Run  func(r *Reporter, quick bool) error
 }
 
 var registry = map[string]Experiment{}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, e := range All() {
 		t.Run(e.Name, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(&buf, true); err != nil {
+			if err := e.Run(NewReporter(&buf, false), true); err != nil {
 				t.Fatalf("experiment %s failed: %v", e.Name, err)
 			}
 			out := buf.String()
@@ -23,6 +24,36 @@ func TestAllExperimentsQuick(t *testing.T) {
 				t.Errorf("experiment %s produced no table:\n%s", e.Name, out)
 			}
 		})
+	}
+}
+
+// The JSON reporter must emit parseable lines carrying the same tables.
+func TestReporterJSONLines(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.Add(1, 2.5)
+	var buf bytes.Buffer
+	r := NewReporter(&buf, true)
+	r.Begin(Experiment{Name: "x", Desc: "demo experiment"})
+	r.Table(tb)
+	r.Notef("shape check: %d", 7)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line does not parse as JSON: %q: %v", line, err)
+		}
+		if v["experiment"] != "x" {
+			t.Errorf("line missing experiment tag: %q", line)
+		}
+	}
+	if !strings.Contains(lines[1], `"table":"demo"`) || !strings.Contains(lines[1], `"2.50"`) {
+		t.Errorf("table line wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "shape check: 7") {
+		t.Errorf("note line wrong: %q", lines[2])
 	}
 }
 

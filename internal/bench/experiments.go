@@ -2,42 +2,67 @@ package bench
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"sync"
 
+	"ncc/internal/algo"
 	"ncc/internal/baseline"
 	"ncc/internal/comm"
 	"ncc/internal/core"
 	"ncc/internal/graph"
 	"ncc/internal/kmachine"
 	"ncc/internal/ncc"
+	"ncc/internal/param"
 	"ncc/internal/seq"
 	"ncc/internal/verify"
 )
 
 func logn(n int) float64 { return math.Log2(float64(max(n, 2))) }
 
+// cfg builds the standard strict run configuration.
+func cfg(n int, seed int64) ncc.Config {
+	return ncc.Config{N: n, Seed: seed, Strict: true, Workers: Workers}
+}
+
+// mustGraph resolves a graph family through the registry; the experiments'
+// specs are compile-time constants, so a rejection is a programming error.
+func mustGraph(family string, seed int64, params param.Values) *graph.Graph {
+	g, err := graph.Build(graph.Spec{Family: family, Params: params, Seed: seed})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return g
+}
+
+// measure resolves an algorithm through the registry, runs it, and requires
+// the built-in verifier to pass.
+func measure(name string, c ncc.Config, g *graph.Graph, p param.Values) (*algo.Result, error) {
+	res, err := algo.MustGet(name).Execute(c, g, p)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Verified {
+		return nil, fmt.Errorf("%s verification: %s", name, res.VerifyErr)
+	}
+	return res, nil
+}
+
 // MeasureMST runs the distributed MST on a random graph with m edges and
 // verifies it against Kruskal. Returns the run stats.
 func MeasureMST(n, m int, seed int64) (ncc.Stats, error) {
-	g := graph.GNM(n, m, seed)
-	wg := graph.RandomWeights(g, int64(n)*int64(n), seed+1)
-	perNode, st, err := core.RunMST(ncc.Config{N: n, Seed: seed, Strict: true, Workers: Workers}, wg)
+	g := mustGraph("gnm", seed, param.Values{"n": float64(n), "m": float64(m)})
+	res, err := measure("mst", cfg(n, seed), g, param.Values{"maxw": float64(n) * float64(n)})
 	if err != nil {
-		return st, err
+		return ncc.Stats{}, err
 	}
-	if err := verify.MST(wg, core.CollectMSTEdges(perNode)); err != nil {
-		return st, fmt.Errorf("mst verification: %w", err)
-	}
-	return st, nil
+	return res.Stats, nil
 }
 
 func init() {
 	register(Experiment{
 		Name: "mst",
 		Desc: "Table 1 row 1 / Theorem 3.2: MST in O(log^4 n) rounds; centralized-gather baseline",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			sizes := []int{32, 64, 128, 256}
 			if quick {
 				sizes = []int{32, 64}
@@ -57,19 +82,19 @@ func init() {
 				t.Add(n, st.Rounds, fmt.Sprintf("%.0f", l4), float64(st.Rounds)/l4,
 					st.Messages, cst.Rounds, float64(st.MaxRecvOffered)/logn(n))
 			}
-			t.Print(w)
-			fmt.Fprintln(w, "shape check: rounds/log^4 stays bounded (polylog MST); centralized grows with m.")
+			r.Table(t)
+			r.Notef("shape check: rounds/log^4 stays bounded (polylog MST); centralized grows with m.")
 			return nil
 		},
 	})
 }
 
 func measureCentralizedMST(n, m int, seed int64) (ncc.Stats, error) {
-	g := graph.GNM(n, m, seed)
+	g := mustGraph("gnm", seed, param.Values{"n": float64(n), "m": float64(m)})
 	wg := graph.RandomWeights(g, int64(n)*int64(n), seed+1)
 	var mu sync.Mutex
 	var forest [][2]int
-	st, err := ncc.Run(ncc.Config{N: n, Seed: seed, Strict: true, Workers: Workers}, func(ctx *ncc.Context) {
+	st, err := ncc.Run(cfg(n, seed), func(ctx *ncc.Context) {
 		f := baseline.CentralizedMST(comm.NewSession(ctx), wg)
 		if ctx.ID() == 0 {
 			mu.Lock()
@@ -88,41 +113,36 @@ func measureCentralizedMST(n, m int, seed int64) (ncc.Stats, error) {
 
 // MeasureBFS runs the broadcast-tree BFS on g from src and verifies it.
 func MeasureBFS(g *graph.Graph, src int, seed int64) (ncc.Stats, error) {
-	res, st, err := core.RunBFS(ncc.Config{N: g.N(), Seed: seed, Strict: true, Workers: Workers}, g, src)
+	res, err := measure("bfs", cfg(g.N(), seed), g, param.Values{"src": float64(src)})
 	if err != nil {
-		return st, err
+		return ncc.Stats{}, err
 	}
-	dist := make([]int, g.N())
-	parent := make([]int, g.N())
-	for u, r := range res {
-		dist[u], parent[u] = r.Dist, r.Parent
-	}
-	if err := verify.BFS(g, src, dist, parent, true); err != nil {
-		return st, fmt.Errorf("bfs verification: %w", err)
-	}
-	return st, nil
+	return res.Stats, nil
 }
 
 func init() {
 	register(Experiment{
 		Name: "bfs",
 		Desc: "Table 1 row 2 / Theorem 5.2: BFS in O((a+D+log n) log n) rounds",
-		Run: func(w io.Writer, quick bool) error {
-			type cfg struct {
+		Run: func(r *Reporter, quick bool) error {
+			type tc struct {
 				name string
 				g    *graph.Graph
-				a    int
 			}
 			side := 16
 			n := 256
 			if quick {
 				side, n = 8, 64
 			}
-			cases := []cfg{
-				{fmt.Sprintf("grid %dx%d", side, side), graph.Grid(side, side), 2},
-				{fmt.Sprintf("tree n=%d", n), graph.BinaryTree(n), 1},
-				{fmt.Sprintf("gnp n=%d", n), graph.GNP(n, 4*logn(n)/float64(n), 7), 0},
-				{fmt.Sprintf("path n=%d", n/2), graph.Path(n / 2), 1},
+			cases := []tc{
+				{fmt.Sprintf("grid %dx%d", side, side),
+					mustGraph("grid", 0, param.Values{"rows": float64(side), "cols": float64(side)})},
+				{fmt.Sprintf("tree n=%d", n),
+					mustGraph("binarytree", 0, param.Values{"n": float64(n)})},
+				{fmt.Sprintf("gnp n=%d", n),
+					mustGraph("gnp", 7, param.Values{"n": float64(n), "p": 4 * logn(n) / float64(n)})},
+				{fmt.Sprintf("path n=%d", n/2),
+					mustGraph("path", 0, param.Values{"n": float64(n / 2)})},
 			}
 			t := NewTable("T1-BFS: rounds vs (a+D+log n) log n",
 				"graph", "n", "D", "deg(a)", "rounds", "bound", "ratio")
@@ -136,28 +156,28 @@ func init() {
 				bound := (float64(dg) + float64(d) + logn(c.g.N())) * logn(c.g.N())
 				t.Add(c.name, c.g.N(), d, dg, st.Rounds, fmt.Sprintf("%.0f", bound), float64(st.Rounds)/bound)
 			}
-			t.Print(w)
-			fmt.Fprintln(w, "shape check: ratio stays within a constant band across shapes (D-dominated on path/grid).")
+			r.Table(t)
+			r.Notef("shape check: ratio stays within a constant band across shapes (D-dominated on path/grid).")
 			return nil
 		},
 	})
 }
 
-// arboricitySweep runs fn over k-forest graphs of rising arboricity and
-// tabulates rounds against the (a + log n) log n bound.
-func arboricitySweep(w io.Writer, title string, n int, ks []int, seed int64,
-	fn func(g *graph.Graph) (ncc.Stats, error), boundPow float64) error {
+// arboricitySweep runs the named algorithm over k-forest graphs of rising
+// arboricity and tabulates rounds against the (a + log n) log^boundPow n
+// bound.
+func arboricitySweep(r *Reporter, title, name string, n int, ks []int, gseed, seed int64, boundPow float64) error {
 	t := NewTable(title, "arboricity<=k", "n", "m", "rounds", "bound", "ratio")
 	for _, k := range ks {
-		g := graph.KForest(n, k, seed+int64(k))
-		st, err := fn(g)
+		g := mustGraph("kforest", gseed+int64(k), param.Values{"n": float64(n), "k": float64(k)})
+		res, err := measure(name, cfg(n, seed), g, nil)
 		if err != nil {
 			return err
 		}
 		bound := (float64(k) + logn(n)) * math.Pow(logn(n), boundPow)
-		t.Add(k, n, g.M(), st.Rounds, fmt.Sprintf("%.0f", bound), float64(st.Rounds)/bound)
+		t.Add(k, n, g.M(), res.Stats.Rounds, fmt.Sprintf("%.0f", bound), float64(res.Stats.Rounds)/bound)
 	}
-	t.Print(w)
+	r.Table(t)
 	return nil
 }
 
@@ -165,43 +185,29 @@ func init() {
 	register(Experiment{
 		Name: "mis",
 		Desc: "Table 1 row 3 / Theorem 5.3: MIS in O((a+log n) log n) rounds",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			n, ks := 128, []int{1, 2, 4, 8}
 			if quick {
 				n, ks = 64, []int{1, 4}
 			}
-			return arboricitySweep(w, "T1-MIS: rounds vs (a+log n) log n", n, ks, 100,
-				func(g *graph.Graph) (ncc.Stats, error) {
-					in, st, err := core.RunMIS(ncc.Config{N: g.N(), Seed: 3, Strict: true, Workers: Workers}, g)
-					if err != nil {
-						return st, err
-					}
-					return st, verify.MIS(g, in)
-				}, 1)
+			return arboricitySweep(r, "T1-MIS: rounds vs (a+log n) log n", "mis", n, ks, 100, 3, 1)
 		},
 	})
 	register(Experiment{
 		Name: "matching",
 		Desc: "Table 1 row 4 / Theorem 5.4: maximal matching in O((a+log n) log n) rounds",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			n, ks := 128, []int{1, 2, 4, 8}
 			if quick {
 				n, ks = 64, []int{1, 4}
 			}
-			return arboricitySweep(w, "T1-MM: rounds vs (a+log n) log n", n, ks, 200,
-				func(g *graph.Graph) (ncc.Stats, error) {
-					mate, st, err := core.RunMatching(ncc.Config{N: g.N(), Seed: 5, Strict: true, Workers: Workers}, g)
-					if err != nil {
-						return st, err
-					}
-					return st, verify.Matching(g, mate)
-				}, 1)
+			return arboricitySweep(r, "T1-MM: rounds vs (a+log n) log n", "matching", n, ks, 200, 5, 1)
 		},
 	})
 	register(Experiment{
 		Name: "coloring",
 		Desc: "Table 1 row 5 / Theorem 5.5: O(a)-coloring in O((a+log n) log^{3/2} n) rounds",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			n, ks := 128, []int{1, 2, 4, 8}
 			if quick {
 				n, ks = 64, []int{1, 4}
@@ -209,33 +215,25 @@ func init() {
 			t := NewTable("T1-COL: rounds and palette vs arboricity",
 				"arboricity<=k", "rounds", "bound", "ratio", "palette", "colorsUsed", "greedy(deg+1)")
 			for _, k := range ks {
-				g := graph.KForest(n, k, 300+int64(k))
-				res, st, err := core.RunColoring(ncc.Config{N: n, Seed: 7, Strict: true, Workers: Workers}, g)
+				g := mustGraph("kforest", 300+int64(k), param.Values{"n": float64(n), "k": float64(k)})
+				res, err := measure("coloring", cfg(n, 7), g, nil)
 				if err != nil {
-					return err
-				}
-				colors := make([]int, n)
-				palette := 0
-				for u, r := range res {
-					colors[u], palette = r.Color, r.Palette
-				}
-				if err := verify.Coloring(g, colors, palette); err != nil {
 					return err
 				}
 				_, greedy := seq.GreedyColoring(g)
 				bound := (float64(k) + logn(n)) * math.Pow(logn(n), 1.5)
-				t.Add(k, st.Rounds, fmt.Sprintf("%.0f", bound), float64(st.Rounds)/bound,
-					palette, verify.ColorsUsed(colors), greedy)
+				t.Add(k, res.Stats.Rounds, fmt.Sprintf("%.0f", bound), float64(res.Stats.Rounds)/bound,
+					int(res.Metrics["palette"]), int(res.Metrics["colorsUsed"]), greedy)
 			}
-			t.Print(w)
-			fmt.Fprintln(w, "shape check: palette = 2(1+eps)*ahat = O(a); rounds/bound bounded.")
+			r.Table(t)
+			r.Notef("shape check: palette = 2(1+eps)*ahat = O(a); rounds/bound bounded.")
 			return nil
 		},
 	})
 	register(Experiment{
 		Name: "orientation",
 		Desc: "Theorem 4.12: O(a)-orientation in O((a+log n) log n) rounds, outdegree O(a)",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			n, ks := 128, []int{1, 2, 4, 8, 16, 32}
 			if quick {
 				n, ks = 64, []int{1, 4}
@@ -243,25 +241,18 @@ func init() {
 			t := NewTable("E-ORI: orientation quality and cost",
 				"arboricity<=k", "rounds", "bound", "ratio", "maxOutdeg", "outdeg/k", "rescues")
 			for _, k := range ks {
-				g := graph.KForest(n, k, 400+int64(k))
-				os, st, err := core.RunOrientation(ncc.Config{N: n, Seed: 9, Strict: true, Workers: Workers}, g, core.OrientParams{})
+				g := mustGraph("kforest", 400+int64(k), param.Values{"n": float64(n), "k": float64(k)})
+				res, err := measure("orientation", cfg(n, 9), g, nil)
 				if err != nil {
 					return err
 				}
-				if err := verify.Orientation(g, core.OutLists(os), 0); err != nil {
-					return err
-				}
-				rescues := 0
-				for _, o := range os {
-					rescues += o.Rescues
-				}
-				od := verify.MaxOutdegree(core.OutLists(os))
+				od := int(res.Metrics["maxOutdegree"])
 				bound := (float64(k) + logn(n)) * logn(n)
-				t.Add(k, st.Rounds, fmt.Sprintf("%.0f", bound), float64(st.Rounds)/bound,
-					od, float64(od)/float64(k), rescues)
+				t.Add(k, res.Stats.Rounds, fmt.Sprintf("%.0f", bound), float64(res.Stats.Rounds)/bound,
+					od, float64(od)/float64(k), int(res.Metrics["rescues"]))
 			}
-			t.Print(w)
-			fmt.Fprintln(w, "shape check: outdeg/k bounded by a small constant (paper: <= 4); rescues == 0.")
+			r.Table(t)
+			r.Notef("shape check: outdeg/k bounded by a small constant (paper: <= 4); rescues == 0.")
 			return nil
 		},
 	})
@@ -271,7 +262,7 @@ func init() {
 	register(Experiment{
 		Name: "primitives",
 		Desc: "Theorems 2.2-2.6: Aggregate-and-Broadcast, Aggregation, tree setup, multicast",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			sizes := []int{64, 256, 1024}
 			if quick {
 				sizes = []int{64, 256}
@@ -280,7 +271,7 @@ func init() {
 				"n", "rounds", "log n", "rounds/log n")
 			for _, n := range sizes {
 				var setup, total int
-				st, err := ncc.Run(ncc.Config{N: n, Seed: 1, Strict: true, Workers: Workers}, func(ctx *ncc.Context) {
+				st, err := ncc.Run(cfg(n, 1), func(ctx *ncc.Context) {
 					s := comm.NewSession(ctx)
 					if ctx.ID() == 0 {
 						setup = ctx.Round()
@@ -291,10 +282,10 @@ func init() {
 					return err
 				}
 				total = st.Rounds
-				r := total - setup
-				t1.Add(n, r, fmt.Sprintf("%.0f", logn(n)), float64(r)/logn(n))
+				rds := total - setup
+				t1.Add(n, rds, fmt.Sprintf("%.0f", logn(n)), float64(rds)/logn(n))
 			}
-			t1.Print(w)
+			r.Table(t1)
 
 			n := 128
 			t2 := NewTable("E-AGG: Aggregation rounds vs global load L (n=128, one group per node)",
@@ -308,7 +299,7 @@ func init() {
 				bound := float64(L)/float64(n) + logn(n)
 				t2.Add(members, L, st.Rounds, fmt.Sprintf("%.0f", bound), float64(st.Rounds)/bound)
 			}
-			t2.Print(w)
+			r.Table(t2)
 
 			t3 := NewTable("E-TREE/E-MC: tree setup congestion and multicast rounds (n=128)",
 				"membersPerGroup", "congestion", "O(L/n+log n)", "multicastRounds")
@@ -320,8 +311,8 @@ func init() {
 				bound := float64(members) + logn(n)
 				t3.Add(members, cong, fmt.Sprintf("%.0f", bound), mcRounds)
 			}
-			t3.Print(w)
-			fmt.Fprintln(w, "shape check: all ratios O(1); congestion tracks L/n + log n.")
+			r.Table(t3)
+			r.Notef("shape check: all ratios O(1); congestion tracks L/n + log n.")
 			return nil
 		},
 	})
@@ -330,10 +321,8 @@ func init() {
 // measureAggregation times one Aggregation with `members` memberships per
 // node (group g owned by node g, membership assignments round-robin).
 func measureAggregation(n, members int) (ncc.Stats, error) {
-	startRounds := make([]int, n)
 	return runSession(n, 13, func(s *comm.Session) {
 		me := s.Ctx.ID()
-		startRounds[me] = s.Ctx.Round()
 		var items []comm.Agg
 		for j := 0; j < members; j++ {
 			g := (me + j*37 + 1) % n
@@ -377,7 +366,7 @@ func measureTreesMulticast(n, members int) (congestion int, mcRounds int, err er
 }
 
 func runSession(n int, seed int64, fn func(*comm.Session)) (ncc.Stats, error) {
-	return ncc.Run(ncc.Config{N: n, Seed: seed, Strict: true, Workers: Workers}, func(ctx *ncc.Context) {
+	return ncc.Run(cfg(n, seed), func(ctx *ncc.Context) {
 		fn(comm.NewSession(ctx))
 	})
 }
@@ -386,7 +375,7 @@ func init() {
 	register(Experiment{
 		Name: "capacity",
 		Desc: "Section 1 bounds: gossip Theta(n/log n); broadcast butterfly vs direct; capacity sweep",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			sizes := []int{256, 1024, 2048}
 			if quick {
 				sizes = []int{256, 512}
@@ -394,28 +383,29 @@ func init() {
 			t := NewTable("E-CAP: broadcast and gossip rounds (CapFactor=1)",
 				"n", "gossip", "n/cap", "direct bcast", "butterfly bcast(+setup)")
 			for _, n := range sizes {
-				cfg := ncc.Config{N: n, CapFactor: 1, Seed: 3, Strict: true, Workers: Workers}
-				stG, err := ncc.Run(cfg, func(ctx *ncc.Context) {
+				c := cfg(n, 3)
+				c.CapFactor = 1
+				stG, err := ncc.Run(c, func(ctx *ncc.Context) {
 					baseline.Gossip(ctx, uint64(ctx.ID()))
 				})
 				if err != nil {
 					return err
 				}
-				stD, err := ncc.Run(cfg, func(ctx *ncc.Context) {
+				stD, err := ncc.Run(c, func(ctx *ncc.Context) {
 					baseline.DirectBroadcast(ctx, 0, 5)
 				})
 				if err != nil {
 					return err
 				}
-				stB, err := ncc.Run(cfg, func(ctx *ncc.Context) {
+				stB, err := ncc.Run(c, func(ctx *ncc.Context) {
 					baseline.ButterflyBroadcast(comm.NewSession(ctx), 0, 5)
 				})
 				if err != nil {
 					return err
 				}
-				t.Add(n, stG.Rounds, (n+cfg.Cap()-1)/cfg.Cap(), stD.Rounds, stB.Rounds)
+				t.Add(n, stG.Rounds, (n+c.Cap()-1)/c.Cap(), stD.Rounds, stB.Rounds)
 			}
-			t.Print(w)
+			r.Table(t)
 
 			n := 128
 			if quick {
@@ -423,36 +413,36 @@ func init() {
 			}
 			t2 := NewTable("E-CAP: BFS on a star vs capacity (naive flooding vs broadcast trees)",
 				"capFactor", "naive rounds", "tree-based rounds")
-			star := graph.Star(n)
+			star := mustGraph("star", 0, param.Values{"n": float64(n)})
 			for _, cf := range []int{1, 4, 16} {
-				cfg := ncc.Config{N: n, CapFactor: cf, Seed: 5, Strict: true, Workers: Workers}
-				stN, err := ncc.Run(cfg, func(ctx *ncc.Context) {
+				c := cfg(n, 5)
+				c.CapFactor = cf
+				stN, err := ncc.Run(c, func(ctx *ncc.Context) {
 					baseline.NaiveBFS(comm.NewSession(ctx), star, 0)
 				})
 				if err != nil {
 					return err
 				}
-				res, stT, err := core.RunBFS(cfg, star, 0)
+				res, err := measure("bfs", c, star, nil)
 				if err != nil {
 					return err
 				}
-				_ = res
-				t2.Add(cf, stN.Rounds, stT.Rounds)
+				t2.Add(cf, stN.Rounds, res.Stats.Rounds)
 			}
-			t2.Print(w)
-			fmt.Fprintln(w, "shape check: gossip ~ n/cap; butterfly flat in n; naive BFS improves with capacity, tree BFS already flat.")
+			r.Table(t2)
+			r.Notef("shape check: gossip ~ n/cap; butterfly flat in n; naive BFS improves with capacity, tree BFS already flat.")
 			return nil
 		},
 	})
 	register(Experiment{
 		Name: "kmachine",
 		Desc: "Appendix A / Corollary 2: k-machine simulation cost ~ n*T/k^2",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			side := 8
 			if quick {
 				side = 6
 			}
-			g := graph.Grid(side, side)
+			g := mustGraph("grid", 0, param.Values{"rows": float64(side), "cols": float64(side)})
 			n := g.N()
 			ks := []int{2, 4, 8, 16}
 			if quick {
@@ -467,64 +457,45 @@ func init() {
 				core.BFS(s, g, trees, lhat, 0)
 			}
 			for _, k := range ks {
-				res, _, err := kmachine.Simulate(k, 4, ncc.Config{N: n, Seed: 5, Strict: true, Workers: Workers}, program)
+				res, _, err := kmachine.Simulate(k, 4, cfg(n, 5), program)
 				if err != nil {
 					return err
 				}
 				pred := float64(n)*float64(res.NCCRounds)/float64(k*k) + float64(res.NCCRounds)
 				t.Add(k, res.NCCRounds, res.KRounds, fmt.Sprintf("%.0f", pred), float64(res.KRounds)/pred, res.CrossMessages)
 			}
-			t.Print(w)
-			fmt.Fprintln(w, "shape check: kRounds shrinks toward the T floor as k grows (~1/k^2 until saturated).")
+			r.Table(t)
+			r.Notef("shape check: kRounds shrinks toward the T floor as k grows (~1/k^2 until saturated).")
 			return nil
 		},
 	})
 	register(Experiment{
 		Name: "load",
 		Desc: "Lemma 4.11 etc.: per-round receive load stays O(log n); zero drops",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			n := 128
 			if quick {
 				n = 64
 			}
-			g := graph.KForest(n, 3, 21)
+			g := mustGraph("kforest", 21, param.Values{"n": float64(n), "k": 3})
 			t := NewTable("E-LOAD: max per-round offered receive load", "algorithm", "maxRecvOffered", "cap", "offered/log n", "dropped")
-			type job struct {
-				name string
-				run  func() (ncc.Stats, error)
-			}
-			wg := graph.RandomWeights(g, 1000, 3)
-			jobs := []job{
-				{"orientation", func() (ncc.Stats, error) {
-					_, st, err := core.RunOrientation(ncc.Config{N: n, Seed: 1, Strict: true, Workers: Workers}, g, core.OrientParams{})
-					return st, err
-				}},
-				{"mis", func() (ncc.Stats, error) {
-					_, st, err := core.RunMIS(ncc.Config{N: n, Seed: 2, Strict: true, Workers: Workers}, g)
-					return st, err
-				}},
-				{"mst", func() (ncc.Stats, error) {
-					_, st, err := core.RunMST(ncc.Config{N: n, Seed: 3, Strict: true, Workers: Workers}, wg)
-					return st, err
-				}},
-			}
-			for _, j := range jobs {
-				st, err := j.run()
+			for i, name := range []string{"orientation", "mis", "mst"} {
+				res, err := measure(name, cfg(n, int64(i+1)), g, nil)
 				if err != nil {
 					return err
 				}
-				t.Add(j.name, st.MaxRecvOffered, ncc.Config{N: n}.Cap(),
-					float64(st.MaxRecvOffered)/logn(n), st.Dropped())
+				t.Add(name, res.Stats.MaxRecvOffered, ncc.Config{N: n}.Cap(),
+					float64(res.Stats.MaxRecvOffered)/logn(n), res.Stats.Dropped())
 			}
-			t.Print(w)
-			fmt.Fprintln(w, "shape check: offered/log n stays below the CapFactor (8); dropped == 0.")
+			r.Table(t)
+			r.Notef("shape check: offered/log n stays below the CapFactor (8); dropped == 0.")
 			return nil
 		},
 	})
 	register(Experiment{
 		Name: "ablation",
 		Desc: "design ablations: orientation-based vs naive tree setup; sketch MST vs gather; tree BFS vs flooding",
-		Run: func(w io.Writer, quick bool) error {
+		Run: func(r *Reporter, quick bool) error {
 			sizes := []int{256, 1024, 4096}
 			if quick {
 				sizes = []int{64, 256}
@@ -532,7 +503,7 @@ func init() {
 			t := NewTable("A1: broadcast-tree setup on a star (rounds, incl. session+orientation)",
 				"n", "naive (l=Delta)", "oriented (l=O(a))")
 			for _, n := range sizes {
-				star := graph.Star(n)
+				star := mustGraph("star", 0, param.Values{"n": float64(n)})
 				stN, err := runSession(n, 31, func(s *comm.Session) {
 					baseline.NaiveTreeSetup(s, star)
 				})
@@ -548,7 +519,7 @@ func init() {
 				}
 				t.Add(n, stN.Rounds, stO.Rounds)
 			}
-			t.Print(w)
+			r.Table(t)
 
 			n := 128
 			if quick {
@@ -568,7 +539,7 @@ func init() {
 				}
 				t2.Add(m, st.Rounds, cst.Rounds)
 			}
-			t2.Print(w)
+			r.Table(t2)
 
 			t3 := NewTable("A3: BFS flooding vs broadcast trees (rounds)",
 				"graph", "naive", "trees")
@@ -576,8 +547,8 @@ func init() {
 				name string
 				g    *graph.Graph
 			}{
-				{"star", graph.Star(n)},
-				{"grid", graph.Grid(8, n/8)},
+				{"star", mustGraph("star", 0, param.Values{"n": float64(n)})},
+				{"grid", mustGraph("grid", 0, param.Values{"rows": 8, "cols": float64(n / 8)})},
 			} {
 				stN, err := runSession(c.g.N(), 61, func(s *comm.Session) {
 					baseline.NaiveBFS(s, c.g, 0)
@@ -591,11 +562,11 @@ func init() {
 				}
 				t3.Add(c.name, stN.Rounds, st.Rounds)
 			}
-			t3.Print(w)
-			fmt.Fprintln(w, "shape check: the naive columns grow with Delta resp. m (linear slopes), the")
-			fmt.Fprintln(w, "primitive columns stay polylog-flat. At laptop-scale n the primitives' fixed")
-			fmt.Fprintln(w, "polylog costs still dominate in absolute terms; the crossovers extrapolate to")
-			fmt.Fprintln(w, "n in the 10^4-10^6 range.")
+			r.Table(t3)
+			r.Notef("shape check: the naive columns grow with Delta resp. m (linear slopes), the")
+			r.Notef("primitive columns stay polylog-flat. At laptop-scale n the primitives' fixed")
+			r.Notef("polylog costs still dominate in absolute terms; the crossovers extrapolate to")
+			r.Notef("n in the 10^4-10^6 range.")
 			return nil
 		},
 	})

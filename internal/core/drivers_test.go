@@ -1,0 +1,88 @@
+package core
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+	"ncc/internal/ncc"
+)
+
+// Test-only drivers: one-call clique harnesses for exercising the algorithms
+// from this package's tests. Production callers go through the internal/algo
+// registry instead (which cannot be imported here without a cycle, as it
+// builds on this package).
+
+func RunOrientation(cfg ncc.Config, g *graph.Graph, p OrientParams) ([]*Orientation, ncc.Stats, error) {
+	return ncc.Collect(cfg, func(ctx *ncc.Context) *Orientation {
+		return Orient(comm.NewSession(ctx), g, p)
+	})
+}
+
+func RunBFS(cfg ncc.Config, g *graph.Graph, src int) ([]BFSResult, ncc.Stats, error) {
+	return ncc.Collect(cfg, func(ctx *ncc.Context) BFSResult {
+		s := comm.NewSession(ctx)
+		o := Orient(s, g, OrientParams{})
+		trees, lhat := BroadcastTrees(s, g, o)
+		return BFS(s, g, trees, lhat, src)
+	})
+}
+
+func RunMIS(cfg ncc.Config, g *graph.Graph) ([]bool, ncc.Stats, error) {
+	return ncc.Collect(cfg, func(ctx *ncc.Context) bool {
+		s := comm.NewSession(ctx)
+		o := Orient(s, g, OrientParams{})
+		trees, lhat := BroadcastTrees(s, g, o)
+		return MIS(s, g, trees, lhat)
+	})
+}
+
+func RunMatching(cfg ncc.Config, g *graph.Graph) ([]int, ncc.Stats, error) {
+	return ncc.Collect(cfg, func(ctx *ncc.Context) int {
+		s := comm.NewSession(ctx)
+		o := Orient(s, g, OrientParams{})
+		trees, lhat := BroadcastTrees(s, g, o)
+		return Matching(s, g, trees, lhat)
+	})
+}
+
+func RunColoring(cfg ncc.Config, g *graph.Graph) ([]ColorResult, ncc.Stats, error) {
+	return ncc.Collect(cfg, func(ctx *ncc.Context) ColorResult {
+		s := comm.NewSession(ctx)
+		o := Orient(s, g, OrientParams{})
+		return Coloring(s, g, o)
+	})
+}
+
+func RunMST(cfg ncc.Config, wg *graph.Weighted) ([][][2]int, ncc.Stats, error) {
+	return ncc.Collect(cfg, func(ctx *ncc.Context) [][2]int {
+		return MST(comm.NewSession(ctx), wg)
+	})
+}
+
+func RunComponents(cfg ncc.Config, g *graph.Graph) ([]int, ncc.Stats, error) {
+	return ncc.Collect(cfg, func(ctx *ncc.Context) int {
+		return ComponentLabels(comm.NewSession(ctx), g)
+	})
+}
+
+func RunForestDecomposition(cfg ncc.Config, g *graph.Graph) ([][]int, []*Orientation, int, ncc.Stats, error) {
+	type res struct {
+		o     *Orientation
+		idx   []int
+		count int
+	}
+	rs, st, err := ncc.Collect(cfg, func(ctx *ncc.Context) res {
+		s := comm.NewSession(ctx)
+		o := Orient(s, g, OrientParams{})
+		idx, count := ForestDecomposition(s, o)
+		return res{o: o, idx: idx, count: count}
+	})
+	if err != nil {
+		return nil, nil, 0, st, err
+	}
+	idxs := make([][]int, len(rs))
+	os := make([]*Orientation, len(rs))
+	for i, r := range rs {
+		idxs[i], os[i] = r.idx, r.o
+	}
+	return idxs, os, rs[0].count, st, nil
+}

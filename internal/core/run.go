@@ -1,21 +1,10 @@
 package core
 
-import (
-	"ncc/internal/comm"
-	"ncc/internal/graph"
-	"ncc/internal/ncc"
-)
-
-// Drivers: one-call entry points that spin up a clique, build sessions and
-// run a single algorithm, returning per-node outputs plus run statistics.
-// They are what the examples, benchmarks and most tests use.
-
-// RunOrientation computes an O(a)-orientation of g.
-func RunOrientation(cfg ncc.Config, g *graph.Graph, p OrientParams) ([]*Orientation, ncc.Stats, error) {
-	return ncc.Collect(cfg, func(ctx *ncc.Context) *Orientation {
-		return Orient(comm.NewSession(ctx), g, p)
-	})
-}
+// Output-merging helpers shared by the algorithm registry (internal/algo),
+// the verifiers and the tests. The one-call RunX drivers that used to live
+// here are gone: production callers resolve algorithms through the
+// internal/algo registry, whose descriptors pair each per-node program with
+// its verifier and summarizer.
 
 // OutLists converts per-node orientations into plain out-neighbor lists.
 func OutLists(os []*Orientation) [][]int {
@@ -24,55 +13,6 @@ func OutLists(os []*Orientation) [][]int {
 		out[i] = o.Out
 	}
 	return out
-}
-
-// RunBFS computes a BFS tree of g from src: per-node (distance, parent).
-func RunBFS(cfg ncc.Config, g *graph.Graph, src int) ([]BFSResult, ncc.Stats, error) {
-	return ncc.Collect(cfg, func(ctx *ncc.Context) BFSResult {
-		s := comm.NewSession(ctx)
-		o := Orient(s, g, OrientParams{})
-		trees, lhat := BroadcastTrees(s, g, o)
-		return BFS(s, g, trees, lhat, src)
-	})
-}
-
-// RunMIS computes a maximal independent set of g.
-func RunMIS(cfg ncc.Config, g *graph.Graph) ([]bool, ncc.Stats, error) {
-	return ncc.Collect(cfg, func(ctx *ncc.Context) bool {
-		s := comm.NewSession(ctx)
-		o := Orient(s, g, OrientParams{})
-		trees, lhat := BroadcastTrees(s, g, o)
-		return MIS(s, g, trees, lhat)
-	})
-}
-
-// RunMatching computes a maximal matching of g: per-node partner or -1.
-func RunMatching(cfg ncc.Config, g *graph.Graph) ([]int, ncc.Stats, error) {
-	return ncc.Collect(cfg, func(ctx *ncc.Context) int {
-		s := comm.NewSession(ctx)
-		o := Orient(s, g, OrientParams{})
-		trees, lhat := BroadcastTrees(s, g, o)
-		return Matching(s, g, trees, lhat)
-	})
-}
-
-// RunColoring computes an O(a)-coloring of g: per-node color plus the global
-// palette bound.
-func RunColoring(cfg ncc.Config, g *graph.Graph) ([]ColorResult, ncc.Stats, error) {
-	return ncc.Collect(cfg, func(ctx *ncc.Context) ColorResult {
-		s := comm.NewSession(ctx)
-		o := Orient(s, g, OrientParams{})
-		return Coloring(s, g, o)
-	})
-}
-
-// RunMST computes the minimum spanning forest of wg; the per-node result
-// lists the MST edges this node knows about (for every forest edge, at least
-// one endpoint knows it, as in Section 3).
-func RunMST(cfg ncc.Config, wg *graph.Weighted) ([][][2]int, ncc.Stats, error) {
-	return ncc.Collect(cfg, func(ctx *ncc.Context) [][2]int {
-		return MST(comm.NewSession(ctx), wg)
-	})
 }
 
 // CollectMSTEdges merges per-node MST knowledge into a deduplicated edge list.
@@ -91,37 +31,4 @@ func CollectMSTEdges(perNode [][][2]int) [][2]int {
 		}
 	}
 	return out
-}
-
-// RunComponents labels connected components: per-node component label.
-func RunComponents(cfg ncc.Config, g *graph.Graph) ([]int, ncc.Stats, error) {
-	return ncc.Collect(cfg, func(ctx *ncc.Context) int {
-		return ComponentLabels(comm.NewSession(ctx), g)
-	})
-}
-
-// RunForestDecomposition orients g and partitions its edges into O(a)
-// forests; returns per-node forest indices (parallel to the orientations'
-// Out lists), the orientations, and the forest count.
-func RunForestDecomposition(cfg ncc.Config, g *graph.Graph) ([][]int, []*Orientation, int, ncc.Stats, error) {
-	type res struct {
-		o     *Orientation
-		idx   []int
-		count int
-	}
-	rs, st, err := ncc.Collect(cfg, func(ctx *ncc.Context) res {
-		s := comm.NewSession(ctx)
-		o := Orient(s, g, OrientParams{})
-		idx, count := ForestDecomposition(s, o)
-		return res{o: o, idx: idx, count: count}
-	})
-	if err != nil {
-		return nil, nil, 0, st, err
-	}
-	idxs := make([][]int, len(rs))
-	os := make([]*Orientation, len(rs))
-	for i, r := range rs {
-		idxs[i], os[i] = r.idx, r.o
-	}
-	return idxs, os, rs[0].count, st, nil
 }

@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ncc/internal/param"
+)
+
+// Family is a registered graph generator: a named family with declared,
+// defaultable parameters. Families self-register at init time; the CLIs,
+// the scenario runner and the benchmarks resolve generators exclusively
+// through this registry, so adding a family here makes it available
+// everywhere at once.
+type Family struct {
+	Name string
+	Desc string
+	// Params declares the accepted parameters; Build receives a bag that has
+	// been validated and defaulted against them.
+	Params []param.Def
+	// Seeded marks families whose output depends on Spec.Seed.
+	Seeded bool
+	Build  func(v param.Values, seed int64) (*Graph, error)
+}
+
+// Spec selects a family plus concrete parameter values — the serializable
+// "which graph" half of a scenario.
+type Spec struct {
+	Family string       `json:"family"`
+	Params param.Values `json:"params,omitempty"`
+	Seed   int64        `json:"seed,omitempty"`
+}
+
+func (s Spec) String() string {
+	parts := make([]string, 0, len(s.Params))
+	for name := range s.Params {
+		parts = append(parts, name)
+	}
+	sort.Strings(parts)
+	for i, name := range parts {
+		parts[i] = fmt.Sprintf("%s=%g", name, s.Params[name])
+	}
+	return fmt.Sprintf("%s{%s}", s.Family, strings.Join(parts, " "))
+}
+
+var families = map[string]Family{}
+
+// RegisterFamily adds a family to the registry; duplicate or anonymous
+// registrations are programming errors.
+func RegisterFamily(f Family) {
+	if f.Name == "" || f.Build == nil {
+		panic("graph: RegisterFamily needs a name and a build function")
+	}
+	if _, dup := families[f.Name]; dup {
+		panic(fmt.Sprintf("graph: family %q registered twice", f.Name))
+	}
+	families[f.Name] = f
+}
+
+// GetFamily looks up a registered family.
+func GetFamily(name string) (Family, bool) {
+	f, ok := families[name]
+	return f, ok
+}
+
+// FamilyNames lists registered families in sorted order.
+func FamilyNames() []string {
+	out := make([]string, 0, len(families))
+	for n := range families {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Families returns every registered family, ordered by name.
+func Families() []Family {
+	out := make([]Family, 0, len(families))
+	for _, n := range FamilyNames() {
+		out = append(out, families[n])
+	}
+	return out
+}
+
+// Build materializes a Spec: it resolves the family, validates and defaults
+// the parameters, and runs the generator.
+func Build(s Spec) (*Graph, error) {
+	f, ok := families[s.Family]
+	if !ok {
+		return nil, fmt.Errorf("unknown graph family %q (have %s)",
+			s.Family, strings.Join(FamilyNames(), ", "))
+	}
+	v, err := param.Resolve(s.Params, f.Params)
+	if err != nil {
+		return nil, fmt.Errorf("graph family %s: %w", s.Family, err)
+	}
+	g, err := f.Build(v, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("graph family %s: %w", s.Family, err)
+	}
+	return g, nil
+}
+
+// needPositive rejects non-positive size parameters before they reach a
+// generator (where they would build nonsense or panic).
+func needPositive(v param.Values, names ...string) error {
+	for _, name := range names {
+		if v.Int(name) < 1 {
+			return fmt.Errorf("param %s = %d, need >= 1", name, v.Int(name))
+		}
+	}
+	return nil
+}
+
+func init() {
+	nDef := param.Int("n", 64, "number of nodes")
+	RegisterFamily(Family{
+		Name: "gnm", Desc: "uniform random graph with exactly m edges", Seeded: true,
+		Params: []param.Def{nDef, param.Int("m", 0, "edge count (0 = 3n)")},
+		Build: func(v param.Values, seed int64) (*Graph, error) {
+			if err := needPositive(v, "n"); err != nil {
+				return nil, err
+			}
+			m := v.Int("m")
+			if m == 0 {
+				m = 3 * v.Int("n")
+			}
+			return GNM(v.Int("n"), m, seed), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name: "gnp", Desc: "Erdos-Renyi G(n, p)", Seeded: true,
+		Params: []param.Def{nDef, param.Float("p", 0.1, "edge probability")},
+		Build: func(v param.Values, seed int64) (*Graph, error) {
+			if err := needPositive(v, "n"); err != nil {
+				return nil, err
+			}
+			if p := v.Float("p"); p < 0 || p > 1 {
+				return nil, fmt.Errorf("param p = %v out of [0,1]", p)
+			}
+			return GNP(v.Int("n"), v.Float("p"), seed), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name: "kforest", Desc: "union of k random spanning trees (arboricity <= k)", Seeded: true,
+		Params: []param.Def{nDef, param.Int("k", 2, "number of superimposed trees")},
+		Build: func(v param.Values, seed int64) (*Graph, error) {
+			if err := needPositive(v, "n", "k"); err != nil {
+				return nil, err
+			}
+			return KForest(v.Int("n"), v.Int("k"), seed), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name: "pa", Desc: "preferential attachment with k links per new node (heavy-tailed degrees)", Seeded: true,
+		Params: []param.Def{nDef, param.Int("k", 2, "attachments per node")},
+		Build: func(v param.Values, seed int64) (*Graph, error) {
+			if err := needPositive(v, "n", "k"); err != nil {
+				return nil, err
+			}
+			return PreferentialAttachment(v.Int("n"), v.Int("k"), seed), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name: "tree", Desc: "uniform-attachment random tree", Seeded: true,
+		Params: []param.Def{nDef},
+		Build: func(v param.Values, seed int64) (*Graph, error) {
+			if err := needPositive(v, "n"); err != nil {
+				return nil, err
+			}
+			return RandomTree(v.Int("n"), seed), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name: "bipartite", Desc: "random bipartite graph between parts of size n1 and n2", Seeded: true,
+		Params: []param.Def{
+			param.Int("n1", 32, "size of the first part"),
+			param.Int("n2", 32, "size of the second part"),
+			param.Float("p", 0.1, "edge probability"),
+		},
+		Build: func(v param.Values, seed int64) (*Graph, error) {
+			if err := needPositive(v, "n1", "n2"); err != nil {
+				return nil, err
+			}
+			return Bipartite(v.Int("n1"), v.Int("n2"), v.Float("p"), seed), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name: "grid", Desc: "rows x cols grid (planar, arboricity <= 3)",
+		Params: []param.Def{param.Int("rows", 8, "grid rows"), param.Int("cols", 8, "grid cols")},
+		Build: func(v param.Values, _ int64) (*Graph, error) {
+			if err := needPositive(v, "rows", "cols"); err != nil {
+				return nil, err
+			}
+			return Grid(v.Int("rows"), v.Int("cols")), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name: "torus", Desc: "rows x cols torus (grid with wraparound)",
+		Params: []param.Def{param.Int("rows", 8, "torus rows"), param.Int("cols", 8, "torus cols")},
+		Build: func(v param.Values, _ int64) (*Graph, error) {
+			if err := needPositive(v, "rows", "cols"); err != nil {
+				return nil, err
+			}
+			return Torus(v.Int("rows"), v.Int("cols")), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name: "hypercube", Desc: "k-dimensional hypercube on 2^k nodes",
+		Params: []param.Def{param.Int("k", 2, "dimension (n = 2^k)")},
+		Build: func(v param.Values, _ int64) (*Graph, error) {
+			k := v.Int("k")
+			if k < 0 || k > 24 {
+				return nil, fmt.Errorf("param k = %d out of [0,24]", k)
+			}
+			return Hypercube(k), nil
+		},
+	})
+	for _, simple := range []struct {
+		name, desc string
+		build      func(n int) *Graph
+	}{
+		{"star", "star with center 0 (the naive-communication worst case)", Star},
+		{"cycle", "the n-cycle", Cycle},
+		{"path", "the path 0-1-...-(n-1)", Path},
+		{"binarytree", "complete-ish binary tree", BinaryTree},
+		{"caterpillar", "path spine with one leg per spine node", Caterpillar},
+		{"complete", "the complete graph K_n", Complete},
+		{"empty", "the edgeless graph", Empty},
+	} {
+		build := simple.build
+		RegisterFamily(Family{
+			Name: simple.name, Desc: simple.desc,
+			Params: []param.Def{nDef},
+			Build: func(v param.Values, _ int64) (*Graph, error) {
+				if err := needPositive(v, "n"); err != nil {
+					return nil, err
+				}
+				return build(v.Int("n")), nil
+			},
+		})
+	}
+	RegisterFamily(Family{
+		Name: "disjoint", Desc: "disjoint union of `parts` cliques of size `size`",
+		Params: []param.Def{param.Int("parts", 4, "number of cliques"), param.Int("size", 8, "clique size")},
+		Build: func(v param.Values, _ int64) (*Graph, error) {
+			if err := needPositive(v, "parts", "size"); err != nil {
+				return nil, err
+			}
+			return Disjoint(v.Int("parts"), v.Int("size")), nil
+		},
+	})
+}

@@ -3,45 +3,46 @@ package ncc
 import "fmt"
 
 // Stats aggregates what happened during a run. All load figures are measured
-// per node per round.
+// per node per round. The JSON field names are part of the scenario Record
+// format written by the CLIs' -json modes.
 type Stats struct {
 	// Rounds is the number of completed communication rounds.
-	Rounds int
+	Rounds int `json:"rounds"`
 
 	// Messages counts messages accepted for transmission.
-	Messages int64
+	Messages int64 `json:"messages"`
 
 	// Words counts payload words accepted for transmission.
-	Words int64
+	Words int64 `json:"words"`
 
 	// MaxSendLoad is the maximum number of messages any node attempted to
 	// send in a single round (before send-capacity enforcement).
-	MaxSendLoad int
+	MaxSendLoad int `json:"maxSendLoad"`
 
 	// MaxRecvOffered is the maximum number of messages addressed to a
 	// single node in a single round (before receive-capacity truncation).
 	// The model's w.h.p. guarantees say this stays O(log n); experiment
 	// E-LOAD checks it.
-	MaxRecvOffered int
+	MaxRecvOffered int `json:"maxRecvOffered"`
 
 	// MaxRecvDelivered is the maximum number of messages actually
 	// delivered to a node in one round (always <= capacity).
-	MaxRecvDelivered int
+	MaxRecvDelivered int `json:"maxRecvDelivered"`
 
 	// DroppedRecvOverflow counts messages dropped because more than cap
 	// messages were addressed to one node in one round.
-	DroppedRecvOverflow int64
+	DroppedRecvOverflow int64 `json:"droppedRecvOverflow,omitempty"`
 
 	// DroppedSendOverflow counts messages dropped because a node tried to
 	// send more than cap messages in one round (non-strict mode only).
-	DroppedSendOverflow int64
+	DroppedSendOverflow int64 `json:"droppedSendOverflow,omitempty"`
 
 	// DroppedFault counts messages dropped by DropProb or Interceptor.
-	DroppedFault int64
+	DroppedFault int64 `json:"droppedFault,omitempty"`
 
 	// DroppedToFinished counts messages addressed to nodes whose program
 	// had already returned.
-	DroppedToFinished int64
+	DroppedToFinished int64 `json:"droppedToFinished,omitempty"`
 }
 
 // Dropped returns the total number of messages dropped for any reason.

@@ -1,0 +1,65 @@
+package ncc
+
+import "testing"
+
+func sample(tos ...NodeID) []Envelope {
+	var out []Envelope
+	for i, to := range tos {
+		out = append(out, Envelope{From: NodeID(i % 2), To: to, Payload: Word(1)})
+	}
+	return out
+}
+
+func TestTimelineRecordsOneSamplePerRound(t *testing.T) {
+	tl := &Timeline{}
+	tl.ObserveRound(0, sample(1, 1, 2))
+	tl.ObserveRound(1, nil)
+	tl.ObserveRound(2, sample(3))
+	if len(tl.Samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(tl.Samples))
+	}
+	s0 := tl.Samples[0]
+	if s0.Messages != 3 || s0.Words != 3 || s0.MaxRecvOffered != 2 {
+		t.Errorf("round 0 sample = %+v, want 3 msgs, 3 words, maxRecv 2", s0)
+	}
+	if tl.Samples[1] != (RoundSample{}) {
+		t.Errorf("empty round sample = %+v, want zeroes", tl.Samples[1])
+	}
+}
+
+func TestTimelineBusiestAndTotal(t *testing.T) {
+	tl := &Timeline{}
+	if i, s := tl.Busiest(); i != 0 || s != (RoundSample{}) {
+		t.Errorf("empty timeline Busiest = (%d, %+v)", i, s)
+	}
+	tl.ObserveRound(0, sample(1))
+	tl.ObserveRound(1, sample(1, 2, 3))
+	tl.ObserveRound(2, sample(2, 3))
+	i, s := tl.Busiest()
+	if i != 1 || s.Messages != 3 {
+		t.Errorf("Busiest = (%d, %+v), want round 1 with 3 messages", i, s)
+	}
+	if got := tl.TotalMessages(); got != 6 {
+		t.Errorf("TotalMessages = %d, want 6", got)
+	}
+}
+
+func TestTimelineAsRunObserver(t *testing.T) {
+	tl := &Timeline{}
+	const n = 8
+	st, err := Run(Config{N: n, Seed: 1, Observer: tl}, func(ctx *Context) {
+		for r := 0; r < 5; r++ {
+			ctx.Send((ctx.ID()+1)%n, Word(uint64(r)))
+			ctx.EndRound()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Samples) != st.Rounds {
+		t.Errorf("timeline has %d samples, run took %d rounds", len(tl.Samples), st.Rounds)
+	}
+	if tl.TotalMessages() != st.Messages {
+		t.Errorf("timeline counted %d messages, stats say %d", tl.TotalMessages(), st.Messages)
+	}
+}

@@ -1,0 +1,64 @@
+package param
+
+import (
+	"strings"
+	"testing"
+)
+
+func defs() []Def {
+	return []Def{
+		Int("n", 64, "nodes"),
+		Float("p", 0.1, "edge probability"),
+	}
+}
+
+func TestResolveAppliesDefaults(t *testing.T) {
+	v, err := Resolve(nil, defs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int("n") != 64 || v.Float("p") != 0.1 {
+		t.Errorf("defaults not applied: %v", v)
+	}
+}
+
+func TestResolveOverrides(t *testing.T) {
+	v, err := Resolve(Values{"n": 128}, defs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int("n") != 128 || v.Float("p") != 0.1 {
+		t.Errorf("override lost: %v", v)
+	}
+}
+
+func TestResolveRejectsUnknown(t *testing.T) {
+	_, err := Resolve(Values{"bogus": 1}, defs())
+	if err == nil || !strings.Contains(err.Error(), "unknown params bogus") {
+		t.Errorf("err = %v, want unknown-params error", err)
+	}
+}
+
+func TestResolveRejectsFractionalInt(t *testing.T) {
+	_, err := Resolve(Values{"n": 1.5}, defs())
+	if err == nil || !strings.Contains(err.Error(), "must be an integer") {
+		t.Errorf("err = %v, want integrality error", err)
+	}
+}
+
+func TestResolveDoesNotMutateInput(t *testing.T) {
+	in := Values{"n": 8}
+	if _, err := Resolve(in, defs()); err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 1 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	got := Describe(defs())
+	if got != "n=64 p=0.1" {
+		t.Errorf("Describe = %q", got)
+	}
+}

@@ -1,0 +1,275 @@
+// Package scenario is the declarative execution spec shared by the CLIs and
+// the benchmark harness: one Scenario names a graph spec, an algorithm with
+// parameters, the clique model, optional fault injection, and an optional
+// sweep over n / capfactor / seeds. Scenarios decode from JSON files or are
+// assembled from CLI flags; runs produce JSON-serializable Records (scenario
+// echo + graph info + stats + verification status) so sweep results become
+// diffable artifacts.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ncc/internal/algo"
+	"ncc/internal/graph"
+	"ncc/internal/ncc"
+	"ncc/internal/param"
+)
+
+// Model is the serializable slice of ncc.Config a scenario controls. Zero
+// values mean the engine defaults; runs are strict unless NonStrict is set.
+type Model struct {
+	CapFactor int   `json:"capfactor,omitempty"`
+	MaxWords  int   `json:"maxwords,omitempty"`
+	MaxRounds int   `json:"maxrounds,omitempty"`
+	Workers   int   `json:"workers,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	NonStrict bool  `json:"nonstrict,omitempty"`
+}
+
+// Faults declares fault injection: independent message drops and/or a
+// declarative link interceptor (drop everything to/from the listed nodes from
+// round FromRound on).
+type Faults struct {
+	DropProb  float64 `json:"dropprob,omitempty"`
+	DropTo    []int   `json:"dropto,omitempty"`
+	DropFrom  []int   `json:"dropfrom,omitempty"`
+	FromRound int     `json:"fromround,omitempty"`
+}
+
+// interceptor compiles the declarative link faults to an ncc.Interceptor
+// (nil when only DropProb is set).
+func (f *Faults) interceptor() ncc.Interceptor {
+	if f == nil || (len(f.DropTo) == 0 && len(f.DropFrom) == 0) {
+		return nil
+	}
+	to := map[ncc.NodeID]bool{}
+	for _, v := range f.DropTo {
+		to[v] = true
+	}
+	from := map[ncc.NodeID]bool{}
+	for _, v := range f.DropFrom {
+		from[v] = true
+	}
+	start := f.FromRound
+	return func(round int, src, dst ncc.NodeID) bool {
+		if round < start {
+			return true
+		}
+		return !to[dst] && !from[src]
+	}
+}
+
+// Sweep declares the axes of a parameter sweep. Every listed n overrides the
+// graph spec's "n" parameter; every capfactor overrides the model; every seed
+// overrides both the model seed and the graph seed (independent trials).
+// Empty axes keep the scenario's own value. Expansion order is deterministic:
+// n outermost, then capfactor, then seeds.
+type Sweep struct {
+	N         []int   `json:"n,omitempty"`
+	CapFactor []int   `json:"capfactor,omitempty"`
+	Seeds     []int64 `json:"seeds,omitempty"`
+}
+
+// Scenario is one declarative execution spec.
+type Scenario struct {
+	Name   string       `json:"name,omitempty"`
+	Algo   string       `json:"algo"`
+	Graph  graph.Spec   `json:"graph"`
+	Params param.Values `json:"params,omitempty"`
+	Model  Model        `json:"model,omitempty"`
+	Faults *Faults      `json:"faults,omitempty"`
+	Sweep  *Sweep       `json:"sweep,omitempty"`
+}
+
+// GraphInfo describes the materialized input graph of one run.
+type GraphInfo struct {
+	Desc       string `json:"desc"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	MaxDegree  int    `json:"maxDegree"`
+	Degeneracy int    `json:"degeneracy"`
+}
+
+// Record is the JSON-serializable result of one concrete run: the scenario
+// echo (sweep-expanded), the materialized graph, the model capacity, the run
+// statistics, the summarizer's digest, and the verification status. A Record
+// with a non-empty Error field describes a run that failed outright.
+type Record struct {
+	Scenario  Scenario           `json:"scenario"`
+	Graph     GraphInfo          `json:"graph"`
+	Capacity  int                `json:"capacity"`
+	Summary   string             `json:"summary,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Stats     ncc.Stats          `json:"stats"`
+	Verified  bool               `json:"verified"`
+	VerifyErr string             `json:"verifyError,omitempty"`
+	Error     string             `json:"error,omitempty"`
+}
+
+// Load reads a Scenario from a JSON file, rejecting unknown fields.
+func Load(path string) (Scenario, error) {
+	var s Scenario
+	f, err := os.Open(path)
+	if err != nil {
+		return s, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate checks the statically checkable parts of a scenario: the algorithm
+// and graph family exist and both parameter bags resolve. Usage errors caught
+// here are distinguishable from run failures (CLI exit 2 vs 1).
+func (s Scenario) Validate() error {
+	d, ok := algo.Get(s.Algo)
+	if !ok {
+		return algo.ErrUnknown(s.Algo)
+	}
+	if _, err := param.Resolve(s.Params, d.Params); err != nil {
+		return fmt.Errorf("algorithm %s: %w", s.Algo, err)
+	}
+	f, ok := graph.GetFamily(s.Graph.Family)
+	if !ok {
+		return fmt.Errorf("unknown graph family %q", s.Graph.Family)
+	}
+	if _, err := param.Resolve(s.Graph.Params, f.Params); err != nil {
+		return fmt.Errorf("graph family %s: %w", s.Graph.Family, err)
+	}
+	if s.Sweep != nil {
+		if _, hasN := s.Graph.Params["n"]; len(s.Sweep.N) > 0 && !hasN {
+			ok := false
+			for _, def := range f.Params {
+				if def.Name == "n" {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("graph family %s has no n parameter to sweep", s.Graph.Family)
+			}
+		}
+	}
+	return nil
+}
+
+// Expand resolves the sweep into concrete scenarios (itself, if there is no
+// sweep). The order is deterministic: n outermost, then capfactor, then seeds.
+func (s Scenario) Expand() []Scenario {
+	if s.Sweep == nil {
+		return []Scenario{s}
+	}
+	sw := *s.Sweep
+	var out []Scenario
+	forEachInt(sw.N, func(n int, hasN bool) {
+		forEachInt(sw.CapFactor, func(cf int, hasCF bool) {
+			seeds := sw.Seeds
+			hasSeeds := len(seeds) > 0
+			if !hasSeeds {
+				seeds = []int64{0}
+			}
+			for _, seed := range seeds {
+				c := s
+				c.Sweep = nil
+				c.Params = s.Params.Clone()
+				c.Graph.Params = s.Graph.Params.Clone()
+				if hasN {
+					c.Graph.Params["n"] = float64(n)
+				}
+				if hasCF {
+					c.Model.CapFactor = cf
+				}
+				if hasSeeds {
+					c.Model.Seed = seed
+					c.Graph.Seed = seed
+				}
+				out = append(out, c)
+			}
+		})
+	})
+	return out
+}
+
+// forEachInt visits every value of axis, or a single "unset" marker when the
+// axis is empty.
+func forEachInt(axis []int, fn func(v int, set bool)) {
+	if len(axis) == 0 {
+		fn(0, false)
+		return
+	}
+	for _, v := range axis {
+		fn(v, true)
+	}
+}
+
+// config assembles the ncc.Config for a graph of n nodes.
+func (m Model) config(n int) ncc.Config {
+	return ncc.Config{
+		N:         n,
+		CapFactor: m.CapFactor,
+		MaxWords:  m.MaxWords,
+		MaxRounds: m.MaxRounds,
+		Workers:   m.Workers,
+		Seed:      m.Seed,
+		Strict:    !m.NonStrict,
+	}
+}
+
+// RunOne executes one concrete (sweep-free) scenario. obs, if non-nil, is
+// attached as the run's round observer (e.g. a *ncc.Timeline). The returned
+// error covers spec and simulation failures; verification failures are
+// recorded in the Record only.
+func RunOne(s Scenario, obs ncc.Observer) (Record, error) {
+	rec := Record{Scenario: s}
+	if s.Sweep != nil {
+		return rec, fmt.Errorf("scenario %s: RunOne on an unexpanded sweep", s.Name)
+	}
+	d, ok := algo.Get(s.Algo)
+	if !ok {
+		return rec, algo.ErrUnknown(s.Algo)
+	}
+	g, err := graph.Build(s.Graph)
+	if err != nil {
+		return rec, err
+	}
+	deg, _ := graph.Degeneracy(g)
+	rec.Graph = GraphInfo{Desc: g.String(), N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Degeneracy: deg}
+	cfg := s.Model.config(g.N())
+	cfg.Observer = obs
+	if s.Faults != nil {
+		cfg.DropProb = s.Faults.DropProb
+		cfg.Interceptor = s.Faults.interceptor()
+	}
+	rec.Capacity = cfg.Cap()
+	res, err := d.Execute(cfg, g, s.Params)
+	if err != nil {
+		return rec, err
+	}
+	rec.Summary = res.Summary
+	rec.Metrics = res.Metrics
+	rec.Stats = res.Stats
+	rec.Verified = res.Verified
+	rec.VerifyErr = res.VerifyErr
+	return rec, nil
+}
+
+// Run expands and executes a scenario. Individual run failures do not abort
+// the sweep; they are recorded in the Record's Error field so a sweep
+// artifact always has one entry per expanded scenario.
+func Run(s Scenario) []Record {
+	var out []Record
+	for _, c := range s.Expand() {
+		rec, err := RunOne(c, nil)
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		out = append(out, rec)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ncc/internal/graph"
+	"ncc/internal/param"
+)
+
+func misScenario() Scenario {
+	return Scenario{
+		Name:  "test-mis",
+		Algo:  "mis",
+		Graph: graph.Spec{Family: "kforest", Params: param.Values{"n": 24, "k": 2}, Seed: 5},
+		Model: Model{Seed: 5},
+	}
+}
+
+func TestRunOneProducesVerifiedRecord(t *testing.T) {
+	rec, err := RunOne(misScenario(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Verified {
+		t.Fatalf("unverified: %s", rec.VerifyErr)
+	}
+	if rec.Graph.N != 24 || rec.Graph.M == 0 {
+		t.Errorf("graph info not recorded: %+v", rec.Graph)
+	}
+	if rec.Capacity == 0 || rec.Stats.Rounds == 0 {
+		t.Errorf("capacity/stats not recorded: cap=%d rounds=%d", rec.Capacity, rec.Stats.Rounds)
+	}
+	if !strings.Contains(rec.Summary, "maximal independent set") {
+		t.Errorf("summary = %q", rec.Summary)
+	}
+}
+
+func TestExpandCrossProductIsDeterministic(t *testing.T) {
+	s := misScenario()
+	s.Sweep = &Sweep{N: []int{16, 32}, CapFactor: []int{4, 8}, Seeds: []int64{1, 2, 3}}
+	got := s.Expand()
+	if len(got) != 12 {
+		t.Fatalf("expanded to %d scenarios, want 12", len(got))
+	}
+	// Deterministic order: n outermost, then capfactor, then seeds.
+	first, last := got[0], got[11]
+	if first.Graph.Params["n"] != 16 || first.Model.CapFactor != 4 || first.Model.Seed != 1 {
+		t.Errorf("first expansion wrong: %+v", first)
+	}
+	if last.Graph.Params["n"] != 32 || last.Model.CapFactor != 8 || last.Model.Seed != 3 {
+		t.Errorf("last expansion wrong: %+v", last)
+	}
+	if first.Graph.Seed != 1 || last.Graph.Seed != 3 {
+		t.Errorf("sweep seeds must reseed the graph: first=%d last=%d", first.Graph.Seed, last.Graph.Seed)
+	}
+	for _, c := range got {
+		if c.Sweep != nil {
+			t.Fatal("expanded scenario still carries a sweep")
+		}
+	}
+	// Expansion must not alias the parent's parameter bags.
+	if s.Graph.Params["n"] != 24 {
+		t.Errorf("expansion mutated the parent spec: n=%v", s.Graph.Params["n"])
+	}
+}
+
+func TestExpandWithoutSeedsAxisKeepsDeclaredSeeds(t *testing.T) {
+	s := misScenario()
+	s.Graph.Seed = 7
+	s.Model.Seed = 3
+	s.Sweep = &Sweep{N: []int{16, 24}}
+	for _, c := range s.Expand() {
+		if c.Graph.Seed != 7 || c.Model.Seed != 3 {
+			t.Errorf("empty seeds axis must keep declared seeds, got graph=%d model=%d",
+				c.Graph.Seed, c.Model.Seed)
+		}
+	}
+}
+
+func TestRunSweepSerializesDeterministically(t *testing.T) {
+	s := misScenario()
+	s.Sweep = &Sweep{N: []int{12, 16}, Seeds: []int64{1, 2}}
+	marshal := func() string {
+		var b strings.Builder
+		for _, rec := range Run(s) {
+			line, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(line)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	a, b := marshal(), marshal()
+	if a != b {
+		t.Errorf("two identical sweeps serialized differently:\n%s\n---\n%s", a, b)
+	}
+	if n := strings.Count(a, "\n"); n != 4 {
+		t.Errorf("sweep produced %d records, want 4", n)
+	}
+	if strings.Contains(a, `"verified":false`) {
+		t.Errorf("sweep contains unverified runs:\n%s", a)
+	}
+}
+
+func TestValidateRejectsUnknowns(t *testing.T) {
+	s := misScenario()
+	s.Algo = "nope"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), `unknown algorithm "nope"`) {
+		t.Errorf("err = %v", err)
+	}
+	s = misScenario()
+	s.Graph.Family = "nope"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), `unknown graph family "nope"`) {
+		t.Errorf("err = %v", err)
+	}
+	s = misScenario()
+	s.Params = param.Values{"bogus": 1}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "unknown params") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadRoundTripsAndRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	spec := `{
+		"name": "file-mst",
+		"algo": "mst",
+		"graph": {"family": "gnm", "params": {"n": 20, "m": 40}, "seed": 3},
+		"params": {"maxw": 100},
+		"model": {"capfactor": 8, "seed": 3},
+		"sweep": {"seeds": [3, 4]}
+	}`
+	if err := os.WriteFile(good, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	recs := Run(s)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Error != "" || !rec.Verified {
+			t.Errorf("record failed: err=%q verifyErr=%q", rec.Error, rec.VerifyErr)
+		}
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"algo": "mst", "grpah": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestFaultInjectionIsRecordedNotFatal(t *testing.T) {
+	s := Scenario{
+		Algo:   "mis",
+		Graph:  graph.Spec{Family: "kforest", Params: param.Values{"n": 16, "k": 1}, Seed: 4},
+		Model:  Model{Seed: 4, NonStrict: true, MaxRounds: 3000},
+		Faults: &Faults{DropProb: 0.3},
+	}
+	recs := Run(s)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	// A 30%-lossy network either stalls the collective (MaxRounds, recorded
+	// in Error) or terminates with the drops visible in the stats; silent
+	// success with zero drops would mean the faults were never injected.
+	if rec.Error == "" && rec.Stats.DroppedFault == 0 {
+		t.Errorf("fault injection left no trace: %+v", rec)
+	}
+}
+
+func TestInterceptorFaults(t *testing.T) {
+	f := &Faults{DropTo: []int{0}, FromRound: 5}
+	ic := f.interceptor()
+	if ic == nil {
+		t.Fatal("no interceptor compiled")
+	}
+	if !ic(4, 1, 0) {
+		t.Error("dropped before FromRound")
+	}
+	if ic(5, 1, 0) {
+		t.Error("kept a message to a dead node")
+	}
+	if !ic(5, 1, 2) {
+		t.Error("dropped an unrelated message")
+	}
+}
