@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: ncc/internal/ncc
+BenchmarkEngineScale/n=65536-8         	       3	 938956118 ns/op	   4466991 msgs/s	262923613 B/op	  431805 allocs/op
+BenchmarkEngineScale/n=65536-8         	       3	 900000000 ns/op	   4600000 msgs/s	262923613 B/op	  431805 allocs/op
+BenchmarkEngineScale/n=262144-8        	       1	3181536159 ns/op	    329582 msgs/s
+PASS
+`
+
+func runCheck(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseTakesMinimumAcrossCounts(t *testing.T) {
+	results := map[string]float64{}
+	parseBench(benchOutput, results)
+	if got := results["BenchmarkEngineScale/n=65536"]; got != 9e8 {
+		t.Errorf("min ns/op = %v, want 9e8", got)
+	}
+	if _, ok := results["BenchmarkEngineScale/n=262144"]; !ok {
+		t.Error("second benchmark not parsed")
+	}
+}
+
+func TestUpdateThenCompareRoundTrip(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "base.json")
+	code, _, errw := runCheck(t, benchOutput, "-update", "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("update exit %d: %s", code, errw)
+	}
+	// Identical numbers compare clean.
+	code, out, errw := runCheck(t, benchOutput, "-baseline", baseline, "-match", "EngineScale")
+	if code != 0 {
+		t.Fatalf("compare exit %d: %s\n%s", code, errw, out)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("expected ok rows:\n%s", out)
+	}
+}
+
+func TestRegressionBeyondToleranceFails(t *testing.T) {
+	baseline := writeFile(t, "base.json",
+		`{"nsPerOp": {"BenchmarkEngineScale/n=65536": 500000000}}`)
+	code, out, _ := runCheck(t, benchOutput, "-baseline", baseline, "-match", "n=65536")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (9e8 is +80%% over 5e8)\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("missing REGRESSION marker:\n%s", out)
+	}
+}
+
+func TestRegressionWithinTolerancePasses(t *testing.T) {
+	baseline := writeFile(t, "base.json",
+		`{"nsPerOp": {"BenchmarkEngineScale/n=65536": 800000000}}`)
+	code, out, errw := runCheck(t, benchOutput, "-baseline", baseline, "-match", "n=65536")
+	if code != 0 {
+		t.Fatalf("exit = %d (9e8 is +12.5%% over 8e8, within 20%%): %s\n%s", code, errw, out)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	baseline := writeFile(t, "base.json",
+		`{"nsPerOp": {"BenchmarkEngineScale/n=1048576": 1}}`)
+	code, _, errw := runCheck(t, benchOutput, "-baseline", baseline, "-match", "n=1048576")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for missing benchmark", code)
+	}
+	if !strings.Contains(errw, "missing from input") {
+		t.Errorf("missing diagnosis: %s", errw)
+	}
+}
+
+func TestEmptyInputRejected(t *testing.T) {
+	if code, _, _ := runCheck(t, "no benchmarks here"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

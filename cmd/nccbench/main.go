@@ -9,6 +9,7 @@
 //	nccbench -list
 //	nccbench -exp mst
 //	nccbench -exp all [-quick] [-workers 4] [-json]
+//	nccbench -exp gossip -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ncc/internal/bench"
 )
@@ -35,6 +38,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiments and exit")
 	jsonOut := fs.Bool("json", false, "emit experiment output as JSON lines")
 	workers := fs.Int("workers", 0, "round-engine delivery workers (0 = GOMAXPROCS); does not change results")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
+	memprofile := fs.String("memprofile", "", "write a heap profile to `file` after the experiments finish")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -42,6 +47,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	bench.Workers = *workers
+
+	// Profiling hooks, so hot-path regressions are diagnosable from the CLI
+	// without editing code: go tool pprof <binary> cpu.out
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // record the settled heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.All() {

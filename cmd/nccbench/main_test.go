@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -83,6 +84,27 @@ func TestJSONModeEmitsParseableLines(t *testing.T) {
 	}
 	if !sawTable {
 		t.Errorf("no table line in JSON output:\n%s", out)
+	}
+}
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.out", dir+"/mem.out"
+	code, _, errw := runCapture(t, "-exp", "bfs", "-quick", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -12,11 +12,6 @@ import (
 	"ncc/internal/ncc"
 )
 
-// bcastToken is a one-word broadcast/gossip payload.
-type bcastToken struct{ val uint64 }
-
-func (bcastToken) Words() int { return 1 }
-
 // DirectBroadcast delivers one word from src to every node by direct sends,
 // cap nodes per round: Theta(n / log n) rounds — the naive alternative to the
 // butterfly broadcast's O(log n).
@@ -34,13 +29,13 @@ func DirectBroadcast(ctx *ncc.Context, src ncc.NodeID, val uint64) uint64 {
 					k--
 					continue
 				}
-				ctx.Send(next, bcastToken{val: val})
+				ctx.SendWord(next, ncc.Word(val))
 				next++
 			}
 		}
 		for _, rc := range ctx.EndRound() {
-			if m, ok := rc.Payload.(bcastToken); ok {
-				got = m.val
+			if w, ok := rc.AsWord(); ok {
+				got = uint64(w)
 			}
 		}
 	}
@@ -73,12 +68,12 @@ func Gossip(ctx *ncc.Context, token uint64) uint64 {
 	for sent < n {
 		burst := min(capacity, n-sent)
 		for k := 0; k < burst; k++ {
-			ctx.Send((ctx.ID()+sent+k)%n, bcastToken{val: token})
+			ctx.SendWord((ctx.ID()+sent+k)%n, ncc.Word(token))
 		}
 		sent += burst
 		for _, rc := range ctx.EndRound() {
-			if m, ok := rc.Payload.(bcastToken); ok {
-				sum += m.val
+			if w, ok := rc.AsWord(); ok {
+				sum += uint64(w)
 			}
 		}
 	}
@@ -120,7 +115,7 @@ func NaiveBFS(s *comm.Session, g *graph.Graph, src int) (int, int) {
 			}
 			s.Advance()
 			for _, rc := range s.TakeDirect() {
-				m, ok := rc.Payload.(floodMsg)
+				m, ok := rc.Payload().(floodMsg)
 				if !ok {
 					continue
 				}

@@ -71,7 +71,7 @@ func CentralizedMST(s *comm.Session, wg *graph.Weighted) [][2]int {
 		s.Advance()
 		if me == 0 {
 			for _, rc := range s.TakeDirect() {
-				if e, ok := rc.Payload.(edgeMsg); ok {
+				if e, ok := rc.Payload().(edgeMsg); ok {
 					edges = append(edges, seq.Edge{U: int(e.u), V: int(e.v), W: e.w})
 				}
 			}

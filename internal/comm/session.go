@@ -76,7 +76,7 @@ func NewSession(ctx *ncc.Context) *Session {
 // Advance runs one communication round and dispatches everything received.
 func (s *Session) Advance() {
 	for _, rc := range s.Ctx.EndRound() {
-		switch m := rc.Payload.(type) {
+		switch m := rc.Payload().(type) {
 		case gatherMsg:
 			s.qGather = append(s.qGather, gatherFrom{rc.From, m})
 		case releaseMsg:

@@ -229,7 +229,7 @@ func TestDirectMessages(t *testing.T) {
 		s.Advance()
 		s.Synchronize()
 		d := s.TakeDirect()
-		if len(d) != 1 || d[0].Payload.(ncc.Word) != 99 {
+		if len(d) != 1 || d[0].Payload().(ncc.Word) != 99 {
 			panic("direct message lost or corrupted")
 		}
 		gotFrom[s.Ctx.ID()] = d[0].From

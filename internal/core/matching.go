@@ -57,7 +57,7 @@ func Matching(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) int 
 		s.Advance()
 		acceptedByChosen := false
 		for _, rc := range s.TakeDirect() {
-			if _, ok := rc.Payload.(acceptMsg); ok && rc.From == ch {
+			if _, ok := rc.Payload().(acceptMsg); ok && rc.From == ch {
 				acceptedByChosen = true
 			}
 		}
@@ -78,7 +78,7 @@ func Matching(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) int 
 		}
 		s.Advance()
 		for _, rc := range s.TakeDirect() {
-			if _, ok := rc.Payload.(proposeMsg); ok && rc.From == prop {
+			if _, ok := rc.Payload().(proposeMsg); ok && rc.From == prop {
 				mate = prop
 			}
 		}

@@ -164,7 +164,7 @@ func MSTWithComponents(s *comm.Session, wg *graph.Weighted) ([][2]int, int) {
 				adopted = newLeader
 			}
 			for _, rc := range s.TakeDirect() {
-				if m, ok := rc.Payload.(newLeaderMsg); ok {
+				if m, ok := rc.Payload().(newLeaderMsg); ok {
 					adopted = int(m.leader)
 				}
 			}

@@ -107,7 +107,7 @@ type directBuf struct {
 
 func (b *directBuf) pump(s *comm.Session) {
 	for _, rc := range s.TakeDirect() {
-		switch m := rc.Payload.(type) {
+		switch m := rc.Payload().(type) {
 		case uhighID:
 			b.uhighIDs = append(b.uhighIDs, m)
 		case nbrAnnounce:

@@ -51,14 +51,15 @@ type observer struct {
 
 func (o *observer) ObserveRound(round int, msgs []ncc.Envelope) {
 	clear(o.loads)
-	for _, e := range msgs {
+	for i := range msgs {
+		e := &msgs[i]
 		p, q := o.machineOf[e.From], o.machineOf[e.To]
 		if p == q {
 			o.res.IntraMessages++
 			continue
 		}
 		o.res.CrossMessages++
-		o.loads[[2]int{p, q}] += e.Payload.Words()
+		o.loads[[2]int{p, q}] += e.Words() // width cached at Send time
 	}
 	// Direct store-and-forward routing: the round's cost is the most loaded
 	// link's transfer time (at least one k-machine round per NCC round, for

@@ -1,0 +1,54 @@
+package ncc
+
+import "testing"
+
+// TestSteadyStateAllocs pins the zero-allocation property of the message
+// plane: once per-node buffers have warmed up (a handful of rounds), extra
+// rounds of capacity-saturating Word traffic must allocate nothing per
+// message — no payload boxing, no per-round barrier channels, no staging
+// buffers. It measures the allocation *difference* between a short and a
+// long run of the same traffic shape, so one-time setup costs (goroutines,
+// contexts, warm-up growth) cancel out.
+func TestSteadyStateAllocs(t *testing.T) {
+	const (
+		n        = 256
+		warmup   = 5
+		extra    = 100
+		workers  = 1 // AllocsPerRun pins GOMAXPROCS to 1 anyway
+		perMsgOK = 0.01
+	)
+	program := func(rounds int) func() {
+		return func() {
+			st, err := Run(Config{N: n, Seed: 1, CapFactor: 1, Workers: workers}, func(ctx *Context) {
+				for r := 0; r < rounds; r++ {
+					for k := 1; k <= ctx.Cap(); k++ {
+						ctx.SendWord((ctx.ID()+k)%ctx.N(), Word(uint64(k)))
+					}
+					ctx.EndRound()
+				}
+			})
+			if err != nil {
+				panic(err)
+			}
+			if st.Rounds != rounds {
+				panic("unexpected round count")
+			}
+		}
+	}
+	short := testing.AllocsPerRun(3, program(warmup))
+	long := testing.AllocsPerRun(3, program(warmup+extra))
+
+	capacity := (Config{N: n, CapFactor: 1}).Cap()
+	extraMsgs := float64(extra * n * capacity)
+	perMsg := (long - short) / extraMsgs
+	perRound := (long - short) / extra
+	t.Logf("allocs: short=%v long=%v -> %.5f allocs/message, %.2f allocs/round", short, long, perMsg, perRound)
+	if perMsg > perMsgOK {
+		t.Errorf("steady state allocates %.5f allocs/message (limit %v): the zero-allocation message plane regressed", perMsg, perMsgOK)
+	}
+	// A round barrier must not allocate either (the old engine paid one
+	// make(chan) per round plus boxing; allow a little GC noise).
+	if perRound > 8 {
+		t.Errorf("steady state allocates %.2f allocs/round, want ~0: per-round allocation crept back in", perRound)
+	}
+}

@@ -1,0 +1,106 @@
+package ncc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// barrier is the engine's sharded round barrier. Nodes arrive by decrementing
+// their shard's atomic countdown; the last arrival of the last non-empty
+// shard performs exactly one wake of the coordinator. Release is
+// generation-counted: the coordinator bumps an atomic state word and
+// broadcasts each shard's condition variable, so a round barrier costs O(N)
+// uncontended atomics plus one park/unpark per node — no per-round channel
+// allocation and no serialized submit funnel.
+//
+// The state word is generation<<1 | abortBit. Once the abort bit is set the
+// barrier never releases again; woken (or newly arriving) nodes observe the
+// bit and unwind with errAborted.
+type barrier struct {
+	shards    []barrierShard
+	remaining atomic.Int32  // non-empty shards that have not fully arrived
+	state     atomic.Uint64 // generation<<1 | abort bit
+	wake      chan struct{} // capacity 1; one send per completed barrier
+}
+
+// barrierShard keeps each shard's countdown on its own cache lines; the
+// mutex/cond pair is used only for parking, never on the arrival path.
+type barrierShard struct {
+	count atomic.Int32
+	_     [60]byte // keep neighbouring shard countdowns off this cache line
+	mu    sync.Mutex
+	cond  sync.Cond
+}
+
+func newBarrier(shards int) *barrier {
+	b := &barrier{shards: make([]barrierShard, shards), wake: make(chan struct{}, 1)}
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.cond.L = &s.mu
+	}
+	return b
+}
+
+// reset arms the barrier for the next round: shard i expects live[i]
+// arrivals. Only the coordinator calls this, strictly between barrier
+// completion (wake received) and release, when no node is running.
+func (b *barrier) reset(live []int32) {
+	rem := int32(0)
+	for i := range b.shards {
+		b.shards[i].count.Store(live[i])
+		if live[i] > 0 {
+			rem++
+		}
+	}
+	b.remaining.Store(rem)
+}
+
+// arrive records one node's arrival at the current barrier. The last arrival
+// overall wakes the coordinator. The non-blocking send covers the post-abort
+// case where the coordinator has already exited and stops draining wakes.
+func (b *barrier) arrive(shard int) {
+	if b.shards[shard].count.Add(-1) == 0 {
+		if b.remaining.Add(-1) == 0 {
+			select {
+			case b.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// await blocks until the barrier state moves past start (release or abort)
+// and returns the new state. The caller must have captured start before its
+// arrive call: a release can happen the instant the last arrival lands.
+func (b *barrier) await(shard int, start uint64) uint64 {
+	if st := b.state.Load(); st != start {
+		return st
+	}
+	s := &b.shards[shard]
+	s.mu.Lock()
+	st := b.state.Load()
+	for st == start {
+		s.cond.Wait()
+		st = b.state.Load()
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// release advances the generation — setting the abort bit when the run is
+// failing — and wakes every parked node. The empty lock/unlock of each shard
+// mutex orders the state store before any in-flight waiter can park, closing
+// the check-then-wait race.
+func (b *barrier) release(abortRun bool) {
+	st := (b.state.Load() &^ 1) + 2
+	if abortRun {
+		st |= 1
+	}
+	b.state.Store(st)
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		s.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		s.cond.Broadcast()
+	}
+}

@@ -3,6 +3,7 @@ package ncc
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 )
 
@@ -16,13 +17,6 @@ type NodeID = int
 // rejects payloads larger than Config.MaxWords.
 type Payload interface {
 	Words() int
-}
-
-// Envelope is a message in transit.
-type Envelope struct {
-	From    NodeID
-	To      NodeID
-	Payload Payload
 }
 
 // Observer is notified once per round with every message accepted for
@@ -125,6 +119,9 @@ func (c Config) validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("ncc: config Workers = %d, need >= 0", c.Workers)
 	}
+	if c.MaxWords < 1 {
+		return fmt.Errorf("ncc: config MaxWords = %d, need >= 1", c.MaxWords)
+	}
 	return nil
 }
 
@@ -142,18 +139,14 @@ func CeilLog2(n int) int {
 	if n <= 1 {
 		return 0
 	}
-	k := 0
-	for v := n - 1; v > 0; v >>= 1 {
-		k++
-	}
-	return k
+	return bits.Len(uint(n - 1))
 }
 
-// FloorLog2 returns floor(log2(n)) for n >= 1.
+// FloorLog2 returns floor(log2(n)) for n >= 1 (-1 for n < 1, matching the
+// historical loop-based implementation).
 func FloorLog2(n int) int {
-	k := -1
-	for v := n; v > 0; v >>= 1 {
-		k++
+	if n < 1 {
+		return -1
 	}
-	return k
+	return bits.Len(uint(n)) - 1
 }

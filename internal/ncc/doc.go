@@ -20,4 +20,18 @@
 // count: per-node program RNGs are derived from the seed, deliveries are
 // ordered by sender id, fault decisions use a per-(round, sender) PRNG, and
 // receive-overflow truncation uses a per-(round, receiver) PRNG.
+//
+// The engine is built for large N (10^5-10^6 nodes, where the model's
+// O(log n) capacity bounds become interesting). The round barrier is a set
+// of per-shard atomic countdowns: a node arriving at EndRound decrements its
+// shard's counter, the last arrival overall performs one coordinator wake,
+// and release is a generation-counted atomic bump plus a per-shard condvar
+// broadcast — no per-round channel allocation and no serialized submit
+// funnel. The steady-state message path allocates nothing: Word and Words2
+// payloads travel inline inside Envelope/Received (use SendWord/SendWords2
+// and AsWord/AsWords2 to stay off the heap entirely), larger payloads keep
+// the Payload interface with Words() cached at Send time, and outboxes,
+// buckets and inboxes are sized from observed traffic and reused across
+// rounds. TestSteadyStateAllocs pins ~0 allocs/message; BenchmarkEngineScale
+// tracks 64k/256k/1M-node throughput against BENCH_baseline.json in CI.
 package ncc

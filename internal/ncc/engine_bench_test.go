@@ -53,13 +53,59 @@ func BenchmarkEngineDense(b *testing.B) {
 				runEngineBench(b, n, w, func(ctx *Context) {
 					for r := 0; r < benchRounds; r++ {
 						for k := 1; k <= ctx.Cap(); k++ {
-							ctx.Send((ctx.ID()+k)%ctx.N(), Word(uint64(k)))
+							ctx.SendWord((ctx.ID()+k)%ctx.N(), Word(uint64(k)))
 						}
 						ctx.EndRound()
 					}
 				})
 			})
 		}
+	}
+}
+
+// BenchmarkEngineScale is the large-N trajectory: the node counts where the
+// paper's O(log n) capacity bounds become interesting. The 64k point runs
+// dense traffic (every node saturates cap = log2 n) and is the regression
+// gate CI compares against BENCH_baseline.json; the 256k and 1M points run
+// one message per node per round so a single iteration stays inside CI's
+// bench-smoke budget. Workers defaults to GOMAXPROCS.
+func BenchmarkEngineScale(b *testing.B) {
+	cases := []struct {
+		n, rounds int
+		dense     bool
+	}{
+		{65536, 4, true},
+		{262144, 4, false},
+		{1048576, 2, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(fmt.Sprintf("n=%d", tc.n), func(b *testing.B) {
+			b.ReportAllocs()
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				st, err := Run(Config{N: tc.n, Seed: 1, CapFactor: 1}, func(ctx *Context) {
+					for r := 0; r < tc.rounds; r++ {
+						if tc.dense {
+							for k := 1; k <= ctx.Cap(); k++ {
+								ctx.SendWord((ctx.ID()+k)%ctx.N(), Word(uint64(k)))
+							}
+						} else {
+							ctx.SendWord((ctx.ID()+1)%ctx.N(), Word(uint64(r)))
+						}
+						ctx.EndRound()
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Rounds != tc.rounds {
+					b.Fatalf("rounds = %d, want %d", st.Rounds, tc.rounds)
+				}
+				msgs = st.Messages
+			}
+			b.ReportMetric(float64(msgs)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+		})
 	}
 }
 
@@ -71,7 +117,7 @@ func BenchmarkEngineSparse(b *testing.B) {
 			b.Run(fmt.Sprintf("n=%d/w=%d", n, w), func(b *testing.B) {
 				runEngineBench(b, n, w, func(ctx *Context) {
 					for r := 0; r < benchRounds; r++ {
-						ctx.Send((ctx.ID()+1)%ctx.N(), Word(1))
+						ctx.SendWord((ctx.ID()+1)%ctx.N(), Word(1))
 						ctx.EndRound()
 					}
 				})
@@ -89,7 +135,7 @@ func BenchmarkEngineOverload(b *testing.B) {
 				runEngineBench(b, n, w, func(ctx *Context) {
 					for r := 0; r < benchRounds; r++ {
 						if ctx.ID() != 0 {
-							ctx.Send(0, Word(uint64(r)))
+							ctx.SendWord(0, Word(uint64(r)))
 						}
 						ctx.EndRound()
 					}

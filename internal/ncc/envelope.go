@@ -1,0 +1,141 @@
+package ncc
+
+import "unsafe"
+
+// payloadKind discriminates the inline payload fast path from boxed payloads.
+// The dominant one- and two-word payloads travel as inline machine words; any
+// other Payload implementation stays behind the interface with its width
+// cached once at Send time.
+type payloadKind uint8
+
+const (
+	kindBoxed  payloadKind = iota // payload held in the boxed interface
+	kindWord                      // one inline word in a
+	kindWords2                    // two inline words in a, b
+)
+
+// Envelope is a message in transit. Word and Words2 payloads are stored
+// inline (no heap boxing); larger payloads keep their interface with the
+// Words() result cached at Send time, so the width is computed exactly once
+// per message no matter how many engine phases or observers read it.
+type Envelope struct {
+	From NodeID
+	To   NodeID
+	a, b uint64
+
+	boxed Payload
+	kind  payloadKind
+	width int32
+}
+
+// envelopeBytes is the in-memory size of one Envelope, used by the engine's
+// provisioning heuristics.
+const envelopeBytes = int(unsafe.Sizeof(Envelope{}))
+
+// MakeEnvelope builds an Envelope exactly as Context.Send would: Word and
+// Words2 payloads are inlined, anything else is boxed with its width cached.
+// It is the constructor for tests and Observer tooling; the engine applies
+// MaxWords validation on top of it.
+func MakeEnvelope(from, to NodeID, p Payload) Envelope {
+	switch v := p.(type) {
+	case Word:
+		return Envelope{From: from, To: to, a: uint64(v), kind: kindWord}
+	case Words2:
+		return Envelope{From: from, To: to, a: v[0], b: v[1], kind: kindWords2}
+	default:
+		return Envelope{From: from, To: to, boxed: p, kind: kindBoxed, width: int32(p.Words())}
+	}
+}
+
+// Words reports the payload width in machine words, from the cached value —
+// never by re-invoking Payload.Words on the delivery path.
+func (e *Envelope) Words() int {
+	switch e.kind {
+	case kindWord:
+		return 1
+	case kindWords2:
+		return 2
+	default:
+		return int(e.width)
+	}
+}
+
+// Payload materializes the message content. Inline Word/Words2 payloads are
+// re-boxed on demand (the assertion `e.Payload().(T)` keeps working for every
+// payload type); on allocation-sensitive paths prefer AsWord/AsWords2.
+func (e *Envelope) Payload() Payload {
+	switch e.kind {
+	case kindWord:
+		return Word(e.a)
+	case kindWords2:
+		return Words2{e.a, e.b}
+	default:
+		return e.boxed
+	}
+}
+
+// AsWord returns the payload as a Word without boxing, and whether the
+// message carried exactly a Word.
+func (e *Envelope) AsWord() (Word, bool) {
+	if e.kind == kindWord {
+		return Word(e.a), true
+	}
+	return 0, false
+}
+
+// AsWords2 returns the payload as a Words2 without boxing, and whether the
+// message carried exactly a Words2.
+func (e *Envelope) AsWords2() (Words2, bool) {
+	if e.kind == kindWords2 {
+		return Words2{e.a, e.b}, true
+	}
+	return Words2{}, false
+}
+
+// Received is a message delivered to a node at a round barrier. Like
+// Envelope, it stores Word/Words2 payloads inline so the steady-state
+// delivery path performs no heap allocation per message.
+type Received struct {
+	From NodeID
+	a, b uint64
+
+	boxed Payload
+	kind  payloadKind
+}
+
+// received converts an in-transit envelope into its delivered form.
+func (e *Envelope) received() Received {
+	return Received{From: e.From, a: e.a, b: e.b, boxed: e.boxed, kind: e.kind}
+}
+
+// Payload materializes the message content; inline Word/Words2 payloads are
+// re-boxed on demand. Type switches like `rc.Payload().(type)` work for every
+// payload; use AsWord/AsWords2 on allocation-sensitive paths.
+func (m *Received) Payload() Payload {
+	switch m.kind {
+	case kindWord:
+		return Word(m.a)
+	case kindWords2:
+		return Words2{m.a, m.b}
+	default:
+		return m.boxed
+	}
+}
+
+// AsWord returns the payload as a Word without boxing, and whether the
+// message carried exactly a Word.
+func (m *Received) AsWord() (Word, bool) {
+	if m.kind == kindWord {
+		return Word(m.a), true
+	}
+	return 0, false
+}
+
+// AsWords2 returns the payload as a Words2 without boxing, and whether the
+// message carried exactly a Words2.
+func (m *Received) AsWords2() (Words2, bool) {
+	if m.kind == kindWords2 {
+		return Words2{m.a, m.b}, true
+	}
+	return Words2{}, false
+}

@@ -8,16 +8,11 @@ import (
 	"sync"
 )
 
-// Received is a message delivered to a node at a round barrier.
-type Received struct {
-	From    NodeID
-	Payload Payload
-}
-
 // Context is a node's handle on the network. It is used by exactly one
 // goroutine (the node's program) and is not safe for concurrent use.
 type Context struct {
 	id    NodeID
+	shard int
 	r     *run
 	rng   *rand.Rand
 	out   []Envelope
@@ -44,24 +39,95 @@ func (c *Context) Rand() *rand.Rand { return c.rng }
 // Pending returns the number of messages buffered for sending this round.
 func (c *Context) Pending() int { return len(c.out) }
 
-// Send buffers a message for delivery at the next round barrier. Sending to
-// oneself or out of range is a program bug and panics. Payloads larger than
-// Config.MaxWords panic: the model only admits O(log n)-bit messages.
-func (c *Context) Send(to NodeID, p Payload) {
+// checkSend validates the destination of a buffered message. Sending to
+// oneself or out of range is a program bug and panics.
+func (c *Context) checkSend(to NodeID) {
 	if to == c.id {
 		panic(fmt.Sprintf("ncc: node %d sent a message to itself", c.id))
 	}
 	if to < 0 || to >= c.r.cfg.N {
 		panic(fmt.Sprintf("ncc: node %d sent to out-of-range node %d", c.id, to))
 	}
+}
+
+// growOut grows the node's outbox. Runs small enough that every node can
+// afford a full-capacity outbox (provisionOut) jump straight to cap slots, so
+// a node saturating the model's send bound pays exactly one allocation per
+// run; very large sparse runs double from a small base instead, keeping
+// memory proportional to actual traffic.
+func (c *Context) growOut() []Envelope {
+	target := max(4, 2*cap(c.out))
+	if c.r.provisionOut {
+		target = max(target, c.r.cap)
+	}
+	out := make([]Envelope, len(c.out), target)
+	copy(out, c.out)
+	c.out = out
+	return out
+}
+
+// pushOut appends one envelope to the outbox with the growth policy above.
+func (c *Context) pushOut(e Envelope) {
+	out := c.out
+	if len(out) == cap(out) {
+		out = c.growOut()
+	}
+	out = out[:len(out)+1]
+	out[len(out)-1] = e
+	c.out = out
+}
+
+// Send buffers a message for delivery at the next round barrier. Word and
+// Words2 payloads are stored inline; any other payload is boxed with its
+// width cached, so Payload.Words is invoked exactly once per message.
+// Payloads larger than Config.MaxWords panic: the model only admits
+// O(log n)-bit messages.
+//
+// Note that passing a Word or Words2 through the Payload interface may make
+// the compiler heap-allocate the short-lived interface value at the call
+// site; hot loops should use SendWord/SendWords2, which never box.
+func (c *Context) Send(to NodeID, p Payload) {
+	c.checkSend(to)
 	if p == nil {
 		panic(fmt.Sprintf("ncc: node %d sent a nil payload", c.id))
 	}
-	if w := p.Words(); w > c.r.cfg.MaxWords {
-		panic(fmt.Sprintf("ncc: node %d payload of %d words exceeds MaxWords=%d (%T)",
-			c.id, w, c.r.cfg.MaxWords, p))
+	switch v := p.(type) {
+	case Word:
+		c.pushOut(Envelope{From: c.id, To: to, a: uint64(v), kind: kindWord})
+	case Words2:
+		if c.r.cfg.MaxWords < 2 {
+			c.panicOversized(2, p)
+		}
+		c.pushOut(Envelope{From: c.id, To: to, a: v[0], b: v[1], kind: kindWords2})
+	default:
+		w := p.Words()
+		if w > c.r.cfg.MaxWords {
+			c.panicOversized(w, p)
+		}
+		c.pushOut(Envelope{From: c.id, To: to, boxed: p, kind: kindBoxed, width: int32(w)})
 	}
-	c.out = append(c.out, Envelope{From: c.id, To: to, Payload: p})
+}
+
+// SendWord buffers a one-word message. It is the allocation-free fast path:
+// unlike Send(to, Word(w)) the payload never travels through an interface,
+// so nothing escapes to the heap.
+func (c *Context) SendWord(to NodeID, w Word) {
+	c.checkSend(to)
+	c.pushOut(Envelope{From: c.id, To: to, a: uint64(w), kind: kindWord})
+}
+
+// SendWords2 buffers a two-word message without boxing; see SendWord.
+func (c *Context) SendWords2(to NodeID, w Words2) {
+	c.checkSend(to)
+	if c.r.cfg.MaxWords < 2 {
+		c.panicOversized(2, w)
+	}
+	c.pushOut(Envelope{From: c.id, To: to, a: w[0], b: w[1], kind: kindWords2})
+}
+
+func (c *Context) panicOversized(w int, p Payload) {
+	panic(fmt.Sprintf("ncc: node %d payload of %d words exceeds MaxWords=%d (%T)",
+		c.id, w, c.r.cfg.MaxWords, p))
 }
 
 // EndRound submits the buffered messages to the round barrier, blocks until
@@ -69,32 +135,25 @@ func (c *Context) Send(to NodeID, p Payload) {
 // this node, ordered by sender id. The returned slice is reused at the next
 // barrier and must not be retained across rounds.
 func (c *Context) EndRound() []Received {
-	if c.r.cfg.Strict && len(c.out) > c.r.cap {
+	r := c.r
+	if r.cfg.Strict && len(c.out) > r.cap {
 		panic(fmt.Sprintf("ncc: node %d sent %d messages in round %d, capacity is %d",
-			c.id, len(c.out), c.round, c.r.cap))
+			c.id, len(c.out), c.round, r.cap))
 	}
-	// The release channel must be captured before submitting: once every
-	// live node has submitted, the coordinator delivers the round and then
-	// swaps r.release (the submit send/receive pair orders that swap after
-	// this read, and the close orders the next read after the swap).
-	release := c.r.release
-	select {
-	case c.r.submit <- submission{id: c.id}:
-	case <-c.r.abort:
+	// The barrier generation must be captured before arriving: the
+	// coordinator may deliver and release the instant the last arrival
+	// lands. Before this node arrives no release can happen (the round is
+	// still incomplete), so the captured state is stable.
+	start := r.bar.state.Load()
+	if start&1 != 0 {
 		panic(errAborted)
 	}
-	select {
-	case <-release:
-	case <-c.r.abort:
+	r.bar.arrive(c.shard)
+	if r.bar.await(c.shard, start)&1 != 0 {
 		panic(errAborted)
 	}
 	c.round++
 	return c.inbox
-}
-
-type submission struct {
-	id       NodeID
-	finished bool
 }
 
 // errAborted is the sentinel panic used to unwind node goroutines when the
@@ -111,23 +170,40 @@ type run struct {
 	workers    int
 	shardWidth int // ceil(N / workers); node id / shardWidth = its shard
 	nodes      []*Context
-	submit     chan submission
-	abort      chan struct{}
+	bar        *barrier
 	errCh      chan error
-	release    chan struct{} // closed to release one round's barrier, then swapped
 	stats      Stats
 	err        error
 	pool       *workerPool
 
+	// provisionOut: outboxes may grow straight to cap slots (see growOut).
+	provisionOut bool
+
+	// finMu guards finQ, the ids of nodes whose programs returned since the
+	// last barrier. The coordinator drains it only after barrier completion,
+	// when no node is running, so the slice swap below is race-free.
+	finMu sync.Mutex
+	finQ  []NodeID
+
+	// Coordinator-owned round state (read by delivery workers between
+	// barrier completion and release only).
+	finished    []bool  // finished[id]: node id's program has returned
+	liveInShard []int32 // live-node count per shard, drives barrier reset
+
 	// Scratch, reused across rounds. buckets[i][j] holds the envelopes sent
-	// by sender shard i to receiver shard j this round; perRecv[v] stages
-	// receiver v's grouped messages; shardStats and obsShards are the
-	// per-worker partial results merged by the coordinator.
+	// by sender shard i to receiver shard j this round; recvCounts[v] is
+	// receiver v's offered-message count, computed so inboxes are filled
+	// directly without a staging copy; shardStats and obsShards are the
+	// per-worker partial results merged by the coordinator. sendFn/recvFn
+	// are the two phase method values, bound once so delivery allocates no
+	// closures per round.
 	buckets    [][][]Envelope
-	perRecv    [][]Envelope
+	recvCounts []int32
 	shardStats []Stats
 	obsShards  [][]Envelope
 	obsBuf     []Envelope
+	sendFn     func(int)
+	recvFn     func(int)
 }
 
 // Run executes program on every node of a fresh network and returns the run
@@ -142,31 +218,45 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 		cfg:     cfg,
 		cap:     cfg.Cap(),
 		workers: max(1, min(cfg.Workers, cfg.N)),
-		submit:  make(chan submission, cfg.N),
-		abort:   make(chan struct{}),
 		errCh:   make(chan error, cfg.N),
-		release: make(chan struct{}),
 	}
 	w := r.workers
 	r.shardWidth = (cfg.N + w - 1) / w
+	// Full-capacity outboxes for every node cost N*cap envelopes; provision
+	// them eagerly only while that stays within a modest budget (~64 MiB),
+	// so sparse million-node runs keep memory proportional to traffic.
+	r.provisionOut = int64(cfg.N)*int64(r.cap) <= (64<<20)/int64(envelopeBytes)
 	r.buckets = make([][][]Envelope, w)
 	for i := range r.buckets {
 		r.buckets[i] = make([][]Envelope, w)
 	}
-	r.perRecv = make([][]Envelope, cfg.N)
+	r.recvCounts = make([]int32, cfg.N)
 	r.shardStats = make([]Stats, w)
 	r.obsShards = make([][]Envelope, w)
+	r.finished = make([]bool, cfg.N)
+	r.sendFn = r.sendPhase
+	r.recvFn = r.recvPhase
 	if w > 1 {
 		r.pool = newWorkerPool(w)
 		defer r.pool.close()
 	}
+	// Arm the first barrier before any node can arrive at it.
+	r.bar = newBarrier(w)
+	r.liveInShard = make([]int32, w)
+	for i := 0; i < w; i++ {
+		lo, hi := r.shardRange(i)
+		r.liveInShard[i] = int32(hi - lo)
+	}
+	r.bar.reset(r.liveInShard)
+
 	r.nodes = make([]*Context, cfg.N)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.N; i++ {
 		ctx := &Context{
-			id:  i,
-			r:   r,
-			rng: rand.New(rand.NewPCG(uint64(cfg.Seed)^0x5851f42d4c957f2d, uint64(i)+1)),
+			id:    i,
+			shard: i / r.shardWidth,
+			r:     r,
+			rng:   rand.New(rand.NewPCG(uint64(cfg.Seed)^0x5851f42d4c957f2d, uint64(i)+1)),
 		}
 		r.nodes[i] = ctx
 		wg.Add(1)
@@ -183,10 +273,12 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 					}
 					return
 				}
-				select {
-				case r.submit <- submission{id: ctx.id, finished: true}:
-				case <-r.abort:
-				}
+				// Normal return: queue the node for retirement, then arrive
+				// at the current barrier so the round completes without it.
+				r.finMu.Lock()
+				r.finQ = append(r.finQ, ctx.id)
+				r.finMu.Unlock()
+				r.bar.arrive(ctx.shard)
 			}()
 			program(ctx)
 		}()
@@ -205,32 +297,36 @@ func Collect[T any](cfg Config, program func(*Context) T) ([]T, Stats, error) {
 	return out, st, err
 }
 
+// fail records the abort cause and releases the barrier with the abort bit
+// set, unwinding every parked or late-arriving node.
 func (r *run) fail(err error) {
 	r.err = err
-	close(r.abort)
+	r.bar.release(true)
 }
 
 func (r *run) coordinate() {
 	alive := r.cfg.N
-	finished := make([]bool, r.cfg.N)
-	for alive > 0 {
-		// Barrier: every live node submits exactly once per round (a node
+	for {
+		// Barrier: every live node arrives exactly once per round (a node
 		// blocked at the barrier cannot finish, so the live set is stable
-		// once the count is reached).
-		waiting := 0
-		for waiting < alive {
-			select {
-			case s := <-r.submit:
-				if s.finished {
-					finished[s.id] = true
-					alive--
-					continue
-				}
-				waiting++
-			case err := <-r.errCh:
-				r.fail(err)
-				return
-			}
+		// once the countdown completes).
+		select {
+		case <-r.bar.wake:
+		case err := <-r.errCh:
+			r.fail(err)
+			return
+		}
+		// Retire nodes whose programs returned before this barrier. All
+		// live nodes are parked (or gone) here, so draining finQ and
+		// reusing its backing array cannot race with an append.
+		r.finMu.Lock()
+		fin := r.finQ
+		r.finQ = r.finQ[:0]
+		r.finMu.Unlock()
+		for _, id := range fin {
+			r.finished[id] = true
+			r.liveInShard[r.shardOf(id)]--
+			alive--
 		}
 		if alive == 0 {
 			return
@@ -239,15 +335,13 @@ func (r *run) coordinate() {
 			r.fail(fmt.Errorf("%w (%d)", ErrMaxRounds, r.cfg.MaxRounds))
 			return
 		}
-		if !r.deliverRound(finished) {
+		if !r.deliverRound() {
 			return
 		}
-		// Release every submitted node with one broadcast: swap in a fresh
-		// barrier channel, then close the old one.
-		next := make(chan struct{})
-		old := r.release
-		r.release = next
-		close(old)
+		// Re-arm the countdowns before waking anyone: released nodes may
+		// arrive at the next barrier immediately.
+		r.bar.reset(r.liveInShard)
+		r.bar.release(false)
 	}
 }
 
@@ -262,7 +356,7 @@ func (r *run) shardRange(i int) (int, int) {
 	return lo, hi
 }
 
-// shardOf returns the receiver shard covering node id.
+// shardOf returns the shard covering node id.
 func (r *run) shardOf(id NodeID) int {
 	return id / r.shardWidth
 }
@@ -296,135 +390,166 @@ func pcgIntN(p *rand.PCG, n int) int {
 	}
 }
 
-// deliverRound enforces capacities, applies faults, and hands each live node
-// its inbox for the round just completed. Work is partitioned over
-// r.workers shards: senders are sharded for capacity/fault filtering,
-// receivers are sharded for grouping, overload truncation, and inbox fill.
-// Returns false if the round was aborted by a worker panic (user Interceptor,
-// Observer, or Payload callback).
-func (r *run) deliverRound(finished []bool) bool {
+// sendPhase (phase A) filters sender shard i's outboxes (send-capacity
+// truncation, finished/fault/interceptor drops) into per-receiver-shard
+// buckets, preserving ascending sender-id order within each bucket.
+func (r *run) sendPhase(i int) {
 	round := r.stats.Rounds
 	observing := r.cfg.Observer != nil
-
-	// Phase A: each sender shard filters its nodes' outboxes (send-capacity
-	// truncation, finished/fault/interceptor drops) into per-receiver-shard
-	// buckets, preserving ascending sender-id order within each bucket.
-	err := r.runShards(func(i int) {
-		st := &r.shardStats[i]
-		*st = Stats{}
-		buckets := r.buckets[i]
-		for j := range buckets {
-			buckets[j] = buckets[j][:0]
+	st := &r.shardStats[i]
+	*st = Stats{}
+	buckets := r.buckets[i]
+	for j := range buckets {
+		buckets[j] = buckets[j][:0]
+	}
+	if observing {
+		r.obsShards[i] = r.obsShards[i][:0]
+	}
+	lo, hi := r.shardRange(i)
+	for id := lo; id < hi; id++ {
+		if r.finished[id] {
+			continue
 		}
-		if observing {
-			r.obsShards[i] = r.obsShards[i][:0]
+		ctx := r.nodes[id]
+		out := ctx.out
+		if len(out) > st.MaxSendLoad {
+			st.MaxSendLoad = len(out)
 		}
-		lo, hi := r.shardRange(i)
-		for id := lo; id < hi; id++ {
-			if finished[id] {
+		if len(out) > r.cap {
+			// Non-strict: the excess is dropped (strict mode already
+			// panicked in EndRound).
+			st.DroppedSendOverflow += int64(len(out) - r.cap)
+			out = out[:r.cap]
+		}
+		var frng rand.PCG
+		if r.cfg.DropProb > 0 {
+			frng = roundPCG(r.cfg.Seed, round, id, saltFault)
+		}
+		for k := range out {
+			e := &out[k]
+			if r.finished[e.To] {
+				st.DroppedToFinished++
 				continue
 			}
-			ctx := r.nodes[id]
-			out := ctx.out
-			if len(out) > st.MaxSendLoad {
-				st.MaxSendLoad = len(out)
+			if r.cfg.DropProb > 0 && pcgFloat64(&frng) < r.cfg.DropProb {
+				st.DroppedFault++
+				continue
 			}
-			if len(out) > r.cap {
-				// Non-strict: the excess is dropped (strict mode already
-				// panicked in EndRound).
-				st.DroppedSendOverflow += int64(len(out) - r.cap)
-				out = out[:r.cap]
+			if r.cfg.Interceptor != nil && !r.cfg.Interceptor(round, e.From, e.To) {
+				st.DroppedFault++
+				continue
 			}
-			var frng rand.PCG
-			if r.cfg.DropProb > 0 {
-				frng = roundPCG(r.cfg.Seed, round, id, saltFault)
+			st.Messages++
+			st.Words += int64(e.Words())
+			j := r.shardOf(e.To)
+			buckets[j] = pushEnvelope(buckets[j], e)
+			if observing {
+				r.obsShards[i] = pushEnvelope(r.obsShards[i], e)
 			}
-			for _, e := range out {
-				if finished[e.To] {
-					st.DroppedToFinished++
-					continue
-				}
-				if r.cfg.DropProb > 0 && pcgFloat64(&frng) < r.cfg.DropProb {
-					st.DroppedFault++
-					continue
-				}
-				if r.cfg.Interceptor != nil && !r.cfg.Interceptor(round, e.From, e.To) {
-					st.DroppedFault++
-					continue
-				}
-				st.Messages++
-				st.Words += int64(e.Payload.Words())
-				j := r.shardOf(e.To)
-				buckets[j] = append(buckets[j], e)
-				if observing {
-					r.obsShards[i] = append(r.obsShards[i], e)
-				}
-			}
-			ctx.out = ctx.out[:0]
 		}
-	})
-	if err != nil {
+		ctx.out = ctx.out[:0]
+	}
+}
+
+// recvPhase (phase B) delivers receiver shard j's buckets without a staging
+// copy: a first pass counts the messages offered to each receiver (sizing
+// inboxes exactly and spotting overloads), a second pass appends straight
+// into the inboxes (sender shards visited in ascending order keep messages
+// sender-sorted), and overloaded inboxes are then truncated in place to a
+// seeded-random subset of cap messages.
+func (r *run) recvPhase(j int) {
+	round := r.stats.Rounds
+	st := &r.shardStats[j]
+	*st = Stats{}
+	lo, hi := r.shardRange(j)
+	counts := r.recvCounts[lo:hi]
+	clear(counts)
+	for i := 0; i < r.workers; i++ {
+		bucket := r.buckets[i][j]
+		for k := range bucket {
+			counts[bucket[k].To-lo]++
+		}
+	}
+	for id := lo; id < hi; id++ {
+		if r.finished[id] {
+			continue
+		}
+		ctx := r.nodes[id]
+		c := int(counts[id-lo])
+		if c > st.MaxRecvOffered {
+			st.MaxRecvOffered = c
+		}
+		d := c
+		if c > r.cap {
+			d = r.cap
+			st.DroppedRecvOverflow += int64(c - r.cap)
+		}
+		if d > st.MaxRecvDelivered {
+			st.MaxRecvDelivered = d
+		}
+		// The inbox temporarily holds every offered message (truncation
+		// happens in place below), so provision for the offered count.
+		if cap(ctx.inbox) < c {
+			ctx.inbox = make([]Received, 0, c)
+		} else {
+			ctx.inbox = ctx.inbox[:0]
+		}
+	}
+	for i := 0; i < r.workers; i++ {
+		bucket := r.buckets[i][j]
+		for k := range bucket {
+			e := &bucket[k]
+			ctx := r.nodes[e.To]
+			ctx.inbox = append(ctx.inbox, e.received())
+		}
+	}
+	for id := lo; id < hi; id++ {
+		if int(counts[id-lo]) <= r.cap || r.finished[id] {
+			continue
+		}
+		// Overload: keep a seeded-random subset of cap messages, re-sorted
+		// by sender. The shuffle consumes the per-(round, receiver) PCG in
+		// offered order, so the surviving subset is identical regardless of
+		// the worker count.
+		ctx := r.nodes[id]
+		msgs := ctx.inbox
+		rng := roundPCG(r.cfg.Seed, round, id, saltRecv)
+		for k := len(msgs) - 1; k > 0; k-- {
+			l := pcgIntN(&rng, k+1)
+			msgs[k], msgs[l] = msgs[l], msgs[k]
+		}
+		ctx.inbox = msgs[:r.cap]
+		sortReceivedByFrom(ctx.inbox)
+	}
+}
+
+// deliverRound enforces capacities, applies faults, and hands each live node
+// its inbox for the round just completed. Work is partitioned over r.workers
+// shards: senders are sharded for capacity/fault filtering, receivers for
+// grouping, overload truncation, and inbox fill. Returns false if the round
+// was aborted by a worker panic (user Interceptor, Observer, or Payload
+// callback).
+func (r *run) deliverRound() bool {
+	if err := r.runShards(r.sendFn); err != nil {
 		r.fail(err)
 		return false
 	}
 	r.mergeShardStats()
 
-	if observing {
+	if r.cfg.Observer != nil {
 		// Concatenating the shard buffers in shard order reproduces the
 		// global ascending sender-id order of the serial engine.
 		r.obsBuf = r.obsBuf[:0]
 		for _, s := range r.obsShards {
 			r.obsBuf = append(r.obsBuf, s...)
 		}
-		if err := r.observeRound(round); err != nil {
+		if err := r.observeRound(r.stats.Rounds); err != nil {
 			r.fail(err)
 			return false
 		}
 	}
 
-	// Phase B: each receiver shard groups its buckets per receiver (sender
-	// shards visited in ascending order keep messages sender-sorted),
-	// truncates overloads to a seeded-random subset, and fills inboxes.
-	err = r.runShards(func(j int) {
-		st := &r.shardStats[j]
-		*st = Stats{}
-		for i := 0; i < r.workers; i++ {
-			for _, e := range r.buckets[i][j] {
-				r.perRecv[e.To] = append(r.perRecv[e.To], e)
-			}
-		}
-		lo, hi := r.shardRange(j)
-		for id := lo; id < hi; id++ {
-			if finished[id] {
-				continue
-			}
-			ctx := r.nodes[id]
-			buf := r.perRecv[id]
-			msgs := buf
-			if len(msgs) > st.MaxRecvOffered {
-				st.MaxRecvOffered = len(msgs)
-			}
-			if len(msgs) > r.cap {
-				st.DroppedRecvOverflow += int64(len(msgs) - r.cap)
-				rng := roundPCG(r.cfg.Seed, round, id, saltRecv)
-				for k := len(msgs) - 1; k > 0; k-- {
-					l := pcgIntN(&rng, k+1)
-					msgs[k], msgs[l] = msgs[l], msgs[k]
-				}
-				msgs = msgs[:r.cap]
-				sortEnvelopesByFrom(msgs)
-			}
-			if len(msgs) > st.MaxRecvDelivered {
-				st.MaxRecvDelivered = len(msgs)
-			}
-			ctx.inbox = ctx.inbox[:0]
-			for _, e := range msgs {
-				ctx.inbox = append(ctx.inbox, Received{From: e.From, Payload: e.Payload})
-			}
-			r.perRecv[id] = buf[:0]
-		}
-	})
-	if err != nil {
+	if err := r.runShards(r.recvFn); err != nil {
 		r.fail(err)
 		return false
 	}
@@ -466,10 +591,10 @@ func (r *run) mergeShardStats() {
 	}
 }
 
-// sortEnvelopesByFrom is a small insertion sort: post-truncation inboxes hold
+// sortReceivedByFrom is a small insertion sort: post-truncation inboxes hold
 // at most cap = O(log n) messages, where it beats sort.SliceStable and
 // allocates nothing. It is stable, preserving send order per sender.
-func sortEnvelopesByFrom(msgs []Envelope) {
+func sortReceivedByFrom(msgs []Received) {
 	for i := 1; i < len(msgs); i++ {
 		e := msgs[i]
 		j := i - 1
@@ -479,6 +604,20 @@ func sortEnvelopesByFrom(msgs []Envelope) {
 		}
 		msgs[j+1] = e
 	}
+}
+
+// pushEnvelope appends with exact-doubling growth. The built-in append grows
+// large slices by only 1.25x, which costs ~5x the final size in cumulative
+// allocation while a round's buckets warm up; doubling caps that at 2x.
+func pushEnvelope(s []Envelope, e *Envelope) []Envelope {
+	if len(s) == cap(s) {
+		ns := make([]Envelope, len(s), max(16, 2*cap(s)))
+		copy(ns, s)
+		s = ns
+	}
+	s = s[:len(s)+1]
+	s[len(s)-1] = *e
+	return s
 }
 
 // runShards executes fn(i) for every shard 0..workers-1, inline when the run
@@ -497,9 +636,13 @@ func (r *run) runShards(fn func(int)) (err error) {
 }
 
 // workerPool is a fixed set of goroutines executing round-delivery shards.
-// It exists so the engine does not pay a goroutine spawn per phase per round.
+// It exists so the engine does not pay a goroutine spawn per phase per round;
+// the dispatch WaitGroup and panic box live in the pool so a dispatch does
+// not allocate either.
 type workerPool struct {
 	jobs chan poolJob
+	wg   sync.WaitGroup
+	box  panicBox
 }
 
 type poolJob struct {
@@ -541,16 +684,16 @@ func newWorkerPool(n int) *workerPool {
 }
 
 // run dispatches fn over shards 0..n-1 and waits for completion, returning
-// the first panic (if any) as an error.
+// the first panic (if any) as an error. Only the coordinator calls this, one
+// dispatch at a time, so the pool-owned WaitGroup and box can be reused.
 func (p *workerPool) run(n int, fn func(int)) error {
-	var wg sync.WaitGroup
-	var box panicBox
-	wg.Add(n)
+	p.box.err = nil
+	p.wg.Add(n)
 	for i := 0; i < n; i++ {
-		p.jobs <- poolJob{fn: fn, shard: i, wg: &wg, panic: &box}
+		p.jobs <- poolJob{fn: fn, shard: i, wg: &p.wg, panic: &p.box}
 	}
-	wg.Wait()
-	return box.err
+	p.wg.Wait()
+	return p.box.err
 }
 
 func (p *workerPool) close() {

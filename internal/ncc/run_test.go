@@ -11,6 +11,16 @@ func TestCeilLog2(t *testing.T) {
 	cases := []struct{ n, want int }{
 		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {17, 5}, {1024, 10}, {1025, 11},
 	}
+	// Pin every power of two and its neighbours: the bits.Len rewrite must
+	// agree with ceil(log2(n)) exactly at the boundaries.
+	for k := 2; k <= 30; k++ {
+		p := 1 << k
+		cases = append(cases,
+			struct{ n, want int }{p - 1, k},
+			struct{ n, want int }{p, k},
+			struct{ n, want int }{p + 1, k + 1},
+		)
+	}
 	for _, c := range cases {
 		if got := CeilLog2(c.n); got != c.want {
 			t.Errorf("CeilLog2(%d) = %d, want %d", c.n, got, c.want)
@@ -21,6 +31,14 @@ func TestCeilLog2(t *testing.T) {
 func TestFloorLog2(t *testing.T) {
 	cases := []struct{ n, want int }{
 		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10},
+	}
+	for k := 2; k <= 30; k++ {
+		p := 1 << k
+		cases = append(cases,
+			struct{ n, want int }{p - 1, k - 1},
+			struct{ n, want int }{p, k},
+			struct{ n, want int }{p + 1, k},
+		)
 	}
 	for _, c := range cases {
 		if got := FloorLog2(c.n); got != c.want {
@@ -44,7 +62,7 @@ func TestPingPong(t *testing.T) {
 				panic("wrong sender")
 			}
 			want := Word(uint64(peer*100 + i))
-			if got[0].Payload.(Word) != want {
+			if got[0].Payload().(Word) != want {
 				panic("wrong payload")
 			}
 		}

@@ -5,6 +5,8 @@ package ncc
 // structure or the O(log n) load discipline over time).
 type Timeline struct {
 	Samples []RoundSample
+
+	per map[NodeID]int // per-receiver counts, reused across rounds
 }
 
 // RoundSample summarizes one round's transmitted traffic.
@@ -19,13 +21,17 @@ type RoundSample struct {
 // ObserveRound implements Observer.
 func (tl *Timeline) ObserveRound(round int, msgs []Envelope) {
 	var s RoundSample
-	per := map[NodeID]int{}
-	for _, e := range msgs {
-		s.Messages++
-		s.Words += e.Payload.Words()
-		per[e.To]++
+	if tl.per == nil {
+		tl.per = make(map[NodeID]int, 64)
 	}
-	for _, c := range per {
+	clear(tl.per)
+	for i := range msgs {
+		e := &msgs[i]
+		s.Messages++
+		s.Words += e.Words() // cached at Send time, never recomputed
+		tl.per[e.To]++
+	}
+	for _, c := range tl.per {
 		if c > s.MaxRecvOffered {
 			s.MaxRecvOffered = c
 		}

@@ -5,7 +5,7 @@ import "testing"
 func sample(tos ...NodeID) []Envelope {
 	var out []Envelope
 	for i, to := range tos {
-		out = append(out, Envelope{From: NodeID(i % 2), To: to, Payload: Word(1)})
+		out = append(out, MakeEnvelope(NodeID(i%2), to, Word(1)))
 	}
 	return out
 }
