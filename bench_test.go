@@ -184,7 +184,7 @@ func BenchmarkAggregateBroadcast(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st, err := ncc.Run(ncc.Config{N: n, Seed: 1, Strict: true}, func(ctx *ncc.Context) {
 					s := comm.NewSession(ctx)
-					s.AggregateAndBroadcast(comm.U64(1), true, comm.CombineSum)
+					comm.AggregateAndBroadcast(s, uint64(1), true, comm.Sum)
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -204,12 +204,12 @@ func BenchmarkAggregation(b *testing.B) {
 				st, err := ncc.Run(ncc.Config{N: n, Seed: 13, Strict: true}, func(ctx *ncc.Context) {
 					s := comm.NewSession(ctx)
 					me := ctx.ID()
-					var items []comm.Agg
+					var items []comm.Agg[uint64]
 					for j := 0; j < members; j++ {
 						g := (me + j*37 + 1) % n
-						items = append(items, comm.Agg{Group: uint64(g), Target: g, Val: comm.U64(1)})
+						items = append(items, comm.Agg[uint64]{Group: uint64(g), Target: g, Val: 1})
 					}
-					s.Aggregate(items, comm.CombineSum, members)
+					comm.Aggregate(s, items, comm.Sum, members)
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -234,7 +234,7 @@ func BenchmarkTreeSetupAndMulticast(b *testing.B) {
 						items = append(items, comm.TreeItem{Group: uint64((me + j*13 + 1) % n), Origin: me})
 					}
 					trees := s.SetupTrees(items)
-					s.Multicast(trees, true, uint64(me), comm.U64(1), members)
+					comm.Multicast(s, trees, true, uint64(me), uint64(1), comm.U64Wire{}, members)
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -255,7 +255,7 @@ func BenchmarkMultiAggregation(b *testing.B) {
 				s := comm.NewSession(ctx)
 				o := core.Orient(s, g, core.OrientParams{})
 				trees, _ := core.BroadcastTrees(s, g, o)
-				s.MultiAggregate(trees, true, uint64(ctx.ID()), comm.U64(uint64(ctx.ID())), comm.CombineMin)
+				comm.MultiAggregate(s, trees, true, uint64(ctx.ID()), uint64(ctx.ID()), comm.Min)
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -68,9 +68,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if path == "" {
 			path = *baselinePath
 		}
+		// Merge over the existing baseline rather than replacing it: a
+		// partial bench run (one suite failed or was skipped) must not drop
+		// the other suites' points from the refreshed file, or committing
+		// it would leave later gates with no baseline entry to match.
+		merged := results
+		if data, err := os.ReadFile(*baselinePath); err == nil {
+			var prev Baseline
+			if err := json.Unmarshal(data, &prev); err == nil && prev.NsPerOp != nil {
+				for name, v := range results {
+					prev.NsPerOp[name] = v
+				}
+				merged = prev.NsPerOp
+			}
+		}
 		b := Baseline{
 			Comment: "Engine benchmark baseline (best ns/op). Refresh with: go run ./cmd/benchcheck -update -baseline " + *baselinePath + " <bench output>",
-			NsPerOp: results,
+			NsPerOp: merged,
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {

@@ -60,6 +60,28 @@ func TestUpdateThenCompareRoundTrip(t *testing.T) {
 	}
 }
 
+func TestUpdateMergesOverExistingBaseline(t *testing.T) {
+	// A partial bench run must not drop the other suites' points: points
+	// absent from the input survive the refresh, points present are
+	// replaced.
+	baseline := writeFile(t, "base.json",
+		`{"nsPerOp":{"BenchmarkAggregate/n=4096": 123, "BenchmarkEngineScale/n=65536": 5}}`)
+	code, _, errw := runCheck(t, benchOutput, "-update", "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("update exit %d: %s", code, errw)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"BenchmarkAggregate/n=4096": 123`) {
+		t.Errorf("comm point dropped by engine-only refresh:\n%s", data)
+	}
+	if !strings.Contains(string(data), `"BenchmarkEngineScale/n=65536": 900000000`) {
+		t.Errorf("engine point not replaced by refresh:\n%s", data)
+	}
+}
+
 func TestRegressionBeyondToleranceFails(t *testing.T) {
 	baseline := writeFile(t, "base.json",
 		`{"nsPerOp": {"BenchmarkEngineScale/n=65536": 500000000}}`)

@@ -20,8 +20,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"ncc/internal/bench"
+	"ncc/internal/ncc"
 )
 
 func main() {
@@ -98,10 +100,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	r := bench.NewReporter(stdout, *jsonOut)
 	for _, e := range selected {
 		r.Begin(e)
-		if err := e.Run(r, *quick); err != nil {
+		// Meter each experiment: wall time, heap allocations and payload
+		// words moved through the engine, so the trajectory artifact
+		// records allocation and throughput trends, not just ns/op.
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		_, words0 := ncc.TrafficTotals()
+		start := time.Now()
+		err := e.Run(r, *quick)
+		elapsed := time.Since(start)
+		_, words1 := ncc.TrafficTotals()
+		runtime.ReadMemStats(&m1)
+		if err != nil {
 			fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.Name, err)
 			return 1
 		}
+		mbPerS := 0.0
+		if s := elapsed.Seconds(); s > 0 {
+			mbPerS = float64(words1-words0) * 8 / 1e6 / s
+		}
+		r.Perf(float64(elapsed.Nanoseconds()), float64(m1.Mallocs-m0.Mallocs), mbPerS)
 	}
 	return 0
 }

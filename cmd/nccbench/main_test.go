@@ -52,9 +52,23 @@ func TestWorkersFlagDoesNotChangeMeasurements(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errw)
 	}
-	if out1 != out8 {
+	if stripPerf(out1) != stripPerf(out8) {
 		t.Errorf("-workers changed measured tables:\n--- w=1:\n%s\n--- w=8:\n%s", out1, out8)
 	}
+}
+
+// stripPerf drops the per-experiment perf footer: wall time, allocations and
+// MB/s legitimately change with the worker count — only the measured model
+// quantities (rounds, messages, loads) must not.
+func stripPerf(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "perf: ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
 }
 
 func TestJSONModeEmitsParseableLines(t *testing.T) {

@@ -80,10 +80,9 @@ func Gossip(ctx *ncc.Context, token uint64) uint64 {
 	return sum
 }
 
-// floodMsg carries a BFS id wave.
-type floodMsg struct{ dist int32 }
-
-func (floodMsg) Words() int { return 1 }
+// dtagFlood tags the BFS id wave's direct messages (body = the sender's
+// distance); tags live in the top byte comm reserves for algorithms.
+const dtagFlood uint64 = comm.DirectTagMin + 0x10
 
 // NaiveBFS floods the input graph directly: each phase, frontier nodes send
 // their distance to every neighbor over ceil(Delta/cap) rounds. On bounded
@@ -109,24 +108,24 @@ func NaiveBFS(s *comm.Session, g *graph.Graph, src int) (int, int) {
 		for r := 0; r < phaseLen; r++ {
 			if frontier {
 				for k := 0; k < capacity && sent < len(nbrs); k++ {
-					ctx.Send(int(nbrs[sent]), floodMsg{dist: int32(dist)})
+					ctx.SendWord(int(nbrs[sent]), ncc.Word(dtagFlood<<56|uint64(uint32(dist))))
 					sent++
 				}
 			}
 			s.Advance()
-			for _, rc := range s.TakeDirect() {
-				m, ok := rc.Payload().(floodMsg)
-				if !ok {
-					continue
+			s.DrainDirect(func(from ncc.NodeID, ws []uint64) {
+				if ws[0]>>56 != dtagFlood {
+					return
 				}
+				d := int(int32(uint32(ws[0])))
 				if dist == -1 {
-					dist = int(m.dist) + 1
-					parent = rc.From
+					dist = d + 1
+					parent = from
 					reached = true
-				} else if dist == int(m.dist)+1 && reached && rc.From < parent {
-					parent = rc.From
+				} else if dist == d+1 && reached && from < parent {
+					parent = from
 				}
-			}
+			})
 		}
 		frontier = reached
 		if !s.AnyTrue(reached) {

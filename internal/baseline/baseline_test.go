@@ -120,7 +120,7 @@ func TestNaiveTreeSetupStarCost(t *testing.T) {
 	_, err := ncc.Run(cfg, func(ctx *ncc.Context) {
 		s := comm.NewSession(ctx)
 		trees := NaiveTreeSetup(s, g)
-		got := s.Multicast(trees, true, uint64(ctx.ID()), comm.U64(uint64(ctx.ID())), g.MaxDegree())
+		got := comm.Multicast(s, trees, true, uint64(ctx.ID()), uint64(ctx.ID()), comm.U64Wire{}, g.MaxDegree())
 		mu.Lock()
 		counts[ctx.ID()] = len(got)
 		mu.Unlock()

@@ -3,16 +3,14 @@ package baseline
 import (
 	"ncc/internal/comm"
 	"ncc/internal/graph"
+	"ncc/internal/ncc"
 	"ncc/internal/seq"
 )
 
-// edgeMsg ships one weighted edge to the collector.
-type edgeMsg struct {
-	u, v int32
-	w    int64
-}
-
-func (edgeMsg) Words() int { return 3 }
+// dtagEdge tags the gathered weighted edges: word 0 packs the tag and both
+// endpoints, word 1 the weight. Shipped through the engine's inline word
+// paths like all session traffic.
+const dtagEdge uint64 = comm.DirectTagMin + 0x11
 
 // CentralizedMST is the gather-and-solve baseline: every node ships its
 // incident edges to node 0 (spread over a randomized window; node 0's
@@ -24,6 +22,11 @@ func CentralizedMST(s *comm.Session, wg *graph.Weighted) [][2]int {
 	ctx := s.Ctx
 	me := ctx.ID()
 	capacity := ctx.Cap()
+	// The gather wire format packs both edge endpoints into 24 bits each of
+	// one header word; beyond 2^24 nodes the ids would silently wrap.
+	if ctx.N() > 1<<24 {
+		panic("baseline: CentralizedMST edge encoding caps n at 2^24")
+	}
 
 	// Count edges globally (each edge counted at its smaller endpoint).
 	local := 0
@@ -38,8 +41,9 @@ func CentralizedMST(s *comm.Session, wg *graph.Weighted) [][2]int {
 	// Gather at node 0.
 	window := 2*(m+capacity-1)/capacity + 4
 	type job struct {
-		at int
-		e  edgeMsg
+		at   int
+		u, v int32
+		w    int64
 	}
 	var jobs []job
 	if me != 0 {
@@ -48,7 +52,7 @@ func CentralizedMST(s *comm.Session, wg *graph.Weighted) [][2]int {
 			if v > me {
 				jobs = append(jobs, job{
 					at: ctx.Rand().IntN(window),
-					e:  edgeMsg{u: int32(me), v: int32(v), w: wg.Weight(me, v)},
+					u:  int32(me), v: int32(v), w: wg.Weight(me, v),
 				})
 			}
 		}
@@ -65,19 +69,22 @@ func CentralizedMST(s *comm.Session, wg *graph.Weighted) [][2]int {
 	for t := 0; t < window; t++ {
 		for _, j := range jobs {
 			if j.at == t {
-				ctx.Send(0, j.e)
+				ctx.SendWords2(0, ncc.Words2{
+					dtagEdge<<56 | uint64(uint32(j.u)&0xFFFFFF)<<24 | uint64(uint32(j.v)&0xFFFFFF),
+					uint64(j.w),
+				})
 			}
 		}
 		s.Advance()
-		if me == 0 {
-			for _, rc := range s.TakeDirect() {
-				if e, ok := rc.Payload().(edgeMsg); ok {
-					edges = append(edges, seq.Edge{U: int(e.u), V: int(e.v), W: e.w})
-				}
+		s.DrainDirect(func(from ncc.NodeID, ws []uint64) {
+			if me == 0 && ws[0]>>56 == dtagEdge {
+				edges = append(edges, seq.Edge{
+					U: int(ws[0] >> 24 & 0xFFFFFF),
+					V: int(ws[0] & 0xFFFFFF),
+					W: int64(ws[1]),
+				})
 			}
-		} else {
-			s.TakeDirect()
-		}
+		})
 	}
 
 	// Solve locally at node 0.

@@ -128,6 +128,27 @@ func (r *Reporter) Table(t *Table) {
 	t.Print(r.w)
 }
 
+// Perf reports one simulator-performance record for the experiment that just
+// ran: wall time, heap allocations, and payload throughput (MB/s of uint64
+// payload words moved through the engine, metered via ncc.TrafficTotals).
+// "Op" is one full experiment run, so successive BENCH_*.json snapshots can
+// track allocation and throughput trends of the primitive layer, not just
+// the model-level rounds/messages tables. In text mode it prints as a
+// one-line footer; in JSON mode it is a self-describing line alongside the
+// experiment's tables.
+func (r *Reporter) Perf(nsPerOp, allocsPerOp, mbPerS float64) {
+	if r.json {
+		r.jsonLine(struct {
+			Experiment  string  `json:"experiment"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+			MBPerS      float64 `json:"mb_per_s"`
+		}{r.exp, nsPerOp, allocsPerOp, mbPerS})
+		return
+	}
+	fmt.Fprintf(r.w, "perf: %.0f ns/op, %.0f allocs/op, %.2f MB/s\n", nsPerOp, allocsPerOp, mbPerS)
+}
+
 // Notef reports a prose line (shape checks, caveats).
 func (r *Reporter) Notef(format string, args ...any) {
 	if r.json {

@@ -276,7 +276,7 @@ func init() {
 					if ctx.ID() == 0 {
 						setup = ctx.Round()
 					}
-					s.AggregateAndBroadcast(comm.U64(1), true, comm.CombineSum)
+					comm.AggregateAndBroadcast(s, uint64(1), true, comm.Sum)
 				})
 				if err != nil {
 					return err
@@ -323,12 +323,12 @@ func init() {
 func measureAggregation(n, members int) (ncc.Stats, error) {
 	return runSession(n, 13, func(s *comm.Session) {
 		me := s.Ctx.ID()
-		var items []comm.Agg
+		var items []comm.Agg[uint64]
 		for j := 0; j < members; j++ {
 			g := (me + j*37 + 1) % n
-			items = append(items, comm.Agg{Group: uint64(g), Target: g, Val: comm.U64(1)})
+			items = append(items, comm.Agg[uint64]{Group: uint64(g), Target: g, Val: 1})
 		}
-		got := s.Aggregate(items, comm.CombineSum, members)
+		got := comm.Aggregate(s, items, comm.Sum, members)
 		if len(got) == 0 {
 			panic("aggregation produced no result")
 		}
@@ -352,7 +352,7 @@ func measureTreesMulticast(n, members int) (congestion int, mcRounds int, err er
 			before = s.Ctx.Round()
 			mu.Unlock()
 		}
-		got := s.Multicast(trees, true, uint64(me), comm.U64(uint64(me)), members)
+		got := comm.Multicast(s, trees, true, uint64(me), uint64(me), comm.U64Wire{}, members)
 		if len(got) != members {
 			panic(fmt.Sprintf("node got %d multicasts, want %d", len(got), members))
 		}

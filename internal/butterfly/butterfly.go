@@ -115,15 +115,28 @@ func ReduceParent(col int) int {
 // col + 2^j for every j below the index of col's lowest set bit (or below d
 // for the root 0).
 func ReduceChildren(col, d int) []int {
-	limit := d
-	if col != 0 {
-		limit = trailingZeros(col)
-	}
+	limit := ReduceChildCount(col, d)
 	children := make([]int, 0, limit)
 	for j := 0; j < limit; j++ {
-		children = append(children, col|1<<j)
+		children = append(children, ReduceChild(col, j))
 	}
 	return children
+}
+
+// ReduceChildCount returns the number of children of column col in the
+// reduction tree — the allocation-free companion of ReduceChildren for hot
+// paths that only iterate.
+func ReduceChildCount(col, d int) int {
+	if col != 0 {
+		return trailingZeros(col)
+	}
+	return d
+}
+
+// ReduceChild returns the j-th reduction-tree child of col (j below
+// ReduceChildCount).
+func ReduceChild(col, j int) int {
+	return col | 1<<j
 }
 
 // ReduceDepth returns the depth of column col in the reduction tree (number

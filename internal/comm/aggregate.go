@@ -10,20 +10,20 @@ import (
 // identity, the node that must receive the aggregate, and this node's input
 // value. A node may be a member and a target of many groups (Section 2.2,
 // Aggregation Problem).
-type Agg struct {
+type Agg[T any] struct {
 	Group  uint64
 	Target ncc.NodeID
-	Val    Value
+	Val    T
 }
 
-// GroupVal is a per-group result delivered to a target.
-type GroupVal struct {
+// GroupVal is a per-group result delivered to a target or group member.
+type GroupVal[T any] struct {
 	Group uint64
-	Val   Value
+	Val   T
 }
 
 // Aggregate solves the Aggregation Problem (Theorem 2.3): for every group,
-// the inputs of all members are combined with the distributive function f and
+// the inputs of all members are combined with the distributive combiner c and
 // delivered to the group's target. Every member must pass the same target for
 // the same group. lhat2 is the globally known upper bound on the number of
 // nonempty groups any single node is the target of; it controls the
@@ -31,42 +31,47 @@ type GroupVal struct {
 //
 // Cost: O(L/n + (l1+lhat2)/log n + log n) rounds w.h.p., where L is the
 // global load and l1 the maximum number of memberships per node.
-func (s *Session) Aggregate(items []Agg, f Combine, lhat2 int) []GroupVal {
+//
+// The returned slice is reused by the next collective invocation with the
+// same payload type (like the engine's EndRound inbox); copy it if it must
+// survive that long.
+func Aggregate[T any](s *Session, items []Agg[T], c Combiner[T], lhat2 int) []GroupVal[T] {
 	s.assertDrained("Aggregate")
 	call := s.nextCall()
-	dest, rank := s.destRank(call)
-	seq := uint32(call)
+	h := s.destRank(call)
+	seq := seq24(call)
 
-	var r *combineRouter
+	var r *combineRouter[T]
 	if s.BF.IsEmulator(s.Ctx.ID()) {
-		r = newCombineRouter(s, seq, f, nil)
+		r = stateFor[T](s).combine(s, seq, c, nil)
 	}
 
 	// Preprocessing: inject packets in batches of ceil(log n) per round to
-	// uniformly random bottom... top-level (level-0) butterfly nodes.
-	s.inject(r, seq, items, dest, rank)
+	// uniformly random bottommost-level (level-0) butterfly nodes.
+	inject(s, r, seq, c.Wire, items, h)
 	s.Synchronize()
 
 	// Combining: route and merge until the column is quiescent.
-	s.runCombine(r)
+	runCombine(s, r)
 	s.Synchronize()
 
 	// Postprocessing: deliver each completed group to its target within a
 	// randomized window of ceil(lhat2/log n) rounds.
-	return s.deliverResults(r, s.window(lhat2))
+	return deliverResults(s, r, c.Wire, s.window(lhat2))
 }
 
 // inject sends the node's membership packets to random level-0 columns,
 // batch-by-batch. Packets addressed to the node's own column are staged
-// locally (same one-round latency, no clique message).
-func (s *Session) inject(r *combineRouter, seq uint32, items []Agg, dest func(uint64) int32, rank func(uint64) uint32) {
+// locally (same one-round latency, no clique message). A nil router means
+// this node is attached (no butterfly column), so nothing can stage locally.
+func inject[T any](s *Session, r *combineRouter[T], seq uint32, w Wire[T], items []Agg[T], h pktHash) {
 	ctx := s.Ctx
 	batch := s.batchSize()
 	for i, it := range items {
-		p := pkt{
+		p := pkt[T]{
 			group:   it.Group,
-			destCol: dest(it.Group),
-			rank:    rank(it.Group),
+			destCol: h.destCol(it.Group),
+			rank:    h.rankOf(it.Group),
 			target:  int32(it.Target),
 			origin:  int32(ctx.ID()),
 			val:     it.Val,
@@ -75,7 +80,7 @@ func (s *Session) inject(r *combineRouter, seq uint32, items []Agg, dest func(ui
 		if r != nil && col == r.col {
 			r.stageLocal(p)
 		} else {
-			ctx.Send(s.BF.Host(col), routeMsg{seq: seq, level: 0, p: p})
+			sendRoute(s, s.BF.Host(col), seq, 0, w, p)
 		}
 		if (i+1)%batch == 0 {
 			s.Advance()
@@ -86,22 +91,45 @@ func (s *Session) inject(r *combineRouter, seq uint32, items []Agg, dest func(ui
 	}
 }
 
+// sendRoute encodes a packet crossing into `level` toward node `to`.
+func sendRoute[T any](s *Session, to ncc.NodeID, seq uint32, level int, w Wire[T], p pkt[T]) {
+	n := w.Words()
+	enc := s.encode(4 + n)
+	enc[0] = tagRoute<<56 | uint64(seq&seqMask)<<32 | uint64(uint8(level))<<24
+	enc[1] = p.group
+	enc[2] = uint64(uint32(p.destCol))<<32 | uint64(p.rank)
+	enc[3] = uint64(uint32(p.target))<<32 | uint64(uint32(p.origin))
+	w.Encode(p.val, enc[4:])
+	s.Ctx.SendWords(to, enc)
+}
+
 // deliverResults sends every completed group's value from its intermediate
 // target to its final target at a uniformly random round of the window, and
 // collects the results addressed to this node.
-func (s *Session) deliverResults(r *combineRouter, window int) []GroupVal {
+func deliverResults[T any](s *Session, r *combineRouter[T], w Wire[T], window int) []GroupVal[T] {
 	ctx := s.Ctx
-	var mine []GroupVal
-	plan := make([][]*pkt, window)
+	st := stateFor[T](s)
+	mine := st.out[:0]
+	plan := st.plan
+	if cap(plan) < window {
+		plan = make([][]pkt[T], window)
+	} else {
+		plan = plan[:window]
+	}
+	for i := range plan {
+		plan[i] = plan[i][:0]
+	}
+	st.plan = plan
 	if r != nil {
 		// Iterate completed groups in sorted order: ranging over the map
 		// directly would pair packets with random rounds in a different order
 		// every process run, breaking the per-seed determinism of the engine.
 		done := r.completed()
-		groups := make([]uint64, 0, len(done))
+		groups := s.groupScratch[:0]
 		for g := range done {
 			groups = append(groups, g)
 		}
+		s.groupScratch = groups
 		slices.Sort(groups)
 		for _, g := range groups {
 			t := randRound(ctx.Rand(), window)
@@ -111,19 +139,31 @@ func (s *Session) deliverResults(r *combineRouter, window int) []GroupVal {
 	for t := 0; t < window; t++ {
 		for _, p := range plan[t] {
 			if int(p.target) == ctx.ID() {
-				mine = append(mine, GroupVal{Group: p.group, Val: p.val})
+				mine = append(mine, GroupVal[T]{Group: p.group, Val: p.val})
 			} else {
-				ctx.Send(int(p.target), resultMsg{group: p.group, val: p.val})
+				sendGroupVal(s, int(p.target), tagResult, w, p.group, p.val)
 			}
 		}
 		s.Advance()
 	}
 	for _, m := range s.qResult {
-		mine = append(mine, GroupVal{Group: m.group, Val: m.val})
+		mine = append(mine, GroupVal[T]{Group: m.group, Val: w.Decode(s.words(m.val))})
 	}
 	s.qResult = s.qResult[:0]
 	if r != nil {
 		clear(r.pend[s.BF.D])
 	}
+	st.out = mine
 	return mine
+}
+
+// sendGroupVal encodes a final-hop (group, value) delivery under the given
+// tag (tagResult for aggregations, tagLeaf for multicast leaves).
+func sendGroupVal[T any](s *Session, to ncc.NodeID, tag uint64, w Wire[T], group uint64, val T) {
+	n := w.Words()
+	enc := s.encode(2 + n)
+	enc[0] = tag << 56
+	enc[1] = group
+	w.Encode(val, enc[2:])
+	s.Ctx.SendWords(to, enc)
 }

@@ -51,14 +51,14 @@ func TestAggregateToAttachedTargets(t *testing.T) {
 	got := map[uint64]uint64{}
 	runAll(t, n, 5, func(s *Session) {
 		target := 32 + int(s.Ctx.ID())%3
-		items := []Agg{{Group: uint64(target), Target: target, Val: U64(1)}}
-		res := s.Aggregate(items, CombineSum, 3)
+		items := []Agg[uint64]{{Group: uint64(target), Target: target, Val: 1}}
+		res := Aggregate(s, items, Sum, 3)
 		mu.Lock()
 		for _, gv := range res {
 			if s.Ctx.ID() < 32 {
 				panic("result delivered to a non-target")
 			}
-			got[gv.Group] += uint64(gv.Val.(U64))
+			got[gv.Group] += gv.Val
 		}
 		mu.Unlock()
 	})
@@ -83,10 +83,10 @@ func TestMulticastFromAttachedSource(t *testing.T) {
 			items = append(items, TreeItem{Group: 1, Origin: s.Ctx.ID()})
 		}
 		trees := s.SetupTrees(items)
-		got := s.Multicast(trees, s.Ctx.ID() == src, 1, U64(4242), 1)
+		got := Multicast(s, trees, s.Ctx.ID() == src, 1, uint64(4242), U64Wire{}, 1)
 		mu.Lock()
 		for _, gv := range got {
-			if uint64(gv.Val.(U64)) == 4242 && s.Ctx.ID() < 5 {
+			if gv.Val == 4242 && s.Ctx.ID() < 5 {
 				delivered++
 			}
 		}
@@ -102,13 +102,13 @@ func TestPrimitivesTinyCliques(t *testing.T) {
 	for _, n := range []int{2, 3} {
 		st := runAll(t, n, 11, func(s *Session) {
 			me := s.Ctx.ID()
-			sum, _ := s.AggregateAndBroadcast(U64(1), true, CombineSum)
-			if int(sum.(U64)) != n {
+			sum, _ := AggregateAndBroadcast(s, uint64(1), true, Sum)
+			if int(sum) != n {
 				panic("bad sum")
 			}
 			trees := s.SetupTrees([]TreeItem{{Group: uint64((me + 1) % n), Origin: me}})
-			got := s.Multicast(trees, true, uint64(me), U64(uint64(me)), 1)
-			if len(got) != 1 || int(got[0].Val.(U64)) != (me+1)%n {
+			got := Multicast(s, trees, true, uint64(me), uint64(me), U64Wire{}, 1)
+			if len(got) != 1 || int(got[0].Val) != (me+1)%n {
 				panic("bad multicast at tiny n")
 			}
 		})
@@ -124,16 +124,17 @@ func TestWordsAccounting(t *testing.T) {
 	cfg := ncc.Config{N: 2, Seed: 1, Strict: true}
 	st, err := ncc.Run(cfg, func(ctx *ncc.Context) {
 		if ctx.ID() == 0 {
-			ctx.Send(1, Pair{1, 2}) // 2 words
-			ctx.Send(1, U64(7))     // 1 word
+			ctx.SendWords2(1, ncc.Words2{1, 2})       // 2 words
+			ctx.SendWord(1, 7)                        // 1 word
+			ctx.SendWords(1, []uint64{1, 2, 3, 4, 5}) // 5 words, arena path
 		}
 		ctx.EndRound()
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Words != 3 {
-		t.Errorf("words = %d, want 3", st.Words)
+	if st.Words != 8 {
+		t.Errorf("words = %d, want 8", st.Words)
 	}
 }
 
@@ -152,16 +153,16 @@ func TestMulticastMultiSourcer(t *testing.T) {
 			items = append(items, TreeItem{Group: uint64(me - 1), Origin: me})
 		}
 		trees := s.SetupTrees(items)
-		var packets []SourcePacket
+		var packets []SourcePacket[uint64]
 		if me == 0 {
 			for g := 0; g < groups; g++ {
-				packets = append(packets, SourcePacket{Group: uint64(g), Val: U64(uint64(9000 + g))})
+				packets = append(packets, SourcePacket[uint64]{Group: uint64(g), Val: uint64(9000 + g)})
 			}
 		}
-		got := s.MulticastMulti(trees, packets, 1)
+		got := MulticastMulti(s, trees, packets, U64Wire{}, 1)
 		m := map[uint64]uint64{}
 		for _, gv := range got {
-			m[gv.Group] = uint64(gv.Val.(U64))
+			m[gv.Group] = gv.Val
 		}
 		mu.Lock()
 		received[me] = m

@@ -1,0 +1,142 @@
+package comm
+
+import "ncc/internal/ncc"
+
+// Wire formats of the communication primitives. Every message is a flat
+// sequence of machine words sent through the engine's inline word paths
+// (SendWord / SendWords2 / SendWords): word 0 is the header — the top byte
+// carries the message tag, the rest packs the small control fields — and any
+// payload words follow, encoded by the collective's Wire[T] codec. Nothing on
+// the wire is ever interface-boxed.
+//
+// Header layouts (bit ranges within word 0):
+//
+//	gather     tag(63-56) has(0)                      + val words if has
+//	release    tag(63-56) exitRound(55-16) has(0)     + val words if has
+//	word       tag(63-56) idx(31-0)                   + 1 word
+//	route      tag(63-56) seq(55-32) level(31-24)     + group, destCol|rank,
+//	                                                    target|origin, val
+//	routeTok   tag(63-56) seq(55-32) level(31-24) side(0)
+//	init       tag(63-56) seq(55-32)                  + group, val
+//	spread     tag(63-56) seq(55-32) level(31-24)     + group, val
+//	spreadTok  tag(63-56) seq(55-32) level(31-24) side(0)
+//	leaf       tag(63-56)                             + group, val
+//	result     tag(63-56)                             + group, val
+//
+// Tags below DirectTagMin are reserved for this protocol; the top byte of an
+// algorithm-level direct message's first word must be 0 or >= DirectTagMin.
+
+const (
+	tagGather uint64 = iota + 1
+	tagRelease
+	tagWord
+	tagRoute
+	tagRouteTok
+	tagInit
+	tagSpread
+	tagSpreadTok
+	tagLeaf
+	tagResult
+	tagReservedEnd
+)
+
+// DirectTagMin is the smallest top-byte value available to algorithm-level
+// direct messages (anything the session does not recognize as primitive
+// traffic is handed to DrainDirect). A first word with top byte 0 is also
+// direct — plain data words need no tag at all.
+const DirectTagMin = 0x40
+
+// seqMask truncates a collective call counter to the 24 header bits that
+// identify an invocation on the wire (wrap-around after 16M collectives is
+// harmless: invocations of the same session never overlap by more than one).
+const seqMask = 1<<24 - 1
+
+// maxWireWords is the widest wire message: the 4 route header/address words
+// plus the widest built-in payload. Custom codecs may be wider; the encode
+// scratch grows to fit (bounded by the engine's Config.MaxWords).
+const maxWireWords = 4 + maxValWords
+
+func seq24(call uint64) uint32 { return uint32(call) & seqMask }
+
+func hdrTag(w0 uint64) uint64 { return w0 >> 56 }
+
+// rawVal locates a message's payload words inside the session's value arena
+// (n = 0 means no payload). Decoding is deferred to the collective that owns
+// the message, which knows the codec.
+type rawVal struct{ off, n int32 }
+
+// gatherRaw is a message flowing up the reduction tree during Synchronize /
+// Aggregate-and-Broadcast; has=false is a pure synchronization token.
+type gatherRaw struct {
+	from ncc.NodeID
+	val  rawVal
+	has  bool
+}
+
+// releaseRaw flows down the reduction tree, carrying the aggregate and the
+// common round at which every node leaves the primitive.
+type releaseRaw struct {
+	exitRound int
+	val       rawVal
+	has       bool
+}
+
+// wordRaw carries one word of a pipelined broadcast (shared randomness,
+// high-degree id announcements).
+type wordRaw struct {
+	idx int32
+	w   uint64
+}
+
+// routeRaw is a routable aggregation packet crossing into butterfly level
+// `level`: group identity, destination column at the bottommost level,
+// contention rank, final target node, origin node (recorded by multicast tree
+// setup), and the payload words.
+type routeRaw struct {
+	group   uint64
+	seq     uint32
+	rank    uint32
+	destCol int32
+	target  int32
+	origin  int32
+	level   int8
+	val     rawVal
+}
+
+// tokRaw certifies that no more packets will cross the corresponding edge
+// into `level` (side 0 straight, 1 cross); shared by the combining and
+// spreading phases.
+type tokRaw struct {
+	seq   uint32
+	level int8
+	side  int8
+}
+
+// initRaw delivers a multicast source's packet to its tree root at the
+// bottommost butterfly level.
+type initRaw struct {
+	group uint64
+	seq   uint32
+	val   rawVal
+}
+
+// spreadRaw moves a multicast packet down a recorded tree edge into `level`.
+type spreadRaw struct {
+	group uint64
+	seq   uint32
+	level int8
+	val   rawVal
+}
+
+// groupRaw is a final-hop delivery — a multicast leaf packet or an
+// aggregation result — of a group's payload to a member/target.
+type groupRaw struct {
+	group uint64
+	val   rawVal
+}
+
+// directRaw is an algorithm-level direct message staged for DrainDirect.
+type directRaw struct {
+	from ncc.NodeID
+	val  rawVal // into the session's direct-word arena
+}

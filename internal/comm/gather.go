@@ -12,41 +12,55 @@ import (
 // with a common exit round. Cost: O(log n) rounds after the last participant
 // arrives.
 func (s *Session) Synchronize() {
-	s.gatherScatter(nil, false, nil)
+	gatherScatter[Flag](s, ZeroWire{}, AnyFlag.Combine, Flag{}, false)
 }
 
-// AggregateAndBroadcast computes the distributive aggregate f over the input
+// AggregateAndBroadcast computes the distributive aggregate of the input
 // values of all nodes with has set, and returns it to every node (Theorem
 // 2.2, O(log n) rounds). The boolean result reports whether any node
 // contributed a value. Like all primitives it also synchronizes the network.
-func (s *Session) AggregateAndBroadcast(val Value, has bool, f Combine) (Value, bool) {
-	return s.gatherScatter(val, has, f)
+// It must be entered at a common round across nodes (true after any
+// collective, which all exit at a common round).
+func AggregateAndBroadcast[T any](s *Session, val T, has bool, c Combiner[T]) (T, bool) {
+	return gatherScatter(s, c.Wire, c.Combine, val, has)
+}
+
+// sendGather emits a gather message carrying val iff has.
+func sendGather[T any](s *Session, to ncc.NodeID, w Wire[T], val T, has bool) {
+	h := tagGather << 56
+	n := 1
+	if has {
+		h |= 1
+		n += w.Words()
+	}
+	enc := s.encode(n)
+	enc[0] = h
+	if has {
+		w.Encode(val, enc[1:])
+	}
+	s.Ctx.SendWords(to, enc)
 }
 
 // gatherScatter implements both Synchronize and Aggregate-and-Broadcast: a
 // token/value wave up the hypercube reduction tree over the butterfly
 // columns, then a release wave down carrying the aggregate and a common exit
 // round.
-func (s *Session) gatherScatter(val Value, has bool, f Combine) (Value, bool) {
+func gatherScatter[T any](s *Session, w Wire[T], merge func(a, b T) T, val T, has bool) (T, bool) {
 	ctx := s.Ctx
 	bf := s.BF
 
 	if col, attached := bf.AttachedColumn(ctx.ID()); attached {
 		// Contribute to the level-0 node we are attached to, then await the
 		// release forwarded by our host.
-		var v Value
-		if has {
-			v = val
-		}
-		ctx.Send(bf.Host(col), gatherMsg{val: v})
-		rel := s.awaitRelease()
-		s.idleUntil(rel.exitRound)
-		return rel.val, rel.val != nil
+		sendGather(s, bf.Host(col), w, val, has)
+		exit, rv, rhas := awaitRelease(s, w)
+		s.idleUntil(exit)
+		return rv, rhas
 	}
 
 	col := bf.Column(ctx.ID())
 	acc, accHas := val, has
-	need := len(butterfly.ReduceChildren(col, bf.D))
+	need := butterfly.ReduceChildCount(col, bf.D)
 	if _, ok := bf.AttachedNode(col); ok {
 		need++
 	}
@@ -55,11 +69,12 @@ func (s *Session) gatherScatter(val Value, has bool, f Combine) (Value, bool) {
 		s.Advance()
 		for _, g := range s.qGather {
 			got++
-			if g.m.val != nil {
+			if g.has {
+				v := w.Decode(s.words(g.val))
 				if accHas {
-					acc = f(acc, g.m.val)
+					acc = merge(acc, v)
 				} else {
-					acc, accHas = g.m.val, true
+					acc, accHas = v, true
 				}
 			}
 		}
@@ -67,46 +82,66 @@ func (s *Session) gatherScatter(val Value, has bool, f Combine) (Value, bool) {
 	}
 
 	if col != 0 {
-		var v Value
-		if accHas {
-			v = acc
-		}
-		ctx.Send(bf.Host(butterfly.ReduceParent(col)), gatherMsg{val: v})
-		rel := s.awaitRelease()
-		s.forwardRelease(col, rel)
-		s.idleUntil(rel.exitRound)
-		return rel.val, rel.val != nil
+		sendGather(s, bf.Host(butterfly.ReduceParent(col)), w, acc, accHas)
+		exit, rv, rhas := awaitRelease(s, w)
+		forwardRelease(s, col, w, exit, rv, rhas)
+		s.idleUntil(exit)
+		return rv, rhas
 	}
 
 	// Root: everyone has contributed; release with a common exit round
 	// deep enough for the longest forwarding chain (D tree hops plus the
 	// attached-node hop).
-	var v Value
-	if accHas {
-		v = acc
+	exit := ctx.Round() + bf.D + 2
+	forwardRelease(s, 0, w, exit, acc, accHas)
+	s.idleUntil(exit)
+	if !accHas {
+		// No contributor anywhere: return the zero value, exactly what the
+		// release wave just delivered to every other node — the result must
+		// be uniform across the clique even when it is "nothing".
+		var zero T
+		return zero, false
 	}
-	rel := releaseMsg{exitRound: ctx.Round() + bf.D + 2, val: v}
-	s.forwardRelease(0, rel)
-	s.idleUntil(rel.exitRound)
-	return rel.val, rel.val != nil
+	return acc, accHas
 }
 
-func (s *Session) awaitRelease() releaseMsg {
+// awaitRelease blocks for the release wave and decodes its aggregate.
+func awaitRelease[T any](s *Session, w Wire[T]) (exitRound int, val T, has bool) {
 	for len(s.qRelease) == 0 {
 		s.Advance()
 	}
-	rel := s.qRelease[0]
+	m := s.qRelease[0]
+	if m.has {
+		val = w.Decode(s.words(m.val))
+	}
 	s.qRelease = s.qRelease[:0]
-	return rel
+	return m.exitRound, val, m.has
 }
 
-func (s *Session) forwardRelease(col int, rel releaseMsg) {
+// forwardRelease re-encodes the release and fans it down the reduction tree.
+func forwardRelease[T any](s *Session, col int, w Wire[T], exitRound int, val T, has bool) {
 	bf := s.BF
-	for _, child := range butterfly.ReduceChildren(col, bf.D) {
-		s.Ctx.Send(bf.Host(child), rel)
+	nChildren := butterfly.ReduceChildCount(col, bf.D)
+	att, hasAtt := bf.AttachedNode(col)
+	if nChildren == 0 && !hasAtt {
+		return
 	}
-	if att, ok := bf.AttachedNode(col); ok {
-		s.Ctx.Send(att, rel)
+	h := tagRelease<<56 | uint64(exitRound)<<16
+	n := 1
+	if has {
+		h |= 1
+		n += w.Words()
+	}
+	enc := s.encode(n)
+	enc[0] = h
+	if has {
+		w.Encode(val, enc[1:])
+	}
+	for j := 0; j < nChildren; j++ {
+		s.Ctx.SendWords(bf.Host(butterfly.ReduceChild(col, j)), enc)
+	}
+	if hasAtt {
+		s.Ctx.SendWords(att, enc)
 	}
 }
 
@@ -119,32 +154,27 @@ func (s *Session) idleUntil(target int) {
 
 // AnyTrue aggregates a boolean OR across all nodes (a common special case).
 func (s *Session) AnyTrue(local bool) bool {
-	v := U64(0)
+	v := uint64(0)
 	if local {
 		v = 1
 	}
-	out, ok := s.AggregateAndBroadcast(v, true, CombineOr)
-	return ok && out.(U64) != 0
+	out, ok := AggregateAndBroadcast(s, v, true, Or)
+	return ok && out != 0
 }
 
 // SumCount aggregates (sum, count) over contributing nodes and returns both.
 func (s *Session) SumCount(val uint64, has bool) (sum, count uint64) {
-	out, ok := s.AggregateAndBroadcast(Pair{A: val, B: 1}, has, CombineSumPair)
+	out, ok := AggregateAndBroadcast(s, Pair{A: val, B: 1}, has, SumPair)
 	if !ok {
 		return 0, 0
 	}
-	p := out.(Pair)
-	return p.A, p.B
+	return out.A, out.B
 }
 
 // MaxAll aggregates a maximum over contributing nodes; ok reports whether
 // anyone contributed.
 func (s *Session) MaxAll(val uint64, has bool) (uint64, bool) {
-	out, ok := s.AggregateAndBroadcast(U64(val), has, CombineMax)
-	if !ok {
-		return 0, false
-	}
-	return uint64(out.(U64)), true
+	return AggregateAndBroadcast(s, val, has, Max)
 }
 
 // BroadcastWords delivers `count` words from node src to every node: src
@@ -170,7 +200,7 @@ func (s *Session) BroadcastWords(src ncc.NodeID, words []uint64, count int) []ui
 			batch := s.batchSize()
 			for i := 0; i < count; i += batch {
 				for j := i; j < min(i+batch, count); j++ {
-					ctx.Send(0, wordMsg{idx: int32(j), w: out[j]})
+					s.sendWord(0, int32(j), out[j])
 				}
 				s.Advance()
 			}
@@ -190,7 +220,7 @@ func (s *Session) BroadcastWords(src ncc.NodeID, words []uint64, count int) []ui
 			s.qWords = s.qWords[:0]
 		}
 		for i := 0; i < count; i++ {
-			s.forwardWord(0, wordMsg{idx: int32(i), w: out[i]}, src)
+			s.forwardWord(0, int32(i), out[i], src)
 			s.Advance()
 		}
 	case bf.IsEmulator(ctx.ID()):
@@ -205,7 +235,7 @@ func (s *Session) BroadcastWords(src ncc.NodeID, words []uint64, count int) []ui
 			for _, m := range s.qWords {
 				out[m.idx] = m.w
 				got++
-				s.forwardWord(col, m, src)
+				s.forwardWord(col, m.idx, m.w, src)
 			}
 			s.qWords = s.qWords[:0]
 		}
@@ -229,12 +259,16 @@ func (s *Session) BroadcastWords(src ncc.NodeID, words []uint64, count int) []ui
 	return out
 }
 
-func (s *Session) forwardWord(col int, m wordMsg, src ncc.NodeID) {
+func (s *Session) sendWord(to ncc.NodeID, idx int32, w uint64) {
+	s.Ctx.SendWords2(to, ncc.Words2{tagWord<<56 | uint64(uint32(idx)), w})
+}
+
+func (s *Session) forwardWord(col int, idx int32, w uint64, src ncc.NodeID) {
 	bf := s.BF
-	for _, child := range butterfly.ReduceChildren(col, bf.D) {
-		s.Ctx.Send(bf.Host(child), m)
+	for j, c := 0, butterfly.ReduceChildCount(col, bf.D); j < c; j++ {
+		s.sendWord(bf.Host(butterfly.ReduceChild(col, j)), idx, w)
 	}
 	if att, ok := bf.AttachedNode(col); ok && att != src {
-		s.Ctx.Send(att, m)
+		s.sendWord(att, idx, w)
 	}
 }

@@ -2,15 +2,15 @@ package comm
 
 // MultiAggregate solves the Multi-Aggregation Problem (Theorem 2.6) over
 // previously set-up multicast trees: every source's packet is multicast to
-// its group, and every node receives the f-aggregate of the packets of all
+// its group, and every node receives the aggregate of the packets of all
 // groups it belongs to, as a single value. Returns (aggregate, ok) where ok
 // reports whether any packet was addressed to this node.
 //
 // Only nodes with isSource inject packets, so the effective congestion — and
 // hence the cost O(C + log n) w.h.p. — scales with the active sources only
 // (Corollary 1: O(sum of d(u) over sources / n + log n) for broadcast trees).
-func (s *Session) MultiAggregate(t *Trees, isSource bool, group uint64, val Value, f Combine) (Value, bool) {
-	return s.multiAggregate(t, isSource, group, val, f, false)
+func MultiAggregate[T any](s *Session, t *Trees, isSource bool, group uint64, val T, c Combiner[T]) (T, bool) {
+	return multiAggregate(s, t, isSource, group, val, c.Wire, c, func(v T) T { return v })
 }
 
 // MultiAggregatePick is the randomized variant used by the maximal matching
@@ -19,67 +19,69 @@ func (s *Session) MultiAggregate(t *Trees, isSource bool, group uint64, val Valu
 // random — the leaf nodes annotate each mapped packet with a fresh random
 // rank and the minimum-annotation packet survives the aggregation. The
 // source's value must be its own id.
-func (s *Session) MultiAggregatePick(t *Trees, isSource bool, group uint64, id uint64) (uint64, bool) {
-	v, ok := s.multiAggregate(t, isSource, group, U64(id), CombineMinPair, true)
+func MultiAggregatePick(s *Session, t *Trees, isSource bool, group uint64, id uint64) (uint64, bool) {
+	rng := s.Ctx.Rand()
+	v, ok := multiAggregate(s, t, isSource, group, id, U64Wire{}, MinPair,
+		func(id uint64) Pair { return Pair{A: rng.Uint64(), B: id} })
 	if !ok {
 		return 0, false
 	}
-	return v.(Pair).B, true
+	return v.B, true
 }
 
-func (s *Session) multiAggregate(t *Trees, isSource bool, group uint64, val Value, f Combine, pick bool) (Value, bool) {
+// multiAggregate spreads S-typed source packets down the trees, has the
+// leaves map each delivered packet to one T-typed packet per recorded member
+// (mapVal bridges the two types; the identity for plain MultiAggregate), and
+// aggregates the mapped packets toward each member's own singleton group.
+func multiAggregate[S, T any](s *Session, t *Trees, isSource bool, group uint64, val S, sw Wire[S], c Combiner[T], mapVal func(S) T) (T, bool) {
 	s.assertDrained("MultiAggregate")
 	spreadCall := s.nextCall()
 	combCall := s.nextCall()
 	spreadRank := s.rankOnly(spreadCall)
-	dest, rank := s.destRank(combCall)
-	spreadSeq := uint32(spreadCall)
-	combSeq := uint32(combCall)
+	h := s.destRank(combCall)
+	spreadSeq := seq24(spreadCall)
+	combSeq := seq24(combCall)
 	ctx := s.Ctx
 	em := s.BF.IsEmulator(ctx.ID())
 
 	// Phase 1: multicast the source packets down to the leaves (no member
 	// delivery; the leaves keep them for remapping).
-	var sr *spreadRouter
+	var sr *spreadRouter[S]
 	if em {
-		sr = newSpreadRouter(s, spreadSeq, t, spreadRank)
+		sr = stateFor[S](s).spread(s, spreadSeq, sw, t, spreadRank)
 	}
-	var packets []SourcePacket
+	var packets []SourcePacket[S]
 	if isSource {
-		packets = []SourcePacket{{Group: group, Val: val}}
+		packets = []SourcePacket[S]{{Group: group, Val: val}}
 	}
-	s.spreadPhase(sr, t, spreadSeq, packets)
+	spreadPhase(s, sr, spreadSeq, sw, t, packets)
 
 	// Phase 2: every leaf maps each received packet p of group g to one
-	// packet (id(u), p) per member u recorded at the leaf, then redistributes
-	// the mapped packets to random level-0 columns.
-	var cr *combineRouter
+	// packet (id(u), mapVal(p)) per member u recorded at the leaf, then
+	// redistributes the mapped packets to random level-0 columns.
+	var cr *combineRouter[T]
 	if em {
-		cr = newCombineRouter(s, combSeq, f, nil)
+		cr = stateFor[T](s).combine(s, combSeq, c, nil)
 	}
 	batch := s.batchSize()
 	sent := 0
 	if sr != nil {
 		for _, gv := range sr.leafGot {
 			for _, origin := range t.leafOrigins[gv.Group] {
-				mv := gv.Val
-				if pick {
-					mv = Pair{A: ctx.Rand().Uint64(), B: uint64(mv.(U64))}
-				}
 				g := uint64(origin)
-				p := pkt{
+				p := pkt[T]{
 					group:   g,
-					destCol: dest(g),
-					rank:    rank(g),
+					destCol: h.destCol(g),
+					rank:    h.rankOf(g),
 					target:  origin,
 					origin:  origin,
-					val:     mv,
+					val:     mapVal(gv.Val),
 				}
 				col := ctx.Rand().IntN(s.BF.Cols)
-				if col == cr.col {
+				if cr != nil && col == cr.col {
 					cr.stageLocal(p)
 				} else {
-					ctx.Send(s.BF.Host(col), routeMsg{seq: combSeq, level: 0, p: p})
+					sendRoute(s, s.BF.Host(col), combSeq, 0, c.Wire, p)
 				}
 				sent++
 				if sent%batch == 0 {
@@ -87,7 +89,7 @@ func (s *Session) multiAggregate(t *Trees, isSource bool, group uint64, val Valu
 				}
 			}
 		}
-		sr.leafGot = nil
+		sr.leafGot = sr.leafGot[:0]
 	}
 	if sent%batch != 0 || sent == 0 {
 		s.Advance()
@@ -98,7 +100,7 @@ func (s *Session) multiAggregate(t *Trees, isSource bool, group uint64, val Valu
 	// and deliver. Each node is the target of exactly one group (its id), so
 	// the receive side needs no window, but a bottommost-level column may
 	// hold many completed groups; a shared window bounds the send load.
-	s.runCombine(cr)
+	runCombine(s, cr)
 	s.Synchronize()
 
 	completed := 0
@@ -107,12 +109,13 @@ func (s *Session) multiAggregate(t *Trees, isSource bool, group uint64, val Valu
 	}
 	maxCompleted, _ := s.MaxAll(uint64(completed), true)
 	window := s.window(int(maxCompleted))
-	results := s.deliverResults(cr, window)
+	results := deliverResults(s, cr, c.Wire, window)
 
 	for _, gv := range results {
 		if gv.Group == uint64(ctx.ID()) {
 			return gv.Val, true
 		}
 	}
-	return nil, false
+	var zero T
+	return zero, false
 }

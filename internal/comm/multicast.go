@@ -1,22 +1,28 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"ncc/internal/hashing"
+	"ncc/internal/ncc"
+)
 
 // spreadRouter runs the Multicast Algorithm's reverse routing (Appendix B.4)
-// for one butterfly column: packets enter at tree roots on the bottommost
-// level and retrace the recorded tree edges up to the level-0 leaves, one
-// packet per edge per round, minimum (rank, group) first, with per-edge
-// tokens flowing downward for termination.
-type spreadRouter struct {
+// for one butterfly column, typed by the collective's payload: packets enter
+// at tree roots on the bottommost level and retrace the recorded tree edges
+// up to the level-0 leaves, one packet per edge per round, minimum
+// (rank, group) first, with per-edge tokens flowing downward for termination.
+type spreadRouter[T any] struct {
 	s    *Session
 	seq  uint32
+	w    Wire[T]
 	t    *Trees
-	rank func(uint64) uint32
+	rank *hashing.Family
 	col  int
 
 	// queues[level][side] holds packets waiting to traverse the down-spread
 	// edge of (level, col) toward level-1 side `side` (0 straight, 1 cross).
-	queues [][2][]spreadItem
+	queues [][2][]spreadItem[T]
 	// tokIn[level][side] marks the token received into (level, col) along its
 	// up-edge of that side (no more packets will arrive there).
 	tokIn [][2]bool
@@ -24,42 +30,63 @@ type spreadRouter struct {
 	tokSent [][2]bool
 
 	initsDone bool
-	leafGot   []GroupVal // packets that reached this column's level-0 leaf
+	leafGot   []GroupVal[T] // packets that reached this column's level-0 leaf
 
-	nextItems []stagedSpread
+	nextItems []stagedSpread[T]
 	nextToks  []stagedTok
 }
 
-type spreadItem struct {
+type spreadItem[T any] struct {
 	group uint64
 	rank  uint32
-	val   Value
+	val   T
 }
 
-type stagedSpread struct {
+// leafPlan is one planned leaf delivery of deliverLeaves.
+type leafPlan[T any] struct {
+	to    int
+	group uint64
+	val   T
+	rnd   int
+}
+
+func (r *spreadRouter[T]) rankOf(g uint64) uint32 { return uint32(r.rank.Hash(g)) }
+
+type stagedSpread[T any] struct {
 	level int
-	it    spreadItem
+	it    spreadItem[T]
 }
 
-func newSpreadRouter(s *Session, seq uint32, t *Trees, rank func(uint64) uint32) *spreadRouter {
+// spread readies the pooled spreading router for a new invocation.
+func (st *commState[T]) spread(s *Session, seq uint32, w Wire[T], t *Trees, rank *hashing.Family) *spreadRouter[T] {
+	r := &st.sr
 	levels := s.BF.Levels()
-	return &spreadRouter{
-		s:       s,
-		seq:     seq,
-		t:       t,
-		rank:    rank,
-		col:     s.BF.Column(s.Ctx.ID()),
-		queues:  make([][2][]spreadItem, levels),
-		tokIn:   make([][2]bool, levels),
-		tokSent: make([][2]bool, levels),
+	r.s, r.seq, r.w, r.t, r.rank = s, seq, w, t, rank
+	r.col = s.BF.Column(s.Ctx.ID())
+	if len(r.queues) != levels {
+		r.queues = make([][2][]spreadItem[T], levels)
+		r.tokIn = make([][2]bool, levels)
+		r.tokSent = make([][2]bool, levels)
+	} else {
+		for i := range r.queues {
+			r.queues[i][0] = r.queues[i][0][:0]
+			r.queues[i][1] = r.queues[i][1][:0]
+			r.tokIn[i] = [2]bool{}
+			r.tokSent[i] = [2]bool{}
+		}
 	}
+	r.initsDone = false
+	r.leafGot = r.leafGot[:0]
+	r.nextItems = r.nextItems[:0]
+	r.nextToks = r.nextToks[:0]
+	return r
 }
 
 // arrive processes a packet entering (level, col): leaves collect it; inner
 // nodes fan it out onto the recorded tree edges of its group.
-func (r *spreadRouter) arrive(level int, it spreadItem) {
+func (r *spreadRouter[T]) arrive(level int, it spreadItem[T]) {
 	if level == 0 {
-		r.leafGot = append(r.leafGot, GroupVal{Group: it.group, Val: it.val})
+		r.leafGot = append(r.leafGot, GroupVal[T]{Group: it.group, Val: it.val})
 		return
 	}
 	mask := r.t.children[level][it.group]
@@ -70,41 +97,52 @@ func (r *spreadRouter) arrive(level int, it spreadItem) {
 	}
 }
 
-func (r *spreadRouter) absorb() {
+func (r *spreadRouter[T]) absorb() {
+	s := r.s
 	staged := r.nextItems
-	r.nextItems = nil
+	r.nextItems = r.nextItems[:0]
 	for _, sp := range staged {
 		r.arrive(sp.level, sp.it)
 	}
 	toks := r.nextToks
-	r.nextToks = nil
+	r.nextToks = r.nextToks[:0]
 	for _, st := range toks {
 		r.tokIn[st.level][st.side] = true
 	}
-	for _, m := range r.s.qInit {
+	for _, m := range s.qInit {
 		if m.seq != r.seq {
 			panic(fmt.Sprintf("comm: multicast init from invocation %d received during %d", m.seq, r.seq))
 		}
-		r.arrive(r.s.BF.D, spreadItem{group: m.group, rank: r.rank(m.group), val: m.val})
+		r.arrive(s.BF.D, spreadItem[T]{group: m.group, rank: r.rankOf(m.group), val: r.w.Decode(s.words(m.val))})
 	}
-	r.s.qInit = r.s.qInit[:0]
-	for _, m := range r.s.qSpread {
+	s.qInit = s.qInit[:0]
+	for _, m := range s.qSpread {
 		if m.seq != r.seq {
 			panic(fmt.Sprintf("comm: spread packet from invocation %d received during %d", m.seq, r.seq))
 		}
-		r.arrive(int(m.level), spreadItem{group: m.group, rank: r.rank(m.group), val: m.val})
+		r.arrive(int(m.level), spreadItem[T]{group: m.group, rank: r.rankOf(m.group), val: r.w.Decode(s.words(m.val))})
 	}
-	r.s.qSpread = r.s.qSpread[:0]
-	for _, m := range r.s.qSpTok {
+	s.qSpread = s.qSpread[:0]
+	for _, m := range s.qSpTok {
 		if m.seq != r.seq {
 			panic(fmt.Sprintf("comm: spread token from invocation %d received during %d", m.seq, r.seq))
 		}
 		r.tokIn[m.level][m.side] = true
 	}
-	r.s.qSpTok = r.s.qSpTok[:0]
+	s.qSpTok = s.qSpTok[:0]
 }
 
-func (r *spreadRouter) step() {
+// sendSpread encodes a packet moving down a tree edge into `level`.
+func sendSpread[T any](s *Session, to ncc.NodeID, seq uint32, level int, w Wire[T], group uint64, val T) {
+	n := w.Words()
+	enc := s.encode(2 + n)
+	enc[0] = tagSpread<<56 | uint64(seq&seqMask)<<32 | uint64(uint8(level))<<24
+	enc[1] = group
+	w.Encode(val, enc[2:])
+	s.Ctx.SendWords(to, enc)
+}
+
+func (r *spreadRouter[T]) step() {
 	bf := r.s.BF
 	for level := bf.D; level >= 1; level-- {
 		for side := 0; side <= 1; side++ {
@@ -121,9 +159,9 @@ func (r *spreadRouter) step() {
 				r.queues[level][side] = q[:len(q)-1]
 				toCol := bf.UpNeighbor(level-1, r.col, side)
 				if toCol == r.col {
-					r.nextItems = append(r.nextItems, stagedSpread{level: level - 1, it: it})
+					r.nextItems = append(r.nextItems, stagedSpread[T]{level: level - 1, it: it})
 				} else {
-					r.s.Ctx.Send(bf.Host(toCol), spreadMsg{seq: r.seq, level: int8(level - 1), group: it.group, val: it.val})
+					sendSpread(r.s, bf.Host(toCol), r.seq, level-1, r.w, it.group, it.val)
 				}
 			}
 			if !r.tokSent[level][side] && len(r.queues[level][side]) == 0 && r.upDone(level) {
@@ -132,21 +170,22 @@ func (r *spreadRouter) step() {
 				if toCol == r.col {
 					r.nextToks = append(r.nextToks, stagedTok{level: level - 1, side: 0})
 				} else {
-					r.s.Ctx.Send(bf.Host(toCol), spreadToken{seq: r.seq, level: int8(level - 1), side: 1})
+					h := tagSpreadTok<<56 | uint64(r.seq&seqMask)<<32 | uint64(uint8(level-1))<<24 | 1
+					r.s.Ctx.SendWord(bf.Host(toCol), ncc.Word(h))
 				}
 			}
 		}
 	}
 }
 
-func (r *spreadRouter) upDone(level int) bool {
+func (r *spreadRouter[T]) upDone(level int) bool {
 	if level == r.s.BF.D {
 		return r.initsDone
 	}
 	return r.tokIn[level][0] && r.tokIn[level][1]
 }
 
-func (r *spreadRouter) done() bool {
+func (r *spreadRouter[T]) done() bool {
 	for level := 1; level <= r.s.BF.D; level++ {
 		if !r.tokSent[level][0] || !r.tokSent[level][1] {
 			return false
@@ -155,7 +194,7 @@ func (r *spreadRouter) done() bool {
 	return r.tokIn[0][0] && r.tokIn[0][1]
 }
 
-func (s *Session) runSpread(r *spreadRouter) {
+func runSpread[T any](s *Session, r *spreadRouter[T]) {
 	if r == nil {
 		return
 	}
@@ -168,19 +207,24 @@ func (s *Session) runSpread(r *spreadRouter) {
 
 // sendInit delivers a source's packet to its tree root (or stages it locally
 // when this node hosts the root column).
-func (s *Session) sendInit(r *spreadRouter, seq uint32, t *Trees, group uint64, val Value) {
-	rootCol := int(t.rootCol(group))
+func sendInit[T any](s *Session, r *spreadRouter[T], seq uint32, w Wire[T], t *Trees, group uint64, val T) {
+	rootCol := int(t.Root(group))
 	if r != nil && rootCol == r.col {
-		r.nextItems = append(r.nextItems, stagedSpread{level: s.BF.D, it: spreadItem{group: group, rank: r.rank(group), val: val}})
-	} else {
-		s.Ctx.Send(s.BF.Host(rootCol), initMsg{seq: seq, group: group, val: val})
+		r.nextItems = append(r.nextItems, stagedSpread[T]{level: s.BF.D, it: spreadItem[T]{group: group, rank: r.rankOf(group), val: val}})
+		return
 	}
+	n := w.Words()
+	enc := s.encode(2 + n)
+	enc[0] = tagInit<<56 | uint64(seq&seqMask)<<32
+	enc[1] = group
+	w.Encode(val, enc[2:])
+	s.Ctx.SendWords(s.BF.Host(rootCol), enc)
 }
 
 // SourcePacket is one multicast payload: the source's group and its message.
-type SourcePacket struct {
+type SourcePacket[T any] struct {
 	Group uint64
-	Val   Value
+	Val   T
 }
 
 // Multicast solves the Multicast Problem (Theorem 2.5) over previously set-up
@@ -189,13 +233,15 @@ type SourcePacket struct {
 // group id and payload); lhat is the globally known upper bound on the number
 // of groups any node is a member of. Returns the packets delivered to this
 // node as (group, value) pairs. Cost: O(C + lhat/log n + log n) rounds
-// w.h.p., where C is the tree congestion.
-func (s *Session) Multicast(t *Trees, isSource bool, group uint64, val Value, lhat int) []GroupVal {
-	var packets []SourcePacket
+// w.h.p., where C is the tree congestion. The returned slice is reused by
+// the next collective invocation with the same payload type; copy it if it
+// must survive that long.
+func Multicast[T any](s *Session, t *Trees, isSource bool, group uint64, val T, w Wire[T], lhat int) []GroupVal[T] {
+	var packets []SourcePacket[T]
 	if isSource {
-		packets = []SourcePacket{{Group: group, Val: val}}
+		packets = []SourcePacket[T]{{Group: group, Val: val}}
 	}
-	return s.MulticastMulti(t, packets, lhat)
+	return MulticastMulti(s, t, packets, w, lhat)
 }
 
 // MulticastMulti is the extension the paper notes after Theorem 2.5: a node
@@ -203,35 +249,35 @@ func (s *Session) Multicast(t *Trees, isSource bool, group uint64, val Value, lh
 // packets are injected into the tree roots in capacity-bounded batches over a
 // globally agreed window before the spread starts; everything else is
 // identical. Cost gains an additive O(maxPackets/log n) term.
-func (s *Session) MulticastMulti(t *Trees, packets []SourcePacket, lhat int) []GroupVal {
+func MulticastMulti[T any](s *Session, t *Trees, packets []SourcePacket[T], w Wire[T], lhat int) []GroupVal[T] {
 	s.assertDrained("Multicast")
 	call := s.nextCall()
 	rankF := s.rankOnly(call)
-	seq := uint32(call)
+	seq := seq24(call)
 
-	var r *spreadRouter
+	var r *spreadRouter[T]
 	if s.BF.IsEmulator(s.Ctx.ID()) {
-		r = newSpreadRouter(s, seq, t, rankF)
+		r = stateFor[T](s).spread(s, seq, w, t, rankF)
 	}
 
-	s.spreadPhase(r, t, seq, packets)
+	spreadPhase(s, r, seq, w, t, packets)
 
 	// Leaf delivery within a randomized window.
 	window := s.window(lhat)
-	return s.deliverLeaves(r, window)
+	return deliverLeaves(s, r, w, window)
 }
 
 // spreadPhase injects this node's source packets into the tree roots over a
 // globally agreed window (the MaxAll doubles as the start barrier), then runs
 // the spread routing to quiescence and synchronizes.
-func (s *Session) spreadPhase(r *spreadRouter, t *Trees, seq uint32, packets []SourcePacket) {
+func spreadPhase[T any](s *Session, r *spreadRouter[T], seq uint32, w Wire[T], t *Trees, packets []SourcePacket[T]) {
 	maxP, _ := s.MaxAll(uint64(len(packets)), true)
 	window := s.window(int(maxP))
 	batch := s.batchSize()
 	k := 0
-	for w := 0; w < window; w++ {
+	for i := 0; i < window; i++ {
 		for j := 0; j < batch && k < len(packets); j++ {
-			s.sendInit(r, seq, t, packets[k].Group, packets[k].Val)
+			sendInit(s, r, seq, w, t, packets[k].Group, packets[k].Val)
 			k++
 		}
 		s.Advance()
@@ -242,52 +288,44 @@ func (s *Session) spreadPhase(r *spreadRouter, t *Trees, seq uint32, packets []S
 	if r != nil {
 		r.initsDone = true
 	}
-	s.runSpread(r)
+	runSpread(s, r)
 	s.Synchronize()
 }
 
 // deliverLeaves fans each leaf packet out to the group members recorded at
 // this column's leaf, each at a uniformly random round of the window, and
 // collects the packets addressed to this node.
-func (s *Session) deliverLeaves(r *spreadRouter, window int) []GroupVal {
+func deliverLeaves[T any](s *Session, r *spreadRouter[T], w Wire[T], window int) []GroupVal[T] {
 	ctx := s.Ctx
-	var mine []GroupVal
-	type planned struct {
-		to  int
-		m   leafMsg
-		rnd int
-	}
-	var sched []planned
+	st := stateFor[T](s)
+	mine := st.out[:0]
+	sched := st.sched[:0]
 	if r != nil {
 		for _, gv := range r.leafGot {
 			for _, origin := range r.t.leafOrigins[gv.Group] {
-				sched = append(sched, planned{to: int(origin), m: leafMsg{group: gv.Group, val: gv.Val}, rnd: randRound(ctx.Rand(), window)})
+				sched = append(sched, leafPlan[T]{to: int(origin), group: gv.Group, val: gv.Val, rnd: randRound(ctx.Rand(), window)})
 			}
 		}
-		r.leafGot = nil
+		r.leafGot = r.leafGot[:0]
 	}
+	st.sched = sched
 	for t := 0; t < window; t++ {
 		for _, p := range sched {
 			if p.rnd != t {
 				continue
 			}
 			if p.to == ctx.ID() {
-				mine = append(mine, GroupVal{Group: p.m.group, Val: p.m.val})
+				mine = append(mine, GroupVal[T]{Group: p.group, Val: p.val})
 			} else {
-				ctx.Send(p.to, p.m)
+				sendGroupVal(s, p.to, tagLeaf, w, p.group, p.val)
 			}
 		}
 		s.Advance()
 	}
 	for _, lm := range s.qLeaf {
-		mine = append(mine, GroupVal{Group: lm.m.group, Val: lm.m.val})
+		mine = append(mine, GroupVal[T]{Group: lm.group, Val: w.Decode(s.words(lm.val))})
 	}
 	s.qLeaf = s.qLeaf[:0]
+	st.out = mine
 	return mine
-}
-
-// rankOnly derives just the contention-rank hash for an invocation.
-func (s *Session) rankOnly(call uint64) func(uint64) uint32 {
-	fr := s.hashFamily(call, 0x72616e6b)
-	return func(g uint64) uint32 { return uint32(fr.Hash(g)) }
 }

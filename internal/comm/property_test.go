@@ -26,13 +26,13 @@ func TestAggregatePropertyRandomProblems(t *testing.T) {
 		}
 		want := map[uint64]uint64{}
 		target := map[uint64]int{}
-		items := make([][]Agg, n)
+		items := make([][]Agg[uint64], n)
 		for g := 0; g < groups; g++ {
 			target[uint64(g)] = rng.IntN(n)
 			for j := 0; j < membersPer; j++ {
 				m := rng.IntN(n)
 				v := rng.Uint64() % 1000
-				items[m] = append(items[m], Agg{Group: uint64(g), Target: target[uint64(g)], Val: U64(v)})
+				items[m] = append(items[m], Agg[uint64]{Group: uint64(g), Target: target[uint64(g)], Val: v})
 				want[uint64(g)] += v
 			}
 		}
@@ -41,10 +41,10 @@ func TestAggregatePropertyRandomProblems(t *testing.T) {
 		gotAt := map[uint64]int{}
 		st, err := ncc.Run(ncc.Config{N: n, Seed: seed, Strict: true}, func(ctx *ncc.Context) {
 			s := NewSession(ctx)
-			res := s.Aggregate(items[ctx.ID()], CombineSum, groups)
+			res := Aggregate(s, items[ctx.ID()], Sum, groups)
 			mu.Lock()
 			for _, gv := range res {
-				got[gv.Group] += uint64(gv.Val.(U64))
+				got[gv.Group] += gv.Val
 				gotAt[gv.Group] = ctx.ID()
 			}
 			mu.Unlock()
@@ -91,9 +91,9 @@ func TestAggregateBroadcastProperty(t *testing.T) {
 		var mu sync.Mutex
 		_, err := ncc.Run(ncc.Config{N: n, Seed: seed, Strict: true}, func(ctx *ncc.Context) {
 			s := NewSession(ctx)
-			v, found := s.AggregateAndBroadcast(U64(vals[ctx.ID()]), has[ctx.ID()], CombineMax)
+			v, found := AggregateAndBroadcast(s, vals[ctx.ID()], has[ctx.ID()], Max)
 			mu.Lock()
-			if found != anyone || (found && uint64(v.(U64)) != want) {
+			if found != anyone || (found && v != want) {
 				ok = false
 			}
 			mu.Unlock()
@@ -125,11 +125,11 @@ func TestMulticastProperty(t *testing.T) {
 					group, isSource = g, true
 				}
 			}
-			var val Value
+			var val uint64
 			if isSource {
-				val = U64(p.vals[group])
+				val = p.vals[group]
 			}
-			got := s.Multicast(trees, isSource, group, val, lhat)
+			got := Multicast(s, trees, isSource, group, val, U64Wire{}, lhat)
 			// Duplicate memberships are legal and yield one delivery each.
 			want := map[uint64]int{}
 			for _, g := range p.members[ctx.ID()] {
@@ -142,7 +142,7 @@ func TestMulticastProperty(t *testing.T) {
 			}
 			for _, gv := range got {
 				gotPer[gv.Group]++
-				if want[gv.Group] == 0 || uint64(gv.Val.(U64)) != p.vals[gv.Group] {
+				if want[gv.Group] == 0 || gv.Val != p.vals[gv.Group] {
 					ok = false
 				}
 			}
@@ -169,20 +169,20 @@ func TestSessionLongMixedWorkload(t *testing.T) {
 		me := s.Ctx.ID()
 		for iter := 0; iter < 4; iter++ {
 			s.Synchronize()
-			sum, _ := s.AggregateAndBroadcast(U64(1), true, CombineSum)
-			if uint64(sum.(U64)) != n {
+			sum, _ := AggregateAndBroadcast(s, uint64(1), true, Sum)
+			if sum != n {
 				panic("bad sum")
 			}
-			res := s.Aggregate([]Agg{{Group: uint64((me + iter) % n), Target: (me + iter) % n, Val: U64(1)}}, CombineSum, 1)
+			res := Aggregate(s, []Agg[uint64]{{Group: uint64((me + iter) % n), Target: (me + iter) % n, Val: 1}}, Sum, 1)
 			_ = res
 			trees := s.SetupTrees([]TreeItem{{Group: uint64((me + 1) % n), Origin: me}})
-			got := s.Multicast(trees, true, uint64(me), U64(uint64(iter)), 1)
-			if len(got) != 1 || uint64(got[0].Val.(U64)) != uint64(iter) {
+			got := Multicast(s, trees, true, uint64(me), uint64(iter), U64Wire{}, 1)
+			if len(got) != 1 || got[0].Val != uint64(iter) {
 				panic("bad multicast")
 			}
 			// I am a member of group (me+1)%n, so I receive that source's id.
-			v, okk := s.MultiAggregate(trees, true, uint64(me), U64(uint64(me)), CombineMin)
-			if !okk || uint64(v.(U64)) != uint64((me+1)%n) {
+			v, okk := MultiAggregate(s, trees, true, uint64(me), uint64(me), Min)
+			if !okk || v != uint64((me+1)%n) {
 				panic("bad multi-aggregate")
 			}
 		}

@@ -1,35 +1,52 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"ncc/internal/ncc"
+)
 
 // combineRouter executes the combining phase of the Aggregation Algorithm
-// (Appendix B.2) for the butterfly column emulated by one clique node.
-// Packets travel from level 0 to level D along bit-fixing paths toward their
-// group's destination column; packets of the same aggregation group merge
-// whenever they meet; edge contention is resolved by minimum (rank, group);
-// per-edge tokens certify quiescence level by level.
+// (Appendix B.2) for the butterfly column emulated by one clique node, typed
+// by the collective's payload. Packets travel from level 0 to level D along
+// bit-fixing paths toward their group's destination column; packets of the
+// same aggregation group merge whenever they meet; edge contention is
+// resolved by minimum (rank, group); per-edge tokens certify quiescence
+// level by level.
 //
 // Straight edges connect butterfly nodes of the same column and therefore
 // cost no clique message, but they still carry at most one packet per round,
 // keeping the congestion analysis of Theorem B.2 intact.
-type combineRouter struct {
-	s   *Session
-	seq uint32
-	f   Combine
-	rec *Trees // non-nil: record tree edges and leaf origins (Theorem 2.4)
-	col int
+type combineRouter[T any] struct {
+	s     *Session
+	seq   uint32
+	w     Wire[T]
+	merge func(a, b T) T
+	rec   *Trees // non-nil: record tree edges and leaf origins (Theorem 2.4)
+	col   int
 
-	pend    []map[uint64]*pkt // per level; pend[D] holds completed groups
-	tokIn   [][2]bool         // tokens received into level i via side 0/1
-	tokSent []bool            // token emitted out of level i
+	pend    []map[uint64]pkt[T] // per level; pend[D] holds completed groups
+	tokIn   [][2]bool           // tokens received into level i via side 0/1
+	tokSent []bool              // token emitted out of level i
 
-	nextPkts []stagedPkt
+	nextPkts []stagedPkt[T]
 	nextToks []stagedTok
 }
 
-type stagedPkt struct {
+// pkt is a routable aggregation packet with its payload held decoded — the
+// codec runs only at the clique-message boundary, never on local hops.
+type pkt[T any] struct {
+	group   uint64
+	destCol int32
+	rank    uint32
+	target  int32
+	origin  int32
+	val     T
+}
+
+type stagedPkt[T any] struct {
 	level int
-	p     pkt
+	p     pkt[T]
 }
 
 type stagedTok struct {
@@ -37,87 +54,106 @@ type stagedTok struct {
 	side  int
 }
 
-func newCombineRouter(s *Session, seq uint32, f Combine, rec *Trees) *combineRouter {
+// combine readies the pooled combining router for a new invocation: maps are
+// cleared, token state zeroed, staging queues truncated — no steady-state
+// allocation.
+func (st *commState[T]) combine(s *Session, seq uint32, c Combiner[T], rec *Trees) *combineRouter[T] {
+	r := &st.cr
 	levels := s.BF.Levels()
-	r := &combineRouter{
-		s:       s,
-		seq:     seq,
-		f:       f,
-		rec:     rec,
-		col:     s.BF.Column(s.Ctx.ID()),
-		pend:    make([]map[uint64]*pkt, levels),
-		tokIn:   make([][2]bool, levels),
-		tokSent: make([]bool, levels),
+	r.s, r.seq, r.w, r.merge, r.rec = s, seq, c.Wire, c.Combine, rec
+	r.col = s.BF.Column(s.Ctx.ID())
+	if len(r.pend) != levels {
+		r.pend = make([]map[uint64]pkt[T], levels)
+		r.tokIn = make([][2]bool, levels)
+		r.tokSent = make([]bool, levels)
+		for i := range r.pend {
+			r.pend[i] = make(map[uint64]pkt[T])
+		}
+	} else {
+		for i := range r.pend {
+			clear(r.pend[i])
+			r.tokIn[i] = [2]bool{}
+			r.tokSent[i] = false
+		}
 	}
-	for i := range r.pend {
-		r.pend[i] = make(map[uint64]*pkt)
-	}
+	r.nextPkts = r.nextPkts[:0]
+	r.nextToks = r.nextToks[:0]
 	return r
 }
 
 // stageLocal queues a locally injected packet for arrival at level 0 next
 // round (the injection hop costs a round whether or not it crosses columns).
-func (r *combineRouter) stageLocal(p pkt) {
-	r.nextPkts = append(r.nextPkts, stagedPkt{level: 0, p: p})
+func (r *combineRouter[T]) stageLocal(p pkt[T]) {
+	r.nextPkts = append(r.nextPkts, stagedPkt[T]{level: 0, p: p})
 }
 
 // absorb applies staged internal moves and drains the session's routing
-// queues into the per-level pending sets.
-func (r *combineRouter) absorb() {
+// queues — decoding payload words with the invocation's codec — into the
+// per-level pending sets.
+func (r *combineRouter[T]) absorb() {
+	s := r.s
 	staged := r.nextPkts
-	r.nextPkts = nil
+	r.nextPkts = r.nextPkts[:0]
 	for _, sp := range staged {
 		r.arrive(sp.level, sp.p, 0)
 	}
 	toks := r.nextToks
-	r.nextToks = nil
+	r.nextToks = r.nextToks[:0]
 	for _, st := range toks {
 		r.tokIn[st.level][st.side] = true
 	}
-	for _, m := range r.s.qRoute {
+	for _, m := range s.qRoute {
 		if m.seq != r.seq {
 			panic(fmt.Sprintf("comm: route packet from invocation %d received during %d", m.seq, r.seq))
 		}
-		r.arrive(int(m.level), m.p, 1)
+		r.arrive(int(m.level), pkt[T]{
+			group:   m.group,
+			destCol: m.destCol,
+			rank:    m.rank,
+			target:  m.target,
+			origin:  m.origin,
+			val:     r.w.Decode(s.words(m.val)),
+		}, 1)
 	}
-	r.s.qRoute = r.s.qRoute[:0]
-	for _, m := range r.s.qRtTok {
+	s.qRoute = s.qRoute[:0]
+	for _, m := range s.qRtTok {
 		if m.seq != r.seq {
 			panic(fmt.Sprintf("comm: route token from invocation %d received during %d", m.seq, r.seq))
 		}
 		r.tokIn[m.level][m.side] = true
 	}
-	r.s.qRtTok = r.s.qRtTok[:0]
+	s.qRtTok = s.qRtTok[:0]
 }
 
-func (r *combineRouter) arrive(level int, p pkt, side int) {
+func (r *combineRouter[T]) arrive(level int, p pkt[T], side int) {
 	if r.rec != nil {
-		r.rec.record(level, p, side)
+		r.rec.record(level, p.group, p.origin, side)
 	}
 	if cur, ok := r.pend[level][p.group]; ok {
-		cur.val = r.f(cur.val, p.val)
+		cur.val = r.merge(cur.val, p.val)
+		r.pend[level][p.group] = cur
 		return
 	}
-	cp := p
-	r.pend[level][p.group] = &cp
+	r.pend[level][p.group] = p
 }
 
 // step performs one butterfly routing round: per down-edge, forward the
 // minimum-rank pending packet, then emit per-edge tokens where quiescent.
-func (r *combineRouter) step() {
+func (r *combineRouter[T]) step() {
 	bf := r.s.BF
 	for level := 0; level < bf.D; level++ {
 		for bit := 0; bit <= 1; bit++ {
-			best := r.selectMin(level, bit)
-			if best == nil {
+			group, ok := r.selectMin(level, bit)
+			if !ok {
 				continue
 			}
-			delete(r.pend[level], best.group)
+			best := r.pend[level][group]
+			delete(r.pend[level], group)
 			toCol := bf.DownNeighbor(level, r.col, bit)
 			if toCol == r.col {
-				r.nextPkts = append(r.nextPkts, stagedPkt{level: level + 1, p: *best})
+				r.nextPkts = append(r.nextPkts, stagedPkt[T]{level: level + 1, p: best})
 			} else {
-				r.s.Ctx.Send(bf.Host(toCol), routeMsg{seq: r.seq, level: int8(level + 1), p: *best})
+				sendRoute(r.s, bf.Host(toCol), r.seq, level+1, r.w, best)
 			}
 		}
 		if !r.tokSent[level] && len(r.pend[level]) == 0 && r.upDone(level) {
@@ -127,7 +163,8 @@ func (r *combineRouter) step() {
 				if toCol == r.col {
 					r.nextToks = append(r.nextToks, stagedTok{level: level + 1, side: 0})
 				} else {
-					r.s.Ctx.Send(bf.Host(toCol), routeToken{seq: r.seq, level: int8(level + 1), side: 1})
+					h := tagRouteTok<<56 | uint64(r.seq&seqMask)<<32 | uint64(uint8(level+1))<<24 | 1
+					r.s.Ctx.SendWord(bf.Host(toCol), ncc.Word(h))
 				}
 			}
 		}
@@ -137,20 +174,22 @@ func (r *combineRouter) step() {
 // selectMin picks the pending packet at `level` with the smallest
 // (rank, group) among those whose destination requires the down-edge labelled
 // `bit`. Deterministic despite map iteration.
-func (r *combineRouter) selectMin(level, bit int) *pkt {
-	var best *pkt
-	for _, p := range r.pend[level] {
+func (r *combineRouter[T]) selectMin(level, bit int) (uint64, bool) {
+	var bestGroup uint64
+	var bestRank uint32
+	found := false
+	for g, p := range r.pend[level] {
 		if int(p.destCol>>level)&1 != bit {
 			continue
 		}
-		if best == nil || p.rank < best.rank || (p.rank == best.rank && p.group < best.group) {
-			best = p
+		if !found || p.rank < bestRank || (p.rank == bestRank && g < bestGroup) {
+			bestGroup, bestRank, found = g, p.rank, true
 		}
 	}
-	return best
+	return bestGroup, found
 }
 
-func (r *combineRouter) upDone(level int) bool {
+func (r *combineRouter[T]) upDone(level int) bool {
 	if level == 0 {
 		// Injection finished before the combining phase started (the callers
 		// synchronize in between), so level 0 receives nothing new.
@@ -161,7 +200,7 @@ func (r *combineRouter) upDone(level int) bool {
 
 // done reports whether this column is fully quiescent: every level has
 // emitted its tokens and the bottommost level has received both of its own.
-func (r *combineRouter) done() bool {
+func (r *combineRouter[T]) done() bool {
 	for level := 0; level < r.s.BF.D; level++ {
 		if !r.tokSent[level] {
 			return false
@@ -172,13 +211,13 @@ func (r *combineRouter) done() bool {
 
 // completed returns the packets that reached the bottommost level at this
 // column, one per aggregation group, fully combined.
-func (r *combineRouter) completed() map[uint64]*pkt {
+func (r *combineRouter[T]) completed() map[uint64]pkt[T] {
 	return r.pend[r.s.BF.D]
 }
 
 // runCombine drives the router until quiescent. Attached nodes (no butterfly
 // column) pass a nil router and return immediately.
-func (s *Session) runCombine(r *combineRouter) {
+func runCombine[T any](s *Session, r *combineRouter[T]) {
 	if r == nil {
 		return
 	}

@@ -27,8 +27,8 @@ func TestAggregateSumsPerGroup(t *testing.T) {
 		// members (g*7+j*13)%n with value g*100+member.
 		n := tc.n
 		type gm struct{ target int }
-		groupsOf := make([][]Agg, n) // per member node
-		want := map[uint64]uint64{}  // group -> sum
+		groupsOf := make([][]Agg[uint64], n) // per member node
+		want := map[uint64]uint64{}          // group -> sum
 		targetOf := map[uint64]int{}
 		for g := 0; g < tc.groups; g++ {
 			target := (g * 31) % n
@@ -41,7 +41,7 @@ func TestAggregateSumsPerGroup(t *testing.T) {
 				}
 				seen[m] = true
 				val := uint64(g*100 + m)
-				groupsOf[m] = append(groupsOf[m], Agg{Group: uint64(g), Target: target, Val: U64(val)})
+				groupsOf[m] = append(groupsOf[m], Agg[uint64]{Group: uint64(g), Target: target, Val: val})
 				want[uint64(g)] += val
 			}
 		}
@@ -49,10 +49,10 @@ func TestAggregateSumsPerGroup(t *testing.T) {
 		got := map[uint64]uint64{}
 		gotTarget := map[uint64]int{}
 		st := runAll(t, n, tc.seed, func(s *Session) {
-			res := s.Aggregate(groupsOf[s.Ctx.ID()], CombineSum, tc.groups)
+			res := Aggregate(s, groupsOf[s.Ctx.ID()], Sum, tc.groups)
 			mu.Lock()
 			for _, gv := range res {
-				got[gv.Group] = uint64(gv.Val.(U64))
+				got[gv.Group] = gv.Val
 				gotTarget[gv.Group] = s.Ctx.ID()
 			}
 			mu.Unlock()
@@ -82,19 +82,19 @@ func TestAggregateManyGroupsOneTarget(t *testing.T) {
 	var mu sync.Mutex
 	got := map[uint64]uint64{}
 	runAll(t, n, 17, func(s *Session) {
-		var items []Agg
+		var items []Agg[uint64]
 		for g := 0; g < groups; g++ {
 			if g%n == s.Ctx.ID() || (g+7)%n == s.Ctx.ID() {
-				items = append(items, Agg{Group: uint64(g), Target: 0, Val: U64(uint64(s.Ctx.ID() + g))})
+				items = append(items, Agg[uint64]{Group: uint64(g), Target: 0, Val: uint64(s.Ctx.ID() + g)})
 			}
 		}
-		res := s.Aggregate(items, CombineMin, groups)
+		res := Aggregate(s, items, Min, groups)
 		mu.Lock()
 		for _, gv := range res {
 			if s.Ctx.ID() != 0 {
 				panic("result delivered to a non-target")
 			}
-			got[gv.Group] = uint64(gv.Val.(U64))
+			got[gv.Group] = gv.Val
 		}
 		mu.Unlock()
 	})
@@ -113,7 +113,7 @@ func TestAggregateManyGroupsOneTarget(t *testing.T) {
 
 func TestAggregateEmpty(t *testing.T) {
 	runAll(t, 16, 3, func(s *Session) {
-		res := s.Aggregate(nil, CombineSum, 1)
+		res := Aggregate[uint64](s, nil, Sum, 1)
 		if len(res) != 0 {
 			panic("empty aggregation produced results")
 		}
@@ -127,11 +127,11 @@ func TestAggregateXorCount(t *testing.T) {
 	var mu sync.Mutex
 	var got XorCount
 	runAll(t, n, 9, func(s *Session) {
-		items := []Agg{{Group: 1, Target: 3, Val: XorCount{X: uint64(s.Ctx.ID() * 1111), C: 1}}}
-		res := s.Aggregate(items, CombineXorCount, 1)
+		items := []Agg[XorCount]{{Group: 1, Target: 3, Val: XorCount{X: uint64(s.Ctx.ID() * 1111), C: 1}}}
+		res := Aggregate(s, items, MergeXorCount, 1)
 		for _, gv := range res {
 			mu.Lock()
-			got = gv.Val.(XorCount)
+			got = gv.Val
 			mu.Unlock()
 		}
 	})
@@ -211,14 +211,14 @@ func TestSetupTreesAndMulticast(t *testing.T) {
 					group, isSource = g, true
 				}
 			}
-			var val Value
+			var val uint64
 			if isSource {
-				val = U64(p.vals[group])
+				val = p.vals[group]
 			}
-			got := s.Multicast(trees, isSource, group, val, lhat)
+			got := Multicast(s, trees, isSource, group, val, U64Wire{}, lhat)
 			m := map[uint64]uint64{}
 			for _, gv := range got {
-				m[gv.Group] = uint64(gv.Val.(U64))
+				m[gv.Group] = gv.Val
 			}
 			mu.Lock()
 			received[s.Ctx.ID()] = m
@@ -255,7 +255,7 @@ func TestMulticastNoSources(t *testing.T) {
 	p := makeMulticastProblem(16, 8, 3)
 	runAll(t, 16, 3, func(s *Session) {
 		trees := s.SetupTrees(p.items(s.Ctx.ID()))
-		got := s.Multicast(trees, false, 0, nil, p.maxMemberships())
+		got := Multicast(s, trees, false, 0, uint64(0), U64Wire{}, p.maxMemberships())
 		if len(got) != 0 {
 			panic("received multicast with no sources")
 		}
@@ -279,16 +279,16 @@ func TestMulticastReusedTrees(t *testing.T) {
 			}
 		}
 		for round := 0; round < 3; round++ {
-			var val Value
+			var val uint64
 			if isSource {
-				val = U64(uint64(round))
+				val = uint64(round)
 			}
-			got := s.Multicast(trees, isSource, group, val, lhat)
+			got := Multicast(s, trees, isSource, group, val, U64Wire{}, lhat)
 			mu.Lock()
 			counts[round] += len(got)
 			mu.Unlock()
 			for _, gv := range got {
-				if uint64(gv.Val.(U64)) != uint64(round) {
+				if gv.Val != uint64(round) {
 					panic("stale value from a previous multicast")
 				}
 			}
@@ -319,15 +319,15 @@ func TestMultiAggregateMin(t *testing.T) {
 					group, isSource = g, true
 				}
 			}
-			var val Value
+			var val uint64
 			if isSource {
-				val = U64(p.vals[group])
+				val = p.vals[group]
 			}
-			v, ok := s.MultiAggregate(trees, isSource, group, val, CombineMin)
+			v, ok := MultiAggregate(s, trees, isSource, group, val, Min)
 			mu.Lock()
 			gotOK[s.Ctx.ID()] = ok
 			if ok {
-				got[s.Ctx.ID()] = uint64(v.(U64))
+				got[s.Ctx.ID()] = v
 			}
 			mu.Unlock()
 		})
@@ -367,14 +367,14 @@ func TestMultiAggregatePartialSources(t *testing.T) {
 				group, isSource = g, true
 			}
 		}
-		var val Value
+		var val uint64
 		if isSource {
-			val = U64(p.vals[group])
+			val = p.vals[group]
 		}
-		v, ok := s.MultiAggregate(trees, isSource, group, val, CombineMin)
+		v, ok := MultiAggregate(s, trees, isSource, group, val, Min)
 		if ok {
 			mu.Lock()
-			got[s.Ctx.ID()] = uint64(v.(U64))
+			got[s.Ctx.ID()] = v
 			mu.Unlock()
 		}
 	})
@@ -413,7 +413,7 @@ func TestMultiAggregatePickReturnsANeighborSource(t *testing.T) {
 				group, isSource = g, true
 			}
 		}
-		id, ok := s.MultiAggregatePick(trees, isSource, group, uint64(s.Ctx.ID()))
+		id, ok := MultiAggregatePick(s, trees, isSource, group, uint64(s.Ctx.ID()))
 		if ok {
 			mu.Lock()
 			picks[s.Ctx.ID()] = id

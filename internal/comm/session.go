@@ -1,18 +1,39 @@
 // Package comm implements the communication primitives of the
-// Node-Capacitated Clique paper (Section 2.2 and Appendix B): butterfly
-// emulation, Aggregate-and-Broadcast, Aggregation with random-rank routing
-// and in-network combining, Multicast Tree Setup, Multicast, and
-// Multi-Aggregation.
+// Node-Capacitated Clique paper (Section 2.2 and Appendix B) as typed,
+// generics-based collectives: butterfly emulation, Aggregate-and-Broadcast,
+// Aggregation with random-rank routing and in-network combining, Multicast
+// Tree Setup, Multicast, and Multi-Aggregation.
+//
+// # Codecs and combiners
+//
+// Every collective is generic over its payload type T. A Wire[T] codec fixes
+// T's word layout (Words, Encode, Decode — exact inverses, pinned by the
+// codec fuzz test); a Combiner[T] pairs a codec with a commutative-
+// associative merge. Built-in codecs cover uint64, Pair, XorCount, Sketch,
+// Sketch3 and the zero-width Flag; algorithms with bespoke payloads
+// implement Wire[T] themselves (see core's three-word orientation
+// aggregate). Payloads travel as flat words through the engine's inline
+// SendWord/SendWords2/SendWords paths and are decoded straight out of the
+// receive arenas — no interface boxing anywhere on the message plane, which
+// is what keeps steady-state primitive traffic at ~0 allocations per
+// message (pinned by TestCollectiveSteadyStateAllocs).
+//
+// # SPMD call order
 //
 // All primitives are SPMD collectives: every node of the clique must call
 // them in the same order (possibly at different rounds; the token-based
 // Synchronize realigns the network, exactly as the paper's synchronization
-// variant of Aggregate-and-Broadcast does).
+// variant of Aggregate-and-Broadcast does). The shared invocation counter
+// that seeds each collective's hash functions — and the wire protocol's
+// invocation tags — depend on this discipline; calling collectives in
+// divergent orders across nodes is a protocol violation the session panics
+// on when it can detect it.
 package comm
 
 import (
 	"fmt"
 	"math/rand/v2"
+	"reflect"
 
 	"ncc/internal/butterfly"
 	"ncc/internal/hashing"
@@ -24,8 +45,9 @@ import (
 const SeedWords = 8
 
 // Session holds a node's view of the butterfly emulation and the shared
-// randomness, and dispatches incoming messages to the primitive that owns
-// them. Each node creates exactly one Session per program via NewSession.
+// randomness, and dispatches incoming wire messages to the primitive that
+// owns them. Each node creates exactly one Session per program via
+// NewSession.
 type Session struct {
 	Ctx *ncc.Context
 	BF  *butterfly.Butterfly
@@ -33,35 +55,51 @@ type Session struct {
 	seed  []uint64
 	calls uint64
 
-	// Message queues, filled by Advance.
-	qGather  []gatherFrom
-	qRelease []releaseMsg
-	qWords   []wordMsg
-	qRoute   []routeMsg
-	qRtTok   []routeToken
-	qInit    []initMsg
-	qSpread  []spreadMsg
-	qSpTok   []spreadToken
-	qLeaf    []leafFrom
-	qResult  []resultMsg
-	direct   []ncc.Received
-}
+	// Raw wire queues, filled by Advance. Payload words are stashed in the
+	// vals arena and decoded by the owning collective (which knows the
+	// codec); the arena is recycled whenever all queues drain.
+	qGather  []gatherRaw
+	qRelease []releaseRaw
+	qWords   []wordRaw
+	qRoute   []routeRaw
+	qRtTok   []tokRaw
+	qInit    []initRaw
+	qSpread  []spreadRaw
+	qSpTok   []tokRaw
+	qLeaf    []groupRaw
+	qResult  []groupRaw
+	vals     []uint64
 
-type gatherFrom struct {
-	from ncc.NodeID
-	m    gatherMsg
-}
+	// Algorithm-level direct messages and their word arena, drained (and
+	// recycled) by DrainDirect.
+	direct []directRaw
+	dwords []uint64
 
-type leafFrom struct {
-	from ncc.NodeID
-	m    leafMsg
+	enc   []uint64  // wire-encode scratch, reused by every send
+	view2 [2]uint64 // inline-payload view scratch for dispatch
+
+	// Pooled per-invocation hash families (reseeded in place each collective
+	// call, never reallocated) and the sorted-group scratch of the delivery
+	// windows.
+	famDest, famRank, famRank2 *hashing.Family
+	groupScratch               []uint64
+
+	// states pools the per-payload-type router and queue state across
+	// collective invocations, keyed by the payload type, so repeated
+	// collectives of the same T reuse their maps and buffers.
+	states map[reflect.Type]any
 }
 
 // NewSession builds the butterfly emulation and establishes the shared
 // randomness: node 0 draws SeedWords random words and broadcasts them through
 // the butterfly (O(log n) rounds). Every node must call NewSession first.
 func NewSession(ctx *ncc.Context) *Session {
-	s := &Session{Ctx: ctx, BF: butterfly.New(ctx.N())}
+	s := &Session{
+		Ctx:    ctx,
+		BF:     butterfly.New(ctx.N()),
+		enc:    make([]uint64, maxWireWords),
+		states: make(map[reflect.Type]any),
+	}
 	var words []uint64
 	if ctx.ID() == 0 {
 		words = make([]uint64, SeedWords)
@@ -75,40 +113,114 @@ func NewSession(ctx *ncc.Context) *Session {
 
 // Advance runs one communication round and dispatches everything received.
 func (s *Session) Advance() {
-	for _, rc := range s.Ctx.EndRound() {
-		switch m := rc.Payload().(type) {
-		case gatherMsg:
-			s.qGather = append(s.qGather, gatherFrom{rc.From, m})
-		case releaseMsg:
-			s.qRelease = append(s.qRelease, m)
-		case wordMsg:
-			s.qWords = append(s.qWords, m)
-		case routeMsg:
-			s.qRoute = append(s.qRoute, m)
-		case routeToken:
-			s.qRtTok = append(s.qRtTok, m)
-		case initMsg:
-			s.qInit = append(s.qInit, m)
-		case spreadMsg:
-			s.qSpread = append(s.qSpread, m)
-		case spreadToken:
-			s.qSpTok = append(s.qSpTok, m)
-		case leafMsg:
-			s.qLeaf = append(s.qLeaf, leafFrom{rc.From, m})
-		case resultMsg:
-			s.qResult = append(s.qResult, m)
+	if len(s.qGather)+len(s.qRelease)+len(s.qRoute)+len(s.qInit)+
+		len(s.qSpread)+len(s.qLeaf)+len(s.qResult) == 0 {
+		s.vals = s.vals[:0]
+	}
+	in := s.Ctx.EndRound()
+	for i := range in {
+		rc := &in[i]
+		ws := receivedWords(rc, &s.view2)
+		w0 := ws[0]
+		switch hdrTag(w0) {
+		case tagGather:
+			s.qGather = append(s.qGather, gatherRaw{from: rc.From, has: w0&1 != 0, val: s.stash(ws[1:])})
+		case tagRelease:
+			s.qRelease = append(s.qRelease, releaseRaw{
+				exitRound: int(w0 >> 16 & (1<<40 - 1)),
+				has:       w0&1 != 0,
+				val:       s.stash(ws[1:]),
+			})
+		case tagWord:
+			s.qWords = append(s.qWords, wordRaw{idx: int32(uint32(w0)), w: ws[1]})
+		case tagRoute:
+			s.qRoute = append(s.qRoute, routeRaw{
+				seq:     uint32(w0 >> 32 & seqMask),
+				level:   int8(w0 >> 24),
+				group:   ws[1],
+				destCol: int32(ws[2] >> 32),
+				rank:    uint32(ws[2]),
+				target:  int32(uint32(ws[3] >> 32)),
+				origin:  int32(uint32(ws[3])),
+				val:     s.stash(ws[4:]),
+			})
+		case tagRouteTok:
+			s.qRtTok = append(s.qRtTok, tokRaw{seq: uint32(w0 >> 32 & seqMask), level: int8(w0 >> 24), side: int8(w0 & 1)})
+		case tagInit:
+			s.qInit = append(s.qInit, initRaw{seq: uint32(w0 >> 32 & seqMask), group: ws[1], val: s.stash(ws[2:])})
+		case tagSpread:
+			s.qSpread = append(s.qSpread, spreadRaw{
+				seq:   uint32(w0 >> 32 & seqMask),
+				level: int8(w0 >> 24),
+				group: ws[1],
+				val:   s.stash(ws[2:]),
+			})
+		case tagSpreadTok:
+			s.qSpTok = append(s.qSpTok, tokRaw{seq: uint32(w0 >> 32 & seqMask), level: int8(w0 >> 24), side: int8(w0 & 1)})
+		case tagLeaf:
+			s.qLeaf = append(s.qLeaf, groupRaw{group: ws[1], val: s.stash(ws[2:])})
+		case tagResult:
+			s.qResult = append(s.qResult, groupRaw{group: ws[1], val: s.stash(ws[2:])})
 		default:
-			s.direct = append(s.direct, rc)
+			off := int32(len(s.dwords))
+			s.dwords = append(s.dwords, ws...)
+			s.direct = append(s.direct, directRaw{from: rc.From, val: rawVal{off: off, n: int32(len(ws))}})
 		}
 	}
 }
 
-// TakeDirect returns and clears the algorithm-level direct messages received
-// so far (anything that is not a primitive's wire message).
-func (s *Session) TakeDirect() []ncc.Received {
-	d := s.direct
-	s.direct = nil
-	return d
+// receivedWords returns a message's flat word view regardless of its inline
+// representation; scratch backs the one- and two-word cases. Sessions only
+// speak words: a boxed payload reaching a session is a program bug.
+func receivedWords(rc *ncc.Received, scratch *[2]uint64) []uint64 {
+	if w, ok := rc.AsWord(); ok {
+		scratch[0] = uint64(w)
+		return scratch[:1]
+	}
+	if w2, ok := rc.AsWords2(); ok {
+		scratch[0], scratch[1] = w2[0], w2[1]
+		return scratch[:2]
+	}
+	if ws, ok := rc.AsWords(); ok {
+		return ws
+	}
+	panic(fmt.Sprintf("comm: received a boxed %T payload; sessions require word payloads "+
+		"(SendWord/SendWords2/SendWords)", rc.Payload()))
+}
+
+// stash copies payload words into the value arena and returns their handle.
+func (s *Session) stash(ws []uint64) rawVal {
+	if len(ws) == 0 {
+		return rawVal{}
+	}
+	off := int32(len(s.vals))
+	s.vals = append(s.vals, ws...)
+	return rawVal{off: off, n: int32(len(ws))}
+}
+
+// words resolves a stashed payload back to its word view.
+func (s *Session) words(v rawVal) []uint64 {
+	return s.vals[v.off : v.off+v.n]
+}
+
+// encode prepares the session's scratch buffer for an n-word wire message.
+func (s *Session) encode(n int) []uint64 {
+	if n > cap(s.enc) {
+		s.enc = make([]uint64, n)
+	}
+	return s.enc[:n]
+}
+
+// DrainDirect hands every pending algorithm-level direct message (anything
+// that is not primitive wire traffic) to fn, in arrival order, then clears
+// the queue and recycles its arena. The ws slice is only valid during the
+// call; fn must not call Advance or any collective.
+func (s *Session) DrainDirect(fn func(from ncc.NodeID, ws []uint64)) {
+	for _, d := range s.direct {
+		fn(d.from, s.dwords[d.val.off:d.val.off+d.val.n])
+	}
+	s.direct = s.direct[:0]
+	s.dwords = s.dwords[:0]
 }
 
 // nextCall advances the collective invocation counter. Because primitives are
@@ -126,14 +238,46 @@ func (s *Session) hashFamily(call, salt uint64) *hashing.Family {
 	return hashing.NewFamily(k, hashing.NewSeedStream(s.seed, hashing.Mix(call)^salt))
 }
 
-// destRank returns the per-invocation hash pair used by the routing
-// primitives: destination column at the bottommost level and contention rank.
-func (s *Session) destRank(call uint64) (dest func(uint64) int32, rank func(uint64) uint32) {
-	fd := s.hashFamily(call, 0x64657374) // "dest"
-	fr := s.hashFamily(call, 0x72616e6b) // "rank"
-	cols := uint64(s.BF.Cols)
-	return func(g uint64) int32 { return int32(fd.Range(g, cols)) },
-		func(g uint64) uint32 { return uint32(fr.Hash(g)) }
+// pooledFamily reseeds (or first allocates) one of the session's pooled hash
+// families for the given invocation and salt.
+func (s *Session) pooledFamily(slot **hashing.Family, call, salt uint64) *hashing.Family {
+	k := max(4, ncc.CeilLog2(s.Ctx.N())+2)
+	st := hashing.StreamFrom(s.seed, hashing.Mix(call)^salt)
+	if *slot == nil || (*slot).K() != k {
+		*slot = hashing.NewFamily(k, &st)
+	} else {
+		(*slot).Reseed(&st)
+	}
+	return *slot
+}
+
+// pktHash is the per-invocation hash pair of the routing primitives:
+// destination column at the bottommost butterfly level and contention rank.
+// It is a value over pooled families, so deriving one allocates nothing.
+type pktHash struct {
+	dest, rank *hashing.Family
+	cols       uint64
+}
+
+func (h pktHash) destCol(g uint64) int32 { return int32(h.dest.Range(g, h.cols)) }
+
+func (h pktHash) rankOf(g uint64) uint32 { return uint32(h.rank.Hash(g)) }
+
+// destRank derives the routing hash pair for an invocation from the pooled
+// dest/rank slots.
+func (s *Session) destRank(call uint64) pktHash {
+	return pktHash{
+		dest: s.pooledFamily(&s.famDest, call, 0x64657374), // "dest"
+		rank: s.pooledFamily(&s.famRank, call, 0x72616e6b), // "rank"
+		cols: uint64(s.BF.Cols),
+	}
+}
+
+// rankOnly derives just the contention-rank hash for an invocation, in its
+// own pooled slot so it can stay live across a nested destRank derivation
+// (Multi-Aggregation seeds both at entry).
+func (s *Session) rankOnly(call uint64) *hashing.Family {
+	return s.pooledFamily(&s.famRank2, call, 0x72616e6b)
 }
 
 // batchSize is the number of packets injected per round during preprocessing
@@ -181,4 +325,34 @@ func (s *Session) SharedFamily(salt uint64) *hashing.Family {
 func (s *Session) SharedStream(salt uint64) *hashing.SeedStream {
 	call := s.nextCall()
 	return hashing.NewSeedStream(s.seed, hashing.Mix(call)^salt)
+}
+
+// commState is the pooled per-payload-type scratch of the routing
+// collectives: one combining router and one spreading router per T, reused
+// (maps cleared, slices truncated) across invocations so steady-state
+// collective traffic allocates ~nothing per message.
+type commState[T any] struct {
+	cr combineRouter[T]
+	sr spreadRouter[T]
+
+	// Delivery-window scratch: the per-round send plan of deliverResults,
+	// the leaf fan-out schedule of deliverLeaves, and the result buffer the
+	// collectives return views of (reused by the next invocation with the
+	// same payload type, exactly like the engine's EndRound inbox).
+	plan  [][]pkt[T]
+	sched []leafPlan[T]
+	out   []GroupVal[T]
+}
+
+// stateFor fetches (or creates) the session's pooled state for payload type
+// T. The reflect key costs one map lookup per collective invocation — noise
+// against the invocation's O(log n) rounds of traffic.
+func stateFor[T any](s *Session) *commState[T] {
+	key := reflect.TypeFor[T]()
+	if st, ok := s.states[key]; ok {
+		return st.(*commState[T])
+	}
+	st := &commState[T]{}
+	s.states[key] = st
+	return st
 }

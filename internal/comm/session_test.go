@@ -74,11 +74,11 @@ func TestAggregateAndBroadcastSum(t *testing.T) {
 		want := uint64(n * (n - 1) / 2)
 		got := make([]uint64, n)
 		runAll(t, n, 5, func(s *Session) {
-			v, ok := s.AggregateAndBroadcast(U64(uint64(s.Ctx.ID())), true, CombineSum)
+			v, ok := AggregateAndBroadcast(s, uint64(s.Ctx.ID()), true, Sum)
 			if !ok {
 				panic("no aggregate")
 			}
-			got[s.Ctx.ID()] = uint64(v.(U64))
+			got[s.Ctx.ID()] = v
 		})
 		for id, g := range got {
 			if g != want {
@@ -94,11 +94,11 @@ func TestAggregateAndBroadcastPartial(t *testing.T) {
 	got := make([]uint64, n)
 	runAll(t, n, 5, func(s *Session) {
 		id := uint64(s.Ctx.ID())
-		v, ok := s.AggregateAndBroadcast(U64(id), id%2 == 1, CombineMax)
+		v, ok := AggregateAndBroadcast(s, id, id%2 == 1, Max)
 		if !ok {
 			panic("no aggregate")
 		}
-		got[s.Ctx.ID()] = uint64(v.(U64))
+		got[s.Ctx.ID()] = v
 	})
 	for id, g := range got {
 		if g != 19 {
@@ -108,14 +108,22 @@ func TestAggregateAndBroadcastPartial(t *testing.T) {
 }
 
 func TestAggregateAndBroadcastNobody(t *testing.T) {
+	// Distinct per-node inputs with has=false everywhere: the result must be
+	// the uniform (zero, false) on every node — in particular the butterfly
+	// root must not leak its own input value back out.
 	oks := make([]bool, 9)
+	vals := make([]uint64, 9)
 	runAll(t, 9, 5, func(s *Session) {
-		_, ok := s.AggregateAndBroadcast(U64(1), false, CombineSum)
+		v, ok := AggregateAndBroadcast(s, uint64(s.Ctx.ID())+100, false, Max)
 		oks[s.Ctx.ID()] = ok
+		vals[s.Ctx.ID()] = v
 	})
 	for id, ok := range oks {
 		if ok {
 			t.Fatalf("node %d: got ok for empty aggregation", id)
+		}
+		if vals[id] != 0 {
+			t.Fatalf("node %d: empty aggregation returned %d, want uniform 0", id, vals[id])
 		}
 	}
 }
@@ -126,7 +134,7 @@ func TestAggregateAndBroadcastRounds(t *testing.T) {
 	for _, n := range []int{8, 64, 512} {
 		var st ncc.Stats
 		st = runAll(t, n, 1, func(s *Session) {
-			s.AggregateAndBroadcast(U64(1), true, CombineSum)
+			AggregateAndBroadcast(s, uint64(1), true, Sum)
 		})
 		logn := ncc.CeilLog2(n)
 		if st.Rounds > 20*logn {
@@ -225,14 +233,20 @@ func TestDirectMessages(t *testing.T) {
 	gotFrom := make([]int, n)
 	runAll(t, n, 2, func(s *Session) {
 		peer := s.Ctx.ID() ^ 1
-		s.Ctx.Send(peer, ncc.Word(99))
+		s.Ctx.SendWord(peer, ncc.Word(99))
 		s.Advance()
 		s.Synchronize()
-		d := s.TakeDirect()
-		if len(d) != 1 || d[0].Payload().(ncc.Word) != 99 {
-			panic("direct message lost or corrupted")
+		count := 0
+		s.DrainDirect(func(from ncc.NodeID, ws []uint64) {
+			count++
+			if len(ws) != 1 || ws[0] != 99 {
+				panic("direct message lost or corrupted")
+			}
+			gotFrom[s.Ctx.ID()] = from
+		})
+		if count != 1 {
+			panic("direct message count wrong")
 		}
-		gotFrom[s.Ctx.ID()] = d[0].From
 	})
 	for id, from := range gotFrom {
 		if from != id^1 {

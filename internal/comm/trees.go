@@ -1,6 +1,9 @@
 package comm
 
-import "ncc/internal/ncc"
+import (
+	"ncc/internal/hashing"
+	"ncc/internal/ncc"
+)
 
 // TreeItem declares one multicast-group membership to be wired into the
 // multicast trees: the member node Origin joins group Group. A node may
@@ -30,16 +33,19 @@ type Trees struct {
 	// to them directly.
 	leafOrigins map[uint64][]int32
 
-	rootCol func(uint64) int32
+	// destFam/cols reproduce the setup invocation's root hash; they live as
+	// long as the trees (unlike the session's pooled per-call families).
+	destFam *hashing.Family
+	cols    uint64
 }
 
 // record notes a setup packet's arrival for tree construction.
-func (t *Trees) record(level int, p pkt, side int) {
+func (t *Trees) record(level int, group uint64, origin int32, side int) {
 	if level == 0 {
-		t.leafOrigins[p.group] = append(t.leafOrigins[p.group], p.origin)
+		t.leafOrigins[group] = append(t.leafOrigins[group], origin)
 		return
 	}
-	t.children[level][p.group] |= 1 << side
+	t.children[level][group] |= 1 << side
 }
 
 // Congestion returns the number of trees sharing this column's most loaded
@@ -57,7 +63,7 @@ func (t *Trees) Congestion() int {
 
 // Root returns the bottommost-level column at which the tree of the given
 // group is rooted.
-func (t *Trees) Root(group uint64) int32 { return t.rootCol(group) }
+func (t *Trees) Root(group uint64) int32 { return int32(t.destFam.Range(group, t.cols)) }
 
 // SetupTrees solves the Multicast Tree Setup Problem (Theorem 2.4): the
 // memberships declared by all nodes are routed toward their groups' root
@@ -68,40 +74,45 @@ func (t *Trees) Root(group uint64) int32 { return t.rootCol(group) }
 func (s *Session) SetupTrees(items []TreeItem) *Trees {
 	s.assertDrained("SetupTrees")
 	call := s.nextCall()
-	dest, rank := s.destRank(call)
-	seq := uint32(call)
+	// The dest family is retained by the returned Trees (it fixes every
+	// group's root), so it is allocated fresh rather than pooled.
+	k := max(4, ncc.CeilLog2(s.Ctx.N())+2)
+	st := hashing.StreamFrom(s.seed, hashing.Mix(call)^0x64657374)
+	destFam := hashing.NewFamily(k, &st)
+	h := pktHash{dest: destFam, rank: s.pooledFamily(&s.famRank, call, 0x72616e6b), cols: uint64(s.BF.Cols)}
+	seq := seq24(call)
 
 	levels := s.BF.Levels()
-	t := &Trees{call: call, leafOrigins: make(map[uint64][]int32), rootCol: dest}
+	t := &Trees{call: call, leafOrigins: make(map[uint64][]int32), destFam: destFam, cols: h.cols}
 	t.children = make([]map[uint64]uint8, levels)
 	for i := range t.children {
 		t.children[i] = make(map[uint64]uint8)
 	}
 
-	var r *combineRouter
+	var r *combineRouter[uint64]
 	if s.BF.IsEmulator(s.Ctx.ID()) {
-		r = newCombineRouter(s, seq, CombineSum, t)
+		r = stateFor[uint64](s).combine(s, seq, Sum, t)
 	}
 
-	// Inject with per-item origins (s.inject is not reusable here because the
-	// origin differs from the sender for on-behalf memberships, and there is
-	// no delivery target).
+	// Inject with per-item origins (the Aggregate inject is not reusable here
+	// because the origin differs from the sender for on-behalf memberships,
+	// and there is no delivery target).
 	ctx := s.Ctx
 	batch := s.batchSize()
 	for i, it := range items {
-		p := pkt{
+		p := pkt[uint64]{
 			group:   it.Group,
-			destCol: dest(it.Group),
-			rank:    rank(it.Group),
+			destCol: h.destCol(it.Group),
+			rank:    h.rankOf(it.Group),
 			target:  -1,
 			origin:  int32(it.Origin),
-			val:     U64(1),
+			val:     1,
 		}
 		col := ctx.Rand().IntN(s.BF.Cols)
 		if r != nil && col == r.col {
 			r.stageLocal(p)
 		} else {
-			ctx.Send(s.BF.Host(col), routeMsg{seq: seq, level: 0, p: p})
+			sendRoute(s, s.BF.Host(col), seq, 0, U64Wire{}, p)
 		}
 		if (i+1)%batch == 0 {
 			s.Advance()
@@ -112,7 +123,7 @@ func (s *Session) SetupTrees(items []TreeItem) *Trees {
 	}
 	s.Synchronize()
 
-	s.runCombine(r)
+	runCombine(s, r)
 	s.Synchronize()
 
 	if r != nil {

@@ -1,0 +1,197 @@
+package comm
+
+// The typed value layer of the collectives: a Wire[T] codec describes how a
+// payload type is laid out as Theta(log n)-bit machine words, a Combiner[T]
+// pairs a codec with a commutative-associative merge. All primitives move
+// encoded words through the engine's inline word paths — no payload is ever
+// boxed into an interface, so primitive traffic is allocation-free end to
+// end.
+
+// Wire is a fixed-width word codec for payload type T. Words reports the
+// payload width; Encode writes exactly Words() words into ws; Decode reads
+// them back. Codecs must be stateless values (they are copied freely) and
+// Encode/Decode must be exact inverses — the codec fuzz test pins this for
+// every built-in.
+type Wire[T any] interface {
+	Words() int
+	Encode(v T, ws []uint64)
+	Decode(ws []uint64) T
+}
+
+// Combiner pairs a codec with a distributive aggregate function: Combine
+// must be commutative and associative so that packets of the same
+// aggregation group can merge in any order along the butterfly.
+type Combiner[T any] struct {
+	Wire[T]
+	Combine func(a, b T) T
+}
+
+// Pair is a two-word value, combined lexicographically by the MinPair /
+// MaxPair combiners.
+type Pair struct{ A, B uint64 }
+
+// XorCount carries an XOR accumulator and an exact counter; it is the cell
+// type of the Identification Algorithm's sketch (Section 4.1).
+type XorCount struct {
+	X uint64
+	C uint64
+}
+
+// Sketch carries the h-up and h-down trial bit vectors of the FindMin edge
+// sketch (Section 3), 64 parallel trials each.
+type Sketch struct{ Up, Down uint64 }
+
+// Sketch3 carries three prefix sketches, enabling quaternary search (three
+// range tests per round trip) in FindMin.
+type Sketch3 struct{ S [3]Sketch }
+
+// Flag is a zero-information presence marker: its arrival is the message, so
+// its codec is zero-width and a Flag rides entirely inside the wire header.
+type Flag struct{}
+
+// U64Wire is the one-word codec for uint64 values.
+type U64Wire struct{}
+
+// Words implements Wire.
+func (U64Wire) Words() int { return 1 }
+
+// Encode implements Wire.
+func (U64Wire) Encode(v uint64, ws []uint64) { ws[0] = v }
+
+// Decode implements Wire.
+func (U64Wire) Decode(ws []uint64) uint64 { return ws[0] }
+
+// PairWire is the two-word codec for Pair.
+type PairWire struct{}
+
+// Words implements Wire.
+func (PairWire) Words() int { return 2 }
+
+// Encode implements Wire.
+func (PairWire) Encode(v Pair, ws []uint64) { ws[0], ws[1] = v.A, v.B }
+
+// Decode implements Wire.
+func (PairWire) Decode(ws []uint64) Pair { return Pair{A: ws[0], B: ws[1]} }
+
+// XorCountWire is the two-word codec for XorCount.
+type XorCountWire struct{}
+
+// Words implements Wire.
+func (XorCountWire) Words() int { return 2 }
+
+// Encode implements Wire.
+func (XorCountWire) Encode(v XorCount, ws []uint64) { ws[0], ws[1] = v.X, v.C }
+
+// Decode implements Wire.
+func (XorCountWire) Decode(ws []uint64) XorCount { return XorCount{X: ws[0], C: ws[1]} }
+
+// SketchWire is the two-word codec for Sketch.
+type SketchWire struct{}
+
+// Words implements Wire.
+func (SketchWire) Words() int { return 2 }
+
+// Encode implements Wire.
+func (SketchWire) Encode(v Sketch, ws []uint64) { ws[0], ws[1] = v.Up, v.Down }
+
+// Decode implements Wire.
+func (SketchWire) Decode(ws []uint64) Sketch { return Sketch{Up: ws[0], Down: ws[1]} }
+
+// Sketch3Wire is the six-word codec for Sketch3.
+type Sketch3Wire struct{}
+
+// Words implements Wire.
+func (Sketch3Wire) Words() int { return 6 }
+
+// Encode implements Wire.
+func (Sketch3Wire) Encode(v Sketch3, ws []uint64) {
+	for i, sk := range v.S {
+		ws[2*i], ws[2*i+1] = sk.Up, sk.Down
+	}
+}
+
+// Decode implements Wire.
+func (Sketch3Wire) Decode(ws []uint64) Sketch3 {
+	var v Sketch3
+	for i := range v.S {
+		v.S[i] = Sketch{Up: ws[2*i], Down: ws[2*i+1]}
+	}
+	return v
+}
+
+// ZeroWire is the zero-width codec for Flag: a Flag payload contributes no
+// words to its wire message.
+type ZeroWire struct{}
+
+// Words implements Wire.
+func (ZeroWire) Words() int { return 0 }
+
+// Encode implements Wire.
+func (ZeroWire) Encode(Flag, []uint64) {}
+
+// Decode implements Wire.
+func (ZeroWire) Decode([]uint64) Flag { return Flag{} }
+
+// maxValWords bounds the payload width of the built-in codecs; the session's
+// encode scratch is sized for the widest wire message plus this.
+const maxValWords = 6
+
+// Built-in combiners for the value types above.
+var (
+	// Min keeps the smaller uint64.
+	Min = Combiner[uint64]{U64Wire{}, func(a, b uint64) uint64 { return min(a, b) }}
+	// Max keeps the larger uint64.
+	Max = Combiner[uint64]{U64Wire{}, func(a, b uint64) uint64 { return max(a, b) }}
+	// Sum adds uint64 values.
+	Sum = Combiner[uint64]{U64Wire{}, func(a, b uint64) uint64 { return a + b }}
+	// Xor XORs uint64 values.
+	Xor = Combiner[uint64]{U64Wire{}, func(a, b uint64) uint64 { return a ^ b }}
+	// Or ORs uint64 values (0/1 used as booleans).
+	Or = Combiner[uint64]{U64Wire{}, func(a, b uint64) uint64 { return a | b }}
+
+	// MinPair keeps the lexicographically smaller pair.
+	MinPair = Combiner[Pair]{PairWire{}, func(a, b Pair) Pair {
+		if b.A < a.A || (b.A == a.A && b.B < a.B) {
+			return b
+		}
+		return a
+	}}
+	// MaxPair keeps the lexicographically larger pair.
+	MaxPair = Combiner[Pair]{PairWire{}, func(a, b Pair) Pair {
+		if b.A > a.A || (b.A == a.A && b.B > a.B) {
+			return b
+		}
+		return a
+	}}
+	// MaxEach takes the componentwise maximum of pairs (two independent
+	// MaxAll reductions in one aggregation).
+	MaxEach = Combiner[Pair]{PairWire{}, func(a, b Pair) Pair {
+		return Pair{A: max(a.A, b.A), B: max(a.B, b.B)}
+	}}
+	// SumPair adds pairs componentwise.
+	SumPair = Combiner[Pair]{PairWire{}, func(a, b Pair) Pair {
+		return Pair{A: a.A + b.A, B: a.B + b.B}
+	}}
+
+	// MergeXorCount XORs the accumulators and adds the counters, the
+	// aggregate function of the Identification Algorithm.
+	MergeXorCount = Combiner[XorCount]{XorCountWire{}, func(a, b XorCount) XorCount {
+		return XorCount{X: a.X ^ b.X, C: a.C + b.C}
+	}}
+	// MergeSketch XORs both trial vectors.
+	MergeSketch = Combiner[Sketch]{SketchWire{}, mergeSketch}
+	// MergeSketch3 XORs all three prefix sketches.
+	MergeSketch3 = Combiner[Sketch3]{Sketch3Wire{}, func(a, b Sketch3) Sketch3 {
+		var out Sketch3
+		for i := range out.S {
+			out.S[i] = mergeSketch(a.S[i], b.S[i])
+		}
+		return out
+	}}
+	// AnyFlag merges two presence markers.
+	AnyFlag = Combiner[Flag]{ZeroWire{}, func(Flag, Flag) Flag { return Flag{} }}
+)
+
+func mergeSketch(a, b Sketch) Sketch {
+	return Sketch{Up: a.Up ^ b.Up, Down: a.Down ^ b.Down}
+}

@@ -1,0 +1,67 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzWireRoundTrip pins the Wire contract for every built-in codec:
+// Decode(Encode(v)) == v for any value, Encode(Decode(ws)) == ws for any
+// words, and Encode writes exactly Words() words (no out-of-range touches).
+// The checked-in seed corpus (testdata/fuzz/FuzzWireRoundTrip) covers the
+// width boundaries: zero, all-ones, the sign bit, and 2^k±1 patterns.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(1), uint64(1)<<63, uint64(1)<<63-1, uint64(1)<<32, uint64(1)<<32-1, uint64(math.MaxInt64))
+	f.Add(uint64(0xdeadbeefcafebabe), uint64(42), uint64(7), uint64(1)<<31, uint64(1)<<16-1, uint64(3))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, w4, w5 uint64) {
+		ws := [maxValWords]uint64{w0, w1, w2, w3, w4, w5}
+
+		roundTrip(t, "U64Wire", U64Wire{}, w0, ws)
+		roundTrip(t, "PairWire", PairWire{}, Pair{A: w0, B: w1}, ws)
+		roundTrip(t, "XorCountWire", XorCountWire{}, XorCount{X: w0, C: w1}, ws)
+		roundTrip(t, "SketchWire", SketchWire{}, Sketch{Up: w0, Down: w1}, ws)
+		roundTrip(t, "Sketch3Wire", Sketch3Wire{}, Sketch3{S: [3]Sketch{
+			{Up: w0, Down: w1}, {Up: w2, Down: w3}, {Up: w4, Down: w5},
+		}}, ws)
+		roundTrip(t, "ZeroWire", ZeroWire{}, Flag{}, ws)
+	})
+}
+
+// roundTrip checks both directions of the codec contract. The value side
+// (Decode after Encode yields v) proves no information is lost; the word
+// side (Encode after Decode reproduces ws[:Words()]) proves the codec uses
+// every word it claims, with no padding bits invented or dropped. Guard
+// words past Words() must stay untouched by Encode.
+func roundTrip[T comparable](t *testing.T, name string, w Wire[T], v T, ws [maxValWords]uint64) {
+	t.Helper()
+	k := w.Words()
+	if k < 0 || k > maxValWords {
+		t.Fatalf("%s: Words() = %d, outside [0, %d]", name, k, maxValWords)
+	}
+
+	const guard = 0xa5a5a5a5a5a5a5a5
+	buf := [maxValWords + 1]uint64{}
+	for i := range buf {
+		buf[i] = guard
+	}
+	w.Encode(v, buf[:k])
+	for i := k; i < len(buf); i++ {
+		if buf[i] != guard {
+			t.Fatalf("%s: Encode wrote past Words()=%d at index %d", name, k, i)
+		}
+	}
+	if got := w.Decode(buf[:k]); got != v {
+		t.Errorf("%s: Decode(Encode(%v)) = %v", name, v, got)
+	}
+
+	dec := w.Decode(ws[:k])
+	re := [maxValWords]uint64{}
+	w.Encode(dec, re[:k])
+	for i := 0; i < k; i++ {
+		if re[i] != ws[i] {
+			t.Errorf("%s: Encode(Decode(%x)) word %d = %x, want %x", name, ws[:k], i, re[i], ws[i])
+		}
+	}
+}

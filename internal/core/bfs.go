@@ -28,11 +28,11 @@ func BFS(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int, src int) 
 		res.Dist = 0
 	}
 	for phase := 1; ; phase++ {
-		v, ok := s.MultiAggregate(trees, active, uint64(me), comm.U64(uint64(me)), comm.CombineMin)
+		v, ok := comm.MultiAggregate(s, trees, active, uint64(me), uint64(me), comm.Min)
 		newlyReached := false
 		if !visited && ok {
 			res.Dist = phase
-			res.Parent = int(v.(comm.U64))
+			res.Parent = int(v)
 			visited = true
 			newlyReached = true
 		}

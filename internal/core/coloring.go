@@ -32,11 +32,10 @@ func Coloring(s *comm.Session, g *graph.Graph, o *Orientation) ColorResult {
 	// code did) inflates the palette past the certified bound on skewed
 	// graphs: Same counts in-neighbors too. Both global maxima are computed
 	// in one componentwise-max aggregation.
-	agg, _ := s.AggregateAndBroadcast(comm.Pair{
+	maxes, _ := comm.AggregateAndBroadcast(s, comm.Pair{
 		A: uint64(len(o.Out)),
 		B: uint64(len(o.Same) + len(o.Later)),
-	}, true, comm.CombineMaxEach)
-	maxes := agg.(comm.Pair)
+	}, true, comm.MaxEach)
 	ahat := max(int(maxes.A), 1)
 	palette := int(2 * (1 + paletteEps) * float64(ahat))
 	// Before a node fixes, it prunes the fixed colors of its out-neighbors
@@ -91,33 +90,32 @@ func Coloring(s *comm.Session, g *graph.Graph, o *Orientation) ColorResult {
 			// Tentative picks to in-neighbors; conflicts are seen by the
 			// in-neighbor side (all picking senders this repetition are
 			// same-level, since higher levels are already colored).
-			got := s.Multicast(trees, picking, uint64(me), comm.U64(uint64(cu)), ahat)
+			got := comm.Multicast(s, trees, picking, uint64(me), uint64(cu), comm.U64Wire{}, ahat)
 			conflict := false
 			if picking {
 				for _, gv := range got {
-					if int(uint64(gv.Val.(comm.U64))) == cu {
+					if int(gv.Val) == cu {
 						conflict = true
 					}
 				}
 			}
 			fix := picking && !conflict
 			// Permanent choices: in-neighbors prune via multicast...
-			got2 := s.Multicast(trees, fix, uint64(me), comm.U64(uint64(cu)), ahat)
+			got2 := comm.Multicast(s, trees, fix, uint64(me), uint64(cu), comm.U64Wire{}, ahat)
 			for _, gv := range got2 {
-				takeColor(int(uint64(gv.Val.(comm.U64))))
+				takeColor(int(gv.Val))
 			}
 			// ...and out-neighbors prune via aggregation over (v, color).
-			var items []comm.Agg
+			var items []comm.Agg[comm.Flag]
 			if fix {
 				for _, v := range o.Out {
-					items = append(items, comm.Agg{
+					items = append(items, comm.Agg[comm.Flag]{
 						Group:  uint64(v)*uint64(palette) + uint64(cu),
 						Target: v,
-						Val:    comm.Flag{},
 					})
 				}
 			}
-			res := s.Aggregate(items, comm.CombineFlag, palette)
+			res := comm.Aggregate(s, items, comm.AnyFlag, palette)
 			for _, gv := range res {
 				takeColor(int(gv.Group % uint64(palette)))
 			}

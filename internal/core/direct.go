@@ -1,0 +1,35 @@
+package core
+
+import "ncc/internal/comm"
+
+// Direct-message wire tags of this package's algorithms. Algorithm-level
+// direct messages share the session's message plane with the collectives'
+// wire protocol, so each message's first word carries a tag in its top byte,
+// from the space comm reserves for algorithms (>= comm.DirectTagMin); the
+// remaining 56 bits (plus any further words) are the message body. All
+// messages are 1-2 words and travel through the engine's inline word paths —
+// nothing is boxed.
+const (
+	dtagUHigh      uint64 = comm.DirectTagMin + iota // high-degree id funnel (orientation stage 2)
+	dtagAnnounce                                     // neighbor announcement to high-degree nodes
+	dtagProbe                                        // rescue status probe
+	dtagProbeReply                                   // rescue probe reply; bit 0 = inactive
+	dtagEdgeProbe                                    // stage-3 rendezvous probe; word 1 = edge key
+	dtagEdgeBoth                                     // stage-3 both-active notification; word 1 = edge key
+	dtagNewLeader                                    // MST merge: adopted leader id
+	dtagAccept                                       // matching step 2 acceptance
+	dtagPropose                                      // matching step 3 proposal
+)
+
+// dhdr places a direct tag in the top byte of a message's first word.
+func dhdr(tag uint64) uint64 { return tag << 56 }
+
+// dbody extracts the 56-bit body of a tagged word.
+func dbody(w uint64) uint64 { return w &^ (uint64(0xFF) << 56) }
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

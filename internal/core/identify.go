@@ -81,12 +81,12 @@ func runIdentification(s *comm.Session, spec identifySpec) identifyResult {
 
 	// Playing side: contribute blue-edge sketches to the learners' trial
 	// groups. Group id of learner w's trial t is w*q + t.
-	var items []comm.Agg
+	var items []comm.Agg[comm.XorCount]
 	if spec.playing {
 		for _, w := range spec.playFor {
 			e := hashing.PackEdge(w, me)
 			for _, tr := range fns.trials(e) {
-				items = append(items, comm.Agg{
+				items = append(items, comm.Agg[comm.XorCount]{
 					Group:  uint64(w)*uint64(spec.q) + uint64(tr),
 					Target: w,
 					Val:    comm.XorCount{X: e, C: 1},
@@ -94,7 +94,7 @@ func runIdentification(s *comm.Session, spec identifySpec) identifyResult {
 			}
 		}
 	}
-	res := s.Aggregate(items, comm.CombineXorCount, spec.lhat2)
+	res := comm.Aggregate(s, items, comm.MergeXorCount, spec.lhat2)
 
 	if !spec.learning {
 		return identifyResult{ok: true}
@@ -124,7 +124,7 @@ func runIdentification(s *comm.Session, spec identifySpec) identifyResult {
 		if int(gv.Group/uint64(spec.q)) != me {
 			panic(fmt.Sprintf("core: node %d received identification group %d for another learner", me, gv.Group))
 		}
-		xc := gv.Val.(comm.XorCount)
+		xc := gv.Val
 		cl := cells[tr]
 		if cl == nil {
 			cl = &cell{}

@@ -3,16 +3,8 @@ package core
 import (
 	"ncc/internal/comm"
 	"ncc/internal/graph"
+	"ncc/internal/ncc"
 )
-
-// direct-message payloads of the matching algorithm.
-type acceptMsg struct{}
-
-func (acceptMsg) Words() int { return 1 }
-
-type proposeMsg struct{}
-
-func (proposeMsg) Words() int { return 1 }
 
 // Matching computes a maximal matching (Theorem 5.4) with the algorithm of
 // Israeli and Itai over the broadcast trees. Each phase:
@@ -34,33 +26,33 @@ func Matching(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) int 
 	for {
 		unmatched := mate == -1
 		// Step 1: random choice among unmatched neighbors.
-		pick, hasNbr := s.MultiAggregatePick(trees, unmatched, uint64(me), uint64(me))
+		pick, hasNbr := comm.MultiAggregatePick(s, trees, unmatched, uint64(me), uint64(me))
 		ch := -1
 		if unmatched && hasNbr {
 			ch = int(pick)
 		}
 		// Step 2: accept the minimum-id chooser.
-		var items []comm.Agg
+		var items []comm.Agg[uint64]
 		if ch != -1 {
-			items = append(items, comm.Agg{Group: uint64(ch), Target: ch, Val: comm.U64(uint64(me))})
+			items = append(items, comm.Agg[uint64]{Group: uint64(ch), Target: ch, Val: uint64(me)})
 		}
-		res := s.Aggregate(items, comm.CombineMin, 1)
+		res := comm.Aggregate(s, items, comm.Min, 1)
 		acc := -1
 		if unmatched {
 			for _, gv := range res {
-				acc = int(uint64(gv.Val.(comm.U64)))
+				acc = int(gv.Val)
 			}
 		}
 		if acc != -1 {
-			ctx.Send(acc, acceptMsg{})
+			ctx.SendWord(acc, ncc.Word(dhdr(dtagAccept)))
 		}
 		s.Advance()
 		acceptedByChosen := false
-		for _, rc := range s.TakeDirect() {
-			if _, ok := rc.Payload().(acceptMsg); ok && rc.From == ch {
+		s.DrainDirect(func(from ncc.NodeID, ws []uint64) {
+			if ws[0]>>56 == dtagAccept && from == ch {
 				acceptedByChosen = true
 			}
-		}
+		})
 		// Step 3: propose along one incident accepted edge.
 		var incident []int
 		if acc != -1 {
@@ -74,14 +66,14 @@ func Matching(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) int 
 			prop = incident[ctx.Rand().IntN(len(incident))]
 		}
 		if prop != -1 {
-			ctx.Send(prop, proposeMsg{})
+			ctx.SendWord(prop, ncc.Word(dhdr(dtagPropose)))
 		}
 		s.Advance()
-		for _, rc := range s.TakeDirect() {
-			if _, ok := rc.Payload().(proposeMsg); ok && rc.From == prop {
+		s.DrainDirect(func(from ncc.NodeID, ws []uint64) {
+			if ws[0]>>56 == dtagPropose && from == prop {
 				mate = prop
 			}
-		}
+		})
 		if !s.AnyTrue(unmatched && hasNbr) {
 			return mate
 		}

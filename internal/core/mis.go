@@ -22,14 +22,13 @@ func MIS(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) bool {
 		if active {
 			rank = comm.Pair{A: s.Ctx.Rand().Uint64(), B: uint64(me)}
 		}
-		got, ok := s.MultiAggregate(trees, active, uint64(me), rank, comm.CombineMinPair)
+		m, ok := comm.MultiAggregate(s, trees, active, uint64(me), rank, comm.MinPair)
 		joins := false
 		if active {
 			if !ok {
 				// No undecided neighbor remains: join unconditionally.
 				joins = true
 			} else {
-				m := got.(comm.Pair)
 				joins = rank.A < m.A || (rank.A == m.A && rank.B < m.B)
 			}
 		}
@@ -37,7 +36,7 @@ func MIS(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) bool {
 			inSet = true
 			decided = true
 		}
-		_, covered := s.MultiAggregate(trees, joins, uint64(me), comm.U64(1), comm.CombineOr)
+		_, covered := comm.MultiAggregate(s, trees, joins, uint64(me), 1, comm.Or)
 		if active && !joins && covered {
 			decided = true
 		}

@@ -6,14 +6,9 @@ import (
 	"ncc/internal/comm"
 	"ncc/internal/graph"
 	"ncc/internal/hashing"
+	"ncc/internal/ncc"
 	"ncc/internal/seq"
 )
-
-// newLeaderMsg is the direct message an edge holder sends to its leader when
-// its component merges.
-type newLeaderMsg struct{ leader int32 }
-
-func (newLeaderMsg) Words() int { return 1 }
 
 // coin/finished encoding for the per-phase component multicast.
 const (
@@ -73,11 +68,10 @@ func MSTWithComponents(s *comm.Session, wg *graph.Weighted) ([][2]int, int) {
 			hiLocal = max(hiLocal, k)
 		}
 	}
-	loAll, _ := s.AggregateAndBroadcast(comm.U64(loLocal), hasEdge, comm.CombineMin)
-	hiAll, anyEdge := s.AggregateAndBroadcast(comm.U64(hiLocal), hasEdge, comm.CombineMax)
-	var minKey, maxKey uint64
-	if anyEdge {
-		minKey, maxKey = uint64(loAll.(comm.U64)), uint64(hiAll.(comm.U64))
+	minKey, _ := comm.AggregateAndBroadcast(s, loLocal, hasEdge, comm.Min)
+	maxKey, anyEdge := comm.AggregateAndBroadcast(s, hiLocal, hasEdge, comm.Max)
+	if !anyEdge {
+		minKey, maxKey = 0, 0
 	}
 	// Quaternary search shrinks the span by a factor of about 4 per step but
 	// only by an additive constant once spans are tiny; a few extra steps
@@ -101,7 +95,7 @@ func MSTWithComponents(s *comm.Session, wg *graph.Weighted) ([][2]int, int) {
 
 		// Leader flips the coin and shares it with the component.
 		isLeader := leader == me
-		var cmsg comm.U64
+		var cmsg uint64
 		coinIsHeads := false
 		if isLeader {
 			coinIsHeads = ctx.Rand().Uint64()&1 == 1
@@ -112,15 +106,14 @@ func MSTWithComponents(s *comm.Session, wg *graph.Weighted) ([][2]int, int) {
 				cmsg |= compFinished
 			}
 		}
-		got := s.Multicast(trees, isLeader, uint64(me), cmsg, 1)
+		got := comm.Multicast(s, trees, isLeader, uint64(me), cmsg, comm.U64Wire{}, 1)
 		if !isLeader {
 			for _, gv := range got {
 				if gv.Group != uint64(leader) {
 					panic(fmt.Sprintf("core: node %d got coin for foreign component %d", me, gv.Group))
 				}
-				v := uint64(gv.Val.(comm.U64))
-				coinIsHeads = v&coinHeads != 0
-				finished = v&compFinished != 0
+				coinIsHeads = gv.Val&coinHeads != 0
+				finished = gv.Val&compFinished != 0
 			}
 		}
 
@@ -140,50 +133,45 @@ func MSTWithComponents(s *comm.Session, wg *graph.Weighted) ([][2]int, int) {
 		}
 		trees2 := s.SetupTrees(items2)
 		info := comm.Pair{A: boolU64(coinIsHeads), B: uint64(leader)}
-		got2 := s.Multicast(trees2, true, uint64(me), info, 1)
+		got2 := comm.Multicast(s, trees2, true, uint64(me), info, comm.PairWire{}, 1)
 		newLeader := -1
 		if isHolder {
 			for _, gv := range got2 {
 				if gv.Group != uint64(holderV) {
 					continue
 				}
-				p := gv.Val.(comm.Pair)
-				if p.A != 0 { // other side flipped heads
+				if gv.Val.A != 0 { // other side flipped heads
 					out = append(out, [2]int{me, holderV})
-					newLeader = int(p.B)
+					newLeader = int(gv.Val.B)
 				}
 			}
 		}
 		if newLeader != -1 && me != leader {
-			ctx.Send(leader, newLeaderMsg{leader: int32(newLeader)})
+			ctx.SendWord(leader, ncc.Word(dhdr(dtagNewLeader)|uint64(uint32(newLeader))))
 		}
 		s.Advance()
 		adopted := -1
-		if isLeader {
-			if newLeader != -1 { // leader itself held the edge
-				adopted = newLeader
-			}
-			for _, rc := range s.TakeDirect() {
-				if m, ok := rc.Payload().(newLeaderMsg); ok {
-					adopted = int(m.leader)
-				}
-			}
-		} else {
-			s.TakeDirect()
+		if isLeader && newLeader != -1 { // leader itself held the edge
+			adopted = newLeader
 		}
+		s.DrainDirect(func(from ncc.NodeID, ws []uint64) {
+			if isLeader && ws[0]>>56 == dtagNewLeader {
+				adopted = int(int32(dbody(ws[0])))
+			}
+		})
 		// Leader announces the (possibly new) leader to the component.
-		ann := comm.U64(uint64(leader))
+		ann := uint64(leader)
 		if isLeader && adopted != -1 {
-			ann = comm.U64(uint64(adopted))
+			ann = uint64(adopted)
 		}
-		got3 := s.Multicast(trees, isLeader, uint64(me), ann, 1)
+		got3 := comm.Multicast(s, trees, isLeader, uint64(me), ann, comm.U64Wire{}, 1)
 		if isLeader {
 			if adopted != -1 {
 				leader = adopted
 			}
 		} else {
 			for _, gv := range got3 {
-				leader = int(uint64(gv.Val.(comm.U64)))
+				leader = int(gv.Val)
 			}
 		}
 		// Terminate once no component found an outgoing edge.
@@ -217,12 +205,11 @@ func findLightest(s *comm.Session, wg *graph.Weighted, trees *comm.Trees, leader
 			}
 			rangeMsg = comm.Pair{A: lo | flag, B: hi}
 		}
-		gotR := s.Multicast(trees, isLeader, uint64(me), rangeMsg, 1)
+		gotR := comm.Multicast(s, trees, isLeader, uint64(me), rangeMsg, comm.PairWire{}, 1)
 		myLo, myHi, active := lo, hi, isLeader && !finished && (step == 0 || exists)
 		for _, gv := range gotR {
-			p := gv.Val.(comm.Pair)
-			active = p.A&(1<<63) != 0
-			myLo, myHi = p.A&^(1<<63), p.B
+			active = gv.Val.A&(1<<63) != 0
+			myLo, myHi = gv.Val.A&^(1<<63), gv.Val.B
 		}
 
 		// Members sketch their incident edges over three prefixes of the
@@ -255,15 +242,15 @@ func findLightest(s *comm.Session, wg *graph.Weighted, trees *comm.Trees, leader
 				}
 			}
 		}
-		var items []comm.Agg
+		var items []comm.Agg[comm.Sketch3]
 		if active {
-			items = append(items, comm.Agg{Group: uint64(leader), Target: leader, Val: sk})
+			items = append(items, comm.Agg[comm.Sketch3]{Group: uint64(leader), Target: leader, Val: sk})
 		}
-		res := s.Aggregate(items, comm.CombineSketch3, 1)
+		res := comm.Aggregate(s, items, comm.MergeSketch3, 1)
 		if isLeader && !finished && (step == 0 || exists) {
 			var agg comm.Sketch3
 			for _, gv := range res {
-				agg = gv.Val.(comm.Sketch3)
+				agg = gv.Val
 			}
 			outIn := func(i int) bool { return agg.S[i].Up != agg.S[i].Down }
 			if step == 0 {
@@ -284,19 +271,18 @@ func findLightest(s *comm.Session, wg *graph.Weighted, trees *comm.Trees, leader
 	}
 
 	// Leader announces the final key (bit 63 set when an edge exists).
-	var ann comm.U64
+	var ann uint64
 	if isLeader && !finished && exists {
-		ann = comm.U64(lo | 1<<63)
+		ann = lo | 1<<63
 	}
-	gotA := s.Multicast(trees, isLeader, uint64(me), ann, 1)
+	gotA := comm.Multicast(s, trees, isLeader, uint64(me), ann, comm.U64Wire{}, 1)
 	final, ok := uint64(0), false
 	if isLeader {
 		final, ok = lo, !finished && exists
 	}
 	for _, gv := range gotA {
-		v := uint64(gv.Val.(comm.U64))
-		if v&(1<<63) != 0 {
-			final, ok = v&^(1<<63), true
+		if gv.Val&(1<<63) != 0 {
+			final, ok = gv.Val&^(1<<63), true
 		}
 	}
 	holderV = -1

@@ -63,35 +63,10 @@ type Orientation struct {
 	Rescues int
 }
 
-// direct-message payloads of the orientation stages.
-type uhighID struct{ id int32 }
-
-func (uhighID) Words() int { return 1 }
-
-type nbrAnnounce struct{}
-
-func (nbrAnnounce) Words() int { return 1 }
-
-type probeMsg struct{}
-
-func (probeMsg) Words() int { return 1 }
-
-type probeReply struct{ inactive bool }
-
-func (probeReply) Words() int { return 1 }
-
-type edgeProbe struct{ key uint64 }
-
-func (edgeProbe) Words() int { return 2 }
-
-type edgeBoth struct{ key uint64 }
-
-func (edgeBoth) Words() int { return 2 }
-
-// directBuf demultiplexes algorithm-level direct messages by type so that a
+// directBuf demultiplexes algorithm-level direct messages by tag so that a
 // stage can consume its own messages without disturbing others'.
 type directBuf struct {
-	uhighIDs  []uhighID
+	uhighIDs  []int32
 	announces []ncc.NodeID
 	probes    []ncc.NodeID
 	replies   []struct {
@@ -106,42 +81,51 @@ type directBuf struct {
 }
 
 func (b *directBuf) pump(s *comm.Session) {
-	for _, rc := range s.TakeDirect() {
-		switch m := rc.Payload().(type) {
-		case uhighID:
-			b.uhighIDs = append(b.uhighIDs, m)
-		case nbrAnnounce:
-			b.announces = append(b.announces, rc.From)
-		case probeMsg:
-			b.probes = append(b.probes, rc.From)
-		case probeReply:
+	s.DrainDirect(func(from ncc.NodeID, ws []uint64) {
+		switch ws[0] >> 56 {
+		case dtagUHigh:
+			b.uhighIDs = append(b.uhighIDs, int32(dbody(ws[0])))
+		case dtagAnnounce:
+			b.announces = append(b.announces, from)
+		case dtagProbe:
+			b.probes = append(b.probes, from)
+		case dtagProbeReply:
 			b.replies = append(b.replies, struct {
 				from     ncc.NodeID
 				inactive bool
-			}{rc.From, m.inactive})
-		case edgeProbe:
+			}{from, ws[0]&1 != 0})
+		case dtagEdgeProbe:
 			b.edgeProbes = append(b.edgeProbes, struct {
 				from ncc.NodeID
 				key  uint64
-			}{rc.From, m.key})
-		case edgeBoth:
-			b.edgeBoths = append(b.edgeBoths, m.key)
+			}{from, ws[1]})
+		case dtagEdgeBoth:
+			b.edgeBoths = append(b.edgeBoths, ws[1])
 		default:
 			panic("core: unexpected direct message during orientation")
 		}
-	}
+	})
 }
 
 // sumCntMax is the stage-1 aggregate (sum of d_i, count of d_i > 0, count of
-// non-inactive nodes).
+// non-inactive nodes). Its codec is defined here — the comm package's
+// Wire[T] contract is open to algorithm-specific payloads.
 type sumCntMax struct{ sum, cntPos, cntLive uint64 }
 
-func (sumCntMax) Words() int { return 3 }
+// scmWire is the three-word codec for sumCntMax.
+type scmWire struct{}
 
-func combineSCM(a, b comm.Value) comm.Value {
-	x, y := a.(sumCntMax), b.(sumCntMax)
-	return sumCntMax{x.sum + y.sum, x.cntPos + y.cntPos, x.cntLive + y.cntLive}
+func (scmWire) Words() int { return 3 }
+
+func (scmWire) Encode(v sumCntMax, ws []uint64) { ws[0], ws[1], ws[2] = v.sum, v.cntPos, v.cntLive }
+
+func (scmWire) Decode(ws []uint64) sumCntMax {
+	return sumCntMax{sum: ws[0], cntPos: ws[1], cntLive: ws[2]}
 }
+
+var combineSCM = comm.Combiner[sumCntMax]{Wire: scmWire{}, Combine: func(a, b sumCntMax) sumCntMax {
+	return sumCntMax{a.sum + b.sum, a.cntPos + b.cntPos, a.cntLive + b.cntLive}
+}}
 
 // Orient computes an O(a)-orientation of g (Theorem 4.12): every node learns
 // a direction for each of its incident edges such that the maximum outdegree
@@ -165,18 +149,18 @@ func Orient(s *comm.Session, g *graph.Graph, p OrientParams) *Orientation {
 
 	for phase := 1; ; phase++ {
 		// ---- Stage 1: determine d_i(u) and the active set. ----
-		var items []comm.Agg
+		var items []comm.Agg[uint64]
 		if status == stInactive {
 			for _, w := range playFor {
-				items = append(items, comm.Agg{Group: uint64(w), Target: w, Val: comm.U64(1)})
+				items = append(items, comm.Agg[uint64]{Group: uint64(w), Target: w, Val: 1})
 			}
 		}
-		res := s.Aggregate(items, comm.CombineSum, 1)
+		res := comm.Aggregate(s, items, comm.Sum, 1)
 		di := 0
 		if status != stInactive {
 			inact := 0
 			for _, gv := range res {
-				inact = int(gv.Val.(comm.U64))
+				inact = int(gv.Val)
 			}
 			di = d - inact
 		}
@@ -189,8 +173,7 @@ func Orient(s *comm.Session, g *graph.Graph, p OrientParams) *Orientation {
 				scm.cntPos = 1
 			}
 		}
-		agg, _ := s.AggregateAndBroadcast(scm, true, combineSCM)
-		tot := agg.(sumCntMax)
+		tot, _ := comm.AggregateAndBroadcast(s, scm, true, combineSCM)
 		if tot.cntLive == 0 {
 			levels = phase - 1
 			break
@@ -258,8 +241,8 @@ func Orient(s *comm.Session, g *graph.Graph, p OrientParams) *Orientation {
 		// ---- Stage 2 step 2: high-degree broadcast + narrowed sketch. ----
 		isHigh := status == stActive && !solved && (d-di) > n/logn
 		isLow := status == stActive && !solved && !isHigh
-		cntHighU, _ := s.AggregateAndBroadcast(comm.U64(boolU64(isHigh)), true, comm.CombineSum)
-		cntHigh := int(cntHighU.(comm.U64))
+		cntHighU, _ := comm.AggregateAndBroadcast(s, boolU64(isHigh), true, comm.Sum)
+		cntHigh := int(cntHighU)
 		rescues := 0
 		if cntHigh > 0 {
 			reds2 := stage2High(s, buf, me, cntHigh, dStar, logn, isHigh, status != stInactive, nbrs)
@@ -278,7 +261,7 @@ func Orient(s *comm.Session, g *graph.Graph, p OrientParams) *Orientation {
 				}
 			}
 			trees := s.SetupTrees(treeItems)
-			got := s.Multicast(trees, isLow, uint64(me), comm.Flag{}, dStar)
+			got := comm.Multicast(s, trees, isLow, uint64(me), comm.Flag{}, comm.ZeroWire{}, dStar)
 			lowSet := map[int]bool{}
 			for _, gv := range got {
 				lowSet[int(gv.Group)] = true
@@ -371,13 +354,6 @@ func Orient(s *comm.Session, g *graph.Graph, p OrientParams) *Orientation {
 	return result
 }
 
-func boolU64(b bool) uint64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
 // stage2High lets unsuccessful high-degree nodes learn their red edges
 // directly: their ids are funneled to node 0, pipelined to everyone, and
 // every active-or-waiting node announces itself to its high-degree neighbors
@@ -396,13 +372,13 @@ func stage2High(s *comm.Session, buf *directBuf, me, cntHigh, dStar, logn int, i
 	}
 	for t := 0; t < w1; t++ {
 		if t == sendAt {
-			ctx.Send(0, uhighID{id: int32(me)})
+			ctx.SendWord(0, ncc.Word(dhdr(dtagUHigh)|uint64(uint32(me))))
 		}
 		s.Advance()
 		buf.pump(s)
 		if me == 0 {
-			for _, m := range buf.uhighIDs {
-				collected = append(collected, uint64(m.id))
+			for _, id := range buf.uhighIDs {
+				collected = append(collected, uint64(id))
 			}
 			buf.uhighIDs = buf.uhighIDs[:0]
 		}
@@ -428,17 +404,15 @@ func stage2High(s *comm.Session, buf *directBuf, me, cntHigh, dStar, logn int, i
 	for t := 0; t < w2; t++ {
 		for _, j := range jobs {
 			if j.at == t {
-				ctx.Send(j.to, nbrAnnounce{})
+				ctx.SendWord(j.to, ncc.Word(dhdr(dtagAnnounce)))
 			}
 		}
 		s.Advance()
 		buf.pump(s)
 		if isHigh {
-			for _, from := range buf.announces {
-				reds = append(reds, from)
-			}
-			buf.announces = buf.announces[:0]
+			reds = append(reds, buf.announces...)
 		}
+		buf.announces = buf.announces[:0]
 	}
 	buf.announces = buf.announces[:0]
 	return reds
@@ -465,11 +439,11 @@ func stage2Rescue(s *comm.Session, buf *directBuf, me, maxUnk, logn int, needRes
 	for t := 0; t < w+2; t++ {
 		for _, j := range jobs {
 			if j.at == t {
-				ctx.Send(j.to, probeMsg{})
+				ctx.SendWord(j.to, ncc.Word(dhdr(dtagProbe)))
 			}
 		}
 		for _, from := range replyTo {
-			ctx.Send(from, probeReply{inactive: inactive})
+			ctx.SendWord(from, ncc.Word(dhdr(dtagProbeReply)|boolU64(inactive)))
 		}
 		replyTo = replyTo[:0]
 		s.Advance()
@@ -540,11 +514,11 @@ func stage3(s *comm.Session, buf *directBuf, me, n, dsi int, active bool, redLis
 			if j.to == me {
 				observe(j.key, me)
 			} else {
-				ctx.Send(j.to, edgeProbe{key: j.key})
+				ctx.SendWords2(j.to, ncc.Words2{dhdr(dtagEdgeProbe), j.key})
 			}
 		}
 		for _, r := range pending {
-			ctx.Send(r.to, edgeBoth{key: r.key})
+			ctx.SendWords2(r.to, ncc.Words2{dhdr(dtagEdgeBoth), r.key})
 		}
 		pending = pending[:0]
 		s.Advance()

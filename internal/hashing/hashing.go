@@ -34,6 +34,15 @@ func NewFamily(k int, seed *SeedStream) *Family {
 // K returns the independence parameter of the family.
 func (f *Family) K() int { return len(f.coeffs) }
 
+// Reseed refills the family's coefficients in place from the stream, keeping
+// k. It lets callers that derive a fresh function per collective invocation
+// pool the family storage instead of allocating each time.
+func (f *Family) Reseed(seed *SeedStream) {
+	for i := range f.coeffs {
+		f.coeffs[i] = seed.Next() % Prime
+	}
+}
+
 // Hash evaluates the polynomial at x and returns a value in [0, Prime).
 func (f *Family) Hash(x uint64) uint64 {
 	x %= Prime
@@ -86,11 +95,18 @@ type SeedStream struct {
 
 // NewSeedStream folds the shared words and a salt into a stream.
 func NewSeedStream(words []uint64, salt uint64) *SeedStream {
+	s := StreamFrom(words, salt)
+	return &s
+}
+
+// StreamFrom is NewSeedStream by value, for callers that keep the stream on
+// the stack (allocation-free derivation of pooled families).
+func StreamFrom(words []uint64, salt uint64) SeedStream {
 	s := salt
 	for _, w := range words {
 		s = Mix(s ^ Mix(w))
 	}
-	return &SeedStream{state: s}
+	return SeedStream{state: s}
 }
 
 // Next returns the next word of the stream.

@@ -2,22 +2,30 @@ package ncc
 
 import "unsafe"
 
-// payloadKind discriminates the inline payload fast path from boxed payloads.
-// The dominant one- and two-word payloads travel as inline machine words; any
-// other Payload implementation stays behind the interface with its width
-// cached once at Send time.
+// payloadKind discriminates the inline payload fast paths from boxed
+// payloads. The dominant one- and two-word payloads travel as inline machine
+// words, wider word payloads through per-node word arenas; any other Payload
+// implementation stays behind the interface with its width cached once at
+// Send time.
 type payloadKind uint8
 
 const (
 	kindBoxed  payloadKind = iota // payload held in the boxed interface
 	kindWord                      // one inline word in a
 	kindWords2                    // two inline words in a, b
+	kindWords                     // 3+ words; a = offset into the sender's word arena
 )
 
 // Envelope is a message in transit. Word and Words2 payloads are stored
-// inline (no heap boxing); larger payloads keep their interface with the
-// Words() result cached at Send time, so the width is computed exactly once
-// per message no matter how many engine phases or observers read it.
+// inline (no heap boxing); multi-word (3+) payloads sent through SendWords
+// are represented by an offset into the sending node's word arena — the
+// struct stays pointer-light and small, which matters because every message
+// is copied through outbox and bucket slices each round. The engine resolves
+// the offset against the sender's arena during delivery and hands observers
+// boxed copies, so a kindWords Envelope never escapes the engine. Larger
+// boxed payloads keep their interface with the Words() result cached at Send
+// time, so the width is computed exactly once per message no matter how many
+// engine phases or observers read it.
 type Envelope struct {
 	From NodeID
 	To   NodeID
@@ -32,10 +40,11 @@ type Envelope struct {
 // provisioning heuristics.
 const envelopeBytes = int(unsafe.Sizeof(Envelope{}))
 
-// MakeEnvelope builds an Envelope exactly as Context.Send would: Word and
-// Words2 payloads are inlined, anything else is boxed with its width cached.
-// It is the constructor for tests and Observer tooling; the engine applies
-// MaxWords validation on top of it.
+// MakeEnvelope builds an Envelope as Context.Send would: Word and Words2
+// payloads are inlined, anything else — including WordsN, whose zero-copy
+// arena representation exists only relative to a sending Context — is boxed
+// with its width cached. It is the constructor for tests and Observer
+// tooling; the engine applies MaxWords validation on top of it.
 func MakeEnvelope(from, to NodeID, p Payload) Envelope {
 	switch v := p.(type) {
 	case Word:
@@ -60,15 +69,20 @@ func (e *Envelope) Words() int {
 	}
 }
 
-// Payload materializes the message content. Inline Word/Words2 payloads are
-// re-boxed on demand (the assertion `e.Payload().(T)` keeps working for every
-// payload type); on allocation-sensitive paths prefer AsWord/AsWords2.
+// Payload materializes the message content. Inline payloads are re-boxed on
+// demand (the assertion `e.Payload().(T)` keeps working for every payload
+// type); on allocation-sensitive paths prefer AsWord/AsWords2.
 func (e *Envelope) Payload() Payload {
 	switch e.kind {
 	case kindWord:
 		return Word(e.a)
 	case kindWords2:
 		return Words2{e.a, e.b}
+	case kindWords:
+		// The words live in the sending node's arena, which only the
+		// engine can resolve; it boxes such envelopes before they reach
+		// observers (see sendPhase), so this is unreachable from user code.
+		panic("ncc: multi-word payload is engine-internal; observers receive boxed copies")
 	default:
 		return e.boxed
 	}
@@ -93,32 +107,51 @@ func (e *Envelope) AsWords2() (Words2, bool) {
 }
 
 // Received is a message delivered to a node at a round barrier. Like
-// Envelope, it stores Word/Words2 payloads inline so the steady-state
-// delivery path performs no heap allocation per message.
+// Envelope, it stores Word/Words2 payloads inline. The ref field overlays
+// the two mutually-exclusive indirect cases so the struct stays as small as
+// the pre-arena layout: a boxed Payload interface (kindBoxed), or a *uint64
+// to the first payload word in the receiver's word arena (kindWords —
+// storing a pointer in an `any` never allocates). The steady-state delivery
+// path performs no heap allocation per message.
 type Received struct {
 	From NodeID
 	a, b uint64
 
-	boxed Payload
+	ref   any
 	kind  payloadKind
+	width int32
 }
 
-// received converts an in-transit envelope into its delivered form.
+// received converts an in-transit envelope into its delivered form. For
+// kindWords the engine's receive phase copies the payload words out of the
+// sender's arena (recycled as soon as the sender resumes) into the
+// receiver's and points ref at them.
 func (e *Envelope) received() Received {
-	return Received{From: e.From, a: e.a, b: e.b, boxed: e.boxed, kind: e.kind}
+	rc := Received{From: e.From, a: e.a, b: e.b, kind: e.kind, width: e.width}
+	if e.boxed != nil {
+		rc.ref = e.boxed
+	}
+	return rc
 }
 
-// Payload materializes the message content; inline Word/Words2 payloads are
-// re-boxed on demand. Type switches like `rc.Payload().(type)` work for every
-// payload; use AsWord/AsWords2 on allocation-sensitive paths.
+// words reassembles the arena-backed payload of a kindWords message.
+func (m *Received) words() []uint64 {
+	return unsafe.Slice(m.ref.(*uint64), m.width)
+}
+
+// Payload materializes the message content; inline payloads are re-boxed on
+// demand. Type switches like `rc.Payload().(type)` work for every payload;
+// use AsWord/AsWords2/AsWords on allocation-sensitive paths.
 func (m *Received) Payload() Payload {
 	switch m.kind {
 	case kindWord:
 		return Word(m.a)
 	case kindWords2:
 		return Words2{m.a, m.b}
+	case kindWords:
+		return WordsN(m.words())
 	default:
-		return m.boxed
+		return m.ref.(Payload)
 	}
 }
 
@@ -138,4 +171,15 @@ func (m *Received) AsWords2() (Words2, bool) {
 		return Words2{m.a, m.b}, true
 	}
 	return Words2{}, false
+}
+
+// AsWords returns the payload words of a multi-word (3+) message without
+// boxing, and whether the message carried one. The slice aliases the
+// receiver's word arena and is only valid until the node's next EndRound,
+// exactly like the inbox itself.
+func (m *Received) AsWords() ([]uint64, bool) {
+	if m.kind == kindWords {
+		return m.words(), true
+	}
+	return nil, false
 }

@@ -18,6 +18,13 @@ type Context struct {
 	out   []Envelope
 	inbox []Received
 	round int
+
+	// sendWords is the arena backing this round's outgoing multi-word
+	// payloads (SendWords); it is recycled once the round's delivery has
+	// completed. inWords is the receiver-side arena the engine copies
+	// delivered multi-word payloads into; inbox entries alias it.
+	sendWords []uint64
+	inWords   []uint64
 }
 
 // ID returns the node's identifier (0..N-1).
@@ -99,6 +106,8 @@ func (c *Context) Send(to NodeID, p Payload) {
 			c.panicOversized(2, p)
 		}
 		c.pushOut(Envelope{From: c.id, To: to, a: v[0], b: v[1], kind: kindWords2})
+	case WordsN:
+		c.SendWords(to, v)
 	default:
 		w := p.Words()
 		if w > c.r.cfg.MaxWords {
@@ -123,6 +132,42 @@ func (c *Context) SendWords2(to NodeID, w Words2) {
 		c.panicOversized(2, w)
 	}
 	c.pushOut(Envelope{From: c.id, To: to, a: w[0], b: w[1], kind: kindWords2})
+}
+
+// SendWords buffers a message of len(ws) words without boxing: one- and
+// two-word slices take the inline Word/Words2 representation, wider payloads
+// are copied into the node's word arena (recycled every round), so arbitrary
+// widths up to Config.MaxWords stay allocation-free in steady state. The
+// caller keeps ownership of ws and may reuse it immediately.
+func (c *Context) SendWords(to NodeID, ws []uint64) {
+	c.checkSend(to)
+	n := len(ws)
+	switch {
+	case n == 0:
+		panic(fmt.Sprintf("ncc: node %d sent an empty word payload", c.id))
+	case n > c.r.cfg.MaxWords:
+		c.panicOversized(n, WordsN(ws))
+	case n == 1:
+		c.pushOut(Envelope{From: c.id, To: to, a: ws[0], kind: kindWord})
+	case n == 2:
+		c.pushOut(Envelope{From: c.id, To: to, a: ws[0], b: ws[1], kind: kindWords2})
+	default:
+		// The words go into the node's arena; the envelope carries only the
+		// arena offset (offsets survive arena growth, unlike pointers), so
+		// multi-word traffic never widens the Envelope struct every message
+		// is copied through.
+		off := len(c.sendWords)
+		c.sendWords = append(c.sendWords, ws...)
+		c.pushOut(Envelope{From: c.id, To: to, a: uint64(off), kind: kindWords, width: int32(n)})
+	}
+}
+
+// payloadWords resolves a kindWords envelope's payload against its sender's
+// arena. Only valid during delivery, while every sender is parked at the
+// round barrier (the barrier's release edge orders the arena writes before
+// the delivery phases read them).
+func (r *run) payloadWords(e *Envelope) []uint64 {
+	return r.nodes[e.From].sendWords[e.a : e.a+uint64(e.width)]
 }
 
 func (c *Context) panicOversized(w int, p Payload) {
@@ -152,6 +197,10 @@ func (c *Context) EndRound() []Received {
 	if r.bar.await(c.shard, start)&1 != 0 {
 		panic(errAborted)
 	}
+	// The round's delivery is complete: every multi-word payload has been
+	// copied into its receiver's arena, so the send arena can be recycled
+	// before the node buffers its next round of messages.
+	c.sendWords = c.sendWords[:0]
 	c.round++
 	return c.inbox
 }
@@ -197,13 +246,14 @@ type run struct {
 	// per-worker partial results merged by the coordinator. sendFn/recvFn
 	// are the two phase method values, bound once so delivery allocates no
 	// closures per round.
-	buckets    [][][]Envelope
-	recvCounts []int32
-	shardStats []Stats
-	obsShards  [][]Envelope
-	obsBuf     []Envelope
-	sendFn     func(int)
-	recvFn     func(int)
+	buckets        [][][]Envelope
+	recvCounts     []int32
+	recvWordCounts []int32
+	shardStats     []Stats
+	obsShards      [][]Envelope
+	obsBuf         []Envelope
+	sendFn         func(int)
+	recvFn         func(int)
 }
 
 // Run executes program on every node of a fresh network and returns the run
@@ -231,6 +281,7 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 		r.buckets[i] = make([][]Envelope, w)
 	}
 	r.recvCounts = make([]int32, cfg.N)
+	r.recvWordCounts = make([]int32, cfg.N)
 	r.shardStats = make([]Stats, w)
 	r.obsShards = make([][]Envelope, w)
 	r.finished = make([]bool, cfg.N)
@@ -285,6 +336,8 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 	}
 	r.coordinate()
 	wg.Wait()
+	processMessages.Add(r.stats.Messages)
+	processWords.Add(r.stats.Words)
 	return r.stats, r.err
 }
 
@@ -444,7 +497,17 @@ func (r *run) sendPhase(i int) {
 			j := r.shardOf(e.To)
 			buckets[j] = pushEnvelope(buckets[j], e)
 			if observing {
-				r.obsShards[i] = pushEnvelope(r.obsShards[i], e)
+				if e.kind == kindWords {
+					// Observers may read Payload() and hold it past this
+					// round; box a copy of the arena words for them. This
+					// allocates, but only with an Observer attached.
+					oe := *e
+					oe.boxed = WordsN(append([]uint64(nil), r.payloadWords(e)...))
+					oe.kind = kindBoxed
+					r.obsShards[i] = pushEnvelope(r.obsShards[i], &oe)
+				} else {
+					r.obsShards[i] = pushEnvelope(r.obsShards[i], e)
+				}
 			}
 		}
 		ctx.out = ctx.out[:0]
@@ -463,11 +526,17 @@ func (r *run) recvPhase(j int) {
 	*st = Stats{}
 	lo, hi := r.shardRange(j)
 	counts := r.recvCounts[lo:hi]
+	wcounts := r.recvWordCounts[lo:hi]
 	clear(counts)
+	clear(wcounts)
 	for i := 0; i < r.workers; i++ {
 		bucket := r.buckets[i][j]
 		for k := range bucket {
-			counts[bucket[k].To-lo]++
+			e := &bucket[k]
+			counts[e.To-lo]++
+			if e.kind == kindWords {
+				wcounts[e.To-lo] += e.width
+			}
 		}
 	}
 	for id := lo; id < hi; id++ {
@@ -488,11 +557,18 @@ func (r *run) recvPhase(j int) {
 			st.MaxRecvDelivered = d
 		}
 		// The inbox temporarily holds every offered message (truncation
-		// happens in place below), so provision for the offered count.
+		// happens in place below), so provision for the offered count. The
+		// receiver word arena is provisioned the same way so the copy pass
+		// below never reallocates mid-fill.
 		if cap(ctx.inbox) < c {
 			ctx.inbox = make([]Received, 0, c)
 		} else {
 			ctx.inbox = ctx.inbox[:0]
+		}
+		if wc := int(wcounts[id-lo]); cap(ctx.inWords) < wc {
+			ctx.inWords = make([]uint64, 0, wc)
+		} else {
+			ctx.inWords = ctx.inWords[:0]
 		}
 	}
 	for i := 0; i < r.workers; i++ {
@@ -500,7 +576,19 @@ func (r *run) recvPhase(j int) {
 		for k := range bucket {
 			e := &bucket[k]
 			ctx := r.nodes[e.To]
-			ctx.inbox = append(ctx.inbox, e.received())
+			rc := e.received()
+			if e.kind == kindWords {
+				// Copy the payload out of the sender's arena: the sender
+				// recycles it the moment it resumes, while this inbox entry
+				// stays readable for the receiver's whole next round. The
+				// arena was provisioned to the exact offered word count
+				// above, so these appends never reallocate and the taken
+				// pointer stays valid.
+				off := len(ctx.inWords)
+				ctx.inWords = append(ctx.inWords, r.payloadWords(e)...)
+				rc.ref = &ctx.inWords[off]
+			}
+			ctx.inbox = append(ctx.inbox, rc)
 		}
 	}
 	for id := lo; id < hi; id++ {

@@ -1,6 +1,9 @@
 package ncc
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Stats aggregates what happened during a run. All load figures are measured
 // per node per round. The JSON field names are part of the scenario Record
@@ -53,4 +56,18 @@ func (s Stats) Dropped() int64 {
 func (s Stats) String() string {
 	return fmt.Sprintf("rounds=%d msgs=%d words=%d maxSend=%d maxRecvOffered=%d dropped=%d",
 		s.Rounds, s.Messages, s.Words, s.MaxSendLoad, s.MaxRecvOffered, s.Dropped())
+}
+
+// Process-lifetime traffic totals, bumped once per completed Run (not on the
+// per-message hot path). They let a harness that triggers many nested runs —
+// cmd/nccbench wraps whole experiments, which run simulations through the
+// algorithm registry, baselines, and the k-machine simulator — meter the
+// total payload volume moved without threading every Stats value out.
+var processMessages, processWords atomic.Int64
+
+// TrafficTotals returns the cumulative messages and payload words accepted
+// for transmission across every Run completed in this process. Subtract two
+// snapshots to meter an interval.
+func TrafficTotals() (messages, words int64) {
+	return processMessages.Load(), processWords.Load()
 }
