@@ -1,0 +1,110 @@
+// Command nccd is the NCC scenario-execution daemon: a long-running HTTP
+// service that accepts scenario submissions (the same JSON files nccrun
+// consumes), executes them on a bounded-concurrency scheduler with a global
+// engine-worker budget, streams results back as NDJSON records, and serves
+// identical re-submissions from a content-addressed result cache.
+//
+// Usage:
+//
+//	nccd -addr :9876 -cache-dir /var/lib/nccd
+//
+// Endpoints (see internal/service):
+//
+//	POST /v1/jobs              submit a scenario JSON
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/records NDJSON record stream (live)
+//	POST /v1/jobs/{id}/cancel  cancel a job
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text metrics
+//
+// SIGTERM/SIGINT drain gracefully: submissions are refused, running jobs get
+// -drain-timeout to finish, stragglers are canceled through the engine's
+// abort path.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ncc/internal/service"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sigs))
+}
+
+// run is the testable entry point: it serves until a signal arrives on sigs
+// or the listener fails, and returns a process exit code.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("nccd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:9876", "listen address (host:port; port 0 picks a free port)")
+	cacheDir := fs.String("cache-dir", "", "persist completed sweeps here as content-addressed NDJSON (empty: in-memory cache only)")
+	budget := fs.Int("budget", 0, "global engine-worker budget shared across jobs (0 = GOMAXPROCS)")
+	jobs := fs.Int("jobs", 2, "jobs executing concurrently (runs within a job are always sequential)")
+	queue := fs.Int("queue", 256, "queued-job limit; submissions beyond it get 503")
+	retain := fs.Int("retain", 1024, "jobs remembered before the oldest terminal ones are forgotten (results stay cached)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown before they are canceled")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	svc, err := service.New(service.Config{
+		WorkerBudget: *budget,
+		Executors:    *jobs,
+		QueueLimit:   *queue,
+		CacheDir:     *cacheDir,
+		RetainJobs:   *retain,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "nccd:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "nccd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "nccd listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "nccd:", err)
+		return 1
+	case sig := <-sigs:
+		fmt.Fprintf(stderr, "nccd: %v: draining (timeout %s)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := svc.Drain(ctx); err != nil {
+			fmt.Fprintln(stderr, "nccd: drain timeout exceeded, jobs canceled:", err)
+		}
+		// Streams of now-terminal jobs close on their own; give connections a
+		// moment to finish, then cut whatever is left.
+		shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shCancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			srv.Close()
+		}
+		fmt.Fprintln(stdout, "nccd: drained, bye")
+		return 0
+	}
+}

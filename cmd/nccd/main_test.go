@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer: run() writes from the server
+// goroutine while the test polls for the listen line.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeSubmitAndDrain boots the daemon on an ephemeral port, submits a
+// scenario over HTTP, reads the full record stream, and shuts down via
+// SIGTERM-style delivery.
+func TestServeSubmitAndDrain(t *testing.T) {
+	sigs := make(chan os.Signal, 1)
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-jobs", "1"}, &stdout, &stderr, sigs)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		if out := stdout.String(); strings.Contains(out, "listening on ") {
+			line := out[strings.Index(out, "listening on ")+len("listening on "):]
+			base = "http://" + strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(health), `"status":"ok"`) {
+		t.Fatalf("healthz: %s", health)
+	}
+
+	spec := `{"algo":"mis","graph":{"family":"kforest","params":{"n":16,"k":2},"seed":1},"model":{"seed":1}}`
+	post, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	created, _ := io.ReadAll(post.Body)
+	post.Body.Close()
+	if post.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d: %s", post.StatusCode, created)
+	}
+	id := extractField(t, string(created), `"id":"`)
+	stream, err := http.Get(base + "/v1/jobs/" + id + "/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, _ := io.ReadAll(stream.Body)
+	stream.Body.Close()
+	if n := strings.Count(strings.TrimSpace(string(records)), "\n") + 1; n != 1 {
+		t.Fatalf("got %d record lines, want 1:\n%s", n, records)
+	}
+	if !strings.Contains(string(records), `"verified":true`) {
+		t.Fatalf("record not verified: %s", records)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d after SIGTERM; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if !strings.Contains(stdout.String(), "drained, bye") {
+		t.Errorf("missing drain farewell; stdout=%q", stdout.String())
+	}
+}
+
+func extractField(t *testing.T, s, prefix string) string {
+	t.Helper()
+	i := strings.Index(s, prefix)
+	if i < 0 {
+		t.Fatalf("%q not found in %s", prefix, s)
+	}
+	rest := s[i+len(prefix):]
+	return rest[:strings.Index(rest, `"`)]
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBadAddr(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-addr", "256.256.256.256:http"}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+}

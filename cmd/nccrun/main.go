@@ -15,6 +15,7 @@
 //	nccrun -algo matching -graph bipartite -gparam n1=64,n2=32,p=0.1
 //	nccrun -algo coloring -graph pa -n 200 -k 3 -sweep-n 64,128,256 -sweep-seeds 1,2,3 -json
 //	nccrun -scenario scenarios/mis-sweep.json -json
+//	nccrun -scenario scenarios/mis-sweep.json -remote http://127.0.0.1:9876 -json
 package main
 
 import (
@@ -44,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("nccrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scenarioFile := fs.String("scenario", "", "load the scenario from this JSON file (overrides the per-run flags)")
+	remote := fs.String("remote", "", "submit to a running nccd at this base URL (e.g. http://127.0.0.1:9876) and tail the stream instead of executing locally")
 	list := fs.Bool("list", false, "list registered algorithms and graph families, then exit")
 	jsonOut := fs.Bool("json", false, "emit one JSON record per run instead of human-readable text")
 	algoName := fs.String("algo", "mst", "algorithm (see -list)")
@@ -118,6 +120,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *timelineCSV != "" && len(runs) != 1 {
 		fmt.Fprintln(stderr, "-timeline requires a single run, not a sweep")
 		return 2
+	}
+	if *remote != "" {
+		if *timelineCSV != "" {
+			fmt.Fprintln(stderr, "-timeline is not supported with -remote")
+			return 2
+		}
+		return runRemote(*remote, s, *jsonOut, len(runs), stdout, stderr)
 	}
 
 	code := 0

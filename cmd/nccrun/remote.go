@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ncc/internal/scenario"
+)
+
+// runRemote submits the scenario to an nccd daemon and tails the job's
+// record stream instead of executing locally. In -json mode the NDJSON lines
+// are passed through verbatim, so remote output is byte-identical to a local
+// `nccrun -json` run of the same scenario. Exit codes match local execution:
+// 0 ok, 1 run/verification failure, 2 usage (the server rejected the
+// scenario).
+func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, stdout, stderr io.Writer) int {
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(s)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	// 201: a new job; 200: coalesced onto an identical in-flight job whose
+	// stream delivers exactly the records this submission would produce.
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		msg := remoteError(resp.Body)
+		fmt.Fprintf(stderr, "%s rejected the scenario (%s): %s\n", base, resp.Status, msg)
+		if resp.StatusCode == http.StatusBadRequest {
+			return 2
+		}
+		return 1
+	}
+	var info struct {
+		ID     string `json:"id"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		fmt.Fprintln(stderr, "error: decoding submission response:", err)
+		return 1
+	}
+	if info.Cached && !jsonOut {
+		fmt.Fprintf(stdout, "job %s: served from result cache\n", info.ID)
+	}
+
+	stream, err := http.Get(base + "/v1/jobs/" + info.ID + "/records")
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "error: record stream: %s: %s\n", stream.Status, remoteError(stream.Body))
+		return 1
+	}
+
+	code := 0
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec scenario.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			fmt.Fprintln(stderr, "error: decoding record:", err)
+			return 1
+		}
+		if jsonOut {
+			stdout.Write(line)
+			io.WriteString(stdout, "\n")
+		} else if expanded == 1 {
+			printSingle(stdout, rec)
+		} else {
+			printSweepLine(stdout, rec)
+		}
+		switch {
+		case rec.Error != "":
+			fmt.Fprintln(stderr, "error:", rec.Error)
+			code = 1
+		case !rec.Verified:
+			fmt.Fprintln(stderr, "verification failed:", rec.VerifyErr)
+			code = 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(stderr, "error: reading record stream:", err)
+		return 1
+	}
+	// The stream also terminates when the job is canceled (another client,
+	// or the daemon draining) or fails server-side; a truncated sweep must
+	// not look like success, so check the job's terminal state.
+	if state, cause, err := jobState(base, info.ID); err != nil {
+		fmt.Fprintln(stderr, "error: checking job state:", err)
+		return 1
+	} else if state != "done" {
+		if cause != "" {
+			cause = ": " + cause
+		}
+		fmt.Fprintf(stderr, "error: job %s ended %s%s; records above are partial\n", info.ID, state, cause)
+		return 1
+	}
+	return code
+}
+
+// jobState fetches a job's terminal state (and failure cause, if any) after
+// its stream ended.
+func jobState(base, id string) (state, cause string, err error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", "", fmt.Errorf("%s: %s", resp.Status, remoteError(resp.Body))
+	}
+	var info struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", "", err
+	}
+	return info.State, info.Error, nil
+}
+
+// remoteError extracts the {"error": ...} payload of a failed API call,
+// falling back to the raw body.
+func remoteError(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -1,0 +1,76 @@
+package ncc
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCancelUnwindsWithinOneBarrier closes the cancel channel while every
+// node spins through empty rounds and checks that Run returns ErrCanceled
+// promptly — the coordinator must observe the cancellation at the next round
+// barrier, not at MaxRounds.
+func TestCancelUnwindsWithinOneBarrier(t *testing.T) {
+	cancel := make(chan struct{})
+	done := make(chan struct{})
+	var st Stats
+	var err error
+	go func() {
+		defer close(done)
+		st, err = Run(Config{N: 64, Seed: 1, Cancel: cancel}, func(ctx *Context) {
+			for {
+				// A touch of traffic so delivery is exercised; the per-round
+				// sleep keeps the round count low enough that the run cannot
+				// finish via MaxRounds before the cancellation below lands.
+				ctx.SendWord((ctx.ID()+1)%ctx.N(), Word(ctx.Round()))
+				ctx.EndRound()
+				time.Sleep(100 * time.Microsecond)
+			}
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(cancel)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not unwind after cancellation")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run returned %v, want ErrCanceled", err)
+	}
+	if st.Rounds >= DefaultMaxRounds {
+		t.Fatalf("run terminated via MaxRounds (%d rounds), not cancellation", st.Rounds)
+	}
+}
+
+// TestCancelBeforeFirstBarrier cancels before the run starts; the run must
+// still unwind (the coordinator's first select sees the closed channel).
+func TestCancelBeforeFirstBarrier(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	_, err := Run(Config{N: 16, Seed: 1, Cancel: cancel}, func(ctx *Context) {
+		for {
+			ctx.EndRound()
+		}
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run returned %v, want ErrCanceled", err)
+	}
+}
+
+// TestNilCancelStillTerminates pins that a nil Cancel channel (the default)
+// never fires: a terminating program completes normally.
+func TestNilCancelStillTerminates(t *testing.T) {
+	st, err := Run(Config{N: 8, Seed: 1}, func(ctx *Context) {
+		for r := 0; r < 3; r++ {
+			ctx.SendWord((ctx.ID()+1)%ctx.N(), Word(r))
+			ctx.EndRound()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Rounds < 3 {
+		t.Fatalf("got %d rounds, want >= 3", st.Rounds)
+	}
+}

@@ -78,6 +78,14 @@ type Config struct {
 	// regardless of Workers: every random decision is seeded per (round,
 	// node), never drawn from a shared stream.
 	Workers int
+
+	// Cancel, if non-nil, aborts the run when it becomes readable (typically
+	// by closing it). The coordinator checks it at every round barrier, so an
+	// in-flight run unwinds within one round of the cancellation: parked
+	// nodes are released with the abort bit set and Run returns ErrCanceled.
+	// Cancellation cannot preempt a node program that never reaches its next
+	// EndRound; that is what MaxRounds-style guards are for.
+	Cancel <-chan struct{}
 }
 
 // Default configuration constants.
@@ -89,6 +97,9 @@ const (
 
 // ErrMaxRounds reports that a run exceeded Config.MaxRounds.
 var ErrMaxRounds = errors.New("ncc: exceeded maximum number of rounds")
+
+// ErrCanceled reports that a run was aborted through Config.Cancel.
+var ErrCanceled = errors.New("ncc: run canceled")
 
 func (c Config) withDefaults() Config {
 	if c.CapFactor == 0 {

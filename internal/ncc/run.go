@@ -338,6 +338,7 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 	wg.Wait()
 	processMessages.Add(r.stats.Messages)
 	processWords.Add(r.stats.Words)
+	processRounds.Add(int64(r.stats.Rounds))
 	return r.stats, r.err
 }
 
@@ -368,6 +369,21 @@ func (r *run) coordinate() {
 		case err := <-r.errCh:
 			r.fail(err)
 			return
+		case <-r.cfg.Cancel: // nil channel when cancellation is unused
+			r.fail(ErrCanceled)
+			return
+		}
+		// A cancellation racing the barrier wake must still win this round:
+		// the select above picks arbitrarily among ready cases, and the
+		// "within one round barrier" guarantee would otherwise only hold in
+		// expectation.
+		if r.cfg.Cancel != nil {
+			select {
+			case <-r.cfg.Cancel:
+				r.fail(ErrCanceled)
+				return
+			default:
+			}
 		}
 		// Retire nodes whose programs returned before this barrier. All
 		// live nodes are parked (or gone) here, so draining finQ and

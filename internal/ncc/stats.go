@@ -63,11 +63,18 @@ func (s Stats) String() string {
 // cmd/nccbench wraps whole experiments, which run simulations through the
 // algorithm registry, baselines, and the k-machine simulator — meter the
 // total payload volume moved without threading every Stats value out.
-var processMessages, processWords atomic.Int64
+var processMessages, processWords, processRounds atomic.Int64
 
 // TrafficTotals returns the cumulative messages and payload words accepted
 // for transmission across every Run completed in this process. Subtract two
 // snapshots to meter an interval.
 func TrafficTotals() (messages, words int64) {
 	return processMessages.Load(), processWords.Load()
+}
+
+// RoundsTotal returns the cumulative number of communication rounds completed
+// across every Run in this process. The serving layer derives its rounds/s
+// gauge from two snapshots of this counter.
+func RoundsTotal() int64 {
+	return processRounds.Load()
 }

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenarioFiles pins that every example under scenarios/ parses
+// strictly, validates against the registries, and runs at its (small) size:
+// one record per expanded run, all of them verified — except for
+// fault-injection demos (a faults block that can actually drop messages),
+// whose records may instead carry the bounded abort the demo exists to show
+// (the collectives are not drop-tolerant; the run fails loudly at maxrounds
+// rather than wrongly).
+func TestShippedScenarioFiles(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("found only %d scenario files, want the 5 shipped examples", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			s, err := Load(path)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if _, err := s.Hash(); err != nil {
+				t.Fatalf("Hash: %v", err)
+			}
+			expanded := s.Expand()
+			if n := sizeOf(s); n > 256 {
+				t.Fatalf("example graph size %d is not small; keep shipped scenarios fast", n)
+			}
+			faulty := s.Faults != nil &&
+				(s.Faults.DropProb > 0 || len(s.Faults.DropTo) > 0 || len(s.Faults.DropFrom) > 0)
+			recs := Run(s)
+			if len(recs) != len(expanded) {
+				t.Fatalf("Run produced %d records for %d expansions", len(recs), len(expanded))
+			}
+			for i, rec := range recs {
+				if faulty {
+					continue // fault demos may abort; the record carries the error
+				}
+				if rec.Error != "" {
+					t.Errorf("run %d failed: %s", i, rec.Error)
+				} else if !rec.Verified {
+					t.Errorf("run %d not verified: %s", i, rec.VerifyErr)
+				}
+			}
+		})
+	}
+}
+
+// sizeOf estimates the largest node count a scenario can reach, covering the
+// families the shipped examples use (n-, rows*cols-, and sweep-sized).
+func sizeOf(s Scenario) int {
+	n := 0
+	if v, ok := s.Graph.Params["n"]; ok {
+		n = int(v)
+	}
+	rows, hasRows := s.Graph.Params["rows"]
+	cols, hasCols := s.Graph.Params["cols"]
+	if hasRows && hasCols {
+		n = max(n, int(rows)*int(cols))
+	}
+	if s.Sweep != nil {
+		for _, v := range s.Sweep.N {
+			n = max(n, v)
+		}
+	}
+	if n == 0 {
+		n = 64 // family default
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"slices"
+
+	"ncc/internal/algo"
+	"ncc/internal/graph"
+	"ncc/internal/ncc"
+	"ncc/internal/param"
+)
+
+// Canonical returns the semantic normal form of a scenario: two scenarios
+// that specify the same computation — regardless of JSON key order, of
+// spelling a default value versus omitting it, or of the order sweep axes
+// list their values — canonicalize to the same value, and any semantic
+// difference survives. Concretely:
+//
+//   - Name is cleared (display-only).
+//   - Model.Workers is cleared (engine parallelism; results are bit-identical
+//     across worker counts by construction).
+//   - Both parameter bags are resolved against the registries, so omitted
+//     parameters and explicitly spelled defaults coincide.
+//   - Model defaults (CapFactor/MaxWords/MaxRounds) are filled in.
+//   - Faults that cannot drop anything normalize to nil; DropTo/DropFrom are
+//     sorted (they are consulted as sets), and FromRound is cleared when no
+//     link set is present (it only gates link faults).
+//   - A sweep with no axes normalizes to nil; axis values are sorted.
+//     Sorting makes sweeps order-insensitive: permuted submissions execute
+//     the same run multiset, so they share a cache entry (the cached stream
+//     carries the first submission's record order). Duplicated axis values
+//     are NOT deduplicated — they genuinely repeat runs.
+//
+// Canonicalization fails when the algorithm or graph family is unknown or a
+// parameter bag does not resolve; Validate reports those more precisely.
+func (s Scenario) Canonical() (Scenario, error) {
+	c := s
+	c.Name = ""
+	d, ok := algo.Get(s.Algo)
+	if !ok {
+		return c, algo.ErrUnknown(s.Algo)
+	}
+	var err error
+	if c.Params, err = param.Resolve(s.Params, d.Params); err != nil {
+		return c, fmt.Errorf("algorithm %s: %w", s.Algo, err)
+	}
+	f, ok := graph.GetFamily(s.Graph.Family)
+	if !ok {
+		return c, fmt.Errorf("unknown graph family %q", s.Graph.Family)
+	}
+	if c.Graph.Params, err = param.Resolve(s.Graph.Params, f.Params); err != nil {
+		return c, fmt.Errorf("graph family %s: %w", s.Graph.Family, err)
+	}
+	if !f.Seeded {
+		c.Graph.Seed = 0
+	}
+	m := s.Model
+	if m.CapFactor == 0 {
+		m.CapFactor = ncc.DefaultCapFactor
+	}
+	if m.MaxWords == 0 {
+		m.MaxWords = ncc.DefaultMaxWords
+	}
+	if m.MaxRounds == 0 {
+		m.MaxRounds = ncc.DefaultMaxRounds
+	}
+	m.Workers = 0
+	c.Model = m
+	c.Faults = canonicalFaults(s.Faults)
+	c.Sweep = canonicalSweep(s.Sweep)
+	return c, nil
+}
+
+func canonicalFaults(f *Faults) *Faults {
+	if f == nil {
+		return nil
+	}
+	cf := Faults{
+		DropProb: f.DropProb,
+		DropTo:   sortedCopy(f.DropTo),
+		DropFrom: sortedCopy(f.DropFrom),
+	}
+	if len(cf.DropTo) > 0 || len(cf.DropFrom) > 0 {
+		cf.FromRound = f.FromRound
+	} else if cf.DropProb == 0 {
+		return nil // no drops of any kind: same as no faults block at all
+	}
+	return &cf
+}
+
+func canonicalSweep(sw *Sweep) *Sweep {
+	if sw == nil {
+		return nil
+	}
+	cs := Sweep{
+		N:         sortedCopy(sw.N),
+		CapFactor: sortedCopy(sw.CapFactor),
+		Seeds:     sortedCopy(sw.Seeds),
+	}
+	if len(cs.N) == 0 && len(cs.CapFactor) == 0 && len(cs.Seeds) == 0 {
+		return nil
+	}
+	return &cs
+}
+
+func sortedCopy[T int | int64](v []T) []T {
+	if len(v) == 0 {
+		return nil
+	}
+	out := slices.Clone(v)
+	slices.Sort(out)
+	return out
+}
+
+// Hash returns the content address of a scenario: the hex SHA-256 of its
+// canonical form's JSON encoding (encoding/json sorts map keys, and the
+// canonical form pins every default, so the encoding is deterministic). Two
+// scenarios hash equal exactly when they specify the same computation; the
+// result cache and the scenario service key on it.
+func (s Scenario) Hash() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

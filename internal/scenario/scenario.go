@@ -8,7 +8,6 @@
 package scenario
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 
@@ -109,17 +108,15 @@ type Record struct {
 	Error     string             `json:"error,omitempty"`
 }
 
-// Load reads a Scenario from a JSON file, rejecting unknown fields.
+// Load reads a Scenario from a JSON file with strict field checking (see
+// Decode): unknown fields are rejected with their full path.
 func Load(path string) (Scenario, error) {
-	var s Scenario
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return s, err
+		return Scenario{}, err
 	}
-	defer f.Close()
-	dec := json.NewDecoder(f)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&s); err != nil {
+	s, err := Decode(data)
+	if err != nil {
 		return s, fmt.Errorf("scenario %s: %w", path, err)
 	}
 	return s, nil
@@ -221,11 +218,28 @@ func (m Model) config(n int) ncc.Config {
 	}
 }
 
+// RunOpts carries per-run hooks that are not part of the declarative spec
+// and therefore never appear in the Record's scenario echo or the canonical
+// hash: an Observer, a cancellation channel wired into the engine's abort
+// path, and a worker-count override (the service's scheduler hands each run
+// however many workers its global budget can spare; results are bit-identical
+// across worker counts, so the override is invisible in the Record).
+type RunOpts struct {
+	Observer ncc.Observer
+	Cancel   <-chan struct{}
+	Workers  int
+}
+
 // RunOne executes one concrete (sweep-free) scenario. obs, if non-nil, is
 // attached as the run's round observer (e.g. a *ncc.Timeline). The returned
 // error covers spec and simulation failures; verification failures are
 // recorded in the Record only.
 func RunOne(s Scenario, obs ncc.Observer) (Record, error) {
+	return RunOneWith(s, RunOpts{Observer: obs})
+}
+
+// RunOneWith is RunOne with the full set of per-run hooks.
+func RunOneWith(s Scenario, opts RunOpts) (Record, error) {
 	rec := Record{Scenario: s}
 	if s.Sweep != nil {
 		return rec, fmt.Errorf("scenario %s: RunOne on an unexpanded sweep", s.Name)
@@ -241,7 +255,11 @@ func RunOne(s Scenario, obs ncc.Observer) (Record, error) {
 	deg, _ := graph.Degeneracy(g)
 	rec.Graph = GraphInfo{Desc: g.String(), N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Degeneracy: deg}
 	cfg := s.Model.config(g.N())
-	cfg.Observer = obs
+	cfg.Observer = opts.Observer
+	cfg.Cancel = opts.Cancel
+	if opts.Workers != 0 {
+		cfg.Workers = opts.Workers
+	}
 	if s.Faults != nil {
 		cfg.DropProb = s.Faults.DropProb
 		cfg.Interceptor = s.Faults.interceptor()

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Decode parses one Scenario from JSON with strict field checking: an unknown
+// field anywhere in the document — scenario, graph, model, faults, sweep — is
+// rejected with its full path and the accepted field names, so a typo like
+// "capfator" fails loudly instead of silently running defaults. Parameter
+// *names* inside the params bags are free-form here; Validate checks them
+// against the registries (which produce their own unknown-param errors).
+func Decode(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := checkFields(data, reflect.TypeOf(s), ""); err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// checkFields walks raw against the JSON shape of t and reports the first
+// unknown object key with its dotted path. Maps (the param bags) accept any
+// keys; slices of structs are checked element-wise. Type mismatches are left
+// for json.Unmarshal, whose errors already carry the Go type context.
+func checkFields(raw json.RawMessage, t reflect.Type, path string) error {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil // not an object (null, or a mismatch json.Unmarshal will report)
+		}
+		fields := jsonFields(t)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic first error
+		for _, key := range keys {
+			ft, ok := fields[strings.ToLower(key)]
+			if !ok {
+				known := make([]string, 0, len(fields))
+				for name := range fields {
+					known = append(known, name)
+				}
+				sort.Strings(known)
+				return fmt.Errorf("unknown field %q (%s has %s)",
+					joinPath(path, key), pathName(path), strings.Join(known, ", "))
+			}
+			if err := checkFields(m[key], ft, joinPath(path, key)); err != nil {
+				return err
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		et := t.Elem()
+		for et.Kind() == reflect.Pointer {
+			et = et.Elem()
+		}
+		if et.Kind() != reflect.Struct {
+			return nil
+		}
+		var elems []json.RawMessage
+		if err := json.Unmarshal(raw, &elems); err != nil {
+			return nil
+		}
+		for i, e := range elems {
+			if err := checkFields(e, et, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonFields maps the lowercased JSON names of t's fields to their types,
+// mirroring encoding/json's case-insensitive matching.
+func jsonFields(t reflect.Type) map[string]reflect.Type {
+	out := make(map[string]reflect.Type, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := f.Name
+		if tag, ok := f.Tag.Lookup("json"); ok {
+			tagName, _, _ := strings.Cut(tag, ",")
+			if tagName == "-" {
+				continue
+			}
+			if tagName != "" {
+				name = tagName
+			}
+		}
+		out[strings.ToLower(name)] = f.Type
+	}
+	return out
+}
+
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+func pathName(path string) string {
+	if path == "" {
+		return "scenario"
+	}
+	return path
+}

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// cache is the content-addressed result store: canonical scenario hash ->
+// the complete NDJSON record stream of one executed sweep. Entries live in
+// memory and, when a directory is configured, as one <hash>.ndjson file each,
+// so a restarted daemon keeps serving past results. Records are stored as the
+// exact marshaled lines the first execution streamed, so a cache hit is
+// byte-identical to the run that populated it.
+type cache struct {
+	mu   sync.Mutex // held across disk reads; cache traffic is not a hot path
+	mem  map[string][][]byte
+	fifo []string // insertion order of mem keys, oldest first
+	max  int      // in-memory entry bound; evicted FIFO (disk tier keeps all)
+	dir  string
+}
+
+func newCache(dir string, maxEntries int) (*cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache dir: %w", err)
+		}
+	}
+	return &cache{mem: map[string][][]byte{}, max: maxEntries, dir: dir}, nil
+}
+
+// get returns the cached record lines for hash, consulting memory first and
+// the disk tier second (a disk hit is promoted into memory).
+func (c *cache) get(hash string) ([][]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lines, ok := c.mem[hash]; ok {
+		return lines, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	lines := splitLines(data)
+	c.storeLocked(hash, lines)
+	return lines, true
+}
+
+// storeLocked inserts an in-memory entry, evicting the oldest entries beyond
+// the bound. Callers hold c.mu.
+func (c *cache) storeLocked(hash string, lines [][]byte) {
+	if _, exists := c.mem[hash]; !exists {
+		c.fifo = append(c.fifo, hash)
+	}
+	c.mem[hash] = lines
+	// Every live key appears exactly once in fifo, so this terminates.
+	for c.max > 0 && len(c.mem) > c.max {
+		old := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if old == hash { // never evict the entry just stored
+			c.fifo = append(c.fifo, old)
+			continue
+		}
+		delete(c.mem, old)
+	}
+}
+
+// put stores a completed sweep's record lines under hash. The disk write goes
+// through a temp file + rename so a crashed daemon never leaves a torn entry.
+func (c *cache) put(hash string, lines [][]byte) error {
+	c.mu.Lock()
+	c.storeLocked(hash, lines)
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, ln := range lines {
+		buf.Write(ln)
+		buf.WriteByte('\n')
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(hash))
+}
+
+// len reports the number of in-memory entries (metrics).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+func (c *cache) path(hash string) string {
+	// Hashes are internally generated hex, but never let a stray value walk
+	// the filesystem.
+	return filepath.Join(c.dir, filepath.Base(hash)+".ndjson")
+}
+
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	for _, ln := range bytes.Split(data, []byte{'\n'}) {
+		if len(ln) > 0 {
+			out = append(out, ln)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func lines(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestCacheFIFOEviction(t *testing.T) {
+	c, err := newCache("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := c.put(fmt.Sprintf("h%d", i), lines(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.get("h1"); ok {
+		t.Fatal("oldest entry h1 survived past the bound")
+	}
+	for _, h := range []string{"h2", "h3"} {
+		if _, ok := c.get(h); !ok {
+			t.Fatalf("entry %s was wrongly evicted", h)
+		}
+	}
+	if n := c.len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+	// Re-storing an existing key must not evict it, whatever its age.
+	if err := c.put("h2", lines("r2b")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.get("h2"); !ok || !bytes.Equal(got[0], []byte("r2b")) {
+		t.Fatalf("re-stored h2 = %q, %v", got, ok)
+	}
+}
+
+func TestCacheDiskTierOutlivesEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := newCache(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.put("aa11", lines(`{"x":1}`, `{"x":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.put("bb22", lines(`{"y":1}`)); err != nil {
+		t.Fatal(err) // evicts aa11 from memory; its file remains
+	}
+	got, ok := c.get("aa11")
+	if !ok {
+		t.Fatal("evicted entry not re-promoted from disk")
+	}
+	if len(got) != 2 || !bytes.Equal(got[0], []byte(`{"x":1}`)) {
+		t.Fatalf("disk round-trip mangled lines: %q", got)
+	}
+}

@@ -1,0 +1,36 @@
+// Package service turns the one-shot scenario runner into a long-lived
+// execution service: the HTTP daemon behind cmd/nccd. Clients POST the same
+// declarative scenario JSON the CLIs consume; the server validates it against
+// the algorithm and graph registries, executes it on a shared scheduler, and
+// streams the resulting scenario Records back as NDJSON — live, while the
+// sweep is still running.
+//
+// Scheduling is two-level. A fixed set of executors runs jobs concurrently
+// while each job's expanded runs stay sequential, so a job's record stream is
+// ordered exactly like a local sweep. Engine parallelism comes from a global
+// worker budget shared across jobs: before each run an executor acquires
+// between 1 and GOMAXPROCS-equivalent tokens — whatever the budget can spare
+// — and hands the engine exactly that many delivery workers. Acquisition is
+// ticket-ordered FIFO and tokens return between runs, so a million-node sweep
+// can saturate the budget only until its current run ends; a small request
+// waits for one run, never for a whole sweep. Results are bit-identical
+// across worker counts (an engine invariant), so the scheduler's worker
+// assignment is invisible in the records.
+//
+// Completed sweeps land in a content-addressed result cache keyed by the
+// canonical scenario hash (scenario.Hash): JSON key order, spelled-out
+// defaults, display names, worker counts, and sweep-axis order all
+// canonicalize away, so a semantically identical re-submission is answered
+// instantly from memory — or from the cache directory, which persists each
+// sweep as one <hash>.ndjson file across restarts. Cached streams replay the
+// exact bytes the original execution produced. The same hash also coalesces
+// in-flight duplicates: submitting a scenario identical to one still queued
+// or running returns that job (HTTP 200 instead of 201) rather than
+// executing it twice.
+//
+// Cancellation is wired through the engine's abort path (ncc.Config.Cancel):
+// canceling a job releases the round barrier with the abort bit set, so even
+// a run mid-sweep unwinds within one round. Drain uses the same machinery for
+// graceful shutdown: stop accepting, finish what is running, cancel whatever
+// outlives the grace period.
+package service

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ncc/internal/ncc"
+)
+
+// metrics is the daemon's counter set, rendered at /metrics in the Prometheus
+// text exposition format. Engine figures (rounds, messages, words) come from
+// the ncc package's process-lifetime totals; rounds/s is measured over the
+// window since the previous scrape, so a dashboard polling /metrics sees the
+// live round rate, not a lifetime average.
+type metrics struct {
+	start time.Time
+
+	jobsSubmitted atomic.Int64
+	jobsCoalesced atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsQueued    atomic.Int64 // gauge
+	jobsRunning   atomic.Int64 // gauge
+
+	recordsProduced atomic.Int64
+	recordsStreamed atomic.Int64
+
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	cacheWriteErrors atomic.Int64
+
+	mu         sync.Mutex
+	lastScrape time.Time
+	lastRounds int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+// roundsRate returns the engine round total and the rounds/s rate since the
+// previous scrape (since startup, on the first).
+func (m *metrics) roundsRate() (total int64, perSec float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	total = ncc.RoundsTotal()
+	since := m.lastScrape
+	if since.IsZero() {
+		since = m.start
+	}
+	if dt := now.Sub(since).Seconds(); dt > 0 {
+		perSec = float64(total-m.lastRounds) / dt
+	}
+	m.lastScrape = now
+	m.lastRounds = total
+	return total, perSec
+}
+
+// render writes the exposition text. budget/free describe the worker token
+// pool; entries is the in-memory cache size.
+func (m *metrics) render(w io.Writer, budget, free, entries int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("nccd_jobs_submitted_total", "Scenario submissions accepted.", m.jobsSubmitted.Load())
+	counter("nccd_jobs_coalesced_total", "Submissions answered by an identical in-flight job.", m.jobsCoalesced.Load())
+	counter("nccd_jobs_done_total", "Jobs that ran to completion.", m.jobsDone.Load())
+	counter("nccd_jobs_failed_total", "Jobs that failed internally.", m.jobsFailed.Load())
+	counter("nccd_jobs_canceled_total", "Jobs canceled before completion.", m.jobsCanceled.Load())
+	gauge("nccd_jobs_queued", "Jobs waiting for an executor.", float64(m.jobsQueued.Load()))
+	gauge("nccd_jobs_running", "Jobs currently executing.", float64(m.jobsRunning.Load()))
+
+	counter("nccd_records_produced_total", "Sweep records produced by executed runs.", m.recordsProduced.Load())
+	counter("nccd_records_streamed_total", "Record lines written to streaming clients.", m.recordsStreamed.Load())
+
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	counter("nccd_cache_hits_total", "Submissions served from the result cache.", hits)
+	counter("nccd_cache_misses_total", "Submissions that had to execute.", misses)
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	gauge("nccd_cache_hit_ratio", "Lifetime cache hit ratio.", ratio)
+	counter("nccd_cache_write_errors_total", "Failed disk-cache writes (entries stay in memory).", m.cacheWriteErrors.Load())
+	gauge("nccd_cache_entries", "Result-cache entries held in memory.", float64(entries))
+
+	gauge("nccd_worker_budget", "Global engine-worker budget shared across jobs.", float64(budget))
+	gauge("nccd_workers_free", "Engine workers currently unassigned.", float64(free))
+
+	rounds, rate := m.roundsRate()
+	counter("nccd_engine_rounds_total", "Communication rounds completed by the engine.", rounds)
+	gauge("nccd_engine_rounds_per_second", "Engine round rate since the previous scrape.", rate)
+	msgs, words := ncc.TrafficTotals()
+	counter("nccd_engine_messages_total", "Messages accepted for transmission.", msgs)
+	counter("nccd_engine_words_total", "Payload words accepted for transmission.", words)
+
+	gauge("nccd_uptime_seconds", "Seconds since the daemon started.", time.Since(m.start).Seconds())
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ncc/internal/graph"
+	"ncc/internal/ncc"
+	"ncc/internal/param"
+	"ncc/internal/scenario"
+)
+
+// tokenPool is the global engine-worker budget shared by every job. A run
+// acquires between 1 and want tokens — whatever is free — and sets the
+// engine's worker count to what it got, so a huge sweep consumes the whole
+// budget only while nothing else is waiting. Acquisition is strictly FIFO
+// (ticket-ordered): a small job that arrives while a 1M-node sweep holds the
+// budget is first in line the moment the sweep's current run returns its
+// tokens, and the sweep's next run queues behind it — between-run yields
+// bound a small request's wait by one run, never by a whole sweep.
+type tokenPool struct {
+	mu            sync.Mutex
+	cond          sync.Cond
+	free          int
+	next, serving uint64
+}
+
+func newTokenPool(budget int) *tokenPool {
+	p := &tokenPool{free: budget}
+	p.cond.L = &p.mu
+	return p
+}
+
+// acquire blocks until this caller is first in line and at least one token is
+// free, then takes min(want, free) tokens and returns the count.
+func (p *tokenPool) acquire(want int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ticket := p.next
+	p.next++
+	for p.serving != ticket || p.free == 0 {
+		p.cond.Wait()
+	}
+	p.serving++
+	got := min(max(1, want), p.free)
+	p.free -= got
+	p.cond.Broadcast() // the next ticket may proceed if tokens remain
+	return got
+}
+
+func (p *tokenPool) release(n int) {
+	p.mu.Lock()
+	p.free += n
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// available reports the currently unassigned tokens (metrics).
+func (p *tokenPool) available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.free
+}
+
+// scheduler executes jobs on a fixed set of executor goroutines pulling from
+// a bounded FIFO queue. Each job's expanded runs execute sequentially (the
+// record stream is ordered), while distinct jobs proceed concurrently,
+// competing for engine workers through the token pool.
+type scheduler struct {
+	budget int
+	queue  chan *Job
+	pool   *tokenPool
+	wg     sync.WaitGroup
+	m      *metrics
+	cache  *cache
+}
+
+func newScheduler(budget, executors, queueLimit int, c *cache, m *metrics) *scheduler {
+	s := &scheduler{
+		budget: budget,
+		queue:  make(chan *Job, queueLimit),
+		pool:   newTokenPool(budget),
+		m:      m,
+		cache:  c,
+	}
+	for i := 0; i < executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// errQueueFull rejects submissions beyond the queue limit.
+var errQueueFull = errors.New("job queue is full")
+
+// enqueue adds a job without blocking. The caller serializes enqueue against
+// drain (the Server's submission lock), so sending on a closed queue cannot
+// happen.
+func (s *scheduler) enqueue(j *Job) error {
+	select {
+	case s.queue <- j:
+		s.m.jobsQueued.Add(1)
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+func (s *scheduler) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.m.jobsQueued.Add(-1)
+		s.runJob(j)
+	}
+}
+
+// workersFor decides how many engine workers a run would ideally use: its
+// model's explicit choice or GOMAXPROCS, capped by the graph size (a 32-node
+// run cannot use more than 32 workers — the engine clamps anyway, but tokens
+// reserved here stay reserved, so over-asking would idle budget other jobs
+// could use) and by the global budget.
+func (s *scheduler) workersFor(c scenario.Scenario) int {
+	want := c.Model.Workers
+	if want <= 0 {
+		want = runtime.GOMAXPROCS(0)
+	}
+	if n := specNodeCount(c.Graph); n >= 1 && want > n {
+		want = n
+	}
+	return min(want, s.budget)
+}
+
+// specNodeCount estimates a graph spec's node count from its resolved
+// parameters (defaults included), covering every registered family's sizing
+// convention: n, rows*cols, n1+n2, parts*size, or 2^k for the hypercube.
+// Returns 0 when the family is unknown or unsized — callers treat that as
+// "no cap". This is a scheduling hint only; results never depend on it.
+func specNodeCount(spec graph.Spec) int {
+	f, ok := graph.GetFamily(spec.Family)
+	if !ok {
+		return 0
+	}
+	v, err := param.Resolve(spec.Params, f.Params)
+	if err != nil {
+		return 0
+	}
+	switch {
+	case v["n"] >= 1:
+		return int(v["n"])
+	case v["rows"] >= 1 && v["cols"] >= 1:
+		return int(v["rows"]) * int(v["cols"])
+	case v["n1"] >= 1 || v["n2"] >= 1:
+		return int(v["n1"]) + int(v["n2"])
+	case v["parts"] >= 1 && v["size"] >= 1:
+		return int(v["parts"]) * int(v["size"])
+	case v["k"] >= 1: // hypercube: 2^k nodes (only sized by k alone)
+		if k := int(v["k"]); k < 30 {
+			return 1 << k
+		}
+	}
+	return 0
+}
+
+func (s *scheduler) runJob(j *Job) {
+	if !j.setRunning() {
+		s.m.jobsCanceled.Add(1) // canceled while queued
+		return
+	}
+	s.m.jobsRunning.Add(1)
+	defer s.m.jobsRunning.Add(-1)
+	for _, c := range j.Scenario.Expand() {
+		if j.canceled() {
+			break
+		}
+		got := s.pool.acquire(s.workersFor(c))
+		rec, err := scenario.RunOneWith(c, scenario.RunOpts{Cancel: j.cancel, Workers: got})
+		s.pool.release(got)
+		if err != nil {
+			if errors.Is(err, ncc.ErrCanceled) {
+				break
+			}
+			// Run failures are sweep entries, exactly as in a local sweep:
+			// the record carries the error and the job continues.
+			rec.Error = err.Error()
+		}
+		line, merr := json.Marshal(rec)
+		if merr != nil {
+			j.finish(StateFailed, fmt.Sprintf("encoding record: %v", merr))
+			s.m.jobsFailed.Add(1)
+			return
+		}
+		j.appendLine(line)
+		s.m.recordsProduced.Add(1)
+	}
+	if j.canceled() {
+		j.finish(StateCanceled, "")
+		s.m.jobsCanceled.Add(1)
+		return
+	}
+	j.finish(StateDone, "")
+	s.m.jobsDone.Add(1)
+	if err := s.cache.put(j.Hash, j.resultLines()); err != nil {
+		// Disk persistence is best-effort; the in-memory entry is in place.
+		s.m.cacheWriteErrors.Add(1)
+	}
+}
+
+// drain stops the executors after the already-queued jobs finish. If ctx
+// expires first, cancelAll is invoked (the Server cancels every live job,
+// which unwinds in-flight runs within one round barrier) and drain waits for
+// the now-short tail.
+func (s *scheduler) drain(ctx context.Context, cancelAll func()) error {
+	close(s.queue)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,354 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"ncc/internal/scenario"
+)
+
+// Config parameterizes a Server. Zero values mean the defaults.
+type Config struct {
+	// WorkerBudget is the total number of engine workers shared across every
+	// concurrently executing job (default GOMAXPROCS). A single run never
+	// uses more than the budget; concurrent runs split it, FIFO-fair.
+	WorkerBudget int
+
+	// Executors is the number of jobs executing concurrently (default 2).
+	// Runs within one job are always sequential: the record stream is
+	// ordered like a local sweep.
+	Executors int
+
+	// QueueLimit bounds the number of queued jobs; submissions beyond it are
+	// rejected with 503 (default 256).
+	QueueLimit int
+
+	// CacheDir, when non-empty, persists completed sweeps as content-addressed
+	// NDJSON files so the cache survives restarts. Empty keeps the cache
+	// in memory only.
+	CacheDir string
+
+	// MaxBodyBytes bounds a submission body (default 1 MiB).
+	MaxBodyBytes int64
+
+	// RetainJobs bounds how many jobs the daemon remembers (default 1024).
+	// When a new submission would exceed it, the oldest terminal jobs are
+	// forgotten (their results stay in the result cache); running and queued
+	// jobs are never pruned. A forgotten job id answers 404.
+	RetainJobs int
+
+	// CacheEntries bounds the in-memory result-cache entries (default 4096),
+	// evicted FIFO. With CacheDir set, evicted sweeps remain on disk and are
+	// re-promoted on their next hit.
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	return c
+}
+
+// Server is the scenario-execution service behind cmd/nccd: it validates
+// submitted scenarios against the registries, executes them on the shared
+// scheduler, streams results as NDJSON, and answers identical re-submissions
+// from the content-addressed result cache.
+type Server struct {
+	cfg   Config
+	m     *metrics
+	cache *cache
+	sched *scheduler
+
+	mu       sync.Mutex // guards jobs/order/byHash/nextID and draining vs enqueue
+	jobs     map[string]*Job
+	order    []*Job
+	byHash   map[string]*Job // latest executing job per canonical hash
+	nextID   int
+	draining bool
+}
+
+// New builds a Server (creating the cache directory if configured).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	c, err := newCache(cfg.CacheDir, cfg.CacheEntries)
+	if err != nil {
+		return nil, err
+	}
+	m := newMetrics()
+	return &Server{
+		cfg:    cfg,
+		m:      m,
+		cache:  c,
+		sched:  newScheduler(cfg.WorkerBudget, cfg.Executors, cfg.QueueLimit, c, m),
+		jobs:   map[string]*Job{},
+		byHash: map[string]*Job{},
+	}, nil
+}
+
+// Drain stops accepting submissions and waits for queued and running jobs to
+// finish. If ctx expires first, every live job is canceled (in-flight runs
+// unwind within one round barrier) and Drain returns ctx.Err after the tail
+// completes. Drain is idempotent only in its refusal of new work; call it
+// once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	return s.sched.drain(ctx, func() {
+		s.mu.Lock()
+		jobs := append([]*Job(nil), s.order...)
+		s.mu.Unlock()
+		for _, j := range jobs {
+			j.Cancel()
+		}
+	})
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs              submit a scenario (strict JSON), returns JobInfo
+//	GET  /v1/jobs              list jobs in submission order
+//	GET  /v1/jobs/{id}         one job's status
+//	GET  /v1/jobs/{id}/records NDJSON record stream, live while the job runs
+//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
+//	GET  /healthz              liveness (and drain state)
+//	GET  /metrics              Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "scenario body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	sc, err := scenario.Decode(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := sc.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := sc.Hash()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The cache lookup may touch disk; do it before taking the server lock
+	// so submissions never serialize the status/health endpoints behind file
+	// I/O. A hit that lands between this lookup and the lock merely costs a
+	// redundant execution — coalescing below still catches in-flight twins.
+	cached, hit := s.cache.get(hash)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "draining, not accepting jobs")
+		return
+	}
+	// In-flight coalescing: an identical scenario already queued or running
+	// is the same computation — hand back that job (its stream delivers
+	// exactly the records this submission would produce) instead of burning
+	// a second executor on it. Terminal non-done jobs (canceled, failed)
+	// don't count; a fresh submission retries those.
+	if prev, ok := s.byHash[hash]; ok {
+		if info := prev.Info(); !info.State.terminal() {
+			s.m.jobsCoalesced.Add(1)
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("j%06d", s.nextID), hash, sc)
+	if hit {
+		j.completeFromCache(cached)
+		s.m.cacheHits.Add(1)
+	} else {
+		s.m.cacheMisses.Add(1)
+		if err := s.sched.enqueue(j); err != nil {
+			s.nextID--
+			s.mu.Unlock()
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		s.byHash[hash] = j
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	s.pruneLocked()
+	s.m.jobsSubmitted.Add(1)
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, j.Info())
+}
+
+// pruneLocked forgets the oldest terminal jobs once the retention bound is
+// exceeded, so a long-running daemon's memory stays proportional to the
+// bound, not to its lifetime submission count. Live jobs are never pruned;
+// completed results survive in the result cache. Callers hold s.mu.
+func (s *Server) pruneLocked() {
+	excess := len(s.order) - s.cfg.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if excess > 0 && j.Info().State.terminal() {
+			delete(s.jobs, j.ID)
+			if s.byHash[j.Hash] == j {
+				delete(s.byHash, j.Hash)
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	clear(s.order[len(kept):])
+	s.order = kept
+}
+
+func (s *Server) job(r *http.Request) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]JobInfo, len(s.order))
+	for i, j := range s.order {
+		infos[i] = j.Info()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+// handleRecords streams a job's records as NDJSON: everything produced so
+// far, then live lines as the sweep emits them, terminating when the job
+// reaches a terminal state or the client goes away. Each line is the exact
+// bytes `nccrun -json` would print for the scenario the job *executed*; a
+// cache hit or coalesced submission replays the original submission's
+// stream verbatim, so a semantically identical re-spelling sees the first
+// submission's record echoes (display name, workers, sweep-axis order).
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		lines, terminal, changed := j.next(sent)
+		for _, ln := range lines {
+			if _, err := w.Write(ln); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+			s.m.recordsStreamed.Add(1)
+		}
+		sent += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal && len(lines) == 0 {
+			return
+		}
+		if terminal {
+			continue // drain any lines appended after the terminal flip
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.m.render(w, s.cfg.WorkerBudget, s.sched.pool.available(), s.cache.len())
+}
