@@ -4,23 +4,37 @@
 // engine-worker budget, streams results back as NDJSON records, and serves
 // identical re-submissions from a content-addressed result cache.
 //
-// Usage:
+// One binary, three roles:
 //
-//	nccd -addr :9876 -cache-dir /var/lib/nccd
+//	nccd -addr :9876 -cache-dir /var/lib/nccd        # standalone daemon
+//	nccd -coordinator -addr :9876                    # cluster coordinator
+//	nccd -addr :0 -join http://coord:9876            # cluster worker
+//
+// A coordinator executes nothing itself: workers register with it
+// (POST /v1/workers, heartbeated), it shards submitted jobs across them by
+// free capacity, proxies each job's record stream back byte-identical to a
+// local run, and re-dispatches jobs whose worker dies mid-run. A worker is an
+// ordinary standalone daemon plus a registration loop; its own HTTP API keeps
+// serving direct clients.
 //
 // Endpoints (see internal/service):
 //
-//	POST /v1/jobs              submit a scenario JSON
-//	GET  /v1/jobs              list jobs
-//	GET  /v1/jobs/{id}         job status
-//	GET  /v1/jobs/{id}/records NDJSON record stream (live)
-//	POST /v1/jobs/{id}/cancel  cancel a job
-//	GET  /healthz              liveness
-//	GET  /metrics              Prometheus text metrics
+//	POST   /v1/jobs              submit a scenario JSON
+//	GET    /v1/jobs              list jobs (?state=, ?limit=)
+//	GET    /v1/jobs/{id}         job status
+//	GET    /v1/jobs/{id}/records NDJSON record stream (live)
+//	POST   /v1/jobs/{id}/cancel  cancel a job
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus text metrics
+//	POST   /v1/workers           (coordinator) register/heartbeat a worker
+//	GET    /v1/workers           (coordinator) list workers
+//	DELETE /v1/workers/{name}    (coordinator) deregister a worker
 //
-// SIGTERM/SIGINT drain gracefully: submissions are refused, running jobs get
-// -drain-timeout to finish, stragglers are canceled through the engine's
-// abort path.
+// SIGTERM/SIGINT drain gracefully: a worker first deregisters (so the
+// coordinator re-dispatches its jobs), then submissions are refused, running
+// jobs get -drain-timeout to finish, stragglers are canceled through the
+// engine's abort path.
 package main
 
 import (
@@ -33,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -57,20 +72,40 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	queue := fs.Int("queue", 256, "queued-job limit; submissions beyond it get 503")
 	retain := fs.Int("retain", 1024, "jobs remembered before the oldest terminal ones are forgotten (results stay cached)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown before they are canceled")
+	coordinator := fs.Bool("coordinator", false, "run as a cluster coordinator: execute nothing locally, shard jobs across registered workers")
+	workerTTL := fs.Duration("worker-ttl", 10*time.Second, "coordinator: drop workers whose last heartbeat is older than this")
+	attempts := fs.Int("attempts", 3, "coordinator: dispatch attempts per job before it is failed")
+	join := fs.String("join", "", "worker: register with the coordinator at this base URL and heartbeat")
+	advertise := fs.String("advertise", "", "worker: base URL the coordinator should dial back (default: derived from the bound listen address)")
+	name := fs.String("name", "", "worker: stable name to register under (default: advertised host:port)")
+	heartbeat := fs.Duration("heartbeat", 2*time.Second, "worker: registration heartbeat period (keep well under the coordinator's -worker-ttl)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
+	if *coordinator && *join != "" {
+		fmt.Fprintln(stderr, "nccd: -coordinator and -join are mutually exclusive (a coordinator does not execute jobs)")
+		return 2
+	}
 
-	svc, err := service.New(service.Config{
+	cfg := service.Config{
 		WorkerBudget: *budget,
 		Executors:    *jobs,
 		QueueLimit:   *queue,
 		CacheDir:     *cacheDir,
 		RetainJobs:   *retain,
-	})
+		WorkerTTL:    *workerTTL,
+		JobAttempts:  *attempts,
+	}
+	var svc *service.Server
+	var err error
+	if *coordinator {
+		svc, err = service.NewCoordinator(cfg)
+	} else {
+		svc, err = service.New(cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "nccd:", err)
 		return 1
@@ -80,11 +115,44 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		fmt.Fprintln(stderr, "nccd:", err)
 		return 1
 	}
+	role := "standalone"
+	if *coordinator {
+		role = "coordinator"
+	} else if *join != "" {
+		role = "worker"
+	}
 	fmt.Fprintf(stdout, "nccd listening on %s\n", ln.Addr())
+	fmt.Fprintf(stderr, "nccd: role %s\n", role)
 
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Worker role: maintain cluster membership alongside serving.
+	joinCtx, stopJoin := context.WithCancel(context.Background())
+	defer stopJoin()
+	var joinWG sync.WaitGroup
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + dialableAddr(ln.Addr())
+		}
+		jn := &service.Joiner{
+			Coordinator: *join,
+			Self:        self,
+			Name:        *name,
+			Capacity:    *jobs,
+			Interval:    *heartbeat,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, "nccd: "+format+"\n", args...)
+			},
+		}
+		joinWG.Add(1)
+		go func() {
+			defer joinWG.Done()
+			jn.Run(joinCtx)
+		}()
+	}
 
 	select {
 	case err := <-serveErr:
@@ -92,6 +160,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		return 1
 	case sig := <-sigs:
 		fmt.Fprintf(stderr, "nccd: %v: draining (timeout %s)\n", sig, *drainTimeout)
+		// Deregister first so the coordinator stops dispatching here and
+		// re-dispatches whatever this drain is about to cancel.
+		stopJoin()
+		joinWG.Wait()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := svc.Drain(ctx); err != nil {
@@ -107,4 +179,18 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		fmt.Fprintln(stdout, "nccd: drained, bye")
 		return 0
 	}
+}
+
+// dialableAddr turns the bound listen address into something another process
+// can dial: an unspecified host (0.0.0.0, [::]) becomes the loopback address.
+// Multi-host deployments should pass -advertise explicitly.
+func dialableAddr(a net.Addr) string {
+	tcp, ok := a.(*net.TCPAddr)
+	if !ok {
+		return a.String()
+	}
+	if tcp.IP == nil || tcp.IP.IsUnspecified() {
+		return fmt.Sprintf("127.0.0.1:%d", tcp.Port)
+	}
+	return tcp.String()
 }

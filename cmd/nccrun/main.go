@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ncc/internal/algo"
 	"ncc/internal/graph"
@@ -36,12 +38,15 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
 }
 
 // run is the testable entry point: it parses args, executes the scenario,
 // and returns a process exit code (0 ok, 1 run/verification failure, 2 usage).
-func run(args []string, stdout, stderr io.Writer) int {
+// sigs feeds interrupt handling in -remote mode; nil installs the real
+// SIGINT/SIGTERM handler there (tests inject their own channel). Local runs
+// keep default signal disposition — Ctrl-C kills them outright.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	fs := flag.NewFlagSet("nccrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scenarioFile := fs.String("scenario", "", "load the scenario from this JSON file (overrides the per-run flags)")
@@ -126,7 +131,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "-timeline is not supported with -remote")
 			return 2
 		}
-		return runRemote(*remote, s, *jsonOut, len(runs), stdout, stderr)
+		if sigs == nil {
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+			defer signal.Stop(ch)
+			sigs = ch
+		}
+		return runRemote(*remote, s, *jsonOut, len(runs), stdout, stderr, sigs)
 	}
 
 	code := 0

@@ -14,7 +14,7 @@ import (
 func runCapture(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	var out, errw bytes.Buffer
-	code := run(args, &out, &errw)
+	code := run(args, &out, &errw, nil)
 	return code, out.String(), errw.String()
 }
 

@@ -3,11 +3,15 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ncc/internal/scenario"
 )
@@ -17,8 +21,10 @@ import (
 // are passed through verbatim, so remote output is byte-identical to a local
 // `nccrun -json` run of the same scenario. Exit codes match local execution:
 // 0 ok, 1 run/verification failure, 2 usage (the server rejected the
-// scenario).
-func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, stdout, stderr io.Writer) int {
+// scenario). A signal on sigs cancels the remote job (DELETE /v1/jobs/{id})
+// before tearing down the stream, so an interrupted client doesn't leave the
+// daemon running an orphaned sweep.
+func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	base = strings.TrimRight(base, "/")
 	body, err := json.Marshal(s)
 	if err != nil {
@@ -53,8 +59,34 @@ func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, std
 		fmt.Fprintf(stdout, "job %s: served from result cache\n", info.ID)
 	}
 
-	stream, err := http.Get(base + "/v1/jobs/" + info.ID + "/records")
+	// Interrupts cancel the remote job first, then the local stream: the
+	// daemon stops burning engine workers on a sweep nobody is tailing.
+	ctx, stopStream := context.WithCancel(context.Background())
+	defer stopStream()
+	var interrupted atomic.Bool
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-sigs:
+			interrupted.Store(true)
+			cancelRemoteJob(base, info.ID)
+			stopStream()
+		case <-watcherDone:
+		}
+	}()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+info.ID+"/records", nil)
 	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	stream, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if interrupted.Load() {
+			fmt.Fprintf(stderr, "interrupted: remote job %s canceled\n", info.ID)
+			return 1
+		}
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
@@ -94,6 +126,10 @@ func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, std
 			code = 1
 		}
 	}
+	if interrupted.Load() {
+		fmt.Fprintf(stderr, "interrupted: remote job %s canceled; records above are partial\n", info.ID)
+		return 1
+	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(stderr, "error: reading record stream:", err)
 		return 1
@@ -112,6 +148,20 @@ func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, std
 		return 1
 	}
 	return code
+}
+
+// cancelRemoteJob is the interrupt path: best-effort DELETE of the submitted
+// job so the daemon aborts it instead of finishing a sweep with no audience.
+func cancelRemoteJob(base, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
 }
 
 // jobState fetches a job's terminal state (and failure cause, if any) after

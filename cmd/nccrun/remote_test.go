@@ -157,6 +157,97 @@ func TestRemoteCanceledJobExitsNonzero(t *testing.T) {
 	}
 }
 
+// TestRemoteInterruptCancelsJob covers Ctrl-C during -remote: the client
+// must cancel the job on the daemon (DELETE /v1/jobs/{id}) before exiting,
+// so an interrupted tail doesn't leave an orphaned sweep burning the
+// daemon's engine-worker budget.
+func TestRemoteInterruptCancelsJob(t *testing.T) {
+	ts := startDaemon(t)
+	spin := `{"algo":"spin-test","graph":{"family":"kforest","params":{"n":32,"k":2},"seed":1},"model":{"seed":1}}`
+	path := filepath.Join(t.TempDir(), "spin.json")
+	if err := os.WriteFile(path, []byte(spin), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	type result struct {
+		code      int
+		out, errw string
+	}
+	done := make(chan result, 1)
+	go func() {
+		var out, errw strings.Builder
+		code := run([]string{"-scenario", path, "-remote", ts.URL, "-json"}, &out, &errw, sigs)
+		done <- result{code, out.String(), errw.String()}
+	}()
+
+	// Wait until the daemon actually has the job running, then interrupt.
+	var jobID string
+	deadline := time.Now().Add(10 * time.Second)
+	for jobID == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started on the daemon")
+		}
+		resp, err := http.Get(ts.URL + "/v1/jobs?state=running")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list struct {
+			Jobs []struct {
+				ID string `json:"id"`
+			} `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list.Jobs) == 1 {
+			jobID = list.Jobs[0].ID
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	sigs <- os.Interrupt
+
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after the interrupt")
+	}
+	if res.code != 1 {
+		t.Fatalf("exit = %d after interrupt, want 1; stderr: %s", res.code, res.errw)
+	}
+	if !strings.Contains(res.errw, "interrupted") {
+		t.Errorf("stderr missing interrupt diagnosis: %s", res.errw)
+	}
+
+	// The cancel reached the daemon: the job ends canceled, not running.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon job state = %q after interrupt, want canceled", info.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func TestRemoteUnreachableDaemon(t *testing.T) {
 	code, _, errw := runCapture(t, "-algo", "mis", "-graph", "cycle", "-n", "16",
 		"-remote", "http://127.0.0.1:1")

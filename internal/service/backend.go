@@ -1,0 +1,28 @@
+package service
+
+import "context"
+
+// ExecBackend is the execution seam between the HTTP surface and whatever
+// actually runs scenarios. A backend receives freshly admitted jobs, drives
+// each through its lifecycle (queued -> running -> done/failed/canceled), and
+// appends the job's pre-marshaled NDJSON record lines as they are produced —
+// everything above the seam (JobStore, StreamHub, the handlers) is identical
+// whether the records come from an in-process executor pool (LocalBackend)
+// or are proxied from a fleet of worker daemons (RemoteBackend).
+type ExecBackend interface {
+	// Submit enqueues a queued job for execution without blocking. It fails
+	// (typically with errQueueFull) when the backend cannot accept more work;
+	// the admission is rolled back by the caller.
+	Submit(j *Job) error
+
+	// Drain stops the backend after already-accepted jobs finish. If ctx
+	// expires first, cancelAll is invoked (the server cancels every live job)
+	// and Drain waits for the now-short tail before returning ctx.Err. The
+	// caller has already stopped new admissions.
+	Drain(ctx context.Context, cancelAll func()) error
+
+	// Capacity reports the backend's execution capacity for metrics: the
+	// total worker budget and the currently free share. For LocalBackend
+	// these are engine-worker tokens; for RemoteBackend, cluster job slots.
+	Capacity() (total, free int)
+}

@@ -8,11 +8,24 @@ import (
 	"sync"
 )
 
-// cache is the content-addressed result store: canonical scenario hash ->
-// the complete NDJSON record stream of one executed sweep. Entries live in
-// memory and, when a directory is configured, as one <hash>.ndjson file each,
-// so a restarted daemon keeps serving past results. Records are stored as the
-// exact marshaled lines the first execution streamed, so a cache hit is
+// CacheTier is the content-addressed result store seam: canonical scenario
+// hash -> the complete NDJSON record stream of one executed sweep. The
+// default tier (newCache) is per-process memory with an optional disk
+// directory; the interface exists so a shared or replicated tier (a cache
+// directory on network storage, a remote cache service) can drop in without
+// touching the store, the backends, or the handlers. Implementations must be
+// safe for concurrent use; put is best-effort (an error means the entry may
+// not persist, not that the job failed).
+type CacheTier interface {
+	get(hash string) ([][]byte, bool)
+	put(hash string, lines [][]byte) error
+	len() int
+}
+
+// cache is the default CacheTier. Entries live in memory and, when a
+// directory is configured, as one <hash>.ndjson file each, so a restarted
+// daemon keeps serving past results. Records are stored as the exact
+// marshaled lines the first execution streamed, so a cache hit is
 // byte-identical to the run that populated it.
 type cache struct {
 	mu   sync.Mutex // held across disk reads; cache traffic is not a hot path

@@ -1,0 +1,189 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ncc/internal/service"
+)
+
+// TestDrainCompletesInFlight is the graceful half of shutdown (TestDrain in
+// e2e_test.go covers the forced half): with the grace period ample, Drain
+// lets the running job AND the job queued behind it finish with complete
+// streams, refuses new submissions with 503 the moment draining starts, and
+// returns nil.
+func TestDrainCompletesInFlight(t *testing.T) {
+	svc, err := service.New(service.Config{WorkerBudget: 2, Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	wantSlow := localLines(t, slowSweepJSON)
+	wantSweep := localLines(t, sweepJSON)
+
+	// One executor: the slow sweep runs, the ordinary sweep queues behind it.
+	running := submit(t, ts.URL, slowSweepJSON)
+	waitRecords(t, ts.URL, running.ID, 1, 30*time.Second)
+	queued := submit(t, ts.URL, sweepJSON)
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		drained <- svc.Drain(ctx)
+	}()
+
+	// As soon as /healthz reports draining, fresh submissions get 503.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var health struct {
+			Draining bool `json:"draining"`
+		}
+		if err := json.Unmarshal(fetch(t, ts.URL+"/healthz"), &health); err != nil {
+			t.Fatal(err)
+		}
+		if health.Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never reported draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, status := trySubmit(t, ts.URL, spinJSON); status != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining: status %d, want 503", status)
+	}
+
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain with ample grace returned %v, want nil", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain never returned")
+	}
+
+	// Both jobs finished with complete, byte-identical streams — the drain
+	// canceled nothing.
+	for _, tc := range []struct {
+		id   string
+		want []byte
+	}{{running.ID, wantSlow}, {queued.ID, wantSweep}} {
+		if st := jobInfo(t, ts.URL, tc.id).State; st != service.StateDone {
+			t.Fatalf("job %s state after graceful drain: %q, want done", tc.id, st)
+		}
+		if got := fetch(t, ts.URL+"/v1/jobs/"+tc.id+"/records"); !bytes.Equal(got, tc.want) {
+			t.Fatalf("job %s stream truncated or altered by drain", tc.id)
+		}
+	}
+}
+
+// TestListFilterAndLimit covers GET /v1/jobs query handling: ?state= filters,
+// ?limit= keeps the most recent matches, both compose, and malformed values
+// are 400s rather than silently ignored.
+func TestListFilterAndLimit(t *testing.T) {
+	svc, err := service.New(service.Config{WorkerBudget: 2, Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Three terminal jobs (done, done, canceled) and one running spinner.
+	done1 := submit(t, ts.URL, sweepJSON)
+	waitState(t, ts.URL, done1.ID, service.StateDone, 30*time.Second)
+	done2 := submit(t, ts.URL, strings.Replace(sweepJSON, `"seeds":[1,2]`, `"seeds":[3]`, 1))
+	waitState(t, ts.URL, done2.ID, service.StateDone, 30*time.Second)
+	// A spin variant (distinct n, so a distinct hash) can't finish on its own
+	// — canceling it is race-free.
+	canceled := submit(t, ts.URL, strings.Replace(spinJSON, `"n":32`, `"n":24`, 1))
+	waitState(t, ts.URL, canceled.ID, service.StateRunning, 10*time.Second)
+	cancelJob(t, ts.URL, canceled.ID)
+	waitState(t, ts.URL, canceled.ID, service.StateCanceled, 10*time.Second)
+	spinning := submit(t, ts.URL, spinJSON)
+	waitState(t, ts.URL, spinning.ID, service.StateRunning, 10*time.Second)
+	defer cancelJob(t, ts.URL, spinning.ID)
+
+	ids := func(url string) []string {
+		var list struct {
+			Jobs []service.JobInfo `json:"jobs"`
+		}
+		if err := json.Unmarshal(fetch(t, url), &list); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(list.Jobs))
+		for i, j := range list.Jobs {
+			out[i] = j.ID
+		}
+		return out
+	}
+	eq := func(got, want []string) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	if got := ids(ts.URL + "/v1/jobs"); !eq(got, []string{done1.ID, done2.ID, canceled.ID, spinning.ID}) {
+		t.Fatalf("unfiltered list = %v", got)
+	}
+	if got := ids(ts.URL + "/v1/jobs?state=done"); !eq(got, []string{done1.ID, done2.ID}) {
+		t.Fatalf("?state=done = %v, want [%s %s]", got, done1.ID, done2.ID)
+	}
+	if got := ids(ts.URL + "/v1/jobs?state=running"); !eq(got, []string{spinning.ID}) {
+		t.Fatalf("?state=running = %v, want [%s]", got, spinning.ID)
+	}
+	if got := ids(ts.URL + "/v1/jobs?state=failed"); len(got) != 0 {
+		t.Fatalf("?state=failed = %v, want empty", got)
+	}
+	// limit keeps the MOST RECENT matches, still in submission order.
+	if got := ids(ts.URL + "/v1/jobs?limit=2"); !eq(got, []string{canceled.ID, spinning.ID}) {
+		t.Fatalf("?limit=2 = %v, want [%s %s]", got, canceled.ID, spinning.ID)
+	}
+	if got := ids(ts.URL + "/v1/jobs?state=done&limit=1"); !eq(got, []string{done2.ID}) {
+		t.Fatalf("?state=done&limit=1 = %v, want [%s]", got, done2.ID)
+	}
+	if got := ids(ts.URL + "/v1/jobs?limit=0"); len(got) != 4 {
+		t.Fatalf("?limit=0 returned %d jobs, want all 4 (0 means unlimited)", len(got))
+	}
+
+	for _, bad := range []string{"?state=nonsense", "?limit=-1", "?limit=abc"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/jobs%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func cancelJob(t *testing.T, base, id string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel %s: status %d", id, resp.StatusCode)
+	}
+}

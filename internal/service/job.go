@@ -124,6 +124,16 @@ func (j *Job) appendLine(line []byte) {
 	j.notifyLocked()
 }
 
+// lineCount reports how many record lines have been published. The cluster
+// proxy uses it as the replay offset when a job is re-dispatched after a
+// worker failure: the retry's stream skips this many lines (deterministic
+// execution makes them identical) so clients see one seamless byte stream.
+func (j *Job) lineCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.lines)
+}
+
 // finish moves the job to a terminal state. The queued->canceled transition
 // in Cancel may have beaten a racing finish; terminal states never change.
 func (j *Job) finish(state State, errMsg string) {

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,10 +37,34 @@ type metrics struct {
 	mu         sync.Mutex
 	lastScrape time.Time
 	lastRounds int64
+
+	// Per-worker dispatch counters, coordinator mode only. Counters persist
+	// after a worker expires (Prometheus counters must never reset while the
+	// process lives); the live set is reported separately as a gauge.
+	wmu       sync.Mutex
+	perWorker map[string]*workerCounters
+}
+
+// workerCounters label the coordinator's dispatch traffic by worker.
+type workerCounters struct {
+	jobs    atomic.Int64 // dispatch attempts sent to this worker
+	records atomic.Int64 // record lines proxied back from this worker
+}
+
+// worker returns (creating on first use) the counter set for one worker name.
+func (m *metrics) worker(name string) *workerCounters {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	wc, ok := m.perWorker[name]
+	if !ok {
+		wc = &workerCounters{}
+		m.perWorker[name] = wc
+	}
+	return wc
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now()}
+	return &metrics{start: time.Now(), perWorker: map[string]*workerCounters{}}
 }
 
 // roundsRate returns the engine round total and the rounds/s rate since the
@@ -61,9 +86,13 @@ func (m *metrics) roundsRate() (total int64, perSec float64) {
 	return total, perSec
 }
 
-// render writes the exposition text. budget/free describe the worker token
-// pool; entries is the in-memory cache size.
-func (m *metrics) render(w io.Writer, budget, free, entries int) {
+// render writes the exposition text. budget/free describe the backend's
+// capacity (engine-worker tokens locally, cluster job slots on a
+// coordinator); entries is the in-memory cache size. liveWorkers is nil
+// outside coordinator mode; on a coordinator it carries the current worker
+// registry snapshot and enables the cluster section (workers_live gauge plus
+// per-worker job/record counters).
+func (m *metrics) render(w io.Writer, budget, free, entries int, liveWorkers []WorkerInfo, coordinator bool) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -94,6 +123,27 @@ func (m *metrics) render(w io.Writer, budget, free, entries int) {
 
 	gauge("nccd_worker_budget", "Global engine-worker budget shared across jobs.", float64(budget))
 	gauge("nccd_workers_free", "Engine workers currently unassigned.", float64(free))
+
+	if coordinator {
+		gauge("nccd_workers_live", "Worker daemons currently registered and within their heartbeat TTL.", float64(len(liveWorkers)))
+		m.wmu.Lock()
+		names := make([]string, 0, len(m.perWorker))
+		for name := range m.perWorker {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		if len(names) > 0 {
+			fmt.Fprintf(w, "# HELP nccd_worker_jobs_total Job dispatch attempts sent to each worker.\n# TYPE nccd_worker_jobs_total counter\n")
+			for _, name := range names {
+				fmt.Fprintf(w, "nccd_worker_jobs_total{worker=%q} %d\n", name, m.perWorker[name].jobs.Load())
+			}
+			fmt.Fprintf(w, "# HELP nccd_worker_records_total Record lines proxied back from each worker.\n# TYPE nccd_worker_records_total counter\n")
+			for _, name := range names {
+				fmt.Fprintf(w, "nccd_worker_records_total{worker=%q} %d\n", name, m.perWorker[name].records.Load())
+			}
+		}
+		m.wmu.Unlock()
+	}
 
 	rounds, rate := m.roundsRate()
 	counter("nccd_engine_rounds_total", "Communication rounds completed by the engine.", rounds)

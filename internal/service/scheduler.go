@@ -66,21 +66,22 @@ func (p *tokenPool) available() int {
 	return p.free
 }
 
-// scheduler executes jobs on a fixed set of executor goroutines pulling from
-// a bounded FIFO queue. Each job's expanded runs execute sequentially (the
-// record stream is ordered), while distinct jobs proceed concurrently,
-// competing for engine workers through the token pool.
-type scheduler struct {
+// LocalBackend executes jobs in-process on a fixed set of executor goroutines
+// pulling from a bounded FIFO queue. Each job's expanded runs execute
+// sequentially (the record stream is ordered), while distinct jobs proceed
+// concurrently, competing for engine workers through the token pool. It is
+// the ExecBackend of a plain nccd and of every nccd worker in a cluster.
+type LocalBackend struct {
 	budget int
 	queue  chan *Job
 	pool   *tokenPool
 	wg     sync.WaitGroup
 	m      *metrics
-	cache  *cache
+	cache  CacheTier
 }
 
-func newScheduler(budget, executors, queueLimit int, c *cache, m *metrics) *scheduler {
-	s := &scheduler{
+func newLocalBackend(budget, executors, queueLimit int, c CacheTier, m *metrics) *LocalBackend {
+	b := &LocalBackend{
 		budget: budget,
 		queue:  make(chan *Job, queueLimit),
 		pool:   newTokenPool(budget),
@@ -88,33 +89,38 @@ func newScheduler(budget, executors, queueLimit int, c *cache, m *metrics) *sche
 		cache:  c,
 	}
 	for i := 0; i < executors; i++ {
-		s.wg.Add(1)
-		go s.executor()
+		b.wg.Add(1)
+		go b.executor()
 	}
-	return s
+	return b
 }
 
 // errQueueFull rejects submissions beyond the queue limit.
 var errQueueFull = errors.New("job queue is full")
 
-// enqueue adds a job without blocking. The caller serializes enqueue against
-// drain (the Server's submission lock), so sending on a closed queue cannot
+// Submit adds a job without blocking. The caller serializes Submit against
+// Drain (the JobStore's admission lock), so sending on a closed queue cannot
 // happen.
-func (s *scheduler) enqueue(j *Job) error {
+func (b *LocalBackend) Submit(j *Job) error {
 	select {
-	case s.queue <- j:
-		s.m.jobsQueued.Add(1)
+	case b.queue <- j:
+		b.m.jobsQueued.Add(1)
 		return nil
 	default:
 		return errQueueFull
 	}
 }
 
-func (s *scheduler) executor() {
-	defer s.wg.Done()
-	for j := range s.queue {
-		s.m.jobsQueued.Add(-1)
-		s.runJob(j)
+// Capacity reports the engine-worker budget and its free share.
+func (b *LocalBackend) Capacity() (total, free int) {
+	return b.budget, b.pool.available()
+}
+
+func (b *LocalBackend) executor() {
+	defer b.wg.Done()
+	for j := range b.queue {
+		b.m.jobsQueued.Add(-1)
+		b.runJob(j)
 	}
 }
 
@@ -123,7 +129,7 @@ func (s *scheduler) executor() {
 // run cannot use more than 32 workers — the engine clamps anyway, but tokens
 // reserved here stay reserved, so over-asking would idle budget other jobs
 // could use) and by the global budget.
-func (s *scheduler) workersFor(c scenario.Scenario) int {
+func (b *LocalBackend) workersFor(c scenario.Scenario) int {
 	want := c.Model.Workers
 	if want <= 0 {
 		want = runtime.GOMAXPROCS(0)
@@ -131,7 +137,7 @@ func (s *scheduler) workersFor(c scenario.Scenario) int {
 	if n := specNodeCount(c.Graph); n >= 1 && want > n {
 		want = n
 	}
-	return min(want, s.budget)
+	return min(want, b.budget)
 }
 
 // specNodeCount estimates a graph spec's node count from its resolved
@@ -165,20 +171,20 @@ func specNodeCount(spec graph.Spec) int {
 	return 0
 }
 
-func (s *scheduler) runJob(j *Job) {
+func (b *LocalBackend) runJob(j *Job) {
 	if !j.setRunning() {
-		s.m.jobsCanceled.Add(1) // canceled while queued
+		b.m.jobsCanceled.Add(1) // canceled while queued
 		return
 	}
-	s.m.jobsRunning.Add(1)
-	defer s.m.jobsRunning.Add(-1)
+	b.m.jobsRunning.Add(1)
+	defer b.m.jobsRunning.Add(-1)
 	for _, c := range j.Scenario.Expand() {
 		if j.canceled() {
 			break
 		}
-		got := s.pool.acquire(s.workersFor(c))
+		got := b.pool.acquire(b.workersFor(c))
 		rec, err := scenario.RunOneWith(c, scenario.RunOpts{Cancel: j.cancel, Workers: got})
-		s.pool.release(got)
+		b.pool.release(got)
 		if err != nil {
 			if errors.Is(err, ncc.ErrCanceled) {
 				break
@@ -190,34 +196,34 @@ func (s *scheduler) runJob(j *Job) {
 		line, merr := json.Marshal(rec)
 		if merr != nil {
 			j.finish(StateFailed, fmt.Sprintf("encoding record: %v", merr))
-			s.m.jobsFailed.Add(1)
+			b.m.jobsFailed.Add(1)
 			return
 		}
 		j.appendLine(line)
-		s.m.recordsProduced.Add(1)
+		b.m.recordsProduced.Add(1)
 	}
 	if j.canceled() {
 		j.finish(StateCanceled, "")
-		s.m.jobsCanceled.Add(1)
+		b.m.jobsCanceled.Add(1)
 		return
 	}
 	j.finish(StateDone, "")
-	s.m.jobsDone.Add(1)
-	if err := s.cache.put(j.Hash, j.resultLines()); err != nil {
+	b.m.jobsDone.Add(1)
+	if err := b.cache.put(j.Hash, j.resultLines()); err != nil {
 		// Disk persistence is best-effort; the in-memory entry is in place.
-		s.m.cacheWriteErrors.Add(1)
+		b.m.cacheWriteErrors.Add(1)
 	}
 }
 
-// drain stops the executors after the already-queued jobs finish. If ctx
-// expires first, cancelAll is invoked (the Server cancels every live job,
-// which unwinds in-flight runs within one round barrier) and drain waits for
+// Drain stops the executors after the already-queued jobs finish. If ctx
+// expires first, cancelAll is invoked (the server cancels every live job,
+// which unwinds in-flight runs within one round barrier) and Drain waits for
 // the now-short tail.
-func (s *scheduler) drain(ctx context.Context, cancelAll func()) error {
-	close(s.queue)
+func (b *LocalBackend) Drain(ctx context.Context, cancelAll func()) error {
+	close(b.queue)
 	done := make(chan struct{})
 	go func() {
-		s.wg.Wait()
+		b.wg.Wait()
 		close(done)
 	}()
 	select {

@@ -8,7 +8,8 @@ import (
 	"io"
 	"net/http"
 	"runtime"
-	"sync"
+	"strconv"
+	"time"
 
 	"ncc/internal/scenario"
 )
@@ -18,11 +19,13 @@ type Config struct {
 	// WorkerBudget is the total number of engine workers shared across every
 	// concurrently executing job (default GOMAXPROCS). A single run never
 	// uses more than the budget; concurrent runs split it, FIFO-fair.
+	// Coordinator mode ignores it — a coordinator executes nothing itself.
 	WorkerBudget int
 
 	// Executors is the number of jobs executing concurrently (default 2).
 	// Runs within one job are always sequential: the record stream is
-	// ordered like a local sweep.
+	// ordered like a local sweep. Ignored in coordinator mode, where
+	// concurrency is the sum of registered worker capacities.
 	Executors int
 
 	// QueueLimit bounds the number of queued jobs; submissions beyond it are
@@ -47,6 +50,18 @@ type Config struct {
 	// evicted FIFO. With CacheDir set, evicted sweeps remain on disk and are
 	// re-promoted on their next hit.
 	CacheEntries int
+
+	// WorkerTTL (coordinator mode) is how long a worker stays live without a
+	// heartbeat before it is expired and its in-flight jobs re-dispatched
+	// (default 10s).
+	WorkerTTL time.Duration
+
+	// JobAttempts (coordinator mode) bounds how many workers a job is tried
+	// on before it is failed (default 3). Re-dispatch after a worker death is
+	// safe because the canonical scenario hash makes execution idempotent:
+	// the retry replays a deterministic stream and the coordinator skips the
+	// lines it already has.
+	JobAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,73 +83,94 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 4096
 	}
+	if c.WorkerTTL <= 0 {
+		c.WorkerTTL = 10 * time.Second
+	}
+	if c.JobAttempts <= 0 {
+		c.JobAttempts = 3
+	}
 	return c
 }
 
-// Server is the scenario-execution service behind cmd/nccd: it validates
-// submitted scenarios against the registries, executes them on the shared
-// scheduler, streams results as NDJSON, and answers identical re-submissions
-// from the content-addressed result cache.
+// Server is the scenario-execution service behind cmd/nccd: the HTTP surface
+// over four seams. It validates submitted scenarios against the registries,
+// admits them through the JobStore (coalescing identical in-flight work and
+// answering repeats from the CacheTier), hands admitted jobs to an
+// ExecBackend — in-process executors (LocalBackend) or a worker cluster
+// (RemoteBackend) — and streams results through the StreamHub.
 type Server struct {
-	cfg   Config
-	m     *metrics
-	cache *cache
-	sched *scheduler
-
-	mu       sync.Mutex // guards jobs/order/byHash/nextID and draining vs enqueue
-	jobs     map[string]*Job
-	order    []*Job
-	byHash   map[string]*Job // latest executing job per canonical hash
-	nextID   int
-	draining bool
+	cfg     Config
+	m       *metrics
+	cache   CacheTier
+	store   *JobStore
+	hub     *StreamHub
+	backend ExecBackend
+	cluster *RemoteBackend // non-nil in coordinator mode; adds /v1/workers
 }
 
-// New builds a Server (creating the cache directory if configured).
+// New builds a single-process Server executing jobs on a LocalBackend
+// (creating the cache directory if configured).
 func New(cfg Config) (*Server, error) {
+	return build(cfg, func(cfg Config, c CacheTier, m *metrics) (ExecBackend, *RemoteBackend) {
+		return newLocalBackend(cfg.WorkerBudget, cfg.Executors, cfg.QueueLimit, c, m), nil
+	})
+}
+
+// NewCoordinator builds a Server in cluster-coordinator mode: it executes
+// nothing itself, instead sharding admitted jobs across worker daemons that
+// register via POST /v1/workers and proxying their record streams.
+func NewCoordinator(cfg Config) (*Server, error) {
+	return build(cfg, func(cfg Config, c CacheTier, m *metrics) (ExecBackend, *RemoteBackend) {
+		rb := newRemoteBackend(cfg, c, m)
+		return rb, rb
+	})
+}
+
+func build(cfg Config, mk func(Config, CacheTier, *metrics) (ExecBackend, *RemoteBackend)) (*Server, error) {
 	cfg = cfg.withDefaults()
 	c, err := newCache(cfg.CacheDir, cfg.CacheEntries)
 	if err != nil {
 		return nil, err
 	}
 	m := newMetrics()
+	backend, cluster := mk(cfg, c, m)
 	return &Server{
-		cfg:    cfg,
-		m:      m,
-		cache:  c,
-		sched:  newScheduler(cfg.WorkerBudget, cfg.Executors, cfg.QueueLimit, c, m),
-		jobs:   map[string]*Job{},
-		byHash: map[string]*Job{},
+		cfg:     cfg,
+		m:       m,
+		cache:   c,
+		store:   newJobStore(cfg.RetainJobs),
+		hub:     newStreamHub(m),
+		backend: backend,
+		cluster: cluster,
 	}, nil
 }
 
 // Drain stops accepting submissions and waits for queued and running jobs to
 // finish. If ctx expires first, every live job is canceled (in-flight runs
-// unwind within one round barrier) and Drain returns ctx.Err after the tail
-// completes. Drain is idempotent only in its refusal of new work; call it
-// once.
+// unwind within one round barrier; proxied jobs are canceled on their
+// workers) and Drain returns ctx.Err after the tail completes. Drain is
+// idempotent only in its refusal of new work; call it once.
 func (s *Server) Drain(ctx context.Context) error {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
-	return s.sched.drain(ctx, func() {
-		s.mu.Lock()
-		jobs := append([]*Job(nil), s.order...)
-		s.mu.Unlock()
-		for _, j := range jobs {
-			j.Cancel()
-		}
-	})
+	s.store.SetDraining()
+	return s.backend.Drain(ctx, s.store.CancelAll)
 }
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs              submit a scenario (strict JSON), returns JobInfo
-//	GET  /v1/jobs              list jobs in submission order
-//	GET  /v1/jobs/{id}         one job's status
-//	GET  /v1/jobs/{id}/records NDJSON record stream, live while the job runs
-//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
-//	GET  /healthz              liveness (and drain state)
-//	GET  /metrics              Prometheus text metrics
+//	POST   /v1/jobs              submit a scenario (strict JSON), returns JobInfo
+//	GET    /v1/jobs              list jobs in submission order (?state=, ?limit=)
+//	GET    /v1/jobs/{id}         one job's status
+//	GET    /v1/jobs/{id}/records NDJSON record stream, live while the job runs
+//	POST   /v1/jobs/{id}/cancel  cancel a queued or running job
+//	DELETE /v1/jobs/{id}         same as cancel (idiomatic client teardown)
+//	GET    /healthz              liveness (and drain state)
+//	GET    /metrics              Prometheus text metrics
+//
+// Coordinator mode adds the cluster membership API:
+//
+//	POST   /v1/workers           register / heartbeat a worker daemon
+//	GET    /v1/workers           list registered workers
+//	DELETE /v1/workers/{name}    deregister a worker immediately
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -142,8 +178,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cluster != nil {
+		mux.HandleFunc("POST /v1/workers", s.cluster.handleRegister)
+		mux.HandleFunc("GET /v1/workers", s.cluster.handleWorkers)
+		mux.HandleFunc("DELETE /v1/workers/{name}", s.cluster.handleDeregister)
+	}
 	return mux
 }
 
@@ -185,95 +227,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The cache lookup may touch disk; do it before taking the server lock
-	// so submissions never serialize the status/health endpoints behind file
-	// I/O. A hit that lands between this lookup and the lock merely costs a
-	// redundant execution — coalescing below still catches in-flight twins.
+	// The cache lookup may touch disk; do it before the store's admission
+	// lock so submissions never serialize the status/health endpoints behind
+	// file I/O. A hit that lands between this lookup and the lock merely
+	// costs a redundant execution — coalescing in Admit still catches
+	// in-flight twins.
 	cached, hit := s.cache.get(hash)
 
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "draining, not accepting jobs")
+	j, coalesced, err := s.store.Admit(sc, hash, cached, hit, s.backend.Submit)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	// In-flight coalescing: an identical scenario already queued or running
-	// is the same computation — hand back that job (its stream delivers
-	// exactly the records this submission would produce) instead of burning
-	// a second executor on it. Terminal non-done jobs (canceled, failed)
-	// don't count; a fresh submission retries those.
-	if prev, ok := s.byHash[hash]; ok {
-		if info := prev.Info(); !info.State.terminal() {
-			s.m.jobsCoalesced.Add(1)
-			s.mu.Unlock()
-			writeJSON(w, http.StatusOK, info)
-			return
-		}
+	if coalesced {
+		s.m.jobsCoalesced.Add(1)
+		writeJSON(w, http.StatusOK, j.Info())
+		return
 	}
-	s.nextID++
-	j := newJob(fmt.Sprintf("j%06d", s.nextID), hash, sc)
 	if hit {
-		j.completeFromCache(cached)
 		s.m.cacheHits.Add(1)
 	} else {
 		s.m.cacheMisses.Add(1)
-		if err := s.sched.enqueue(j); err != nil {
-			s.nextID--
-			s.mu.Unlock()
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
-			return
-		}
-		s.byHash[hash] = j
 	}
-	s.jobs[j.ID] = j
-	s.order = append(s.order, j)
-	s.pruneLocked()
 	s.m.jobsSubmitted.Add(1)
-	s.mu.Unlock()
-
 	writeJSON(w, http.StatusCreated, j.Info())
 }
 
-// pruneLocked forgets the oldest terminal jobs once the retention bound is
-// exceeded, so a long-running daemon's memory stays proportional to the
-// bound, not to its lifetime submission count. Live jobs are never pruned;
-// completed results survive in the result cache. Callers hold s.mu.
-func (s *Server) pruneLocked() {
-	excess := len(s.order) - s.cfg.RetainJobs
-	if excess <= 0 {
+func (s *Server) job(r *http.Request) (*Job, bool) {
+	return s.store.Get(r.PathValue("id"))
+}
+
+// handleList answers GET /v1/jobs: every retained job in submission order,
+// optionally filtered with ?state=queued|running|done|failed|canceled and
+// truncated with ?limit=N to the N most recent matches.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := State(q.Get("state"))
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		httpError(w, http.StatusBadRequest, "unknown state %q (have queued, running, done, failed, canceled)", state)
 		return
 	}
-	kept := s.order[:0]
-	for _, j := range s.order {
-		if excess > 0 && j.Info().State.terminal() {
-			delete(s.jobs, j.ID)
-			if s.byHash[j.Hash] == j {
-				delete(s.byHash, j.Hash)
-			}
-			excess--
-			continue
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "limit %q is not a non-negative integer", ls)
+			return
 		}
-		kept = append(kept, j)
+		limit = v
 	}
-	clear(s.order[len(kept):])
-	s.order = kept
-}
-
-func (s *Server) job(r *http.Request) (*Job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[r.PathValue("id")]
-	return j, ok
-}
-
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	infos := make([]JobInfo, len(s.order))
-	for i, j := range s.order {
-		infos[i] = j.Info()
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.List(state, limit)})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -295,60 +300,25 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Info())
 }
 
-// handleRecords streams a job's records as NDJSON: everything produced so
-// far, then live lines as the sweep emits them, terminating when the job
-// reaches a terminal state or the client goes away. Each line is the exact
-// bytes `nccrun -json` would print for the scenario the job *executed*; a
-// cache hit or coalesced submission replays the original submission's
-// stream verbatim, so a semantically identical re-spelling sees the first
-// submission's record echoes (display name, workers, sweep-axis order).
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	sent := 0
-	for {
-		lines, terminal, changed := j.next(sent)
-		for _, ln := range lines {
-			if _, err := w.Write(ln); err != nil {
-				return
-			}
-			if _, err := w.Write([]byte{'\n'}); err != nil {
-				return
-			}
-			s.m.recordsStreamed.Add(1)
-		}
-		sent += len(lines)
-		if len(lines) > 0 && flusher != nil {
-			flusher.Flush()
-		}
-		if terminal && len(lines) == 0 {
-			return
-		}
-		if terminal {
-			continue // drain any lines appended after the terminal flip
-		}
-		select {
-		case <-changed:
-		case <-r.Context().Done():
-			return
-		}
-	}
+	s.hub.Serve(w, r, j)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": s.store.Draining()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.render(w, s.cfg.WorkerBudget, s.sched.pool.available(), s.cache.len())
+	total, free := s.backend.Capacity()
+	var workers []WorkerInfo
+	if s.cluster != nil {
+		workers = s.cluster.reg.snapshot()
+	}
+	s.m.render(w, total, free, s.cache.len(), workers, s.cluster != nil)
 }

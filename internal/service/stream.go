@@ -1,0 +1,56 @@
+package service
+
+import "net/http"
+
+// StreamHub fans a job's NDJSON record log out to any number of HTTP
+// streaming clients. It is purely a consumer of the Job abstraction — lines
+// land in the log via ExecBackend (executed locally or proxied from a cluster
+// worker) and the hub replays them byte-identically: everything produced so
+// far, then live lines as they arrive, terminating when the job reaches a
+// terminal state or the client goes away.
+type StreamHub struct {
+	m *metrics
+}
+
+func newStreamHub(m *metrics) *StreamHub {
+	return &StreamHub{m: m}
+}
+
+// Serve streams j's records to one client. Each line is the exact bytes
+// `nccrun -json` would print for the scenario the job *executed*; a cache hit
+// or coalesced submission replays the original submission's stream verbatim,
+// so a semantically identical re-spelling sees the first submission's record
+// echoes (display name, workers, sweep-axis order).
+func (h *StreamHub) Serve(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		lines, terminal, changed := j.next(sent)
+		for _, ln := range lines {
+			if _, err := w.Write(ln); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+			h.m.recordsStreamed.Add(1)
+		}
+		sent += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal && len(lines) == 0 {
+			return
+		}
+		if terminal {
+			continue // drain any lines appended after the terminal flip
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

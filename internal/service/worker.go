@@ -1,0 +1,101 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Joiner maintains a worker daemon's membership in a cluster: it registers
+// with the coordinator immediately, re-registers every Interval (the same
+// POST is the heartbeat), and deregisters on shutdown so the coordinator
+// re-dispatches this worker's jobs without waiting out the TTL. A worker nccd
+// runs a Joiner alongside its ordinary LocalBackend — cluster membership is
+// purely additive; the worker's own HTTP API keeps serving direct clients.
+type Joiner struct {
+	Coordinator string        // coordinator base URL, e.g. http://coord:9876
+	Self        string        // this worker's advertised base URL
+	Name        string        // stable worker name; default: Self's host:port
+	Capacity    int           // job slots to advertise (the worker's Executors)
+	Interval    time.Duration // heartbeat period (default 2s; TTL is the coordinator's)
+	Logf        func(format string, args ...any)
+}
+
+// Run registers, heartbeats until ctx is done, then deregisters best-effort.
+func (jn *Joiner) Run(ctx context.Context) {
+	interval := jn.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	name := jn.Name
+	if name == "" {
+		if u, err := url.Parse(jn.Self); err == nil && u.Host != "" {
+			name = u.Host
+		} else {
+			name = jn.Self
+		}
+	}
+	base := strings.TrimRight(jn.Coordinator, "/")
+	body, _ := json.Marshal(registerRequest{Name: name, URL: jn.Self, Capacity: jn.Capacity})
+
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	registered := false
+	for {
+		if err := jn.register(ctx, base, body); err != nil {
+			if jn.Logf != nil {
+				jn.Logf("join %s: %v", base, err)
+			}
+			registered = false
+		} else {
+			if !registered && jn.Logf != nil {
+				jn.Logf("registered with coordinator %s as %s (capacity %d)", base, name, jn.Capacity)
+			}
+			registered = true
+		}
+		select {
+		case <-ctx.Done():
+			jn.deregister(base, name)
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (jn *Joiner) register(ctx context.Context, base string, body []byte) error {
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, base+"/v1/workers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, readAPIError(resp.Body))
+	}
+	return nil
+}
+
+// deregister is best-effort and runs on a fresh context: Run's ctx is already
+// done when shutdown reaches it.
+func (jn *Joiner) deregister(base, name string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/workers/"+url.PathEscape(name), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
