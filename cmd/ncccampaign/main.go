@@ -1,0 +1,238 @@
+// Command ncccampaign runs experiment campaigns: multi-scenario suites that
+// compare NCC algorithms against their centralized baselines (and k-machine
+// projections) across a shared sweep, merging every unit's records into one
+// comparative report.
+//
+// A campaign runs either locally (each unit through the in-process engine) or
+// on a running nccd (POST /v1/campaigns — units flow through the daemon's
+// result cache and, on a coordinator, across the worker fleet). The report is
+// deterministic — it contains no wall-clock fields — so both paths emit
+// byte-identical -json output for the same spec.
+//
+//	ncccampaign -spec campaigns/compare-small.json
+//	ncccampaign -spec campaigns/compare-small.json -json
+//	ncccampaign -spec campaigns/compare-small.json -remote http://127.0.0.1:9876 -token s3cret
+//	ncccampaign -spec campaigns/compare-small.json -history campaigns   # append a snapshot
+//
+// -history appends a timestamped Snapshot line (NDJSON) to
+// <dir>/<name>.history.json — the longitudinal record that
+// `benchcheck -campaign` gates on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ncc/internal/campaign"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ncccampaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "campaign spec JSON `file` (required)")
+	remote := fs.String("remote", "", "run on the nccd at this base URL instead of locally")
+	token := fs.String("token", "", "bearer token for a token-protected nccd (-remote)")
+	jsonOut := fs.Bool("json", false, "emit the report as one JSON line instead of the text table")
+	historyDir := fs.String("history", "", "append a timestamped snapshot to <dir>/<name>.history.json")
+	poll := fs.Duration("poll", 200*time.Millisecond, "remote: status poll interval")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *specPath == "" {
+		fmt.Fprintln(stderr, "ncccampaign: -spec is required")
+		return 2
+	}
+
+	sp, err := campaign.Load(*specPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "ncccampaign:", err)
+		return 2
+	}
+	// Refs resolve relative to the spec file, client-side: the daemon only
+	// accepts inline scenarios (it has no view of this filesystem).
+	if err := sp.Resolve(filepath.Dir(*specPath)); err != nil {
+		fmt.Fprintln(stderr, "ncccampaign:", err)
+		return 2
+	}
+	if err := sp.Validate(); err != nil {
+		fmt.Fprintln(stderr, "ncccampaign:", err)
+		return 2
+	}
+
+	start := time.Now()
+	var rep campaign.Report
+	var rawReport []byte // the server's report bytes, passed through verbatim
+	source := "local"
+	if *remote != "" {
+		source = strings.TrimRight(*remote, "/")
+		rawReport, err = runRemote(source, *token, sp, *poll, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "ncccampaign:", err)
+			return 1
+		}
+		if err := json.Unmarshal(rawReport, &rep); err != nil {
+			fmt.Fprintln(stderr, "ncccampaign: decoding report:", err)
+			return 1
+		}
+	} else {
+		rep, err = campaign.Execute(sp, campaign.Local())
+		if err != nil {
+			fmt.Fprintln(stderr, "ncccampaign:", err)
+			return 1
+		}
+	}
+	elapsed := time.Since(start)
+
+	if *historyDir != "" {
+		snap := campaign.Snapshot{
+			Time:    time.Now().UTC(),
+			Elapsed: elapsed.Seconds(),
+			Source:  source,
+			Report:  rep,
+		}
+		path := campaign.HistoryPath(*historyDir, sp.Name)
+		if err := campaign.AppendHistory(path, snap); err != nil {
+			fmt.Fprintln(stderr, "ncccampaign:", err)
+			return 1
+		}
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "ncccampaign: snapshot appended to %s\n", path)
+		}
+	}
+
+	if *jsonOut {
+		if rawReport != nil {
+			// Verbatim server bytes: Encoder.Encode on the daemon equals
+			// Marshal+"\n" here, so local and remote output stay
+			// byte-identical.
+			stdout.Write(rawReport)
+		} else {
+			line, err := json.Marshal(rep)
+			if err != nil {
+				fmt.Fprintln(stderr, "ncccampaign:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, string(line))
+		}
+	} else if err := campaign.RenderText(stdout, rep); err != nil {
+		fmt.Fprintln(stderr, "ncccampaign:", err)
+		return 1
+	}
+
+	if rep.Errors > 0 {
+		fmt.Fprintf(stderr, "ncccampaign: %d run error(s)\n", rep.Errors)
+		return 1
+	}
+	if rep.Verified < rep.Runs {
+		fmt.Fprintf(stderr, "ncccampaign: %d/%d runs verified\n", rep.Verified, rep.Runs)
+		return 1
+	}
+	return 0
+}
+
+// runRemote submits the resolved spec to the daemon and polls the campaign to
+// its terminal state, returning the report endpoint's raw JSON bytes.
+func runRemote(base, token string, sp campaign.Spec, poll time.Duration, stderr io.Writer) ([]byte, error) {
+	cl := client{base: base, token: token}
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return nil, err
+	}
+	var info struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := cl.call(http.MethodPost, "/v1/campaigns", body, &info); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stderr, "ncccampaign: campaign %s submitted to %s\n", info.ID, base)
+	for info.State != "done" && info.State != "failed" {
+		time.Sleep(poll)
+		if err := cl.call(http.MethodGet, "/v1/campaigns/"+info.ID, nil, &info); err != nil {
+			return nil, err
+		}
+	}
+	if info.State == "failed" {
+		return nil, fmt.Errorf("campaign %s failed: %s", info.ID, info.Error)
+	}
+	return cl.raw("/v1/campaigns/" + info.ID + "/report")
+}
+
+// client issues nccd API calls with the optional bearer token attached.
+type client struct {
+	base  string
+	token string
+}
+
+func (c client) do(method, path string, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, msg)
+	}
+	return resp, nil
+}
+
+// call decodes a JSON response into out.
+func (c client) call(method, path string, body []byte, out any) error {
+	resp, err := c.do(method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// raw returns a GET response body verbatim.
+func (c client) raw(path string) ([]byte, error) {
+	resp, err := c.do(http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}

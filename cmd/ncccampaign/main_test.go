@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ncc/internal/campaign"
+	"ncc/internal/service"
+)
+
+// runCapture invokes run and returns (exit code, stdout, stderr).
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// smallSpec is a two-unit campaign (mis + its auto-derived baseline) small
+// enough to execute in-process repeatedly.
+const smallSpec = `{
+	"name": "cmd-test",
+	"sweep": {"seeds": [1]},
+	"entries": [
+		{"name": "mis-kforest", "scenario": {"algo": "mis", "graph": {"family": "kforest", "params": {"n": 12, "k": 2}}}}
+	]
+}`
+
+func writeSpec(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newDaemon(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLocalRemoteByteIdentical is the acceptance check for the CLI surface:
+// the same spec run locally and through a daemon emits byte-identical -json
+// report lines (the report has no wall-clock fields, and the remote path
+// passes the server's bytes through verbatim).
+func TestLocalRemoteByteIdentical(t *testing.T) {
+	spec := writeSpec(t, smallSpec)
+	code, local, errw := runCapture(t, "-spec", spec, "-json")
+	if code != 0 {
+		t.Fatalf("local exit %d, stderr: %s", code, errw)
+	}
+	ts := newDaemon(t, service.Config{Executors: 2, WorkerBudget: 4})
+	code, remote, errw := runCapture(t, "-spec", spec, "-json", "-remote", ts.URL, "-poll", "10ms")
+	if code != 0 {
+		t.Fatalf("remote exit %d, stderr: %s", code, errw)
+	}
+	if local != remote {
+		t.Errorf("local and remote -json output differ:\n--- local:\n%s--- remote:\n%s", local, remote)
+	}
+	if !strings.Contains(errw, "submitted to "+ts.URL) {
+		t.Errorf("remote run missing submission note: %s", errw)
+	}
+}
+
+func TestRemoteHonorsToken(t *testing.T) {
+	spec := writeSpec(t, smallSpec)
+	ts := newDaemon(t, service.Config{Executors: 2, WorkerBudget: 4, ClusterToken: "s3cret"})
+	code, _, errw := runCapture(t, "-spec", spec, "-json", "-remote", ts.URL, "-poll", "10ms")
+	if code != 1 || !strings.Contains(errw, "401") {
+		t.Fatalf("tokenless submit: exit %d, stderr %q; want 1 with a 401", code, errw)
+	}
+	code, out, errw := runCapture(t, "-spec", spec, "-json", "-remote", ts.URL, "-poll", "10ms", "-token", "s3cret")
+	if code != 0 {
+		t.Fatalf("authed exit %d, stderr: %s", code, errw)
+	}
+	if !strings.Contains(out, `"campaign":"cmd-test"`) {
+		t.Errorf("report line missing campaign name:\n%s", out)
+	}
+}
+
+// TestHistoryAppend pins the longitudinal artifact: each run appends exactly
+// one Snapshot line, and the deterministic Report inside stays identical
+// across runs.
+func TestHistoryAppend(t *testing.T) {
+	spec := writeSpec(t, smallSpec)
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		code, _, errw := runCapture(t, "-spec", spec, "-json", "-history", dir)
+		if code != 0 {
+			t.Fatalf("run %d exit %d, stderr: %s", i, code, errw)
+		}
+	}
+	path := campaign.HistoryPath(dir, "cmd-test")
+	snaps, err := campaign.LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("history has %d snapshots, want 2", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Source != "local" || s.Time.IsZero() {
+			t.Errorf("snapshot %d context incomplete: source=%q time=%v", i, s.Source, s.Time)
+		}
+	}
+	a := renderText(t, snaps[0].Report)
+	b := renderText(t, snaps[1].Report)
+	if a != b {
+		t.Errorf("report drifted between identical runs:\n%s\n%s", a, b)
+	}
+	deltas, missing := campaign.Compare(snaps[0].Report, snaps[1].Report)
+	if len(missing) != 0 {
+		t.Errorf("coverage changed between identical runs: %v", missing)
+	}
+	for _, d := range deltas {
+		if d.Frac != 0 {
+			t.Errorf("nonzero delta between identical runs: %+v", d)
+		}
+	}
+}
+
+func renderText(t *testing.T, r campaign.Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := campaign.RenderText(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestTextReportTable(t *testing.T) {
+	spec := writeSpec(t, smallSpec)
+	code, out, errw := runCapture(t, "-spec", spec)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	for _, want := range []string{"campaign cmd-test:", "entry", "variant", "mis-kforest", "baseline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCapture(t); code != 2 {
+		t.Errorf("missing -spec: exit %d, want 2", code)
+	}
+	if code, _, _ := runCapture(t, "-spec", filepath.Join(t.TempDir(), "nope.json")); code != 2 {
+		t.Errorf("unreadable spec: exit %d, want 2", code)
+	}
+	bad := writeSpec(t, `{"name":"x","entries":[{"name":"e","scenario":{"algo":"no-such-algo","graph":{"family":"kforest","params":{"n":8,"k":2}}}}]}`)
+	if code, _, errw := runCapture(t, "-spec", bad); code != 2 {
+		t.Errorf("invalid spec: exit %d, want 2 (stderr: %s)", code, errw)
+	}
+}
+
+// TestShippedSpecStaysValid keeps the committed example campaign loadable —
+// the nightly workflow and README walkthrough both point at it.
+func TestShippedSpecStaysValid(t *testing.T) {
+	path := filepath.Join("..", "..", "campaigns", "compare-small.json")
+	sp, err := campaign.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Resolve(filepath.Dir(path)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	units, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 6 {
+		t.Fatalf("compare-small expands to %d units, want 6 (3 entries x ncc+baseline)", len(units))
+	}
+	if _, err := campaign.LoadReport(filepath.Join("..", "..", "campaigns", "compare-small.reference.json")); err != nil {
+		t.Fatalf("shipped reference record unreadable: %v", err)
+	}
+}

@@ -25,6 +25,10 @@
 //	GET    /v1/jobs/{id}/records NDJSON record stream (live)
 //	POST   /v1/jobs/{id}/cancel  cancel a job
 //	DELETE /v1/jobs/{id}         cancel a job
+//	POST   /v1/campaigns         submit a campaign spec (inline scenarios)
+//	GET    /v1/campaigns         list campaigns
+//	GET    /v1/campaigns/{id}    campaign status and unit→job map
+//	GET    /v1/campaigns/{id}/report  comparative report (JSON; ?format=text)
 //	GET    /healthz              liveness
 //	GET    /metrics              Prometheus text metrics
 //	POST   /v1/workers           (coordinator) register/heartbeat a worker
@@ -79,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	advertise := fs.String("advertise", "", "worker: base URL the coordinator should dial back (default: derived from the bound listen address)")
 	name := fs.String("name", "", "worker: stable name to register under (default: advertised host:port)")
 	heartbeat := fs.Duration("heartbeat", 2*time.Second, "worker: registration heartbeat period (keep well under the coordinator's -worker-ttl)")
+	clusterToken := fs.String("cluster-token", "", "require this bearer token on every /v1/ route and present it to the coordinator/workers (empty: no auth)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -98,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		RetainJobs:   *retain,
 		WorkerTTL:    *workerTTL,
 		JobAttempts:  *attempts,
+		ClusterToken: *clusterToken,
 	}
 	var svc *service.Server
 	var err error
@@ -143,6 +149,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 			Name:        *name,
 			Capacity:    *jobs,
 			Interval:    *heartbeat,
+			Token:       *clusterToken,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(stderr, "nccd: "+format+"\n", args...)
 			},

@@ -51,7 +51,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	fs.SetOutput(stderr)
 	scenarioFile := fs.String("scenario", "", "load the scenario from this JSON file (overrides the per-run flags)")
 	remote := fs.String("remote", "", "submit to a running nccd at this base URL (e.g. http://127.0.0.1:9876) and tail the stream instead of executing locally")
-	list := fs.Bool("list", false, "list registered algorithms and graph families, then exit")
+	token := fs.String("token", "", "bearer token for a token-protected nccd (-remote)")
+	list := fs.Bool("list", false, "list registered algorithms and graph families; with -scenario, list the scenario's expanded runs and canonical hashes instead")
 	jsonOut := fs.Bool("json", false, "emit one JSON record per run instead of human-readable text")
 	algoName := fs.String("algo", "mst", "algorithm (see -list)")
 	gname := fs.String("graph", "gnm", "graph family (see -list)")
@@ -80,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	}
 
 	if *list {
+		if *scenarioFile != "" {
+			return listScenario(*scenarioFile, stdout, stderr)
+		}
 		printRegistries(stdout)
 		return 0
 	}
@@ -137,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 			defer signal.Stop(ch)
 			sigs = ch
 		}
-		return runRemote(*remote, s, *jsonOut, len(runs), stdout, stderr, sigs)
+		return runRemote(*remote, *token, s, *jsonOut, len(runs), stdout, stderr, sigs)
 	}
 
 	code := 0
@@ -356,6 +360,44 @@ func verdict(rec scenario.Record) string {
 		return "verified"
 	}
 	return "NOT verified: " + rec.VerifyErr
+}
+
+// listScenario prints a scenario's canonical hashes without executing it: the
+// sweep-level job hash (the id nccd's result cache, job coalescing, and the
+// jobs API key on) and each sweep-expanded run with its own canonical hash.
+func listScenario(path string, stdout, stderr io.Writer) int {
+	s, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if err := s.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	hash, err := s.Hash()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	name := s.Name
+	if name == "" {
+		name = s.Algo
+	}
+	fmt.Fprintf(stdout, "scenario %s\n", name)
+	fmt.Fprintf(stdout, "hash %s\n", hash)
+	runs := s.Expand()
+	fmt.Fprintf(stdout, "runs %d\n", len(runs))
+	for i, c := range runs {
+		rh, err := c.Hash()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "  run %d: %s capfactor=%d seed=%d hash %s\n",
+			i, c.Graph, c.Model.CapFactor, c.Model.Seed, rh)
+	}
+	return 0
 }
 
 func printRegistries(w io.Writer) {

@@ -209,6 +209,57 @@ func TestRunListsRegistries(t *testing.T) {
 	}
 }
 
+func TestRunListScenarioHashes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	spec := `{
+		"algo": "mis",
+		"graph": {"family": "kforest", "params": {"n": 16, "k": 2}, "seed": 5},
+		"model": {"seed": 5},
+		"sweep": {"seeds": [5, 6]}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errw := runCapture(t, "-list", "-scenario", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5 (scenario/hash/runs + 2 runs):\n%s", len(lines), out)
+	}
+	if lines[0] != "scenario mis" {
+		t.Errorf("header line: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "hash ") || len(lines[1]) != len("hash ")+64 {
+		t.Errorf("sweep-level hash line malformed: %q", lines[1])
+	}
+	if lines[2] != "runs 2" {
+		t.Errorf("runs line: %q", lines[2])
+	}
+	hashes := map[string]bool{strings.TrimPrefix(lines[1], "hash "): true}
+	for i, line := range lines[3:] {
+		if !strings.Contains(line, "seed="+strconv.Itoa(5+i)) {
+			t.Errorf("run %d missing its sweep seed: %q", i, line)
+		}
+		j := strings.LastIndex(line, " hash ")
+		if j < 0 {
+			t.Fatalf("run %d has no hash: %q", i, line)
+		}
+		h := line[j+len(" hash "):]
+		if len(h) != 64 || hashes[h] {
+			t.Errorf("run %d hash not a fresh 64-hex id: %q", i, h)
+		}
+		hashes[h] = true
+	}
+	// Nothing executed: listing the hashes of a sweep must be instant and
+	// side-effect free, so the output is deterministic across invocations.
+	_, again, _ := runCapture(t, "-list", "-scenario", path)
+	if out != again {
+		t.Errorf("-list -scenario output not deterministic")
+	}
+}
+
 func TestRunRejectsUnknownAlgo(t *testing.T) {
 	code, _, errw := runCapture(t, "-algo", "nope", "-n", "8")
 	if code != 2 {

@@ -24,14 +24,15 @@ import (
 // scenario). A signal on sigs cancels the remote job (DELETE /v1/jobs/{id})
 // before tearing down the stream, so an interrupted client doesn't leave the
 // daemon running an orphaned sweep.
-func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
+func runRemote(base, token string, s scenario.Scenario, jsonOut bool, expanded int, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	base = strings.TrimRight(base, "/")
+	cl := apiClient{base: base, token: token}
 	body, err := json.Marshal(s)
 	if err != nil {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := cl.post("/v1/jobs", body)
 	if err != nil {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
@@ -70,18 +71,13 @@ func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, std
 		select {
 		case <-sigs:
 			interrupted.Store(true)
-			cancelRemoteJob(base, info.ID)
+			cl.cancelJob(info.ID)
 			stopStream()
 		case <-watcherDone:
 		}
 	}()
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+info.ID+"/records", nil)
-	if err != nil {
-		fmt.Fprintln(stderr, "error:", err)
-		return 1
-	}
-	stream, err := http.DefaultClient.Do(req)
+	stream, err := cl.get(ctx, "/v1/jobs/"+info.ID+"/records")
 	if err != nil {
 		if interrupted.Load() {
 			fmt.Fprintf(stderr, "interrupted: remote job %s canceled\n", info.ID)
@@ -137,7 +133,7 @@ func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, std
 	// The stream also terminates when the job is canceled (another client,
 	// or the daemon draining) or fails server-side; a truncated sweep must
 	// not look like success, so check the job's terminal state.
-	if state, cause, err := jobState(base, info.ID); err != nil {
+	if state, cause, err := cl.jobState(info.ID); err != nil {
 		fmt.Fprintln(stderr, "error: checking job state:", err)
 		return 1
 	} else if state != "done" {
@@ -150,12 +146,53 @@ func runRemote(base string, s scenario.Scenario, jsonOut bool, expanded int, std
 	return code
 }
 
-// cancelRemoteJob is the interrupt path: best-effort DELETE of the submitted
-// job so the daemon aborts it instead of finishing a sweep with no audience.
-func cancelRemoteJob(base, id string) {
+// apiClient issues nccd API calls against one base URL, attaching the bearer
+// token (for a token-protected daemon) to every request.
+type apiClient struct {
+	base  string
+	token string
+}
+
+func (c apiClient) request(ctx context.Context, method, path string, body []byte) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return req, nil
+}
+
+func (c apiClient) post(path string, body []byte) (*http.Response, error) {
+	req, err := c.request(context.Background(), http.MethodPost, path, body)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+func (c apiClient) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := c.request(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// cancelJob is the interrupt path: best-effort DELETE of the submitted job so
+// the daemon aborts it instead of finishing a sweep with no audience.
+func (c apiClient) cancelJob(id string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	req, err := c.request(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
 	if err != nil {
 		return
 	}
@@ -166,8 +203,8 @@ func cancelRemoteJob(base, id string) {
 
 // jobState fetches a job's terminal state (and failure cause, if any) after
 // its stream ended.
-func jobState(base, id string) (state, cause string, err error) {
-	resp, err := http.Get(base + "/v1/jobs/" + id)
+func (c apiClient) jobState(id string) (state, cause string, err error) {
+	resp, err := c.get(context.Background(), "/v1/jobs/"+id)
 	if err != nil {
 		return "", "", err
 	}

@@ -1,0 +1,175 @@
+package algo
+
+import (
+	"fmt"
+
+	"ncc/internal/baseline"
+	"ncc/internal/comm"
+	"ncc/internal/core"
+	"ncc/internal/graph"
+	"ncc/internal/param"
+	"ncc/internal/seq"
+	"ncc/internal/verify"
+)
+
+// The naive-baseline suite: for each headline algorithm, the straightforward
+// NCC counterpart the paper's constructions are measured against — direct
+// flooding where the paper multicasts, gather-everything-and-solve-centrally
+// where the paper computes distributively. They register like any other
+// algorithm, so scenarios, sweeps, nccd jobs and campaigns run them through
+// the identical pipeline; the campaign report's "speedup" column is the ratio
+// of a baseline run's rounds to its paired NCC run's rounds.
+
+// BaselineFor maps each algorithm to its registered naive counterpart;
+// campaigns use it for automatic NCC-vs-baseline pairing. Parameters are
+// shared: a pair accepts the same parameter bag (bfs/bfs-naive take src,
+// mst/mst-central take maxw, the centralized solvers take none).
+func BaselineFor(name string) (string, bool) {
+	b, ok := baselinePairs[name]
+	return b, ok
+}
+
+var baselinePairs = map[string]string{
+	"bfs":      "bfs-naive",
+	"mst":      "mst-central",
+	"mis":      "mis-central",
+	"coloring": "coloring-central",
+}
+
+func init() {
+	Register(Algorithm[core.BFSResult]{
+		Name:   "bfs-naive",
+		Desc:   "baseline: BFS by direct flooding, Theta(n/log n) rounds per phase on a star (Section 5 ablation)",
+		Params: []param.Def{param.Int("src", 0, "BFS source node")},
+		Prepare: func(in *Input) error {
+			if src := in.Params.Int("src"); src < 0 || src >= in.G.N() {
+				return fmt.Errorf("param src = %d out of [0,%d)", src, in.G.N())
+			}
+			return nil
+		},
+		Node: func(s *comm.Session, in *Input) core.BFSResult {
+			d, p := baseline.NaiveBFS(s, in.G, in.Params.Int("src"))
+			return core.BFSResult{Dist: d, Parent: p}
+		},
+		Verify: func(in *Input, outs []core.BFSResult) error {
+			dist, parent := bfsVectors(outs)
+			return verify.BFS(in.G, in.Params.Int("src"), dist, parent, true)
+		},
+		Summarize: func(in *Input, outs []core.BFSResult) Summary {
+			reached, ecc := 0, 0
+			for _, r := range outs {
+				if r.Dist >= 0 {
+					reached++
+					ecc = max(ecc, r.Dist)
+				}
+			}
+			return Summary{
+				Text: fmt.Sprintf("naive BFS from %d: %d nodes reached, eccentricity %d",
+					in.Params.Int("src"), reached, ecc),
+				Metrics: map[string]float64{"reached": float64(reached), "eccentricity": float64(ecc)},
+			}
+		},
+	})
+
+	Register(Algorithm[[][2]int]{
+		Name:   "mst-central",
+		Desc:   "baseline: gather all edges at node 0 and run Kruskal, Theta(m/log n) rounds (T1-MST ablation)",
+		Params: []param.Def{param.Int("maxw", 1000, "maximum random edge weight")},
+		Prepare: func(in *Input) error {
+			maxw := in.Params.Int64("maxw")
+			if maxw < 1 {
+				return fmt.Errorf("param maxw = %d, need >= 1", maxw)
+			}
+			in.Weights = graph.RandomWeights(in.G, maxw, in.Seed+1)
+			return nil
+		},
+		Node: func(s *comm.Session, in *Input) [][2]int {
+			return baseline.CentralizedMST(s, in.Weights)
+		},
+		Verify: func(in *Input, outs [][][2]int) error {
+			// Every node holds the full forest; verify node 0's copy.
+			return verify.MST(in.Weights, outs[0])
+		},
+		Summarize: func(in *Input, outs [][][2]int) Summary {
+			edges := outs[0]
+			var total int64
+			for _, e := range edges {
+				total += in.Weights.Weight(e[0], e[1])
+			}
+			return Summary{
+				Text: fmt.Sprintf("centralized spanning forest: %d edges, total weight %d", len(edges), total),
+				Metrics: map[string]float64{
+					"edges":  float64(len(edges)),
+					"weight": float64(total),
+				},
+			}
+		},
+	})
+
+	Register(Algorithm[int]{
+		Name: "mis-central",
+		Desc: "baseline: gather the graph at node 0, greedy MIS, broadcast membership; Theta((m+n)/log n) rounds",
+		Node: func(s *comm.Session, in *Input) int {
+			bit := baseline.CentralizedSolve(s, in.G, func(g *graph.Graph) []uint64 {
+				inSet := seq.GreedyMIS(g)
+				words := make([]uint64, g.N())
+				for u, b := range inSet {
+					if b {
+						words[u] = 1
+					}
+				}
+				return words
+			})
+			return int(bit)
+		},
+		Verify: func(in *Input, outs []int) error {
+			inSet := make([]bool, len(outs))
+			for u, v := range outs {
+				inSet[u] = v != 0
+			}
+			return verify.MIS(in.G, inSet)
+		},
+		Summarize: func(in *Input, outs []int) Summary {
+			size := 0
+			for _, v := range outs {
+				if v != 0 {
+					size++
+				}
+			}
+			return Summary{
+				Text:    fmt.Sprintf("centralized maximal independent set of size %d", size),
+				Metrics: map[string]float64{"size": float64(size)},
+			}
+		},
+	})
+
+	Register(Algorithm[int]{
+		Name: "coloring-central",
+		Desc: "baseline: gather the graph at node 0, greedy (Delta+1)-coloring, broadcast colors; Theta((m+n)/log n) rounds",
+		Node: func(s *comm.Session, in *Input) int {
+			color := baseline.CentralizedSolve(s, in.G, func(g *graph.Graph) []uint64 {
+				colors, _ := seq.GreedyColoring(g)
+				words := make([]uint64, g.N())
+				for u, c := range colors {
+					words[u] = uint64(c)
+				}
+				return words
+			})
+			return int(color)
+		},
+		Verify: func(in *Input, outs []int) error {
+			return verify.Coloring(in.G, outs, in.G.MaxDegree()+1)
+		},
+		Summarize: func(in *Input, outs []int) Summary {
+			used := verify.ColorsUsed(outs)
+			return Summary{
+				Text: fmt.Sprintf("centralized greedy coloring with %d colors (palette bound %d)",
+					used, in.G.MaxDegree()+1),
+				Metrics: map[string]float64{
+					"colorsUsed": float64(used),
+					"palette":    float64(in.G.MaxDegree() + 1),
+				},
+			}
+		},
+	})
+}

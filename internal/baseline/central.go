@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+	"ncc/internal/ncc"
+)
+
+// dtagPlainEdge tags gathered unweighted edges: one word packs the tag and
+// both endpoints (24 bits each), half the traffic of the weighted gather.
+const dtagPlainEdge uint64 = comm.DirectTagMin + 0x12
+
+// CentralizedSolve is the generic gather-and-solve baseline: every node ships
+// its incident edges to node 0 (spread over a randomized window; node 0's
+// receive capacity makes this Theta(m / log n) rounds), node 0 rebuilds the
+// graph and runs solve locally, and the per-node answers are pipelined back
+// through the butterfly (another Theta(n / log n) rounds). Each node returns
+// its own answer word. solve runs at node 0 only and must return exactly one
+// word per node; it is the sequential reference the paper's polylog
+// algorithms (MIS, coloring, ...) are measured against.
+func CentralizedSolve(s *comm.Session, g *graph.Graph, solve func(g *graph.Graph) []uint64) uint64 {
+	ctx := s.Ctx
+	me := ctx.ID()
+	capacity := ctx.Cap()
+	n := ctx.N()
+	// The gather wire format packs both edge endpoints into 24 bits each of
+	// one word; beyond 2^24 nodes the ids would silently wrap.
+	if n > 1<<24 {
+		panic("baseline: CentralizedSolve edge encoding caps n at 2^24")
+	}
+
+	// Count edges globally (each edge counted at its smaller endpoint).
+	local := 0
+	for _, v := range g.Neighbors(me) {
+		if int(v) > me {
+			local++
+		}
+	}
+	mU, _ := s.SumCount(uint64(local), true)
+	m := int(mU)
+
+	// Gather at node 0 over a randomized window, like the MST baseline: the
+	// window length keeps the expected per-round offered load at node 0
+	// under half its receive capacity.
+	window := 2*(m+capacity-1)/capacity + 4
+	type job struct {
+		at   int
+		u, v int32
+	}
+	var jobs []job
+	b := graph.NewBuilder(n)
+	if me != 0 {
+		for _, v32 := range g.Neighbors(me) {
+			v := int(v32)
+			if v > me {
+				jobs = append(jobs, job{at: ctx.Rand().IntN(window), u: int32(me), v: int32(v)})
+			}
+		}
+	} else {
+		for _, v32 := range g.Neighbors(0) {
+			b.AddEdge(0, int(v32))
+		}
+	}
+	for t := 0; t < window; t++ {
+		for _, j := range jobs {
+			if j.at == t {
+				ctx.SendWord(0, ncc.Word(dtagPlainEdge<<56|uint64(uint32(j.u)&0xFFFFFF)<<24|uint64(uint32(j.v)&0xFFFFFF)))
+			}
+		}
+		s.Advance()
+		s.DrainDirect(func(from ncc.NodeID, ws []uint64) {
+			if me == 0 && ws[0]>>56 == dtagPlainEdge {
+				b.AddEdge(int(ws[0]>>24&0xFFFFFF), int(ws[0]&0xFFFFFF))
+			}
+		})
+	}
+
+	// Solve locally at node 0, then broadcast the n-word answer vector.
+	var words []uint64
+	if me == 0 {
+		words = solve(b.Build())
+		if len(words) != n {
+			panic("baseline: CentralizedSolve solver must return one word per node")
+		}
+	}
+	answers := s.BroadcastWords(0, words, n)
+	return answers[me]
+}

@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Snapshot is one history record of a campaign run: the deterministic Report
+// plus the non-deterministic context around it (when it ran, how long it
+// took, where). History files are the longitudinal perf trajectory; the
+// Report inside stays byte-identical across equivalent runs, so two
+// Snapshots differ exactly where runs legitimately differ.
+type Snapshot struct {
+	Time    time.Time `json:"time"`
+	Elapsed float64   `json:"elapsedSeconds,omitempty"`
+	Source  string    `json:"source,omitempty"`
+	Report  Report    `json:"report"`
+}
+
+// HistoryPath is the append-only artifact path for a campaign's snapshots:
+// dir/<sanitized-name>.history.json (NDJSON, one Snapshot per line).
+func HistoryPath(dir, name string) string {
+	san := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+	return filepath.Join(dir, san+".history.json")
+}
+
+// AppendHistory appends one Snapshot line to the history file, creating the
+// file and its directory as needed.
+func AppendHistory(path string, snap Snapshot) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadHistory reads every Snapshot line of a history file, oldest first.
+func LoadHistory(path string) ([]Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Snapshot
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		out = append(out, snap)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadReport extracts a Report from any of the artifact shapes: a history
+// file (the newest snapshot wins), a single Snapshot object, or a bare
+// Report object.
+func LoadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	// History files are NDJSON; a lone object also parses line-wise.
+	if snaps, err := LoadHistory(path); err == nil && len(snaps) > 0 && snaps[len(snaps)-1].Report.Campaign != "" {
+		return snaps[len(snaps)-1].Report, nil
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Campaign == "" {
+		return r, fmt.Errorf("%s: not a campaign report, snapshot, or history file", path)
+	}
+	return r, nil
+}

@@ -1,0 +1,203 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+
+	"ncc/internal/scenario"
+)
+
+// Report is the deterministic comparative digest of one campaign run: it is
+// built purely from the units' Records (rounds, messages, words, k-machine
+// accounting, verification), never from wall-clock measurements, so the same
+// campaign yields byte-identical report JSON locally, remotely, and from
+// cache. Timing lives in the history Snapshot wrapper instead.
+type Report struct {
+	Campaign string        `json:"campaign"`
+	Entries  []EntryReport `json:"entries"`
+	Units    int           `json:"units"`
+	Runs     int           `json:"runs"`
+	Errors   int           `json:"errors"`
+	Verified int           `json:"verified"`
+}
+
+// EntryReport compares one entry's variants. Speedup is the headline column:
+// baseline rounds per NCC round (summed over the entry's runs), present when
+// the entry has both variants and the NCC variant completed rounds.
+type EntryReport struct {
+	Name     string          `json:"name"`
+	Variants []VariantReport `json:"variants"`
+	Speedup  float64         `json:"speedup,omitempty"`
+}
+
+// VariantReport aggregates the Records of one unit (one canonical-hashed
+// scenario, possibly a sweep of many runs).
+type VariantReport struct {
+	Variant       Variant `json:"variant"`
+	Algo          string  `json:"algo"`
+	Hash          string  `json:"hash"`
+	Runs          int     `json:"runs"`
+	Errors        int     `json:"errors"`
+	Verified      int     `json:"verified"`
+	Rounds        int64   `json:"rounds"`
+	Messages      int64   `json:"messages"`
+	Words         int64   `json:"words"`
+	KRounds       int64   `json:"kRounds,omitempty"`
+	CrossMessages int64   `json:"crossMessages,omitempty"`
+}
+
+// BuildReport merges per-unit Records into the comparative report. records
+// maps canonical scenario hashes to the unit's Record slice; every unit must
+// be present (deduplicated units share one entry).
+func BuildReport(name string, units []Unit, records map[string][]scenario.Record) (Report, error) {
+	r := Report{Campaign: name, Units: len(units)}
+	byEntry := map[string]*EntryReport{}
+	for _, u := range units {
+		recs, ok := records[u.Hash]
+		if !ok {
+			return r, fmt.Errorf("entry %s, %s variant: no records for hash %.12s", u.Entry, u.Variant, u.Hash)
+		}
+		vr := VariantReport{Variant: u.Variant, Algo: u.Scenario.Algo, Hash: u.Hash, Runs: len(recs)}
+		for _, rec := range recs {
+			if rec.Error != "" {
+				vr.Errors++
+			}
+			if rec.Verified {
+				vr.Verified++
+			}
+			vr.Rounds += int64(rec.Stats.Rounds)
+			vr.Messages += rec.Stats.Messages
+			vr.Words += rec.Stats.Words
+			if rec.KMachine != nil {
+				vr.KRounds += int64(rec.KMachine.KRounds)
+				vr.CrossMessages += rec.KMachine.CrossMessages
+			}
+		}
+		er := byEntry[u.Entry]
+		if er == nil {
+			r.Entries = append(r.Entries, EntryReport{Name: u.Entry})
+			er = &r.Entries[len(r.Entries)-1]
+			byEntry[u.Entry] = er
+		}
+		er.Variants = append(er.Variants, vr)
+		r.Runs += vr.Runs
+		r.Errors += vr.Errors
+		r.Verified += vr.Verified
+	}
+	for i := range r.Entries {
+		er := &r.Entries[i]
+		var ncc, bl *VariantReport
+		for j := range er.Variants {
+			switch er.Variants[j].Variant {
+			case VariantNCC:
+				ncc = &er.Variants[j]
+			case VariantBaseline:
+				bl = &er.Variants[j]
+			}
+		}
+		if ncc != nil && bl != nil && ncc.Rounds > 0 {
+			er.Speedup = math.Round(float64(bl.Rounds)/float64(ncc.Rounds)*1000) / 1000
+		}
+	}
+	return r, nil
+}
+
+// Delta is one metric's movement between two reports of the same campaign.
+// Frac is the relative change (cur-prev)/prev; positive means the metric
+// grew (a regression for cost metrics).
+type Delta struct {
+	Entry   string  `json:"entry"`
+	Variant Variant `json:"variant"`
+	Metric  string  `json:"metric"`
+	Prev    float64 `json:"prev"`
+	Cur     float64 `json:"cur"`
+	Frac    float64 `json:"frac"`
+}
+
+// Compare computes the per-variant metric deltas from prev to cur. Variants
+// present in prev but absent from cur are returned in missing (a gate should
+// treat disappearing coverage as failure, not as zero delta); metrics that
+// were zero in prev are skipped (no baseline to be relative to).
+func Compare(prev, cur Report) (deltas []Delta, missing []string) {
+	type key struct {
+		entry   string
+		variant Variant
+	}
+	curIdx := map[key]VariantReport{}
+	for _, er := range cur.Entries {
+		for _, vr := range er.Variants {
+			curIdx[key{er.Name, vr.Variant}] = vr
+		}
+	}
+	for _, er := range prev.Entries {
+		for _, pv := range er.Variants {
+			cv, ok := curIdx[key{er.Name, pv.Variant}]
+			if !ok {
+				missing = append(missing, er.Name+"/"+string(pv.Variant))
+				continue
+			}
+			for _, m := range []struct {
+				name      string
+				prev, cur int64
+			}{
+				{"rounds", pv.Rounds, cv.Rounds},
+				{"messages", pv.Messages, cv.Messages},
+				{"words", pv.Words, cv.Words},
+				{"kRounds", pv.KRounds, cv.KRounds},
+			} {
+				if m.prev == 0 {
+					continue
+				}
+				deltas = append(deltas, Delta{
+					Entry:   er.Name,
+					Variant: pv.Variant,
+					Metric:  m.name,
+					Prev:    float64(m.prev),
+					Cur:     float64(m.cur),
+					Frac:    float64(m.cur-m.prev) / float64(m.prev),
+				})
+			}
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return deltas, missing
+}
+
+// Regressions filters Compare's deltas down to metrics that grew by more
+// than tol (e.g. 0.2 gates on >20% growth).
+func Regressions(deltas []Delta, tol float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Frac > tol {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RenderText writes the human-readable report table.
+func RenderText(w io.Writer, r Report) error {
+	fmt.Fprintf(w, "campaign %s: %d entries, %d units, %d runs, %d verified, %d errors\n\n",
+		r.Campaign, len(r.Entries), r.Units, r.Runs, r.Verified, r.Errors)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "entry\tvariant\talgo\truns\tok\trounds\tmessages\twords\tkrounds\tspeedup")
+	for _, er := range r.Entries {
+		for _, vr := range er.Variants {
+			krounds := ""
+			if vr.KRounds > 0 {
+				krounds = fmt.Sprintf("%d", vr.KRounds)
+			}
+			speedup := ""
+			if vr.Variant == VariantBaseline && er.Speedup > 0 {
+				speedup = fmt.Sprintf("%.2fx", er.Speedup)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+				er.Name, vr.Variant, vr.Algo, vr.Runs, vr.Verified,
+				vr.Rounds, vr.Messages, vr.Words, krounds, speedup)
+		}
+	}
+	return tw.Flush()
+}

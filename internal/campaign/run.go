@@ -1,0 +1,51 @@
+package campaign
+
+import (
+	"fmt"
+
+	"ncc/internal/scenario"
+)
+
+// Runner executes one campaign unit and returns its Records, one per
+// sweep-expanded run. Individual run failures belong in Record.Error; a
+// Runner error means the unit could not be executed at all (bad spec,
+// unreachable service) and aborts the campaign.
+type Runner interface {
+	RunUnit(u Unit) ([]scenario.Record, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(u Unit) ([]scenario.Record, error)
+
+// RunUnit calls f.
+func (f RunnerFunc) RunUnit(u Unit) ([]scenario.Record, error) { return f(u) }
+
+// Local returns the in-process Runner: each unit runs through scenario.Run
+// on the calling machine.
+func Local() Runner {
+	return RunnerFunc(func(u Unit) ([]scenario.Record, error) {
+		return scenario.Run(u.Scenario), nil
+	})
+}
+
+// Execute expands the campaign, runs every distinct unit once (units sharing
+// a canonical hash share one execution and one result), and builds the
+// report. Units run in deterministic expansion order.
+func Execute(sp Spec, r Runner) (Report, error) {
+	units, err := sp.Expand()
+	if err != nil {
+		return Report{}, err
+	}
+	records := make(map[string][]scenario.Record, len(units))
+	for _, u := range units {
+		if _, done := records[u.Hash]; done {
+			continue
+		}
+		recs, err := r.RunUnit(u)
+		if err != nil {
+			return Report{}, fmt.Errorf("entry %s, %s variant: %w", u.Entry, u.Variant, err)
+		}
+		records[u.Hash] = recs
+	}
+	return BuildReport(sp.Name, units, records)
+}

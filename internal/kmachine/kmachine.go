@@ -41,67 +41,95 @@ func (r Result) String() string {
 		r.K, r.NCCRounds, r.KRounds, r.CrossMessages, r.IntraMessages)
 }
 
-// observer accumulates the per-round link schedule.
-type observer struct {
+// Accountant is an ncc.Observer that accounts a run's communication in the
+// k-machine model without owning the run itself: attach it to any engine
+// execution (kmachine.Simulate, or a scenario run via the scenario package's
+// kmachine block) and read the accumulated Result afterwards. The random
+// vertex partition is fixed at construction from the seed, so the same
+// (k, n, seed) triple always produces the same machine assignment.
+type Accountant struct {
 	machineOf []int
 	bw        int
-	res       *Result
+	res       Result
 	loads     map[[2]int]int
 }
 
-func (o *observer) ObserveRound(round int, msgs []ncc.Envelope) {
-	clear(o.loads)
+// NewAccountant builds the k-machine accounting observer for an n-node clique
+// with the given per-link bandwidth (words per k-machine round). The vertex
+// partition derives deterministically from seed.
+func NewAccountant(k, bandwidthWords, n int, seed int64) (*Accountant, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("kmachine: k = %d, need >= 1", k)
+	}
+	if bandwidthWords < 1 {
+		return nil, fmt.Errorf("kmachine: bandwidth = %d words, need >= 1", bandwidthWords)
+	}
+	a := &Accountant{
+		bw:    bandwidthWords,
+		res:   Result{K: k, BandwidthWords: bandwidthWords},
+		loads: map[[2]int]int{},
+	}
+	rng := rand.New(rand.NewPCG(uint64(seed), 0x6b6d616368696e65))
+	a.machineOf = make([]int, n)
+	counts := make([]int, k)
+	for i := range a.machineOf {
+		a.machineOf[i] = rng.IntN(k)
+		counts[a.machineOf[i]]++
+	}
+	for _, c := range counts {
+		if c > a.res.MaxMachineNodes {
+			a.res.MaxMachineNodes = c
+		}
+	}
+	return a, nil
+}
+
+// ObserveRound implements ncc.Observer: it routes the round's clique messages
+// over the machine-level complete network and charges the k-machine rounds.
+func (a *Accountant) ObserveRound(round int, msgs []ncc.Envelope) {
+	clear(a.loads)
 	for i := range msgs {
 		e := &msgs[i]
-		p, q := o.machineOf[e.From], o.machineOf[e.To]
+		p, q := a.machineOf[e.From], a.machineOf[e.To]
 		if p == q {
-			o.res.IntraMessages++
+			a.res.IntraMessages++
 			continue
 		}
-		o.res.CrossMessages++
-		o.loads[[2]int{p, q}] += e.Words() // width cached at Send time
+		a.res.CrossMessages++
+		a.loads[[2]int{p, q}] += e.Words() // width cached at Send time
 	}
 	// Direct store-and-forward routing: the round's cost is the most loaded
 	// link's transfer time (at least one k-machine round per NCC round, for
 	// the synchronous barrier).
 	worst := 0
-	for _, w := range o.loads {
+	for _, w := range a.loads {
 		if w > worst {
 			worst = w
 		}
 	}
-	if worst > o.res.MaxLinkWords {
-		o.res.MaxLinkWords = worst
+	if worst > a.res.MaxLinkWords {
+		a.res.MaxLinkWords = worst
 	}
-	o.res.KRounds += int64(max(1, (worst+o.bw-1)/o.bw))
+	a.res.KRounds += int64(max(1, (worst+a.bw-1)/a.bw))
 }
+
+// Result returns the accumulated accounting. NCCRounds is left zero — the
+// run's owner fills it from the engine's Stats, which count rounds
+// authoritatively (the observer only sees rounds the engine completed).
+func (a *Accountant) Result() Result { return a.res }
 
 // Simulate runs program on an NCC clique configured by cfg while accounting
 // its communication in the k-machine model with the given per-link bandwidth
 // (in words per round). The random vertex partition is derived from
 // cfg.Seed. Any Observer already present in cfg is replaced.
 func Simulate(k, bandwidthWords int, cfg ncc.Config, program func(*ncc.Context)) (Result, ncc.Stats, error) {
-	if k < 1 {
-		return Result{}, ncc.Stats{}, fmt.Errorf("kmachine: k = %d, need >= 1", k)
+	a, err := NewAccountant(k, bandwidthWords, cfg.N, cfg.Seed)
+	if err != nil {
+		return Result{}, ncc.Stats{}, err
 	}
-	if bandwidthWords < 1 {
-		return Result{}, ncc.Stats{}, fmt.Errorf("kmachine: bandwidth = %d words, need >= 1", bandwidthWords)
-	}
-	res := Result{K: k, BandwidthWords: bandwidthWords}
-	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), 0x6b6d616368696e65))
-	machineOf := make([]int, cfg.N)
-	counts := make([]int, k)
-	for i := range machineOf {
-		machineOf[i] = rng.IntN(k)
-		counts[machineOf[i]]++
-	}
-	for _, c := range counts {
-		if c > res.MaxMachineNodes {
-			res.MaxMachineNodes = c
-		}
-	}
-	cfg.Observer = &observer{machineOf: machineOf, bw: bandwidthWords, res: &res, loads: map[[2]int]int{}}
+	cfg.Observer = a
 	st, err := ncc.Run(cfg, program)
+	res := a.Result()
 	res.NCCRounds = st.Rounds
 	return res, st, err
 }

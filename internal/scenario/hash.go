@@ -28,6 +28,9 @@ import (
 //   - Faults that cannot drop anything normalize to nil; DropTo/DropFrom are
 //     sorted (they are consulted as sets), and FromRound is cleared when no
 //     link set is present (it only gates link faults).
+//   - A kmachine accounting block keeps its K and has a defaulted Bandwidth
+//     filled in; an absent block stays absent (accounting is hash-relevant
+//     because it changes the Record).
 //   - A sweep with no axes normalizes to nil; axis values are sorted.
 //     Sorting makes sweeps order-insensitive: permuted submissions execute
 //     the same run multiset, so they share a cache entry (the cached stream
@@ -71,6 +74,13 @@ func (s Scenario) Canonical() (Scenario, error) {
 	c.Model = m
 	c.Faults = canonicalFaults(s.Faults)
 	c.Sweep = canonicalSweep(s.Sweep)
+	if s.KMachine != nil {
+		km := *s.KMachine
+		if km.Bandwidth == 0 {
+			km.Bandwidth = DefaultKMachineBandwidth
+		}
+		c.KMachine = &km
+	}
 	return c, nil
 }
 

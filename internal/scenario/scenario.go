@@ -13,6 +13,7 @@ import (
 
 	"ncc/internal/algo"
 	"ncc/internal/graph"
+	"ncc/internal/kmachine"
 	"ncc/internal/ncc"
 	"ncc/internal/param"
 )
@@ -72,15 +73,32 @@ type Sweep struct {
 	Seeds     []int64 `json:"seeds,omitempty"`
 }
 
+// KMachine declares k-machine-model accounting for a run (Appendix A): the
+// clique's messages are additionally routed over a complete network of K
+// machines with Bandwidth words per directed link per k-machine round, and
+// the Record reports how many k-machine rounds the algorithm's traffic would
+// have cost. Accounting is an observer — it never changes the run itself, but
+// it is part of the declarative spec (and the canonical hash), because the
+// Record it produces differs.
+type KMachine struct {
+	K         int `json:"k"`
+	Bandwidth int `json:"bandwidth,omitempty"` // words per link per round (default 4)
+}
+
+// DefaultKMachineBandwidth is the per-link word budget assumed when a
+// kmachine block omits it.
+const DefaultKMachineBandwidth = 4
+
 // Scenario is one declarative execution spec.
 type Scenario struct {
-	Name   string       `json:"name,omitempty"`
-	Algo   string       `json:"algo"`
-	Graph  graph.Spec   `json:"graph"`
-	Params param.Values `json:"params,omitempty"`
-	Model  Model        `json:"model,omitempty"`
-	Faults *Faults      `json:"faults,omitempty"`
-	Sweep  *Sweep       `json:"sweep,omitempty"`
+	Name     string       `json:"name,omitempty"`
+	Algo     string       `json:"algo"`
+	Graph    graph.Spec   `json:"graph"`
+	Params   param.Values `json:"params,omitempty"`
+	Model    Model        `json:"model,omitempty"`
+	Faults   *Faults      `json:"faults,omitempty"`
+	Sweep    *Sweep       `json:"sweep,omitempty"`
+	KMachine *KMachine    `json:"kmachine,omitempty"`
 }
 
 // GraphInfo describes the materialized input graph of one run.
@@ -103,6 +121,7 @@ type Record struct {
 	Summary   string             `json:"summary,omitempty"`
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
 	Stats     ncc.Stats          `json:"stats"`
+	KMachine  *kmachine.Result   `json:"kmachine,omitempty"`
 	Verified  bool               `json:"verified"`
 	VerifyErr string             `json:"verifyError,omitempty"`
 	Error     string             `json:"error,omitempty"`
@@ -139,6 +158,14 @@ func (s Scenario) Validate() error {
 	}
 	if _, err := param.Resolve(s.Graph.Params, f.Params); err != nil {
 		return fmt.Errorf("graph family %s: %w", s.Graph.Family, err)
+	}
+	if km := s.KMachine; km != nil {
+		if km.K < 1 {
+			return fmt.Errorf("kmachine.k = %d, need >= 1", km.K)
+		}
+		if km.Bandwidth < 0 {
+			return fmt.Errorf("kmachine.bandwidth = %d, need >= 0 (0 means the default %d)", km.Bandwidth, DefaultKMachineBandwidth)
+		}
 	}
 	if s.Sweep != nil {
 		if _, hasN := s.Graph.Params["n"]; len(s.Sweep.N) > 0 && !hasN {
@@ -264,6 +291,18 @@ func RunOneWith(s Scenario, opts RunOpts) (Record, error) {
 		cfg.DropProb = s.Faults.DropProb
 		cfg.Interceptor = s.Faults.interceptor()
 	}
+	var acct *kmachine.Accountant
+	if km := s.KMachine; km != nil {
+		bw := km.Bandwidth
+		if bw == 0 {
+			bw = DefaultKMachineBandwidth
+		}
+		acct, err = kmachine.NewAccountant(km.K, bw, g.N(), s.Model.Seed)
+		if err != nil {
+			return rec, err
+		}
+		cfg.Observer = chainObservers(acct, opts.Observer)
+	}
 	rec.Capacity = cfg.Cap()
 	res, err := d.Execute(cfg, g, s.Params)
 	if err != nil {
@@ -274,7 +313,30 @@ func RunOneWith(s Scenario, opts RunOpts) (Record, error) {
 	rec.Stats = res.Stats
 	rec.Verified = res.Verified
 	rec.VerifyErr = res.VerifyErr
+	if acct != nil {
+		kres := acct.Result()
+		kres.NCCRounds = res.Stats.Rounds
+		rec.KMachine = &kres
+	}
 	return rec, nil
+}
+
+// multiObserver fans one engine round out to several observers in order.
+type multiObserver []ncc.Observer
+
+func (m multiObserver) ObserveRound(round int, msgs []ncc.Envelope) {
+	for _, o := range m {
+		o.ObserveRound(round, msgs)
+	}
+}
+
+// chainObservers combines the k-machine accountant with an optional caller
+// observer without boxing nils into the interface.
+func chainObservers(a ncc.Observer, b ncc.Observer) ncc.Observer {
+	if b == nil {
+		return a
+	}
+	return multiObserver{a, b}
 }
 
 // Run expands and executes a scenario. Individual run failures do not abort

@@ -16,20 +16,42 @@ import (
 // against the registries (which produce their own unknown-param errors).
 func Decode(data []byte) (Scenario, error) {
 	var s Scenario
-	if err := checkFields(data, reflect.TypeOf(s), ""); err != nil {
-		return s, err
-	}
-	if err := json.Unmarshal(data, &s); err != nil {
+	if err := strictInto(data, &s, "scenario"); err != nil {
 		return s, err
 	}
 	return s, nil
 }
 
+// StrictUnmarshal is json.Unmarshal with the same strict field checking
+// Decode applies to scenarios, reusable for any spec document built from
+// struct/slice/map shapes (the campaign spec embeds scenarios and shares the
+// field-path error style). v must be a non-nil pointer to a struct; the
+// lowercased struct name labels top-level unknown fields.
+func StrictUnmarshal(data []byte, v any) error {
+	t := reflect.TypeOf(v)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return strictInto(data, v, strings.ToLower(t.Name()))
+}
+
+func strictInto(data []byte, v any, root string) error {
+	t := reflect.TypeOf(v)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if err := checkFields(data, t, root, ""); err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
 // checkFields walks raw against the JSON shape of t and reports the first
-// unknown object key with its dotted path. Maps (the param bags) accept any
-// keys; slices of structs are checked element-wise. Type mismatches are left
-// for json.Unmarshal, whose errors already carry the Go type context.
-func checkFields(raw json.RawMessage, t reflect.Type, path string) error {
+// unknown object key with its dotted path (root labels the whole document
+// when the offender is top-level). Maps (the param bags) accept any keys;
+// slices of structs are checked element-wise. Type mismatches are left for
+// json.Unmarshal, whose errors already carry the Go type context.
+func checkFields(raw json.RawMessage, t reflect.Type, root, path string) error {
 	for t.Kind() == reflect.Pointer {
 		t = t.Elem()
 	}
@@ -54,9 +76,9 @@ func checkFields(raw json.RawMessage, t reflect.Type, path string) error {
 				}
 				sort.Strings(known)
 				return fmt.Errorf("unknown field %q (%s has %s)",
-					joinPath(path, key), pathName(path), strings.Join(known, ", "))
+					joinPath(path, key), pathName(root, path), strings.Join(known, ", "))
 			}
-			if err := checkFields(m[key], ft, joinPath(path, key)); err != nil {
+			if err := checkFields(m[key], ft, root, joinPath(path, key)); err != nil {
 				return err
 			}
 		}
@@ -73,7 +95,7 @@ func checkFields(raw json.RawMessage, t reflect.Type, path string) error {
 			return nil
 		}
 		for i, e := range elems {
-			if err := checkFields(e, et, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+			if err := checkFields(e, et, root, fmt.Sprintf("%s[%d]", path, i)); err != nil {
 				return err
 			}
 		}
@@ -112,9 +134,9 @@ func joinPath(path, key string) string {
 	return path + "." + key
 }
 
-func pathName(path string) string {
+func pathName(root, path string) string {
 	if path == "" {
-		return "scenario"
+		return root
 	}
 	return path
 }

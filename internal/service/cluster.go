@@ -277,6 +277,14 @@ func (b *RemoteBackend) expiryLoop() {
 	}
 }
 
+// authorize attaches the shared cluster token to a coordinator→worker request;
+// workers run the same bearer guard as the coordinator.
+func (b *RemoteBackend) authorize(req *http.Request) {
+	if b.cfg.ClusterToken != "" {
+		req.Header.Set("Authorization", "Bearer "+b.cfg.ClusterToken)
+	}
+}
+
 // Submit enqueues a job for dispatch without blocking.
 func (b *RemoteBackend) Submit(j *Job) error {
 	select {
@@ -300,6 +308,20 @@ func (b *RemoteBackend) dispatcher() {
 	defer b.wg.Done()
 	for j := range b.queue {
 		b.m.jobsQueued.Add(-1)
+		// A twin of this job may have completed while it sat in the queue
+		// (admission only checks the cache once, before enqueueing). Serving
+		// the landed result here skips the dispatch entirely — no worker slot,
+		// no proxy stream — which matters most for campaigns, whose deduped
+		// units frequently re-enqueue recently finished hashes.
+		if lines, ok := b.cache.get(j.Hash); ok {
+			if j.completeFromCache(lines) {
+				b.m.dispatchCacheHits.Add(1)
+				b.m.jobsDone.Add(1)
+				continue
+			}
+			b.m.jobsCanceled.Add(1)
+			continue
+		}
 		w := b.reg.acquire(j.cancel)
 		if w == nil {
 			// Canceled while waiting for a slot; Job.Cancel already flipped
@@ -401,6 +423,7 @@ func (b *RemoteBackend) runOn(j *Job, w *remoteWorker) (State, string, error) {
 		return "", "", fmt.Errorf("building submit request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	b.authorize(req)
 	resp, err := b.client.Do(req)
 	if err != nil {
 		return "", "", fmt.Errorf("submitting: %w", err)
@@ -434,6 +457,7 @@ func (b *RemoteBackend) runOn(j *Job, w *remoteWorker) (State, string, error) {
 	if err != nil {
 		return "", "", fmt.Errorf("building stream request: %w", err)
 	}
+	b.authorize(req)
 	stream, err := b.client.Do(req)
 	if err != nil {
 		return "", "", fmt.Errorf("opening record stream: %w", err)
@@ -501,6 +525,7 @@ func (b *RemoteBackend) cancelRemote(base, id string) {
 	if err != nil {
 		return
 	}
+	b.authorize(req)
 	if resp, err := b.client.Do(req); err == nil {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -515,6 +540,7 @@ func (b *RemoteBackend) remoteState(base, id string) (State, string, error) {
 	if err != nil {
 		return "", "", err
 	}
+	b.authorize(req)
 	resp, err := b.client.Do(req)
 	if err != nil {
 		return "", "", fmt.Errorf("fetching job state: %w", err)

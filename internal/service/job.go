@@ -147,15 +147,20 @@ func (j *Job) finish(state State, errMsg string) {
 	j.notifyLocked()
 }
 
-// completeFromCache marks a freshly created job done with a cached result
-// stream.
-func (j *Job) completeFromCache(lines [][]byte) {
+// completeFromCache marks a job done with a cached result stream. It reports
+// false on a job already terminal — a dispatch-time hit must not resurrect a
+// job canceled while queued.
+func (j *Job) completeFromCache(lines [][]byte) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
 	j.lines = lines
 	j.cached = true
 	j.state = StateDone
 	j.notifyLocked()
+	return true
 }
 
 // next returns the record lines from index from on, whether the job is

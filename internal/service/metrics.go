@@ -30,9 +30,14 @@ type metrics struct {
 	recordsProduced atomic.Int64
 	recordsStreamed atomic.Int64
 
-	cacheHits        atomic.Int64
-	cacheMisses      atomic.Int64
-	cacheWriteErrors atomic.Int64
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	cacheWriteErrors  atomic.Int64
+	dispatchCacheHits atomic.Int64 // coordinator: hits found at dispatch time
+
+	campaignsSubmitted atomic.Int64
+	campaignsDone      atomic.Int64
+	campaignsFailed    atomic.Int64
 
 	mu         sync.Mutex
 	lastScrape time.Time
@@ -119,7 +124,12 @@ func (m *metrics) render(w io.Writer, budget, free, entries int, liveWorkers []W
 	}
 	gauge("nccd_cache_hit_ratio", "Lifetime cache hit ratio.", ratio)
 	counter("nccd_cache_write_errors_total", "Failed disk-cache writes (entries stay in memory).", m.cacheWriteErrors.Load())
+	counter("nccd_dispatch_cache_hits_total", "Queued jobs completed from a cache result that landed after admission.", m.dispatchCacheHits.Load())
 	gauge("nccd_cache_entries", "Result-cache entries held in memory.", float64(entries))
+
+	counter("nccd_campaigns_submitted_total", "Campaign specs accepted.", m.campaignsSubmitted.Load())
+	counter("nccd_campaigns_done_total", "Campaigns whose report was built.", m.campaignsDone.Load())
+	counter("nccd_campaigns_failed_total", "Campaigns aborted by a failed or canceled unit.", m.campaignsFailed.Load())
 
 	gauge("nccd_worker_budget", "Global engine-worker budget shared across jobs.", float64(budget))
 	gauge("nccd_workers_free", "Engine workers currently unassigned.", float64(free))

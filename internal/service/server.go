@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"ncc/internal/scenario"
@@ -62,6 +64,13 @@ type Config struct {
 	// the retry replays a deterministic stream and the coordinator skips the
 	// lines it already has.
 	JobAttempts int
+
+	// ClusterToken, when non-empty, requires `Authorization: Bearer <token>`
+	// on every /v1/ route (jobs, campaigns, and the cluster membership API).
+	// /healthz and /metrics stay open for probes and scrapers. The same token
+	// authenticates coordinator→worker dispatch and worker→coordinator
+	// registration, so one shared secret secures the whole cluster.
+	ClusterToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -99,13 +108,14 @@ func (c Config) withDefaults() Config {
 // ExecBackend — in-process executors (LocalBackend) or a worker cluster
 // (RemoteBackend) — and streams results through the StreamHub.
 type Server struct {
-	cfg     Config
-	m       *metrics
-	cache   CacheTier
-	store   *JobStore
-	hub     *StreamHub
-	backend ExecBackend
-	cluster *RemoteBackend // non-nil in coordinator mode; adds /v1/workers
+	cfg       Config
+	m         *metrics
+	cache     CacheTier
+	store     *JobStore
+	hub       *StreamHub
+	backend   ExecBackend
+	cluster   *RemoteBackend // non-nil in coordinator mode; adds /v1/workers
+	campaigns *campaignStore
 }
 
 // New builds a single-process Server executing jobs on a LocalBackend
@@ -135,13 +145,14 @@ func build(cfg Config, mk func(Config, CacheTier, *metrics) (ExecBackend, *Remot
 	m := newMetrics()
 	backend, cluster := mk(cfg, c, m)
 	return &Server{
-		cfg:     cfg,
-		m:       m,
-		cache:   c,
-		store:   newJobStore(cfg.RetainJobs),
-		hub:     newStreamHub(m),
-		backend: backend,
-		cluster: cluster,
+		cfg:       cfg,
+		m:         m,
+		cache:     c,
+		store:     newJobStore(cfg.RetainJobs),
+		hub:       newStreamHub(m),
+		backend:   backend,
+		cluster:   cluster,
+		campaigns: newCampaignStore(0),
 	}, nil
 }
 
@@ -166,11 +177,20 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET    /healthz              liveness (and drain state)
 //	GET    /metrics              Prometheus text metrics
 //
+// plus the campaign API:
+//
+//	POST   /v1/campaigns             submit a campaign spec (strict JSON)
+//	GET    /v1/campaigns             list campaigns in submission order
+//	GET    /v1/campaigns/{id}        one campaign's status and unit→job map
+//	GET    /v1/campaigns/{id}/report comparative report (JSON, ?format=text)
+//
 // Coordinator mode adds the cluster membership API:
 //
 //	POST   /v1/workers           register / heartbeat a worker daemon
 //	GET    /v1/workers           list registered workers
 //	DELETE /v1/workers/{name}    deregister a worker immediately
+//
+// With ClusterToken set, every /v1/ route requires the bearer token.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -179,6 +199,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleCampaignReport)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cluster != nil {
@@ -186,7 +210,28 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /v1/workers", s.cluster.handleWorkers)
 		mux.HandleFunc("DELETE /v1/workers/{name}", s.cluster.handleDeregister)
 	}
+	if s.cfg.ClusterToken != "" {
+		return requireToken(s.cfg.ClusterToken, mux)
+	}
 	return mux
+}
+
+// requireToken guards every /v1/ route behind `Authorization: Bearer <token>`.
+// Liveness and metrics stay open: probes and scrapers hold no secrets, and
+// neither endpoint exposes scenario data.
+func requireToken(token string, next http.Handler) http.Handler {
+	want := []byte("Bearer " + token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			got := []byte(r.Header.Get("Authorization"))
+			if subtle.ConstantTimeCompare(got, want) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="nccd"`)
+				httpError(w, http.StatusUnauthorized, "missing or invalid cluster token")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -227,6 +272,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	j, coalesced, err := s.admitDetail(sc, hash)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if coalesced {
+		writeJSON(w, http.StatusOK, j.Info())
+		return
+	}
+	writeJSON(w, http.StatusCreated, j.Info())
+}
+
+// admitDetail runs the shared admission path for one validated, hashed
+// scenario — cache lookup, JobStore admission (coalescing in-flight twins),
+// backend submit — and maintains the admission metrics.
+func (s *Server) admitDetail(sc scenario.Scenario, hash string) (j *Job, coalesced bool, err error) {
 	// The cache lookup may touch disk; do it before the store's admission
 	// lock so submissions never serialize the status/health endpoints behind
 	// file I/O. A hit that lands between this lookup and the lock merely
@@ -234,15 +295,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// in-flight twins.
 	cached, hit := s.cache.get(hash)
 
-	j, coalesced, err := s.store.Admit(sc, hash, cached, hit, s.backend.Submit)
+	j, coalesced, err = s.store.Admit(sc, hash, cached, hit, s.backend.Submit)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
+		return nil, false, err
 	}
 	if coalesced {
 		s.m.jobsCoalesced.Add(1)
-		writeJSON(w, http.StatusOK, j.Info())
-		return
+		return j, true, nil
 	}
 	if hit {
 		s.m.cacheHits.Add(1)
@@ -250,7 +309,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.m.cacheMisses.Add(1)
 	}
 	s.m.jobsSubmitted.Add(1)
-	writeJSON(w, http.StatusCreated, j.Info())
+	return j, false, nil
+}
+
+// admit is admitDetail for callers that treat coalescing as success.
+func (s *Server) admit(sc scenario.Scenario, hash string) (*Job, error) {
+	j, _, err := s.admitDetail(sc, hash)
+	return j, err
 }
 
 func (s *Server) job(r *http.Request) (*Job, bool) {

@@ -23,7 +23,15 @@ type Joiner struct {
 	Name        string        // stable worker name; default: Self's host:port
 	Capacity    int           // job slots to advertise (the worker's Executors)
 	Interval    time.Duration // heartbeat period (default 2s; TTL is the coordinator's)
+	Token       string        // shared cluster token, sent as a bearer credential
 	Logf        func(format string, args ...any)
+}
+
+// authorize attaches the shared cluster token to a worker→coordinator request.
+func (jn *Joiner) authorize(req *http.Request) {
+	if jn.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+jn.Token)
+	}
 }
 
 // Run registers, heartbeats until ctx is done, then deregisters best-effort.
@@ -75,6 +83,7 @@ func (jn *Joiner) register(ctx context.Context, base string, body []byte) error 
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	jn.authorize(req)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
@@ -95,6 +104,7 @@ func (jn *Joiner) deregister(base, name string) {
 	if err != nil {
 		return
 	}
+	jn.authorize(req)
 	if resp, err := http.DefaultClient.Do(req); err == nil {
 		resp.Body.Close()
 	}
