@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"ncc/internal/algo"
+	"ncc/internal/faultmodel"
 	"ncc/internal/graph"
 	"ncc/internal/ncc"
 	"ncc/internal/param"
@@ -170,6 +171,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		case rec.Error != "":
 			fmt.Fprintln(stderr, "error:", rec.Error)
 			code = 1
+		case degradedOK(rec):
+			// A fault-injected run that degraded but kept its survivors
+			// consistent is the expected outcome, not a failure.
 		case !rec.Verified:
 			fmt.Fprintln(stderr, "verification failed:", rec.VerifyErr)
 			code = 1
@@ -359,7 +363,17 @@ func verdict(rec scenario.Record) string {
 	if rec.Verified {
 		return "verified"
 	}
+	if d := rec.Degradation; d != nil && d.SurvivorsOK {
+		return fmt.Sprintf("degraded: %d unfinished, %d down, %.0f%% reachable, survivors consistent",
+			d.Unfinished, d.DownAtEnd, 100*d.ReachableFrac)
+	}
 	return "NOT verified: " + rec.VerifyErr
+}
+
+// degradedOK reports a fault-injected run that degraded as designed: the
+// survivor verifier accepted the surviving nodes' outputs.
+func degradedOK(rec scenario.Record) bool {
+	return !rec.Verified && rec.Degradation != nil && rec.Degradation.SurvivorsOK
 }
 
 // listScenario prints a scenario's canonical hashes without executing it: the
@@ -416,6 +430,17 @@ func printRegistries(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  %-12s %s%s\n", f.Name, f.Desc, seeded)
 		fmt.Fprintf(w, "  %-12s params: %s\n", "", param.Describe(f.Params))
+	}
+	fmt.Fprintln(w, "fault models:")
+	for _, m := range faultmodel.All() {
+		links := ""
+		if m.Links {
+			links = " [takes to/from link sets]"
+		}
+		fmt.Fprintf(w, "  %-12s %s%s\n", m.Name, m.Desc, links)
+		if len(m.Params) > 0 {
+			fmt.Fprintf(w, "  %-12s params: %s\n", "", param.Describe(m.Params))
+		}
 	}
 }
 

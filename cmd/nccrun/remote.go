@@ -117,6 +117,8 @@ func runRemote(base, token string, s scenario.Scenario, jsonOut bool, expanded i
 		case rec.Error != "":
 			fmt.Fprintln(stderr, "error:", rec.Error)
 			code = 1
+		case degradedOK(rec):
+			// Fault-injected run that degraded as designed: not a failure.
 		case !rec.Verified:
 			fmt.Fprintln(stderr, "verification failed:", rec.VerifyErr)
 			code = 1

@@ -73,6 +73,39 @@ func TestRemoteMatchesLocalJSON(t *testing.T) {
 	}
 }
 
+// TestRemoteDegradedRunExitsZero pins that the remote tail applies the same
+// degradation contract as a local run: a fault-injected scenario whose
+// survivors are consistent exits 0 (with the stream still byte-identical),
+// it does not report "verification failed".
+func TestRemoteDegradedRunExitsZero(t *testing.T) {
+	ts := startDaemon(t)
+	path := filepath.Join(t.TempDir(), "faulted.json")
+	spec := `{
+		"algo": "mis",
+		"graph": {"family": "kforest", "params": {"n": 32, "k": 2}, "seed": 7},
+		"model": {"seed": 11, "maxrounds": 131072},
+		"faults": {"models": [{"model": "crash", "params": {"count": 3, "round": 20}}]}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	codeL, outL, errwL := runCapture(t, "-scenario", path, "-json")
+	if codeL != 0 {
+		t.Fatalf("local degraded exit %d, stderr: %s", codeL, errwL)
+	}
+	codeR, outR, errwR := runCapture(t, "-scenario", path, "-remote", ts.URL, "-json")
+	if codeR != 0 {
+		t.Fatalf("remote degraded exit %d, stderr: %s", codeR, errwR)
+	}
+	if strings.Contains(errwR, "verification failed") {
+		t.Fatalf("remote degraded run reported verification failure: %s", errwR)
+	}
+	if outL != outR {
+		t.Fatalf("remote degraded JSON differs from local:\n--- local:\n%s\n--- remote:\n%s", outL, outR)
+	}
+}
+
 // TestRemoteFlagsMode checks that flag-assembled scenarios (no -scenario
 // file) also submit, and that human-readable remote output matches the local
 // presentation.

@@ -61,6 +61,10 @@ func init() {
 			dist, parent := bfsVectors(outs)
 			return verify.BFS(in.G, in.Params.Int("src"), dist, parent, true)
 		},
+		VerifySurvivors: func(in *Input, outs []core.BFSResult, alive []bool) error {
+			dist, parent := bfsVectors(outs)
+			return verify.SurvivorBFS(in.G, in.Params.Int("src"), dist, parent, alive)
+		},
 		Summarize: func(in *Input, outs []core.BFSResult) Summary {
 			reached, ecc := 0, 0
 			for _, r := range outs {
@@ -86,6 +90,9 @@ func init() {
 			return core.MIS(s, in.G, trees, lhat)
 		},
 		Verify: func(in *Input, outs []bool) error { return verify.MIS(in.G, outs) },
+		VerifySurvivors: func(in *Input, outs []bool, alive []bool) error {
+			return verify.SurvivorMIS(in.G, outs, alive)
+		},
 		Summarize: func(in *Input, outs []bool) Summary {
 			size := 0
 			for _, b := range outs {
@@ -109,6 +116,11 @@ func init() {
 			return core.Matching(s, in.G, trees, lhat)
 		},
 		Verify: func(in *Input, outs []int) error { return verify.Matching(in.G, outs) },
+		VerifySurvivors: func(in *Input, outs []int, alive []bool) error {
+			// A dead node's zero-value output is 0, not the -1 "unmatched"
+			// sentinel, but survivor checks never read dead entries.
+			return verify.SurvivorMatching(in.G, outs, alive)
+		},
 		Summarize: func(in *Input, outs []int) Summary {
 			size := 0
 			for u, v := range outs {
@@ -133,6 +145,10 @@ func init() {
 		Verify: func(in *Input, outs []core.ColorResult) error {
 			colors, palette := colorVectors(outs)
 			return verify.Coloring(in.G, colors, palette)
+		},
+		VerifySurvivors: func(in *Input, outs []core.ColorResult, alive []bool) error {
+			colors, _ := colorVectors(outs)
+			return verify.SurvivorColoring(in.G, colors, alive)
 		},
 		Summarize: func(in *Input, outs []core.ColorResult) Summary {
 			colors, palette := colorVectors(outs)
@@ -164,6 +180,9 @@ func init() {
 		},
 		Verify: func(in *Input, outs [][][2]int) error {
 			return verify.MST(in.Weights, core.CollectMSTEdges(outs))
+		},
+		VerifySurvivors: func(in *Input, outs [][][2]int, alive []bool) error {
+			return verify.SurvivorForest(in.G, outs, alive)
 		},
 		Summarize: func(in *Input, outs [][][2]int) Summary {
 			edges := core.CollectMSTEdges(outs)

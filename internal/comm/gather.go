@@ -64,12 +64,19 @@ func gatherScatter[T any](s *Session, w Wire[T], merge func(a, b T) T, val T, ha
 	if _, ok := bf.AttachedNode(col); ok {
 		need++
 	}
-	got := 0
+	got, barren := 0, 0
 	for got < need {
 		s.Advance()
+		if len(s.qGather) == 0 {
+			if barren++; s.patience > 0 && barren > s.patience {
+				break // lost contributions; aggregate over what arrived
+			}
+			continue
+		}
+		barren = 0
 		for _, g := range s.qGather {
 			got++
-			if g.has {
+			if g.has && (s.patience == 0 || int(g.val.n) == w.Words()) {
 				v := w.Decode(s.words(g.val))
 				if accHas {
 					acc = merge(acc, v)
@@ -105,14 +112,23 @@ func gatherScatter[T any](s *Session, w Wire[T], merge func(a, b T) T, val T, ha
 	return acc, accHas
 }
 
-// awaitRelease blocks for the release wave and decodes its aggregate.
+// awaitRelease blocks for the release wave and decodes its aggregate. Under
+// faults a lost release gives up after the patience budget and reports no
+// value, exiting at the current round.
 func awaitRelease[T any](s *Session, w Wire[T]) (exitRound int, val T, has bool) {
+	barren := 0
 	for len(s.qRelease) == 0 {
+		if s.patience > 0 && barren > s.patience {
+			return s.Ctx.Round(), val, false
+		}
+		barren++
 		s.Advance()
 	}
 	m := s.qRelease[0]
-	if m.has {
+	if m.has && (s.patience == 0 || int(m.val.n) == w.Words()) {
 		val = w.Decode(s.words(m.val))
+	} else {
+		m.has = false
 	}
 	s.qRelease = s.qRelease[:0]
 	return m.exitRound, val, m.has
@@ -146,7 +162,12 @@ func forwardRelease[T any](s *Session, col int, w Wire[T], exitRound int, val T,
 }
 
 // idleUntil advances rounds until the global round counter reaches target.
+// Under faults the target may come from a corrupted release word, so it is
+// clamped to the deepest exit any honest release could name plus patience.
 func (s *Session) idleUntil(target int) {
+	if s.patience > 0 {
+		target = min(target, s.Ctx.Round()+s.BF.D+2+s.patience)
+	}
 	for s.Ctx.Round() < target {
 		s.Advance()
 	}
@@ -185,6 +206,13 @@ func (s *Session) MaxAll(val uint64, has bool) (uint64, bool) {
 func (s *Session) BroadcastWords(src ncc.NodeID, words []uint64, count int) []uint64 {
 	ctx := s.Ctx
 	bf := s.BF
+	if s.patience > 0 {
+		// Under faults, count may derive from a degraded aggregate at some
+		// nodes: clamp it to the largest broadcast any algorithm here
+		// legitimately performs (O(n) ids) so a garbage count cannot demand
+		// an absurd allocation or an endless pipeline.
+		count = max(0, min(count, 4*ctx.N()+s.patience))
+	}
 	if count == 0 {
 		s.Synchronize()
 		return nil
@@ -193,8 +221,10 @@ func (s *Session) BroadcastWords(src ncc.NodeID, words []uint64, count int) []ui
 	out := make([]uint64, count)
 	have := 0
 	if ctx.ID() == src {
-		copy(out, words[:count])
-		have = count
+		// Reliable callers always hold count words; a degraded caller may
+		// disagree with its own clamped count, so ship what exists.
+		have = min(count, len(words))
+		copy(out, words[:have])
 		// Ship to the broadcast root if we are not hosting it.
 		if src != 0 {
 			batch := s.batchSize()
@@ -207,18 +237,40 @@ func (s *Session) BroadcastWords(src ncc.NodeID, words []uint64, count int) []ui
 		}
 	}
 
+	// collect drains word messages until `need` have arrived, giving up after
+	// the patience budget of barren rounds; forward relays each fresh word
+	// down the tree (nil at collectors). Word indexes are validated under
+	// faults — a corrupted index must not fault the collector.
+	collect := func(need int, forward func(idx int32, w uint64)) {
+		barren := 0
+		for got := 0; got < need; {
+			s.Advance()
+			if len(s.qWords) == 0 {
+				if barren++; s.patience > 0 && barren > s.patience {
+					break // missing words stay zero
+				}
+				continue
+			}
+			barren = 0
+			for _, m := range s.qWords {
+				if s.patience > 0 && (m.idx < 0 || int(m.idx) >= count) {
+					continue
+				}
+				out[m.idx] = m.w
+				got++
+				if forward != nil {
+					forward(m.idx, m.w)
+				}
+			}
+			s.qWords = s.qWords[:0]
+		}
+	}
+
 	switch {
 	case bf.IsEmulator(ctx.ID()) && bf.Column(ctx.ID()) == 0:
 		// Root: collect all words (trivial when we are the source), then
 		// pipeline one word per round down the reduction tree.
-		for have < count {
-			s.Advance()
-			for _, m := range s.qWords {
-				out[m.idx] = m.w
-				have++
-			}
-			s.qWords = s.qWords[:0]
-		}
+		collect(count-have, nil)
 		for i := 0; i < count; i++ {
 			s.forwardWord(0, int32(i), out[i], src)
 			s.Advance()
@@ -230,26 +282,11 @@ func (s *Session) BroadcastWords(src ncc.NodeID, words []uint64, count int) []ui
 		// guarantees at most one word arrives per round, so forwarding stays
 		// within the capacity (at most D+1 copies per word).
 		col := bf.Column(ctx.ID())
-		for got := 0; got < count; {
-			s.Advance()
-			for _, m := range s.qWords {
-				out[m.idx] = m.w
-				got++
-				s.forwardWord(col, m.idx, m.w, src)
-			}
-			s.qWords = s.qWords[:0]
-		}
+		collect(count, func(idx int32, w uint64) { s.forwardWord(col, idx, w, src) })
 	default:
 		// Attached node: just collect (the host skips the hop if we were the
 		// source).
-		for have < count {
-			s.Advance()
-			for _, m := range s.qWords {
-				out[m.idx] = m.w
-				have++
-			}
-			s.qWords = s.qWords[:0]
-		}
+		collect(count-have, nil)
 	}
 
 	s.Synchronize()

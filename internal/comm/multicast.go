@@ -111,21 +111,39 @@ func (r *spreadRouter[T]) absorb() {
 	}
 	for _, m := range s.qInit {
 		if m.seq != r.seq {
+			if s.patience > 0 {
+				continue // straggler from a collective that gave up early
+			}
 			panic(fmt.Sprintf("comm: multicast init from invocation %d received during %d", m.seq, r.seq))
+		}
+		if s.patience > 0 && int(m.val.n) != r.w.Words() {
+			continue // corrupted frame; drop rather than fault the node
 		}
 		r.arrive(s.BF.D, spreadItem[T]{group: m.group, rank: r.rankOf(m.group), val: r.w.Decode(s.words(m.val))})
 	}
 	s.qInit = s.qInit[:0]
 	for _, m := range s.qSpread {
 		if m.seq != r.seq {
+			if s.patience > 0 {
+				continue
+			}
 			panic(fmt.Sprintf("comm: spread packet from invocation %d received during %d", m.seq, r.seq))
+		}
+		if s.patience > 0 && (int(m.val.n) != r.w.Words() || int(m.level) < 0 || int(m.level) >= len(r.queues)) {
+			continue
 		}
 		r.arrive(int(m.level), spreadItem[T]{group: m.group, rank: r.rankOf(m.group), val: r.w.Decode(s.words(m.val))})
 	}
 	s.qSpread = s.qSpread[:0]
 	for _, m := range s.qSpTok {
 		if m.seq != r.seq {
+			if s.patience > 0 {
+				continue
+			}
 			panic(fmt.Sprintf("comm: spread token from invocation %d received during %d", m.seq, r.seq))
+		}
+		if s.patience > 0 && (int(m.level) < 0 || int(m.level) >= len(r.tokIn)) {
+			continue
 		}
 		r.tokIn[m.level][m.side] = true
 	}
@@ -194,11 +212,20 @@ func (r *spreadRouter[T]) done() bool {
 	return r.tokIn[0][0] && r.tokIn[0][1]
 }
 
+// runSpread drives the spreading router to quiescence; like runCombine it is
+// bounded by the patience budget under faults so a lost token cannot spin the
+// phase to MaxRounds.
 func runSpread[T any](s *Session, r *spreadRouter[T]) {
 	if r == nil {
 		return
 	}
+	spins := 0
 	for !r.done() {
+		if s.patience > 0 {
+			if spins++; spins > 8*s.patience {
+				break
+			}
+		}
 		r.step()
 		s.Advance()
 		r.absorb()
@@ -323,6 +350,9 @@ func deliverLeaves[T any](s *Session, r *spreadRouter[T], w Wire[T], window int)
 		s.Advance()
 	}
 	for _, lm := range s.qLeaf {
+		if s.patience > 0 && int(lm.val.n) != w.Words() {
+			continue // corrupted frame; drop rather than fault the node
+		}
 		mine = append(mine, GroupVal[T]{Group: lm.group, Val: w.Decode(s.words(lm.val))})
 	}
 	s.qLeaf = s.qLeaf[:0]

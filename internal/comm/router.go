@@ -104,7 +104,13 @@ func (r *combineRouter[T]) absorb() {
 	}
 	for _, m := range s.qRoute {
 		if m.seq != r.seq {
+			if s.patience > 0 {
+				continue // straggler from a collective that gave up early
+			}
 			panic(fmt.Sprintf("comm: route packet from invocation %d received during %d", m.seq, r.seq))
+		}
+		if s.patience > 0 && (int(m.val.n) != r.w.Words() || int(m.level) < 0 || int(m.level) >= len(r.pend)) {
+			continue // corrupted frame; drop rather than fault the node
 		}
 		r.arrive(int(m.level), pkt[T]{
 			group:   m.group,
@@ -118,7 +124,13 @@ func (r *combineRouter[T]) absorb() {
 	s.qRoute = s.qRoute[:0]
 	for _, m := range s.qRtTok {
 		if m.seq != r.seq {
+			if s.patience > 0 {
+				continue
+			}
 			panic(fmt.Sprintf("comm: route token from invocation %d received during %d", m.seq, r.seq))
+		}
+		if s.patience > 0 && (int(m.level) < 0 || int(m.level) >= len(r.tokIn)) {
+			continue
 		}
 		r.tokIn[m.level][m.side] = true
 	}
@@ -216,13 +228,22 @@ func (r *combineRouter[T]) completed() map[uint64]pkt[T] {
 }
 
 // runCombine drives the router until quiescent. Attached nodes (no butterfly
-// column) pass a nil router and return immediately.
+// column) pass a nil router and return immediately. Under faults a lost token
+// would spin this loop to MaxRounds, so the whole phase is bounded by a
+// multiple of the patience budget; giving up strands whatever packets are
+// still pending (their groups degrade to partial aggregates downstream).
 func runCombine[T any](s *Session, r *combineRouter[T]) {
 	if r == nil {
 		return
 	}
 	r.absorb()
+	spins := 0
 	for !r.done() {
+		if s.patience > 0 {
+			if spins++; spins > 8*s.patience {
+				break
+			}
+		}
 		r.step()
 		s.Advance()
 		r.absorb()

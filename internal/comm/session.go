@@ -88,6 +88,16 @@ type Session struct {
 	// collective invocations, keyed by the payload type, so repeated
 	// collectives of the same T reuse their maps and buffers.
 	states map[reflect.Type]any
+
+	// patience is the barren-round budget of every otherwise-unbounded wait,
+	// and 0 on a reliable network. The paper's collectives assume no message
+	// is ever lost; under fault injection a lost token or packet would park a
+	// node forever (the run would only die at MaxRounds, taking every node's
+	// output with it). With patience set, a wait that sees nothing arrive for
+	// this many consecutive rounds gives up and continues with what it has —
+	// the collective's result degrades instead of the whole run. Reliable
+	// runs keep the wait-forever semantics bit-for-bit unchanged.
+	patience int
 }
 
 // NewSession builds the butterfly emulation and establishes the shared
@@ -99,6 +109,9 @@ func NewSession(ctx *ncc.Context) *Session {
 		BF:     butterfly.New(ctx.N()),
 		enc:    make([]uint64, maxWireWords),
 		states: make(map[reflect.Type]any),
+	}
+	if ctx.Faulty() {
+		s.patience = 32 + 16*ncc.CeilLog2(ctx.N())
 	}
 	var words []uint64
 	if ctx.ID() == 0 {
@@ -287,15 +300,31 @@ func (s *Session) batchSize() int {
 }
 
 // window returns the length of the randomized delivery window for a load
-// bound of lhat messages per receiver.
+// bound of lhat messages per receiver. Under faults, lhat may come from a
+// degraded aggregate (a stale or partial value), so the window is clamped to
+// the patience budget — any window beyond it could not be waited out anyway.
 func (s *Session) window(lhat int) int {
-	return max(1, (lhat+s.batchSize()-1)/s.batchSize())
+	w := max(1, (lhat+s.batchSize()-1)/s.batchSize())
+	if s.patience > 0 {
+		w = min(w, s.patience)
+	}
+	return w
 }
 
 // assertDrained panics if a primitive left routing state behind; this guards
-// against protocol bugs in tests.
+// against protocol bugs in tests. Under faults, stale messages are the
+// expected debris of a collective that gave up early — they are discarded so
+// the next collective starts clean.
 func (s *Session) assertDrained(what string) {
 	if len(s.qRoute)+len(s.qRtTok)+len(s.qSpread)+len(s.qSpTok)+len(s.qInit) != 0 {
+		if s.patience > 0 {
+			s.qRoute = s.qRoute[:0]
+			s.qRtTok = s.qRtTok[:0]
+			s.qSpread = s.qSpread[:0]
+			s.qSpTok = s.qSpTok[:0]
+			s.qInit = s.qInit[:0]
+			return
+		}
 		panic(fmt.Sprintf("comm: node %d: stale primitive messages at start of %s (route=%d rtok=%d spread=%d stok=%d init=%d)",
 			s.Ctx.ID(), what, len(s.qRoute), len(s.qRtTok), len(s.qSpread), len(s.qSpTok), len(s.qInit)))
 	}

@@ -128,5 +128,9 @@ func Coloring(s *comm.Session, g *graph.Graph, o *Orientation) ColorResult {
 			}
 		}
 	}
-	return ColorResult{Color: myColor, Palette: palette}
+	res := ColorResult{Color: myColor, Palette: palette}
+	if s.Ctx.Faulty() {
+		res = repairColoring(s, g, res)
+	}
+	return res
 }

@@ -19,6 +19,7 @@ const (
 	dtagNewLeader                                    // MST merge: adopted leader id
 	dtagAccept                                       // matching step 2 acceptance
 	dtagPropose                                      // matching step 3 proposal
+	dtagRepair                                       // fault-repair neighbor exchange payload
 )
 
 // dhdr places a direct tag in the top byte of a message's first word.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"testing"
 
 	"ncc/internal/comm"
@@ -12,57 +11,68 @@ import (
 
 // The paper's algorithms assume the network is reliable below the capacity
 // bound. These failure-injection tests check that the *harness* surfaces
-// faults instead of silently producing garbage: a lossy network either stalls
-// a collective (caught by MaxRounds) or yields output the verifiers reject.
+// faults instead of silently producing garbage: under fault injection the
+// collectives run with a bounded patience budget, so a lossy network either
+// completes degraded (and the verifiers reject the output), aborts with an
+// explicit error, or — when a protocol invariant breaks outright — panics the
+// node, which without a FaultPlan aborts the run. Never silent corruption.
 
 func TestHeavyMessageLossIsDetected(t *testing.T) {
 	g := graph.KForest(24, 2, 5)
 	cfg := ncc.Config{N: g.N(), Seed: 4, DropProb: 0.3, MaxRounds: 3000}
 	in, _, err := RunMIS(cfg, g)
-	if err == nil {
-		// The run happened to terminate: its output must then fail
-		// verification or, very unlikely, be valid by chance. Either way the
-		// fault is visible in the stats/verifier, never silent corruption of
-		// the harness itself.
-		if vErr := verify.MIS(g, in); vErr == nil {
-			t.Skip("lossy run accidentally produced a valid MIS (seed-dependent)")
-		}
+	if err != nil {
+		// Detected: a stall (MaxRounds), an explicit protocol failure, or a
+		// node panic surfaced as a run error.
+		t.Logf("lossy run detected: %v", err)
 		return
 	}
-	if !errors.Is(err, ncc.ErrMaxRounds) {
-		t.Fatalf("expected MaxRounds stall or verification failure, got %v", err)
+	// The run terminated degraded: its output must then fail verification
+	// or, very unlikely, be valid by chance. Either way the fault is visible
+	// in the stats/verifier, never silent corruption of the harness itself.
+	if vErr := verify.MIS(g, in); vErr == nil {
+		t.Skip("lossy run accidentally produced a valid MIS (seed-dependent)")
 	}
 }
 
-func TestTargetedLinkFailureStallsSynchronize(t *testing.T) {
+func TestTargetedLinkFailureDoesNotDeadlock(t *testing.T) {
 	// Killing every message into node 0 breaks the reduction tree's root, so
-	// Synchronize can never complete: MaxRounds must fire.
+	// Synchronize can never actually synchronize — but with an interceptor
+	// installed the session runs with a patience budget, so every node must
+	// give up and return well before MaxRounds instead of deadlocking.
 	cfg := ncc.Config{
-		N: 16, Seed: 1, MaxRounds: 500,
+		N: 16, Seed: 1, MaxRounds: 5000,
 		Interceptor: func(round int, from, to ncc.NodeID) bool { return to != 0 },
 	}
-	_, err := ncc.Run(cfg, func(ctx *ncc.Context) {
+	st, err := ncc.Run(cfg, func(ctx *ncc.Context) {
 		s := comm.NewSession(ctx)
 		s.Synchronize()
 	})
-	if !errors.Is(err, ncc.ErrMaxRounds) {
-		t.Fatalf("expected ErrMaxRounds, got %v", err)
+	if err != nil {
+		t.Fatalf("patience-bounded Synchronize must give up cleanly, got %v", err)
+	}
+	if st.Rounds >= cfg.MaxRounds {
+		t.Fatalf("took %d rounds, expected early give-up", st.Rounds)
 	}
 }
 
 func TestLateFaultAfterCleanPrefixStillDetected(t *testing.T) {
 	// The network is reliable for 100 rounds, then loses everything: the MST
-	// cannot complete and the run must abort rather than return a partial
-	// forest.
+	// cannot complete, and the fault must surface as an error or as output
+	// the verifier rejects — never as a silently valid spanning forest.
 	g := graph.Grid(4, 4)
 	wg := graph.RandomWeights(g, 50, 1)
 	cfg := ncc.Config{
-		N: g.N(), Seed: 2, MaxRounds: 4000,
+		N: g.N(), Seed: 2, MaxRounds: 20000,
 		Interceptor: func(round int, from, to ncc.NodeID) bool { return round < 100 },
 	}
-	_, _, err := RunMST(cfg, wg)
-	if !errors.Is(err, ncc.ErrMaxRounds) {
-		t.Fatalf("expected ErrMaxRounds, got %v", err)
+	outs, _, err := RunMST(cfg, wg)
+	if err != nil {
+		t.Logf("late fault detected: %v", err)
+		return
+	}
+	if vErr := verify.MST(wg, outs[0]); vErr == nil {
+		t.Fatal("run with total message loss returned a verifiably correct MST")
 	}
 }
 

@@ -75,6 +75,9 @@ func Matching(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) int 
 			}
 		})
 		if !s.AnyTrue(unmatched && hasNbr) {
+			if s.Ctx.Faulty() {
+				mate = repairMatching(s, g, mate)
+			}
 			return mate
 		}
 	}

@@ -41,6 +41,9 @@ func MIS(s *comm.Session, g *graph.Graph, trees *comm.Trees, lhat int) bool {
 			decided = true
 		}
 		if !s.AnyTrue(!decided) {
+			if s.Ctx.Faulty() {
+				inSet = repairMIS(s, g, inSet)
+			}
 			return inSet
 		}
 	}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"ncc/internal/comm"
+	"ncc/internal/graph"
+	"ncc/internal/ncc"
+)
+
+// Fault-aware repair: when a run has fault injection enabled, the collective
+// phases of MIS, coloring and matching can terminate with survivor-local
+// safety violations — two alive neighbors both in the set, an alive edge
+// sharing a color, an unreciprocated partner claim — because aggregates were
+// computed over a clique that lost messages or nodes mid-protocol. The repair
+// pass restores those safety properties with a purely local, capacity-bounded
+// neighbor exchange: every node ships its tentative output to each graph
+// neighbor several times over a fixed window and then resolves conflicts by
+// demotion (leave the set, take a fresh color, drop the claim). Demotion only
+// ever weakens liveness properties (maximality, spanning) that a degraded run
+// has already given up on; it never manufactures a wrong claim.
+//
+// The pass runs only under fault injection (ctx.Faulty()); reliable runs take
+// the exact pre-repair message schedule and stay byte-identical.
+
+// repairPasses is the number of full neighbor sweeps in a repair exchange.
+// Each sweep retransmits the same value, so a message lost to drop faults or
+// receive-capacity truncation in one round is recovered in a later one.
+const repairPasses = 8
+
+// repairExchange ships val (56-bit body) to every graph neighbor over a fixed
+// number of rounds — identical at all nodes, so concurrently repairing nodes
+// stay overlapped even when collectives released them at different rounds —
+// and returns the last value heard from each neighbor. Sends are batched at
+// the capacity bound with a round-robin window keyed to the global round and
+// the sender id, which spreads receiver load; retransmission covers whatever
+// the spread does not.
+func repairExchange(s *comm.Session, g *graph.Graph, val uint64) map[int]uint64 {
+	ctx := s.Ctx
+	me := ctx.ID()
+	nbrs := g.Neighbors(me)
+	deg := len(nbrs)
+	batch := max(1, ctx.Cap())
+	stride := max(1, (g.MaxDegree()+batch-1)/batch)
+	total := repairPasses * stride * stride
+	heard := make(map[int]uint64, deg)
+	msg := ncc.Word(dhdr(dtagRepair) | dbody(val))
+	for t := 0; t < total; t++ {
+		if lo := ((ctx.Round() + me) % stride) * batch; lo < deg {
+			for _, v := range nbrs[lo:min(lo+batch, deg)] {
+				ctx.SendWord(int(v), msg)
+			}
+		}
+		s.Advance()
+		s.DrainDirect(func(from ncc.NodeID, ws []uint64) {
+			if ws[0]>>56 == dtagRepair {
+				heard[from] = dbody(ws[0])
+			}
+		})
+	}
+	return heard
+}
+
+// repairMIS re-establishes independence among survivors: a node stays in the
+// set only if no smaller-id neighbor reported membership. Exactly one side of
+// a conflicting pair needs to hear the other for the pair to resolve, and the
+// loser's demotion cannot create a new conflict (removal keeps the set
+// independent). Maximality may degrade — that is the accepted survivor
+// contract.
+func repairMIS(s *comm.Session, g *graph.Graph, inSet bool) bool {
+	heard := repairExchange(s, g, boolU64(inSet))
+	if !inSet {
+		return false
+	}
+	me := s.Ctx.ID()
+	for v, w := range heard {
+		if w != 0 && v < me {
+			return false
+		}
+	}
+	return true
+}
+
+// repairColorCeiling is a graph-global upper bound on every color a clean
+// coloring run can emit (the palette is O(MaxDegree)); colors at or above it
+// are degradation artifacts. Repair recolors into the disjoint range
+// [ceiling, ceiling+n), where node ids keep fresh colors proper by
+// construction.
+func repairColorCeiling(g *graph.Graph) int { return 4 * (g.MaxDegree() + 2) }
+
+// repairColoring re-establishes properness among survivors: a node whose
+// color is missing, out of the legitimate range, or reported by any neighbor
+// takes the fresh color ceiling+id. Either endpoint of a conflicting edge
+// moving resolves it, and fresh colors never collide with kept or fresh ones.
+func repairColoring(s *comm.Session, g *graph.Graph, res ColorResult) ColorResult {
+	ceiling := repairColorCeiling(g)
+	bad := res.Color < 0 || res.Color >= ceiling
+	enc := uint64(0)
+	if !bad {
+		enc = uint64(res.Color) + 1
+	}
+	heard := repairExchange(s, g, enc)
+	if !bad {
+		for _, w := range heard {
+			if w == enc {
+				bad = true
+				break
+			}
+		}
+	}
+	if bad {
+		res.Color = ceiling + s.Ctx.ID()
+		res.Palette = max(res.Palette, ceiling+s.Ctx.N())
+	}
+	return res
+}
+
+// repairMatching re-establishes reciprocity among survivors: a partner claim
+// is dropped when the partner is heard claiming someone else (or nobody). A
+// silent partner may be dead with the handshake complete, so silence keeps
+// the claim — the survivor verifier accepts claims on dead nodes.
+func repairMatching(s *comm.Session, g *graph.Graph, mate int) int {
+	enc := uint64(0)
+	if mate >= 0 {
+		enc = uint64(mate) + 1
+	}
+	heard := repairExchange(s, g, enc)
+	if mate < 0 {
+		return -1
+	}
+	if mate >= g.N() || !g.HasEdge(s.Ctx.ID(), mate) {
+		return -1
+	}
+	if w, ok := heard[mate]; ok && w != uint64(s.Ctx.ID())+1 {
+		return -1
+	}
+	return mate
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -279,5 +280,57 @@ func TestWriteDOT(t *testing.T) {
 	}
 	if strings.Contains(out, "0 -- 2") {
 		t.Error("DOT output contains phantom edge")
+	}
+}
+
+func TestArticulationPoints(t *testing.T) {
+	// Path: every inner node is a cut vertex.
+	if got := ArticulationPoints(Path(5)); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("path: %v, want [1 2 3]", got)
+	}
+	// Cycle and complete graph: 2-connected, no cut vertices.
+	if got := ArticulationPoints(Cycle(6)); got != nil {
+		t.Errorf("cycle: %v, want none", got)
+	}
+	if got := ArticulationPoints(Complete(5)); got != nil {
+		t.Errorf("complete: %v, want none", got)
+	}
+	// Star: the hub alone.
+	if got := ArticulationPoints(Star(7)); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("star: %v, want [0]", got)
+	}
+	// Two triangles sharing node 2 plus an isolated node: 2 is the cut.
+	b := NewBuilder(7)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}} {
+		b.AddEdge(e[0], e[1])
+	}
+	if got := ArticulationPoints(b.Build()); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("bowtie: %v, want [2]", got)
+	}
+	// Brute-force cross-check on a random sparse graph: removing a reported
+	// cut vertex must increase the component count, and only those.
+	g := KForest(32, 2, 9)
+	cuts := map[int]bool{}
+	for _, u := range ArticulationPoints(g) {
+		cuts[u] = true
+	}
+	_, base := Components(g)
+	for u := 0; u < g.N(); u++ {
+		nb := NewBuilder(g.N())
+		for v := 0; v < g.N(); v++ {
+			if v == u {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if int(w) != u && v < int(w) {
+					nb.AddEdge(v, int(w))
+				}
+			}
+		}
+		_, c := Components(nb.Build())
+		// Removing u leaves its slot as an isolated node: +1 component always.
+		if got := c-1 > base; got != cuts[u] {
+			t.Errorf("node %d: brute-force cut=%v, reported=%v", u, got, cuts[u])
+		}
 	}
 }

@@ -145,6 +145,65 @@ func Degeneracy(g *Graph) (int, []int) {
 	return degeneracy, order
 }
 
+// ArticulationPoints returns the cut vertices of the graph — the nodes whose
+// removal increases the number of connected components — in ascending id
+// order. Iterative Tarjan lowpoint computation, one DFS per component; used by
+// the adversarial fault model to pick structurally critical victims.
+func ArticulationPoints(g *Graph) []int {
+	n := g.N()
+	disc := make([]int, n) // 1-based discovery time; 0 = unvisited
+	low := make([]int, n)
+	parent := make([]int, n)
+	isCut := make([]bool, n)
+	// frame.next indexes into g.Neighbors(frame.u), resumed across pushes.
+	type frame struct{ u, next int }
+	var stack []frame
+	time := 0
+	for s := 0; s < n; s++ {
+		if disc[s] != 0 {
+			continue
+		}
+		rootChildren := 0
+		time++
+		disc[s], low[s], parent[s] = time, time, -1
+		stack = append(stack[:0], frame{u: s})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nbrs := g.Neighbors(f.u)
+			if f.next < len(nbrs) {
+				v := int(nbrs[f.next])
+				f.next++
+				if disc[v] == 0 {
+					time++
+					disc[v], low[v], parent[v] = time, time, f.u
+					if f.u == s {
+						rootChildren++
+					}
+					stack = append(stack, frame{u: v})
+				} else if v != parent[f.u] {
+					low[f.u] = min(low[f.u], disc[v])
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[f.u]; p != -1 {
+				low[p] = min(low[p], low[f.u])
+				if p != s && low[f.u] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		isCut[s] = rootChildren > 1
+	}
+	var cuts []int
+	for u := 0; u < n; u++ {
+		if isCut[u] {
+			cuts = append(cuts, u)
+		}
+	}
+	return cuts
+}
+
 // ArboricityLowerBound returns the Nash-Williams bound m/(n-1) rounded up,
 // using the whole graph as the witness subgraph (Section 2.1).
 func ArboricityLowerBound(g *Graph) int {

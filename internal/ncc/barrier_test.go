@@ -2,6 +2,7 @@ package ncc
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -56,7 +57,7 @@ func TestNodeFinishesAtBarrier(t *testing.T) {
 		t.Error("expected messages to already-finished nodes to be dropped")
 	}
 	for _, workers := range []int{2, 5, 8} {
-		if got := runWith(workers); got != base {
+		if got := runWith(workers); !reflect.DeepEqual(got, base) {
 			t.Errorf("workers=%d stats diverge:\n  w1: %+v\n  w%d: %+v", workers, base, workers, got)
 		}
 	}
@@ -164,7 +165,7 @@ func TestSendWordEquivalence(t *testing.T) {
 		}
 		return d
 	}
-	if a, b := runWith(true), runWith(false); a != b {
+	if a, b := runWith(true), runWith(false); !reflect.DeepEqual(a, b) {
 		t.Errorf("inline and boxed sends diverge:\n  inline: %+v\n  boxed:  %+v", a, b)
 	}
 }

@@ -30,6 +30,39 @@ type Observer interface {
 // false drops it. It models targeted link faults for failure-injection tests.
 type Interceptor func(round int, from, to NodeID) bool
 
+// Outage takes one node out of service at a round boundary. A plain outage
+// suspends the node: its program keeps executing, but every message it sends
+// or is sent is suppressed until a Revival returns it to service (the node is
+// partitioned, not stopped — the engine cannot checkpoint a goroutine). Kill
+// makes the outage permanent fail-stop: the node's program is unwound at its
+// next round barrier and it retires with no output, exactly like a program
+// that never returned.
+type Outage struct {
+	Node NodeID
+	Kill bool
+}
+
+// Revival returns a suspended node to service. Reset additionally reseeds the
+// node's private random source (from the run seed and the revival round, so
+// runs stay deterministic) and discards its unsent outbox, modelling a rejoin
+// with fresh volatile state; program variables are preserved either way.
+type Revival struct {
+	Node  NodeID
+	Reset bool
+}
+
+// FaultPlan schedules node-liveness transitions. The coordinator calls
+// Transitions exactly once per round r = 0, 1, 2, ... while every node is
+// parked at the round barrier, and applies the returned outages and revivals
+// before the round's messages move. Implementations must be pure functions of
+// the plan and the round — never of goroutine scheduling — to preserve the
+// engine's bit-for-bit determinism; they run on the coordinator goroutine
+// only. Transitions naming finished, already-down (for outages), or in-service
+// (for revivals) nodes are ignored.
+type FaultPlan interface {
+	Transitions(round int) (down []Outage, up []Revival)
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// N is the number of nodes; must be at least 1.
@@ -67,6 +100,14 @@ type Config struct {
 	// 1 it is called from multiple goroutines concurrently and must be safe
 	// for concurrent use (pure functions trivially are).
 	Interceptor Interceptor
+
+	// FaultPlan, if non-nil, schedules node crashes, outages, and revivals
+	// (see the FaultPlan docs for timing and determinism requirements). A
+	// non-nil plan also switches the engine to failure-isolation mode: a
+	// panicking node program is retired as a crashed node (counted in
+	// Stats.NodeFailures) instead of aborting the run, and Stats reports the
+	// unfinished and down node sets at the end of the run.
+	FaultPlan FaultPlan
 
 	// Observer, if non-nil, sees every round's transmitted messages. It is
 	// always called from a single goroutine, regardless of Workers.

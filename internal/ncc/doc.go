@@ -34,4 +34,17 @@
 // buckets and inboxes are sized from observed traffic and reused across
 // rounds. TestSteadyStateAllocs pins ~0 allocs/message; BenchmarkEngineScale
 // tracks 64k/256k/1M-node throughput against BENCH_baseline.json in CI.
+//
+// Node liveness is a separate plane from message faults. Setting
+// Config.FaultPlan attaches a schedule of per-round Outage/Revival
+// transitions: a down node sends and receives nothing (its traffic is
+// silently dropped at the round barrier), a killed node never returns, and
+// a revival brings the node back — optionally with its program restarted
+// from scratch. Attaching any plan (even an empty one) also switches the
+// engine into failure-isolation mode: a node goroutine that panics is
+// counted in Stats.NodeFailures instead of crashing the run, and Stats
+// reports Unfinished/DownAtEnd so callers can distinguish "completed" from
+// "survived". Liveness decisions come only from the plan — which the
+// faultmodel package derives deterministically from the run seed — so
+// faulted runs remain bit-for-bit reproducible across worker counts.
 package ncc

@@ -43,6 +43,21 @@ func (c *Context) Round() int { return c.round }
 // Rand returns the node's deterministic private random source.
 func (c *Context) Rand() *rand.Rand { return c.rng }
 
+// Alive reports whether the node is currently in service. It is false only
+// while the run's FaultPlan holds the node in an outage: the program keeps
+// executing, but all of its traffic is suppressed until revival. Programs may
+// consult it to model crash-aware behavior; ignoring it is also correct.
+func (c *Context) Alive() bool { return c.r.down == nil || !c.r.down[c.id] }
+
+// Faulty reports whether the run injects faults of any kind (message drops,
+// link cuts, or node outages). Protocol layers use it to switch from
+// wait-forever semantics — correct on the reliable network the model
+// specifies — to bounded waits that degrade instead of hanging.
+func (c *Context) Faulty() bool {
+	cfg := &c.r.cfg
+	return cfg.FaultPlan != nil || cfg.DropProb > 0 || cfg.Interceptor != nil
+}
+
 // Pending returns the number of messages buffered for sending this round.
 func (c *Context) Pending() int { return len(c.out) }
 
@@ -197,6 +212,12 @@ func (c *Context) EndRound() []Received {
 	if r.bar.await(c.shard, start)&1 != 0 {
 		panic(errAborted)
 	}
+	if r.killed != nil && r.killed[c.id] {
+		// Fail-stopped by the fault plan while parked: unwind before the
+		// program sees this round's delivery. The goroutine's recover treats
+		// this as a normal finish with no output.
+		panic(errCrashed)
+	}
 	// The round's delivery is complete: every multi-word payload has been
 	// copied into its receiver's arena, so the send arena can be recycled
 	// before the node buffers its next round of messages.
@@ -212,6 +233,15 @@ var errAborted = &abortError{}
 type abortError struct{}
 
 func (*abortError) Error() string { return "ncc: run aborted" }
+
+// errCrashed is the sentinel panic used to unwind a single node goroutine
+// when the fault plan fail-stops it; the node retires with no output while
+// the run continues.
+var errCrashed = &crashError{}
+
+type crashError struct{}
+
+func (*crashError) Error() string { return "ncc: node fail-stopped by fault plan" }
 
 type run struct {
 	cfg        Config
@@ -238,6 +268,17 @@ type run struct {
 	// barrier completion and release only).
 	finished    []bool  // finished[id]: node id's program has returned
 	liveInShard []int32 // live-node count per shard, drives barrier reset
+
+	// Liveness plane, allocated only when cfg.FaultPlan is set. down[id]
+	// suppresses node id's traffic in both directions; killed[id] unwinds its
+	// program at the next barrier. Both are written by the coordinator while
+	// every node is parked and read by nodes/delivery workers afterwards, so
+	// the barrier release orders every access. nodeFailures counts isolated
+	// node panics (guarded by finMu, folded into stats after the run).
+	down         []bool
+	killed       []bool
+	crashed      []bool // retired by fail-stop or isolated panic: no output
+	nodeFailures int64
 
 	// Scratch, reused across rounds. buckets[i][j] holds the envelopes sent
 	// by sender shard i to receiver shard j this round; recvCounts[v] is
@@ -285,6 +326,11 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 	r.shardStats = make([]Stats, w)
 	r.obsShards = make([][]Envelope, w)
 	r.finished = make([]bool, cfg.N)
+	if cfg.FaultPlan != nil {
+		r.down = make([]bool, cfg.N)
+		r.killed = make([]bool, cfg.N)
+		r.crashed = make([]bool, cfg.N)
+	}
 	r.sendFn = r.sendPhase
 	r.recvFn = r.recvPhase
 	if w > 1 {
@@ -314,19 +360,35 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 		go func() {
 			defer wg.Done()
 			defer func() {
-				if v := recover(); v != nil {
-					if v == errAborted {
-						return
-					}
-					select {
-					case r.errCh <- fmt.Errorf("ncc: node %d panicked: %v\n%s", ctx.id, v, debug.Stack()):
-					default:
-					}
+				v := recover()
+				if v == errAborted {
 					return
 				}
-				// Normal return: queue the node for retirement, then arrive
-				// at the current barrier so the round completes without it.
+				if v != nil && v != errCrashed {
+					if r.cfg.FaultPlan == nil {
+						select {
+						case r.errCh <- fmt.Errorf("ncc: node %d panicked: %v\n%s", ctx.id, v, debug.Stack()):
+						default:
+						}
+						return
+					}
+					// Failure isolation: under a fault plan, a panicking
+					// program is a crashed node, not a failed run — faults
+					// push protocols into states their reliable-network
+					// invariants never allowed, and the run's job is to
+					// measure the degradation. Only the count enters Stats
+					// (the message text would be scheduling-dependent).
+					r.finMu.Lock()
+					r.nodeFailures++
+					r.finMu.Unlock()
+				}
+				// Normal return or isolated crash: queue the node for
+				// retirement, then arrive at the current barrier so the round
+				// completes without it.
 				r.finMu.Lock()
+				if v != nil {
+					r.crashed[ctx.id] = true // fail-stop or isolated panic: no output
+				}
 				r.finQ = append(r.finQ, ctx.id)
 				r.finMu.Unlock()
 				r.bar.arrive(ctx.shard)
@@ -336,6 +398,23 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 	}
 	r.coordinate()
 	wg.Wait()
+	if cfg.FaultPlan != nil {
+		// Nodes that returned after the final barrier are finished even if
+		// the coordinator never retired them (no goroutine is running now, so
+		// reading finQ is race-free).
+		for _, id := range r.finQ {
+			r.finished[id] = true
+		}
+		for id := 0; id < cfg.N; id++ {
+			if !r.finished[id] || r.crashed[id] {
+				r.stats.Unfinished = append(r.stats.Unfinished, id)
+			}
+			if r.down[id] {
+				r.stats.DownAtEnd = append(r.stats.DownAtEnd, id)
+			}
+		}
+		r.stats.NodeFailures = r.nodeFailures
+	}
 	processMessages.Add(r.stats.Messages)
 	processWords.Add(r.stats.Words)
 	processRounds.Add(int64(r.stats.Rounds))
@@ -404,6 +483,9 @@ func (r *run) coordinate() {
 			r.fail(fmt.Errorf("%w (%d)", ErrMaxRounds, r.cfg.MaxRounds))
 			return
 		}
+		if r.cfg.FaultPlan != nil {
+			r.applyTransitions(r.stats.Rounds)
+		}
 		if !r.deliverRound() {
 			return
 		}
@@ -411,6 +493,52 @@ func (r *run) coordinate() {
 		// arrive at the next barrier immediately.
 		r.bar.reset(r.liveInShard)
 		r.bar.release(false)
+	}
+}
+
+// applyTransitions asks the fault plan for round's liveness transitions and
+// applies them while every live node is parked at the barrier. Outages hitting
+// finished or already-down nodes are ignored (except to escalate an outage to
+// a kill); revivals only lift plain outages — a kill is permanent.
+func (r *run) applyTransitions(round int) {
+	downs, ups := r.cfg.FaultPlan.Transitions(round)
+	for _, o := range downs {
+		id := o.Node
+		if id < 0 || id >= r.cfg.N || r.finished[id] || r.killed[id] {
+			continue
+		}
+		if !r.down[id] {
+			r.down[id] = true
+			if o.Kill {
+				r.stats.NodesKilled++
+			} else {
+				r.stats.NodesDowned++
+			}
+		} else if !o.Kill {
+			continue
+		} else {
+			r.stats.NodesKilled++
+		}
+		if o.Kill {
+			r.killed[id] = true
+		}
+	}
+	for _, v := range ups {
+		id := v.Node
+		if id < 0 || id >= r.cfg.N || r.finished[id] || !r.down[id] || r.killed[id] {
+			continue
+		}
+		r.down[id] = false
+		r.stats.NodesRevived++
+		if v.Reset {
+			// A rejoin with fresh volatile state: reseed the node's private
+			// randomness from (seed, round, node) — deterministic across
+			// worker counts — and discard whatever it had queued to send.
+			ctx := r.nodes[id]
+			p := roundPCG(r.cfg.Seed, round, id, saltRevive)
+			ctx.rng = rand.New(&p)
+			ctx.out = ctx.out[:0]
+		}
 	}
 }
 
@@ -441,8 +569,9 @@ func roundPCG(seed int64, round int, node NodeID, salt uint64) rand.PCG {
 }
 
 const (
-	saltFault = 0x9e3779b97f4a7c15
-	saltRecv  = 0xbf58476d1ce4e5b9
+	saltFault  = 0x9e3779b97f4a7c15
+	saltRecv   = 0xbf58476d1ce4e5b9
+	saltRevive = 0x94d049bb133111eb
 )
 
 func pcgFloat64(p *rand.PCG) float64 {
@@ -474,12 +603,19 @@ func (r *run) sendPhase(i int) {
 	if observing {
 		r.obsShards[i] = r.obsShards[i][:0]
 	}
+	faulty := r.down != nil
 	lo, hi := r.shardRange(i)
 	for id := lo; id < hi; id++ {
 		if r.finished[id] {
 			continue
 		}
 		ctx := r.nodes[id]
+		if faulty && r.down[id] {
+			// Out-of-service sender: its whole outbox is suppressed.
+			st.DroppedDead += int64(len(ctx.out))
+			ctx.out = ctx.out[:0]
+			continue
+		}
 		out := ctx.out
 		if len(out) > st.MaxSendLoad {
 			st.MaxSendLoad = len(out)
@@ -498,6 +634,10 @@ func (r *run) sendPhase(i int) {
 			e := &out[k]
 			if r.finished[e.To] {
 				st.DroppedToFinished++
+				continue
+			}
+			if faulty && r.down[e.To] {
+				st.DroppedDead++
 				continue
 			}
 			if r.cfg.DropProb > 0 && pcgFloat64(&frng) < r.cfg.DropProb {
@@ -689,6 +829,7 @@ func (r *run) mergeShardStats() {
 		r.stats.DroppedSendOverflow += p.DroppedSendOverflow
 		r.stats.DroppedFault += p.DroppedFault
 		r.stats.DroppedToFinished += p.DroppedToFinished
+		r.stats.DroppedDead += p.DroppedDead
 		r.stats.MaxSendLoad = max(r.stats.MaxSendLoad, p.MaxSendLoad)
 		r.stats.MaxRecvOffered = max(r.stats.MaxRecvOffered, p.MaxRecvOffered)
 		r.stats.MaxRecvDelivered = max(r.stats.MaxRecvDelivered, p.MaxRecvDelivered)

@@ -2,6 +2,7 @@ package ncc
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -112,7 +113,7 @@ func TestDeterminism(t *testing.T) {
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
-	if st1 != st2 {
+	if !reflect.DeepEqual(st1, st2) {
 		t.Errorf("same seed gave different stats:\n%v\n%v", st1, st2)
 	}
 }

@@ -46,11 +46,34 @@ type Stats struct {
 	// DroppedToFinished counts messages addressed to nodes whose program
 	// had already returned.
 	DroppedToFinished int64 `json:"droppedToFinished,omitempty"`
+
+	// DroppedDead counts messages suppressed because the sender or receiver
+	// was out of service under the run's FaultPlan.
+	DroppedDead int64 `json:"droppedDead,omitempty"`
+
+	// NodesKilled / NodesDowned / NodesRevived count applied fault-plan
+	// transitions: permanent fail-stops, suspensions, and returns to service.
+	NodesKilled  int64 `json:"nodesKilled,omitempty"`
+	NodesDowned  int64 `json:"nodesDowned,omitempty"`
+	NodesRevived int64 `json:"nodesRevived,omitempty"`
+
+	// NodeFailures counts node programs that panicked and were retired as
+	// crashes under failure isolation (FaultPlan set) instead of aborting
+	// the run.
+	NodeFailures int64 `json:"nodeFailures,omitempty"`
+
+	// Unfinished lists (sorted) the nodes that produced no output: programs
+	// that never returned, were fail-stopped, or crashed under isolation.
+	// DownAtEnd lists the nodes out of service when the run ended (killed or
+	// in an unrevived outage). Populated only when a FaultPlan is set — on a
+	// reliable run both are always empty.
+	Unfinished []int `json:"unfinished,omitempty"`
+	DownAtEnd  []int `json:"downAtEnd,omitempty"`
 }
 
 // Dropped returns the total number of messages dropped for any reason.
 func (s Stats) Dropped() int64 {
-	return s.DroppedRecvOverflow + s.DroppedSendOverflow + s.DroppedFault + s.DroppedToFinished
+	return s.DroppedRecvOverflow + s.DroppedSendOverflow + s.DroppedFault + s.DroppedToFinished + s.DroppedDead
 }
 
 func (s Stats) String() string {

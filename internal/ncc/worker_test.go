@@ -1,6 +1,9 @@
 package ncc
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestWorkerCountInvariance is the determinism regression test of the
 // parallel round engine: a fixed seed must yield bit-for-bit identical Stats
@@ -62,7 +65,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		}
 		for _, workers := range []int{2, 3, 8} {
 			got := runWith(workers, dropProb)
-			if got.st != base.st {
+			if !reflect.DeepEqual(got.st, base.st) {
 				t.Errorf("dropProb=%v: workers=%d stats diverge from workers=1:\n  w1: %+v\n  w%d: %+v",
 					dropProb, workers, base.st, workers, got.st)
 			}

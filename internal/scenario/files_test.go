@@ -7,18 +7,17 @@ import (
 
 // TestShippedScenarioFiles pins that every example under scenarios/ parses
 // strictly, validates against the registries, and runs at its (small) size:
-// one record per expanded run, all of them verified — except for
-// fault-injection demos (a faults block that can actually drop messages),
-// whose records may instead carry the bounded abort the demo exists to show
-// (the collectives are not drop-tolerant; the run fails loudly at maxrounds
-// rather than wrongly).
+// one record per expanded run. Fault-free runs must verify; fault-injection
+// demos must degrade instead of failing — every record carries a degradation
+// report whose survivor verdict is clean (that is the robustness contract the
+// demos exist to show).
 func TestShippedScenarioFiles(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 5 {
-		t.Fatalf("found only %d scenario files, want the 5 shipped examples", len(files))
+	if len(files) < 8 {
+		t.Fatalf("found only %d scenario files, want the 8 shipped examples", len(files))
 	}
 	for _, path := range files {
 		path := path
@@ -38,20 +37,28 @@ func TestShippedScenarioFiles(t *testing.T) {
 			if n := sizeOf(s); n > 256 {
 				t.Fatalf("example graph size %d is not small; keep shipped scenarios fast", n)
 			}
-			faulty := s.Faults != nil &&
-				(s.Faults.DropProb > 0 || len(s.Faults.DropTo) > 0 || len(s.Faults.DropFrom) > 0)
+			faulty := len(s.Faults.specs()) > 0
 			recs := Run(s)
 			if len(recs) != len(expanded) {
 				t.Fatalf("Run produced %d records for %d expansions", len(recs), len(expanded))
 			}
 			for i, rec := range recs {
-				if faulty {
-					continue // fault demos may abort; the record carries the error
-				}
 				if rec.Error != "" {
 					t.Errorf("run %d failed: %s", i, rec.Error)
-				} else if !rec.Verified {
-					t.Errorf("run %d not verified: %s", i, rec.VerifyErr)
+					continue
+				}
+				if !faulty {
+					if !rec.Verified {
+						t.Errorf("run %d not verified: %s", i, rec.VerifyErr)
+					}
+					continue
+				}
+				if rec.Degradation == nil {
+					t.Errorf("run %d: faulted record has no degradation report", i)
+					continue
+				}
+				if !rec.Degradation.SurvivorsOK {
+					t.Errorf("run %d: survivors inconsistent: %s", i, rec.Degradation.Detail)
 				}
 			}
 		})

@@ -8,6 +8,7 @@ import (
 	"slices"
 
 	"ncc/internal/algo"
+	"ncc/internal/faultmodel"
 	"ncc/internal/graph"
 	"ncc/internal/ncc"
 	"ncc/internal/param"
@@ -25,9 +26,11 @@ import (
 //   - Both parameter bags are resolved against the registries, so omitted
 //     parameters and explicitly spelled defaults coincide.
 //   - Model defaults (CapFactor/MaxWords/MaxRounds) are filled in.
-//   - Faults that cannot drop anything normalize to nil; DropTo/DropFrom are
-//     sorted (they are consulted as sets), and FromRound is cleared when no
-//     link set is present (it only gates link faults).
+//   - Faults normalize to their fault-model spec list (legacy DropProb and
+//     DropTo/DropFrom/FromRound knobs become the equivalent "iid-drop" and
+//     "link-cut" specs), with model parameter bags resolved and To/From sets
+//     sorted; a block that lowers to no specs at all normalizes to nil. The
+//     spec list order is preserved — it feeds each spec's seed derivation.
 //   - A kmachine accounting block keeps its K and has a defaulted Bandwidth
 //     filled in; an absent block stays absent (accounting is hash-relevant
 //     because it changes the Record).
@@ -72,8 +75,12 @@ func (s Scenario) Canonical() (Scenario, error) {
 	}
 	m.Workers = 0
 	c.Model = m
-	c.Faults = canonicalFaults(s.Faults)
-	c.Sweep = canonicalSweep(s.Sweep)
+	if c.Faults, err = canonicalFaults(s.Faults); err != nil {
+		return c, err
+	}
+	if c.Sweep, err = canonicalSweep(s.Sweep); err != nil {
+		return c, err
+	}
 	if s.KMachine != nil {
 		km := *s.KMachine
 		if km.Bandwidth == 0 {
@@ -84,36 +91,52 @@ func (s Scenario) Canonical() (Scenario, error) {
 	return c, nil
 }
 
-func canonicalFaults(f *Faults) *Faults {
-	if f == nil {
-		return nil
+func canonicalFaults(f *Faults) (*Faults, error) {
+	specs := f.specs() // legacy knobs lower to their equivalent model specs
+	if len(specs) == 0 {
+		return nil, nil
 	}
-	cf := Faults{
-		DropProb: f.DropProb,
-		DropTo:   sortedCopy(f.DropTo),
-		DropFrom: sortedCopy(f.DropFrom),
+	out := make([]faultmodel.Spec, len(specs))
+	for i, sp := range specs {
+		m, ok := faultmodel.Get(sp.Model)
+		if !ok {
+			return nil, fmt.Errorf("faults.models[%d]: %w", i, faultmodel.ErrUnknown(sp.Model))
+		}
+		p, err := param.Resolve(sp.Params, m.Params)
+		if err != nil {
+			return nil, fmt.Errorf("fault model %s: %w", sp.Model, err)
+		}
+		out[i] = faultmodel.Spec{Model: sp.Model, Params: p, To: sortedCopy(sp.To), From: sortedCopy(sp.From)}
 	}
-	if len(cf.DropTo) > 0 || len(cf.DropFrom) > 0 {
-		cf.FromRound = f.FromRound
-	} else if cf.DropProb == 0 {
-		return nil // no drops of any kind: same as no faults block at all
-	}
-	return &cf
+	return &Faults{Models: out}, nil
 }
 
-func canonicalSweep(sw *Sweep) *Sweep {
+func canonicalSweep(sw *Sweep) (*Sweep, error) {
 	if sw == nil {
-		return nil
+		return nil, nil
 	}
 	cs := Sweep{
 		N:         sortedCopy(sw.N),
 		CapFactor: sortedCopy(sw.CapFactor),
 		Seeds:     sortedCopy(sw.Seeds),
 	}
-	if len(cs.N) == 0 && len(cs.CapFactor) == 0 && len(cs.Seeds) == 0 {
-		return nil
+	// Fault variants keep their order (each is a distinct run of the
+	// expansion) but normalize entry-wise; a variant lowering to no specs is
+	// the canonical fault-free entry, the zero Faults.
+	for i := range sw.Faults {
+		cf, err := canonicalFaults(&sw.Faults[i])
+		if err != nil {
+			return nil, fmt.Errorf("sweep.faults[%d]: %w", i, err)
+		}
+		if cf == nil {
+			cf = &Faults{}
+		}
+		cs.Faults = append(cs.Faults, *cf)
 	}
-	return &cs
+	if len(cs.N) == 0 && len(cs.CapFactor) == 0 && len(cs.Seeds) == 0 && len(cs.Faults) == 0 {
+		return nil, nil
+	}
+	return &cs, nil
 }
 
 func sortedCopy[T int | int64](v []T) []T {

@@ -159,3 +159,23 @@ func TestCanonicalPinsEngineDefaults(t *testing.T) {
 		t.Fatalf("canonical form retained non-semantic fields: %+v", c)
 	}
 }
+
+func TestHashLegacyFaultsEqualModelSpecs(t *testing.T) {
+	// The legacy flat knobs canonicalize to the fault-model specs they mean,
+	// so either spelling shares one cache entry.
+	legacy := mustHash(t, `{"algo":"bfs","graph":{"family":"grid"},"faults":{"dropprob":0.1,"dropto":[3,1],"fromround":5}}`)
+	models := mustHash(t, `{"algo":"bfs","graph":{"family":"grid"},"faults":{"models":[{"model":"iid-drop","params":{"p":0.1}},{"model":"link-cut","params":{"fromround":5},"to":[1,3]}]}}`)
+	if legacy != models {
+		t.Fatal("legacy fault knobs and their model-spec form hash differently")
+	}
+	crash := mustHash(t, `{"algo":"bfs","graph":{"family":"grid"},"faults":{"models":[{"model":"crash","params":{"count":2,"round":10}}]}}`)
+	if crash == models {
+		t.Fatal("a crash schedule hashes like a drop schedule")
+	}
+	// The sweep faults axis is hash-relevant.
+	plain := mustHash(t, `{"algo":"bfs","graph":{"family":"grid"}}`)
+	swept := mustHash(t, `{"algo":"bfs","graph":{"family":"grid"},"sweep":{"faults":[{},{"models":[{"model":"crash"}]}]}}`)
+	if plain == swept {
+		t.Fatal("sweep faults axis did not change the hash")
+	}
+}

@@ -1,10 +1,21 @@
 // Package scenario is the declarative execution spec shared by the CLIs and
 // the benchmark harness: one Scenario names a graph spec, an algorithm with
 // parameters, the clique model, optional fault injection, and an optional
-// sweep over n / capfactor / seeds. Scenarios decode from JSON files or are
-// assembled from CLI flags; runs produce JSON-serializable Records (scenario
-// echo + graph info + stats + verification status) so sweep results become
-// diffable artifacts.
+// sweep over n / capfactor / seeds / faults. Scenarios decode from JSON
+// files or are assembled from CLI flags; runs produce JSON-serializable
+// Records (scenario echo + graph info + stats + verification status) so
+// sweep results become diffable artifacts.
+//
+// Fault injection is declarative: a Faults block lists fault-model specs
+// ("crash", "churn", "adversarial", ...) that the faultmodel registry
+// compiles into a deterministic schedule seeded from the run seed, so a
+// faulted run replays byte-identically anywhere — locally, on a cluster
+// worker after a redispatch, or out of the result cache. Faulted runs do
+// not hard-fail verification; their Records instead carry a degradation
+// report (unfinished/down counts, reachable fraction, and a survivor-only
+// correctness verdict). The legacy flat knobs (dropprob, dropto/dropfrom/
+// fromround) remain accepted and canonicalize to the equivalent model
+// specs, so both spellings share one cache hash.
 package scenario
 
 import (
@@ -12,6 +23,7 @@ import (
 	"os"
 
 	"ncc/internal/algo"
+	"ncc/internal/faultmodel"
 	"ncc/internal/graph"
 	"ncc/internal/kmachine"
 	"ncc/internal/ncc"
@@ -29,48 +41,86 @@ type Model struct {
 	NonStrict bool  `json:"nonstrict,omitempty"`
 }
 
-// Faults declares fault injection: independent message drops and/or a
-// declarative link interceptor (drop everything to/from the listed nodes from
-// round FromRound on).
+// Faults declares fault injection as a list of fault-model blocks (Models,
+// compiled by the faultmodel registry against the run seed and the built
+// graph). The flat legacy knobs — DropProb for i.i.d. message loss, and
+// DropTo/DropFrom/FromRound for a link cut — remain accepted and compile to
+// the equivalent "iid-drop" and "link-cut" model specs; new scenarios should
+// write Models directly. Declaring any fault block (even one that schedules
+// nothing) switches the engine into failure-isolation mode: node programs
+// degrade instead of failing hard, and Records carry a degradation report.
 type Faults struct {
-	DropProb  float64 `json:"dropprob,omitempty"`
-	DropTo    []int   `json:"dropto,omitempty"`
-	DropFrom  []int   `json:"dropfrom,omitempty"`
-	FromRound int     `json:"fromround,omitempty"`
+	DropProb  float64           `json:"dropprob,omitempty"`
+	DropTo    []int             `json:"dropto,omitempty"`
+	DropFrom  []int             `json:"dropfrom,omitempty"`
+	FromRound int               `json:"fromround,omitempty"`
+	Models    []faultmodel.Spec `json:"models,omitempty"`
 }
 
-// interceptor compiles the declarative link faults to an ncc.Interceptor
-// (nil when only DropProb is set).
-func (f *Faults) interceptor() ncc.Interceptor {
-	if f == nil || (len(f.DropTo) == 0 && len(f.DropFrom) == 0) {
+// specs lowers the block to the fault-model spec list it means: the legacy
+// knobs become their equivalent registry specs (in a fixed order, so the
+// compile seed derivation is stable), followed by the explicit Models.
+func (f *Faults) specs() []faultmodel.Spec {
+	if f == nil {
 		return nil
 	}
-	to := map[ncc.NodeID]bool{}
-	for _, v := range f.DropTo {
-		to[v] = true
+	var out []faultmodel.Spec
+	if f.DropProb > 0 {
+		out = append(out, faultmodel.Spec{
+			Model:  "iid-drop",
+			Params: param.Values{"p": f.DropProb},
+		})
 	}
-	from := map[ncc.NodeID]bool{}
-	for _, v := range f.DropFrom {
-		from[v] = true
+	if len(f.DropTo) > 0 || len(f.DropFrom) > 0 {
+		out = append(out, faultmodel.Spec{
+			Model:  "link-cut",
+			Params: param.Values{"fromround": float64(f.FromRound)},
+			To:     f.DropTo,
+			From:   f.DropFrom,
+		})
 	}
-	start := f.FromRound
-	return func(round int, src, dst ncc.NodeID) bool {
-		if round < start {
-			return true
+	return append(out, f.Models...)
+}
+
+// validate statically checks the block; n > 0 bounds node ids (0 means the
+// clique size is not yet known). Errors name the offending field.
+func (f *Faults) validate(n int) error {
+	if f.DropProb < 0 || f.DropProb > 1 {
+		return fmt.Errorf("dropprob = %v out of [0,1]", f.DropProb)
+	}
+	if f.FromRound < 0 {
+		return fmt.Errorf("fromround = %d, need >= 0", f.FromRound)
+	}
+	for i, v := range f.DropTo {
+		if v < 0 || (n > 0 && v >= n) {
+			return fmt.Errorf("dropto[%d] = %d out of [0,%d)", i, v, n)
 		}
-		return !to[dst] && !from[src]
 	}
+	for i, v := range f.DropFrom {
+		if v < 0 || (n > 0 && v >= n) {
+			return fmt.Errorf("dropfrom[%d] = %d out of [0,%d)", i, v, n)
+		}
+	}
+	for i, sp := range f.Models {
+		if err := faultmodel.Validate(sp, n); err != nil {
+			return fmt.Errorf("models[%d]: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Sweep declares the axes of a parameter sweep. Every listed n overrides the
 // graph spec's "n" parameter; every capfactor overrides the model; every seed
-// overrides both the model seed and the graph seed (independent trials).
-// Empty axes keep the scenario's own value. Expansion order is deterministic:
-// n outermost, then capfactor, then seeds.
+// overrides both the model seed and the graph seed (independent trials);
+// every faults entry replaces the scenario's whole fault block (an empty
+// entry {} means "this variant runs fault-free"). Empty axes keep the
+// scenario's own value. Expansion order is deterministic: n outermost, then
+// capfactor, then seeds, then faults.
 type Sweep struct {
-	N         []int   `json:"n,omitempty"`
-	CapFactor []int   `json:"capfactor,omitempty"`
-	Seeds     []int64 `json:"seeds,omitempty"`
+	N         []int    `json:"n,omitempty"`
+	CapFactor []int    `json:"capfactor,omitempty"`
+	Seeds     []int64  `json:"seeds,omitempty"`
+	Faults    []Faults `json:"faults,omitempty"`
 }
 
 // KMachine declares k-machine-model accounting for a run (Appendix A): the
@@ -124,7 +174,10 @@ type Record struct {
 	KMachine  *kmachine.Result   `json:"kmachine,omitempty"`
 	Verified  bool               `json:"verified"`
 	VerifyErr string             `json:"verifyError,omitempty"`
-	Error     string             `json:"error,omitempty"`
+	// Degradation reports how a fault-injected run degraded (present exactly
+	// when the scenario declared faults and the run itself succeeded).
+	Degradation *algo.DegradationReport `json:"degradation,omitempty"`
+	Error       string                  `json:"error,omitempty"`
 }
 
 // Load reads a Scenario from a JSON file with strict field checking (see
@@ -167,6 +220,19 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("kmachine.bandwidth = %d, need >= 0 (0 means the default %d)", km.Bandwidth, DefaultKMachineBandwidth)
 		}
 	}
+	// Bound fault node ids against the clique size when it is statically
+	// known (the resolved graph "n" parameter, unless a sweep overrides n).
+	n := 0
+	if gp, err := param.Resolve(s.Graph.Params, f.Params); err == nil {
+		if v, ok := gp["n"]; ok && (s.Sweep == nil || len(s.Sweep.N) == 0) {
+			n = int(v)
+		}
+	}
+	if s.Faults != nil {
+		if err := s.Faults.validate(n); err != nil {
+			return fmt.Errorf("faults.%w", err)
+		}
+	}
 	if s.Sweep != nil {
 		if _, hasN := s.Graph.Params["n"]; len(s.Sweep.N) > 0 && !hasN {
 			ok := false
@@ -177,6 +243,11 @@ func (s Scenario) Validate() error {
 			}
 			if !ok {
 				return fmt.Errorf("graph family %s has no n parameter to sweep", s.Graph.Family)
+			}
+		}
+		for i := range s.Sweep.Faults {
+			if err := s.Sweep.Faults[i].validate(n); err != nil {
+				return fmt.Errorf("sweep.faults[%d].%w", i, err)
 			}
 		}
 	}
@@ -199,21 +270,32 @@ func (s Scenario) Expand() []Scenario {
 				seeds = []int64{0}
 			}
 			for _, seed := range seeds {
-				c := s
-				c.Sweep = nil
-				c.Params = s.Params.Clone()
-				c.Graph.Params = s.Graph.Params.Clone()
-				if hasN {
-					c.Graph.Params["n"] = float64(n)
+				faults := sw.Faults
+				hasFaults := len(faults) > 0
+				if !hasFaults {
+					faults = []Faults{{}}
 				}
-				if hasCF {
-					c.Model.CapFactor = cf
+				for fi := range faults {
+					c := s
+					c.Sweep = nil
+					c.Params = s.Params.Clone()
+					c.Graph.Params = s.Graph.Params.Clone()
+					if hasN {
+						c.Graph.Params["n"] = float64(n)
+					}
+					if hasCF {
+						c.Model.CapFactor = cf
+					}
+					if hasSeeds {
+						c.Model.Seed = seed
+						c.Graph.Seed = seed
+					}
+					if hasFaults {
+						fb := faults[fi]
+						c.Faults = &fb
+					}
+					out = append(out, c)
 				}
-				if hasSeeds {
-					c.Model.Seed = seed
-					c.Graph.Seed = seed
-				}
-				out = append(out, c)
 			}
 		})
 	})
@@ -287,9 +369,14 @@ func RunOneWith(s Scenario, opts RunOpts) (Record, error) {
 	if opts.Workers != 0 {
 		cfg.Workers = opts.Workers
 	}
-	if s.Faults != nil {
-		cfg.DropProb = s.Faults.DropProb
-		cfg.Interceptor = s.Faults.interceptor()
+	if specs := s.Faults.specs(); len(specs) > 0 {
+		plan, err := faultmodel.Build(specs, faultmodel.Env{G: g, N: g.N(), Seed: cfg.Seed})
+		if err != nil {
+			return rec, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		cfg.DropProb = plan.DropProb
+		cfg.Interceptor = plan.Interceptor
+		cfg.FaultPlan = plan
 	}
 	var acct *kmachine.Accountant
 	if km := s.KMachine; km != nil {
@@ -313,6 +400,7 @@ func RunOneWith(s Scenario, opts RunOpts) (Record, error) {
 	rec.Stats = res.Stats
 	rec.Verified = res.Verified
 	rec.VerifyErr = res.VerifyErr
+	rec.Degradation = res.Degradation
 	if acct != nil {
 		kres := acct.Result()
 		kres.NCCRounds = res.Stats.Rounds

@@ -1,12 +1,14 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"ncc/internal/faultmodel"
 	"ncc/internal/graph"
 	"ncc/internal/param"
 )
@@ -188,7 +190,11 @@ func TestFaultInjectionIsRecordedNotFatal(t *testing.T) {
 
 func TestInterceptorFaults(t *testing.T) {
 	f := &Faults{DropTo: []int{0}, FromRound: 5}
-	ic := f.interceptor()
+	plan, err := faultmodel.Build(f.specs(), faultmodel.Env{N: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := plan.Interceptor
 	if ic == nil {
 		t.Fatal("no interceptor compiled")
 	}
@@ -200,5 +206,141 @@ func TestInterceptorFaults(t *testing.T) {
 	}
 	if !ic(5, 1, 2) {
 		t.Error("dropped an unrelated message")
+	}
+}
+
+func TestFaultValidationFieldPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Faults
+		want string
+	}{
+		{"negative fromround", Faults{FromRound: -1}, "faults.fromround = -1"},
+		{"dropprob range", Faults{DropProb: 1.5}, "faults.dropprob = 1.5"},
+		{"dropto bound", Faults{DropTo: []int{24}}, "faults.dropto[0] = 24 out of [0,24)"},
+		{"dropfrom bound", Faults{DropFrom: []int{-1}}, "faults.dropfrom[0] = -1"},
+		{"unknown model", Faults{Models: []faultmodel.Spec{{Model: "meteor"}}}, `faults.models[0]: model: unknown fault model "meteor"`},
+		{"links on non-link model", Faults{Models: []faultmodel.Spec{{Model: "crash", To: []int{1}}}}, "faults.models[0]: model crash takes no to/from link sets"},
+		{"link set bound", Faults{Models: []faultmodel.Spec{{Model: "link-cut", To: []int{30}}}}, "faults.models[0]: to[0] = 30 out of [0,24)"},
+		{"bad model param", Faults{Models: []faultmodel.Spec{{Model: "crash", Params: param.Values{"rounds": 3}}}}, "faults.models[0]: params:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := misScenario()
+			s.Faults = &tc.f
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+
+	s := misScenario()
+	s.Sweep = &Sweep{Faults: []Faults{{}, {FromRound: -2}}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "sweep.faults[1].fromround") {
+		t.Fatalf("Validate() = %v, want sweep.faults[1].fromround path", err)
+	}
+}
+
+func TestSweepFaultsAxis(t *testing.T) {
+	s := misScenario()
+	s.Sweep = &Sweep{Seeds: []int64{1, 2}, Faults: []Faults{{}, {DropProb: 0.1}}}
+	ex := s.Expand()
+	if len(ex) != 4 {
+		t.Fatalf("expanded to %d scenarios, want 4", len(ex))
+	}
+	for i, c := range ex {
+		wantDrop := 0.0
+		if i%2 == 1 {
+			wantDrop = 0.1
+		}
+		if c.Faults == nil || c.Faults.DropProb != wantDrop {
+			t.Errorf("expansion %d: faults = %+v, want dropprob %v", i, c.Faults, wantDrop)
+		}
+		if c.Sweep != nil {
+			t.Errorf("expansion %d still carries a sweep", i)
+		}
+	}
+	if ex[0].Model.Seed != 1 || ex[2].Model.Seed != 2 {
+		t.Errorf("seed axis must stay outside the faults axis: %+v", []int64{ex[0].Model.Seed, ex[2].Model.Seed})
+	}
+}
+
+func TestCrashScenarioRecordsDegradation(t *testing.T) {
+	s := Scenario{
+		Algo:  "mis",
+		Graph: graph.Spec{Family: "kforest", Params: param.Values{"n": 48, "k": 2}, Seed: 3},
+		Model: Model{Seed: 11, MaxRounds: 1 << 17},
+		Faults: &Faults{Models: []faultmodel.Spec{
+			{Model: "crash", Params: param.Values{"count": 4, "round": 20}},
+		}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RunOne(s, nil)
+	if err != nil {
+		t.Fatalf("crashed run failed hard: %v", err)
+	}
+	if rec.Degradation == nil {
+		t.Fatal("faulted record has no degradation report")
+	}
+	if rec.Verified {
+		t.Error("degraded record must not claim full verification")
+	}
+	if !rec.Degradation.SurvivorsOK {
+		t.Errorf("survivor verification failed: %s", rec.Degradation.Detail)
+	}
+	if rec.Degradation.Unfinished < 4 {
+		t.Errorf("unfinished = %d, want >= 4", rec.Degradation.Unfinished)
+	}
+}
+
+// TestFaultedRunsAreWorkerInvariant pins the reproducibility contract for
+// every registered fault model: the full Record — stats, degradation report,
+// survivor verdict — is byte-identical across engine worker counts and across
+// repeated runs of the same seed (fault schedules derive from the run seed,
+// never from execution order).
+func TestFaultedRunsAreWorkerInvariant(t *testing.T) {
+	blocks := []Faults{
+		{Models: []faultmodel.Spec{{Model: "iid-drop", Params: param.Values{"p": 0.004}}}},
+		{Models: []faultmodel.Spec{{Model: "link-cut", Params: param.Values{"fromround": 40}, To: []int{1}}}},
+		{Models: []faultmodel.Spec{{Model: "crash", Params: param.Values{"count": 3, "round": 20}}}},
+		{Models: []faultmodel.Spec{{Model: "crash-recover", Params: param.Values{"count": 2, "round": 16, "downfor": 48}}}},
+		{Models: []faultmodel.Spec{{Model: "churn", Params: param.Values{"rate": 0.01, "horizon": 400, "meandown": 32}}}},
+		{Models: []faultmodel.Spec{{Model: "adversarial", Params: param.Values{"count": 2, "round": 16}}}},
+	}
+	for i := range blocks {
+		f := blocks[i]
+		t.Run(f.Models[0].Model, func(t *testing.T) {
+			t.Parallel()
+			s := Scenario{
+				Algo:   "mis",
+				Graph:  graph.Spec{Family: "kforest", Params: param.Values{"n": 32, "k": 2}, Seed: 7},
+				Model:  Model{Seed: 7, MaxRounds: 1 << 15},
+				Faults: &f,
+			}
+			var runs [][]byte
+			for _, workers := range []int{1, 3, 3} {
+				rec, err := RunOneWith(s, RunOpts{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if rec.Degradation == nil {
+					t.Fatalf("workers=%d: faulted record has no degradation report", workers)
+				}
+				line, err := json.Marshal(rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runs = append(runs, line)
+			}
+			if !bytes.Equal(runs[0], runs[1]) {
+				t.Errorf("record differs across worker counts:\n1 worker:  %s\n3 workers: %s", runs[0], runs[1])
+			}
+			if !bytes.Equal(runs[1], runs[2]) {
+				t.Errorf("record differs across repeated runs of one seed:\n%s\n%s", runs[1], runs[2])
+			}
+		})
 	}
 }

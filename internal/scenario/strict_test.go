@@ -29,7 +29,7 @@ func TestDecodeStrictUnknownFields(t *testing.T) {
 		{
 			name: "sweep typo",
 			in:   `{"algo":"mis","graph":{"family":"kforest"},"sweep":{"seed":[1]}}`,
-			want: `unknown field "sweep.seed" (sweep has capfactor, n, seeds)`,
+			want: `unknown field "sweep.seed" (sweep has capfactor, faults, n, seeds)`,
 		},
 		{
 			name: "graph spec typo",

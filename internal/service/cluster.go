@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
@@ -253,13 +254,33 @@ func newRemoteBackend(cfg Config, c CacheTier, m *metrics) *RemoteBackend {
 		cache:    c,
 		reg:      newWorkerRegistry(cfg.WorkerTTL),
 		queue:    make(chan *Job, cfg.QueueLimit),
-		client:   &http.Client{},
+		client:   newClusterClient(),
 		stopScan: make(chan struct{}),
 	}
 	b.wg.Add(1)
 	go b.dispatcher()
 	go b.expiryLoop()
 	return b
+}
+
+// newClusterClient builds the coordinator→worker HTTP client. Job record
+// streams are long-lived, so there is no whole-request timeout; instead the
+// transport bounds the two places a dead worker could hang a dispatch
+// forever: establishing the connection and waiting for response headers.
+// Stalls after the headers are handled by the heartbeat expiry path, which
+// cancels and re-dispatches the jobs of a worker that stops heartbeating.
+func newClusterClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			ResponseHeaderTimeout: 15 * time.Second,
+			IdleConnTimeout:       90 * time.Second,
+			MaxIdleConnsPerHost:   8,
+		},
+	}
 }
 
 // expiryLoop sweeps the registry for workers that missed their heartbeats.

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -35,6 +36,11 @@ func init() {
 }
 
 const slowSweepJSON = `{"name":"slow","algo":"slow-test","graph":{"family":"kforest","params":{"n":16,"k":2},"seed":1},"model":{"capfactor":4,"seed":1},"sweep":{"seeds":[1,2,3,4,5,6,7,8]}}`
+
+// faultSweepJSON carries a fault-plan block: fault schedules are derived from
+// each run's seed, so the cluster stream (including redispatch and cache
+// replay) must stay byte-identical to a local run even with nodes crashing.
+const faultSweepJSON = `{"name":"faulted","algo":"mis","graph":{"family":"kforest","params":{"n":32,"k":2},"seed":7},"model":{"seed":11,"maxrounds":131072},"faults":{"models":[{"model":"crash","params":{"count":3,"round":20}}]},"sweep":{"seeds":[1,2,3]}}`
 
 func newCoordinator(t *testing.T, cfg service.Config) *httptest.Server {
 	t.Helper()
@@ -115,6 +121,55 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 	if got2 := fetch(t, coord.URL+"/v1/jobs/"+info2.ID+"/records"); !bytes.Equal(got2, want) {
 		t.Fatal("cached cluster stream differs from the original")
+	}
+}
+
+// TestClusterFaultedSweepByteIdentity pins the fault-model determinism
+// contract across the service plane: a sweep whose runs crash nodes under a
+// seeded fault plan streams byte-identical records from the cluster and from
+// the coordinator's cache replay, because schedules derive from the run seed
+// rather than from wall-clock or executor identity. Every record must carry a
+// degradation report with a clean survivor verdict.
+func TestClusterFaultedSweepByteIdentity(t *testing.T) {
+	coord := newCoordinator(t, service.Config{WorkerTTL: time.Minute})
+	w1 := newTestServer(t, service.Config{WorkerBudget: 2, Executors: 2})
+	w2 := newTestServer(t, service.Config{WorkerBudget: 2, Executors: 2})
+	registerWorker(t, coord.URL, "w1", w1.URL, 1)
+	registerWorker(t, coord.URL, "w2", w2.URL, 1)
+
+	want := localLines(t, faultSweepJSON)
+	info := submit(t, coord.URL, faultSweepJSON)
+	got := fetch(t, coord.URL+"/v1/jobs/"+info.ID+"/records")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("faulted cluster stream differs from local run:\nlocal:   %q\ncluster: %q", want, got)
+	}
+	for i, line := range bytes.Split(bytes.TrimSpace(got), []byte("\n")) {
+		var rec struct {
+			Error       string `json:"error"`
+			Degradation *struct {
+				SurvivorsOK bool `json:"survivorsOk"`
+			} `json:"degradation"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Error != "" {
+			t.Fatalf("record %d errored: %s", i, rec.Error)
+		}
+		if rec.Degradation == nil {
+			t.Fatalf("record %d: faulted run carries no degradation report", i)
+		}
+		if !rec.Degradation.SurvivorsOK {
+			t.Fatalf("record %d: survivor verdict not clean", i)
+		}
+	}
+
+	info2 := submit(t, coord.URL, faultSweepJSON)
+	if !info2.Cached {
+		t.Fatal("identical faulted re-submission missed the coordinator's result cache")
+	}
+	if got2 := fetch(t, coord.URL+"/v1/jobs/"+info2.ID+"/records"); !bytes.Equal(got2, want) {
+		t.Fatal("cached faulted stream differs from the original")
 	}
 }
 
@@ -326,4 +381,67 @@ func TestJoinerLifecycle(t *testing.T) {
 	if n := metricValue(t, coord.URL, "nccd_workers_live"); n != 0 {
 		t.Fatalf("nccd_workers_live = %g right after Joiner shutdown, want 0", n)
 	}
+}
+
+// TestJoinerBacksOffWhenCoordinatorUnreachable: a failing coordinator must
+// not be hammered at the heartbeat period — registration retries back off
+// exponentially (with jitter) up to a cap, and a recovered coordinator gets
+// the worker back.
+func TestJoinerBacksOffWhenCoordinatorUnreachable(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	failing := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if failing {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	registered := make(chan struct{}, 1)
+	jn := &service.Joiner{
+		Coordinator: srv.URL,
+		Self:        "http://127.0.0.1:0",
+		Name:        "backoff-test",
+		Interval:    20 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			if strings.HasPrefix(format, "registered") {
+				select {
+				case registered <- struct{}{}:
+				default:
+				}
+			}
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		jn.Run(ctx)
+	}()
+
+	// While failing, the retry gaps grow: minimum gaps are interval, then
+	// 2*interval, then the 4x cap... so 1.2s admits at most ~14 attempts
+	// (a plain 20ms ticker would make 50+).
+	time.Sleep(1200 * time.Millisecond)
+	mu.Lock()
+	failures := attempts
+	failing = false
+	mu.Unlock()
+	if failures >= 25 {
+		t.Errorf("joiner made %d attempts in 1.2s against a dead coordinator; backoff is not applied", failures)
+	}
+	select {
+	case <-registered:
+	case <-time.After(5 * time.Second):
+		t.Error("joiner never re-registered after the coordinator recovered")
+	}
+	cancel()
+	<-done
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strings"
@@ -51,21 +52,34 @@ func (jn *Joiner) Run(ctx context.Context) {
 	base := strings.TrimRight(jn.Coordinator, "/")
 	body, _ := json.Marshal(registerRequest{Name: name, URL: jn.Self, Capacity: jn.Capacity})
 
-	t := time.NewTicker(interval)
+	// The timer is re-armed at the top of every iteration (heartbeat period
+	// on success, backoff on failure), so it starts parked far in the future:
+	// Reset then never races a pending fire.
+	t := time.NewTimer(24 * time.Hour)
 	defer t.Stop()
 	registered := false
+	backoff := interval
 	for {
+		wait := interval
 		if err := jn.register(ctx, base, body); err != nil {
 			if jn.Logf != nil {
 				jn.Logf("join %s: %v", base, err)
 			}
 			registered = false
+			// Capped exponential backoff with jitter: an unreachable
+			// coordinator is retried ever more slowly (up to 8 heartbeat
+			// periods), and the jitter keeps a fleet of workers that lost the
+			// coordinator together from re-registering in lockstep.
+			backoff = min(backoff*2, 8*interval)
+			wait = backoff/2 + rand.N(backoff/2+1)
 		} else {
 			if !registered && jn.Logf != nil {
 				jn.Logf("registered with coordinator %s as %s (capacity %d)", base, name, jn.Capacity)
 			}
 			registered = true
+			backoff = interval
 		}
+		t.Reset(wait)
 		select {
 		case <-ctx.Done():
 			jn.deregister(base, name)

@@ -1,0 +1,146 @@
+package verify
+
+import (
+	"fmt"
+
+	"ncc/internal/graph"
+)
+
+// Survivor verifiers: the consistency checks a degraded run must still pass
+// on the nodes that survived fault injection. alive[u] marks nodes that
+// finished and ended in service; outputs of dead nodes are engine zero values
+// and are never consulted. Global properties that can legitimately be lost
+// with the dead nodes (spanning, maximality against a dead neighbor,
+// minimality) are weakened to their sound survivor-local forms: the checks
+// below reject outputs that are *wrong*, never outputs that are merely
+// *incomplete*.
+
+// SurvivorMIS checks that the alive nodes' membership bits form an
+// independent set. Maximality is not asserted: the fault-repair pass resolves
+// membership conflicts by demotion, so an alive node may legitimately end
+// undominated when its dominator died or was demoted — incompleteness, not
+// wrongness.
+func SurvivorMIS(g *graph.Graph, in []bool, alive []bool) error {
+	for u := 0; u < g.N(); u++ {
+		if !alive[u] || !in[u] {
+			continue
+		}
+		for _, v32 := range g.Neighbors(u) {
+			if v := int(v32); alive[v] && in[v] {
+				return fmt.Errorf("alive nodes %d and %d are adjacent and both in the set", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// SurvivorMatching checks that alive nodes' partner claims are real edges and
+// reciprocated whenever the partner is alive too (a claim on a dead partner
+// is accepted: the handshake completed before the partner died).
+func SurvivorMatching(g *graph.Graph, mate []int, alive []bool) error {
+	for u := 0; u < g.N(); u++ {
+		if !alive[u] || mate[u] == -1 {
+			continue
+		}
+		m := mate[u]
+		if m < 0 || m >= g.N() || !g.HasEdge(u, m) {
+			return fmt.Errorf("alive node %d claims partner %d which is not a neighbor", u, m)
+		}
+		if alive[m] && mate[m] != u {
+			return fmt.Errorf("alive pair (%d,%d): partner claims %d instead", u, m, mate[m])
+		}
+	}
+	return nil
+}
+
+// SurvivorColoring checks properness over edges with both endpoints alive
+// and that alive nodes hold non-negative colors.
+func SurvivorColoring(g *graph.Graph, colors []int, alive []bool) error {
+	for u := 0; u < g.N(); u++ {
+		if !alive[u] {
+			continue
+		}
+		if colors[u] < 0 {
+			return fmt.Errorf("alive node %d has no color", u)
+		}
+		for _, v32 := range g.Neighbors(u) {
+			if v := int(v32); alive[v] && colors[u] == colors[v] {
+				return fmt.Errorf("alive nodes %d and %d share color %d", u, v, colors[u])
+			}
+		}
+	}
+	return nil
+}
+
+// SurvivorBFS checks soundness of the alive nodes' distance claims: a claimed
+// distance is never below the true full-graph distance (claims certify the
+// existence of a path; message loss can only delay or lose announcements,
+// never shorten paths), the source reports zero when alive, and parents are
+// in range. Exactness is not required — a survivor may hold a stale
+// overestimate or be unreached.
+func SurvivorBFS(g *graph.Graph, src int, dist, parent []int, alive []bool) error {
+	trueDist, _ := graph.BFSDistances(g, src)
+	for u := 0; u < g.N(); u++ {
+		if !alive[u] {
+			continue
+		}
+		if p := parent[u]; p < -1 || p >= g.N() {
+			return fmt.Errorf("alive node %d has parent %d out of range", u, p)
+		}
+		d := dist[u]
+		if d < -1 {
+			return fmt.Errorf("alive node %d has distance %d", u, d)
+		}
+		if d >= 0 && (trueDist[u] == -1 || d < trueDist[u]) {
+			return fmt.Errorf("alive node %d claims distance %d below the true distance %d", u, d, trueDist[u])
+		}
+	}
+	if alive[src] && dist[src] != 0 {
+		return fmt.Errorf("alive source %d reports distance %d", src, dist[src])
+	}
+	return nil
+}
+
+// SurvivorForest checks that the union of the alive nodes' edge shares
+// consists of real graph edges and is acyclic — a valid sub-forest of some
+// spanning forest. Spanning and weight-minimality die with the dead nodes
+// and are not asserted.
+func SurvivorForest(g *graph.Graph, shares [][][2]int, alive []bool) error {
+	uf := make([]int, g.N())
+	for i := range uf {
+		uf[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	seen := map[[2]int]bool{}
+	for u, edges := range shares {
+		if !alive[u] {
+			continue
+		}
+		for _, e := range edges {
+			a, b := e[0], e[1]
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				continue // the same edge may be reported by both endpoints
+			}
+			seen[[2]int{a, b}] = true
+			if a < 0 || b >= g.N() || !g.HasEdge(a, b) {
+				return fmt.Errorf("alive node %d reports non-edge (%d,%d)", u, e[0], e[1])
+			}
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return fmt.Errorf("alive nodes' forest edges close a cycle at (%d,%d)", e[0], e[1])
+			}
+			uf[ra] = rb
+		}
+	}
+	return nil
+}
