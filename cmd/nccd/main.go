@@ -55,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"ncc/internal/graphio"
 	"ncc/internal/service"
 )
 
@@ -79,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	coordinator := fs.Bool("coordinator", false, "run as a cluster coordinator: execute nothing locally, shard jobs across registered workers")
 	workerTTL := fs.Duration("worker-ttl", 10*time.Second, "coordinator: drop workers whose last heartbeat is older than this")
 	attempts := fs.Int("attempts", 3, "coordinator: dispatch attempts per job before it is failed")
+	graphDir := fs.String("graph-dir", graphio.DefaultDir(), "content-addressed graph store served at /v1/graphs and used by file-family scenarios (empty: disable the graph API)")
 	join := fs.String("join", "", "worker: register with the coordinator at this base URL and heartbeat")
 	advertise := fs.String("advertise", "", "worker: base URL the coordinator should dial back (default: derived from the bound listen address)")
 	name := fs.String("name", "", "worker: stable name to register under (default: advertised host:port)")
@@ -103,7 +105,18 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		RetainJobs:   *retain,
 		WorkerTTL:    *workerTTL,
 		JobAttempts:  *attempts,
+		GraphDir:     *graphDir,
 		ClusterToken: *clusterToken,
+	}
+	if *graphDir != "" {
+		// The daemon's own file-family resolver and its /v1/graphs API share
+		// one store, so a graph uploaded here is immediately runnable here.
+		graphio.SetStoreDir(*graphDir)
+	}
+	if *join != "" {
+		// Worker role: graphs referenced by dispatched jobs but missing from
+		// the local store are fetched from the coordinator on demand.
+		graphio.SetFetcher(service.GraphFetcher(*join, *clusterToken))
 	}
 	var svc *service.Server
 	var err error

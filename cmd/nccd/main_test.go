@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -35,11 +36,12 @@ func (b *syncBuffer) String() string {
 // scenario over HTTP, reads the full record stream, and shuts down via
 // SIGTERM-style delivery.
 func TestServeSubmitAndDrain(t *testing.T) {
+	graphDir := filepath.Join(t.TempDir(), "graphs")
 	sigs := make(chan os.Signal, 1)
 	var stdout, stderr syncBuffer
 	done := make(chan int, 1)
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-jobs", "1"}, &stdout, &stderr, sigs)
+		done <- run([]string{"-addr", "127.0.0.1:0", "-jobs", "1", "-graph-dir", graphDir}, &stdout, &stderr, sigs)
 	}()
 
 	var base string

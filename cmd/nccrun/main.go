@@ -33,6 +33,7 @@ import (
 	"ncc/internal/algo"
 	"ncc/internal/faultmodel"
 	"ncc/internal/graph"
+	"ncc/internal/graphio"
 	"ncc/internal/ncc"
 	"ncc/internal/param"
 	"ncc/internal/scenario"
@@ -67,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	maxW := fs.Int64("maxw", 1000, "maximum edge weight for mst")
 	seed := fs.Int64("seed", 1, "seed (runs are deterministic per seed)")
 	capf := fs.Int("capfactor", ncc.DefaultCapFactor, "capacity = capfactor * ceil(log2 n) messages/round")
+	graphFile := fs.String("graph-file", "", "run on a real graph: a .nccg file path (ingested into the graph store first) or the 64-hex content hash of an already-stored graph; overrides -graph")
+	graphDir := fs.String("graph-dir", "", "content-addressed graph store directory (default $NCC_GRAPH_DIR or ./graphs)")
 	gparam := fs.String("gparam", "", "extra graph params as name=value,... (for families like bipartite or disjoint)")
 	aparam := fs.String("aparam", "", "extra algorithm params as name=value,...")
 	workers := fs.Int("workers", 0, "round-engine delivery workers (0 = GOMAXPROCS); does not change results")
@@ -81,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		return 2
 	}
 
+	if *graphDir != "" {
+		graphio.SetStoreDir(*graphDir)
+	}
 	if *list {
 		if *scenarioFile != "" {
 			return listScenario(*scenarioFile, stdout, stderr)
@@ -120,6 +126,23 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 			return 2
 		}
 		s.Sweep = sweep
+	}
+	if *graphFile != "" {
+		ref := *graphFile
+		if !graphio.ValidHash(ref) {
+			// A path: ingest the .nccg file into the store (idempotent) and
+			// run against its content hash.
+			st, err := graphio.ActiveStore()
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			if ref, err = st.PutFile(ref); err != nil {
+				fmt.Fprintf(stderr, "-graph-file %s: %v\n", *graphFile, err)
+				return 2
+			}
+		}
+		s.Graph = graph.Spec{Family: "file", File: ref}
 	}
 	if err := s.Validate(); err != nil {
 		fmt.Fprintln(stderr, err)
@@ -430,6 +453,17 @@ func printRegistries(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  %-12s %s%s\n", f.Name, f.Desc, seeded)
 		fmt.Fprintf(w, "  %-12s params: %s\n", "", param.Describe(f.Params))
+	}
+	fmt.Fprintln(w, "capacity policies:")
+	for _, p := range graph.CapacityPolicies() {
+		values := ""
+		if p.NeedsValues {
+			values = " [takes a values list]"
+		}
+		fmt.Fprintf(w, "  %-12s %s%s\n", p.Name, p.Desc, values)
+		if len(p.Params) > 0 {
+			fmt.Fprintf(w, "  %-12s params: %s\n", "", param.Describe(p.Params))
+		}
 	}
 	fmt.Fprintln(w, "fault models:")
 	for _, m := range faultmodel.All() {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ncc/internal/graphio"
 	"ncc/internal/scenario"
 )
 
@@ -27,6 +28,15 @@ import (
 func runRemote(base, token string, s scenario.Scenario, jsonOut bool, expanded int, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	base = strings.TrimRight(base, "/")
 	cl := apiClient{base: base, token: token}
+	if s.Graph.File != "" {
+		// File-family scenario: make sure the daemon can materialize the
+		// graph before the job reaches an executor. Upload is idempotent; a
+		// failure is only a warning because the daemon (or its workers) may
+		// already hold the graph.
+		if err := cl.pushGraph(s.Graph.File); err != nil {
+			fmt.Fprintf(stderr, "warning: uploading graph %s: %v\n", s.Graph.File, err)
+		}
+	}
 	body, err := json.Marshal(s)
 	if err != nil {
 		fmt.Fprintln(stderr, "error:", err)
@@ -187,6 +197,40 @@ func (c apiClient) get(ctx context.Context, path string) (*http.Response, error)
 		return nil, err
 	}
 	return http.DefaultClient.Do(req)
+}
+
+// pushGraph uploads a locally stored graph to the daemon's /v1/graphs route.
+// A graph missing from the local store is not an error — the reference may
+// name a graph only the daemon holds.
+func (c apiClient) pushGraph(hash string) error {
+	st, err := graphio.ActiveStore()
+	if err != nil {
+		return err
+	}
+	if !st.Has(hash) {
+		return nil
+	}
+	f, err := os.Open(st.Path(hash))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	req, err := http.NewRequest(http.MethodPut, c.base+"/v1/graphs/"+hash, f)
+	if err != nil {
+		return err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("%s: %s", resp.Status, remoteError(resp.Body))
+	}
+	return nil
 }
 
 // cancelJob is the interrupt path: best-effort DELETE of the submitted job so

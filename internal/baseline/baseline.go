@@ -17,7 +17,7 @@ import (
 // butterfly broadcast's O(log n).
 func DirectBroadcast(ctx *ncc.Context, src ncc.NodeID, val uint64) uint64 {
 	n := ctx.N()
-	capacity := ctx.Cap()
+	capacity := ctx.MinCap()
 	rounds := (n - 1 + capacity - 1) / capacity
 	got := val
 	next := 0
@@ -62,7 +62,7 @@ func ButterflyBroadcast(s *comm.Session, src ncc.NodeID, val uint64) uint64 {
 // node's own (a checksum the tests verify).
 func Gossip(ctx *ncc.Context, token uint64) uint64 {
 	n := ctx.N()
-	capacity := ctx.Cap()
+	capacity := ctx.MinCap()
 	sum := token
 	sent := 1 // offset 0 is self
 	for sent < n {
@@ -92,7 +92,7 @@ const dtagFlood uint64 = comm.DirectTagMin + 0x10
 func NaiveBFS(s *comm.Session, g *graph.Graph, src int) (int, int) {
 	ctx := s.Ctx
 	me := ctx.ID()
-	capacity := ctx.Cap()
+	capacity := ctx.MinCap()
 	maxDegU, _ := s.MaxAll(uint64(g.Degree(me)), true)
 	phaseLen := (int(maxDegU) + capacity - 1) / capacity
 

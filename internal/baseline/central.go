@@ -21,7 +21,7 @@ const dtagPlainEdge uint64 = comm.DirectTagMin + 0x12
 func CentralizedSolve(s *comm.Session, g *graph.Graph, solve func(g *graph.Graph) []uint64) uint64 {
 	ctx := s.Ctx
 	me := ctx.ID()
-	capacity := ctx.Cap()
+	capacity := ctx.MinCap()
 	n := ctx.N()
 	// The gather wire format packs both edge endpoints into 24 bits each of
 	// one word; beyond 2^24 nodes the ids would silently wrap.

@@ -21,7 +21,7 @@ const dtagEdge uint64 = comm.DirectTagMin + 0x11
 func CentralizedMST(s *comm.Session, wg *graph.Weighted) [][2]int {
 	ctx := s.Ctx
 	me := ctx.ID()
-	capacity := ctx.Cap()
+	capacity := ctx.MinCap()
 	// The gather wire format packs both edge endpoints into 24 bits each of
 	// one header word; beyond 2^24 nodes the ids would silently wrap.
 	if ctx.N() > 1<<24 {

@@ -294,9 +294,12 @@ func (s *Session) rankOnly(call uint64) *hashing.Family {
 }
 
 // batchSize is the number of packets injected per round during preprocessing
-// phases (ceil(log n), as in Appendix B.2).
+// phases (ceil(log n), as in Appendix B.2), clamped to the run's smallest
+// per-node capacity so heterogeneous-capacity runs never inject beyond what
+// the weakest node may send. On uniform runs the clamp is a no-op (capacity
+// is capfactor * ceil(log n) with capfactor >= 1).
 func (s *Session) batchSize() int {
-	return max(1, ncc.CeilLog2(s.Ctx.N()))
+	return max(1, min(ncc.CeilLog2(s.Ctx.N()), s.Ctx.MinCap()))
 }
 
 // window returns the length of the randomized delivery window for a load

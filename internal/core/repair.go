@@ -38,7 +38,7 @@ func repairExchange(s *comm.Session, g *graph.Graph, val uint64) map[int]uint64 
 	me := ctx.ID()
 	nbrs := g.Neighbors(me)
 	deg := len(nbrs)
-	batch := max(1, ctx.Cap())
+	batch := max(1, ctx.MinCap())
 	stride := max(1, (g.MaxDegree()+batch-1)/batch)
 	total := repairPasses * stride * stride
 	heard := make(map[int]uint64, deg)

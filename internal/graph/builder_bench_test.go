@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBuilderBuild pins the cost of the append/sort/dedupe edge path on a
+// dense-ish generated workload (satellite of the map-removal refactor).
+func BenchmarkBuilderBuild(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("kforest/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := KForest(n, 4, 7)
+				if g.M() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
+
+// TestBuilderAllocBudget asserts the builder's allocation count stays flat:
+// one edge buffer (amortized growth), the degree array, the CSR backing array,
+// and the adjacency headers — not one allocation per edge like the old
+// map-backed path.
+func TestBuilderAllocBudget(t *testing.T) {
+	const n, edges = 1 << 12, 1 << 14
+	allocs := testing.AllocsPerRun(5, func() {
+		b := NewBuilder(n)
+		for i := 0; i < edges; i++ {
+			b.AddEdge(i%n, (i*2_654_435_761+1)%n)
+		}
+		if g := b.Build(); g.N() != n {
+			t.Fatal("bad build")
+		}
+	})
+	// Edge-buffer doubling contributes O(log edges) appends; everything else is
+	// constant. 64 is far below the old map path (one bucket per ~8 edges).
+	if allocs > 64 {
+		t.Fatalf("Build allocated %v times for %d edges; want flat (<= 64)", allocs, edges)
+	}
+}

@@ -142,7 +142,10 @@ func GNP(n int, p float64, seed int64) *Graph {
 }
 
 // GNM returns a uniform random graph with exactly m distinct edges (or the
-// maximum possible).
+// maximum possible). Rejection sampling needs incremental membership, which
+// the append-only Builder no longer tracks, so GNM keeps its own packed-edge
+// set; the loop consumes exactly two random draws per attempt (duplicate or
+// not), preserving the seeded output of the historical map-based Builder.
 func GNM(n, m int, seed int64) *Graph {
 	r := rng(seed)
 	b := NewBuilder(n)
@@ -150,10 +153,16 @@ func GNM(n, m int, seed int64) *Graph {
 	if m > maxM {
 		m = maxM
 	}
-	for b.NumEdges() < m {
+	seen := make(map[uint64]struct{}, m)
+	for len(seen) < m {
 		u, v := r.IntN(n), r.IntN(n)
 		if u != v {
-			b.AddEdge(u, v)
+			lo, hi := min(u, v), max(u, v)
+			key := uint64(lo)<<32 | uint64(hi)
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				b.AddEdge(u, v)
+			}
 		}
 	}
 	return b.Build()

@@ -10,6 +10,8 @@ package graph
 import (
 	"fmt"
 	"io"
+	"math"
+	"slices"
 	"sort"
 )
 
@@ -19,12 +21,18 @@ type Graph struct {
 	n   int
 	adj [][]int32
 	m   int
+
+	// capw optionally carries per-node capacity weights (relative bandwidth
+	// shares, e.g. from an ingested .nccg file); nil for unweighted graphs.
+	capw []uint32
 }
 
-// Builder accumulates edges for a Graph.
+// Builder accumulates edges for a Graph. Edges are buffered as packed
+// (min, max) pairs and sorted+deduplicated once at Build: large generated
+// graphs pay one flat slice and a sort instead of per-edge map overhead.
 type Builder struct {
 	n     int
-	edges map[[2]int32]struct{}
+	edges []uint64 // u<<32 | v with u < v; duplicates resolved at Build
 }
 
 // NewBuilder creates a builder for a graph on n nodes.
@@ -32,7 +40,10 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Builder{n: n, edges: make(map[[2]int32]struct{})}
+	if n > math.MaxInt32 {
+		panic("graph: node count exceeds int32 id space")
+	}
+	return &Builder{n: n}
 }
 
 // AddEdge inserts the undirected edge {u, v}; self-loops and duplicates are
@@ -47,32 +58,44 @@ func (b *Builder) AddEdge(u, v int) {
 	if u > v {
 		u, v = v, u
 	}
-	b.edges[[2]int32{int32(u), int32(v)}] = struct{}{}
+	b.edges = append(b.edges, uint64(u)<<32|uint64(v))
 }
 
-// HasEdge reports whether {u, v} was added.
-func (b *Builder) HasEdge(u, v int) bool {
-	if u > v {
-		u, v = v, u
-	}
-	_, ok := b.edges[[2]int32{int32(u), int32(v)}]
-	return ok
-}
-
-// NumEdges returns the number of distinct edges added so far.
-func (b *Builder) NumEdges() int { return len(b.edges) }
-
-// Build finalizes the graph.
+// Build finalizes the graph: the buffered edges are sorted, deduplicated, and
+// laid out as one contiguous CSR backing array with per-node slice views.
+// Sorted packed edges fill every adjacency list in ascending order in a
+// single pass — a node's smaller neighbors arrive while iterating edges whose
+// first endpoint precedes it, its larger ones from its own run of the sort.
 func (b *Builder) Build() *Graph {
-	g := &Graph{n: b.n, adj: make([][]int32, b.n), m: len(b.edges)}
-	for e := range b.edges {
-		g.adj[e[0]] = append(g.adj[e[0]], e[1])
-		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+	slices.Sort(b.edges)
+	b.edges = slices.Compact(b.edges)
+	m := len(b.edges)
+	deg := make([]int32, b.n)
+	for _, e := range b.edges {
+		deg[e>>32]++
+		deg[uint32(e)]++
 	}
-	for u := range g.adj {
-		sort.Slice(g.adj[u], func(i, j int) bool { return g.adj[u][i] < g.adj[u][j] })
+	backing := make([]int32, 0, 2*m)
+	adj := make([][]int32, b.n)
+	off := 0
+	for u := range adj {
+		adj[u] = backing[off : off : off+int(deg[u])]
+		off += int(deg[u])
 	}
-	return g
+	for _, e := range b.edges {
+		u, v := int32(e>>32), int32(uint32(e))
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	return &Graph{n: b.n, adj: adj, m: m}
+}
+
+// FromAdj wraps pre-built adjacency lists as a Graph without copying; m is the
+// undirected edge count. Every adj[u] must be strictly ascending, in range,
+// self-loop-free, and symmetric — intended for loaders (internal/graphio)
+// that construct CSR adjacency directly and validate it themselves.
+func FromAdj(adj [][]int32, m int) *Graph {
+	return &Graph{n: len(adj), adj: adj, m: m}
 }
 
 // N returns the number of nodes.
@@ -123,6 +146,31 @@ func (g *Graph) Edges(fn func(u, v int)) {
 		}
 	}
 }
+
+// SetCapacityWeights attaches per-node capacity weights: relative bandwidth
+// shares (not absolute message counts) that the "file" capacity policy scales
+// against the model's base capacity. Pass nil to clear. Loaders call this
+// once at build time; a Graph is otherwise immutable and safely shared.
+func (g *Graph) SetCapacityWeights(w []uint32) error {
+	if w == nil {
+		g.capw = nil
+		return nil
+	}
+	if len(w) != g.n {
+		return fmt.Errorf("graph: %d capacity weights for %d nodes", len(w), g.n)
+	}
+	for u, v := range w {
+		if v == 0 {
+			return fmt.Errorf("graph: capacity weight of node %d is zero, need >= 1", u)
+		}
+	}
+	g.capw = w
+	return nil
+}
+
+// CapacityWeights returns the per-node capacity weights, or nil if the graph
+// carries none. The slice must not be modified.
+func (g *Graph) CapacityWeights() []uint32 { return g.capw }
 
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph(n=%d m=%d)", g.n, g.m)

@@ -21,15 +21,21 @@ type Family struct {
 	Params []param.Def
 	// Seeded marks families whose output depends on Spec.Seed.
 	Seeded bool
-	Build  func(v param.Values, seed int64) (*Graph, error)
+	// FromFile marks families that load a stored graph named by Spec.File
+	// instead of generating one; Build is bypassed in favor of the installed
+	// file resolver.
+	FromFile bool
+	Build    func(v param.Values, seed int64) (*Graph, error)
 }
 
 // Spec selects a family plus concrete parameter values — the serializable
-// "which graph" half of a scenario.
+// "which graph" half of a scenario. For FromFile families, File names the
+// stored graph (the content hash of its .nccg file).
 type Spec struct {
 	Family string       `json:"family"`
 	Params param.Values `json:"params,omitempty"`
 	Seed   int64        `json:"seed,omitempty"`
+	File   string       `json:"file,omitempty"`
 }
 
 func (s Spec) String() string {
@@ -41,7 +47,30 @@ func (s Spec) String() string {
 	for i, name := range parts {
 		parts[i] = fmt.Sprintf("%s=%g", name, s.Params[name])
 	}
+	if s.File != "" {
+		ref := s.File
+		if len(ref) > 12 {
+			ref = ref[:12]
+		}
+		parts = append(parts, "file="+ref)
+	}
 	return fmt.Sprintf("%s{%s}", s.Family, strings.Join(parts, " "))
+}
+
+// fileResolver loads a stored graph by reference (a content hash). The graph
+// package cannot depend on internal/graphio — graphio already imports graph —
+// so graphio installs the real loader at init time via SetFileResolver;
+// importing it (the scenario package does) is what links the two.
+var fileResolver = func(ref string) (*Graph, error) {
+	return nil, fmt.Errorf("no graph file resolver installed (import ncc/internal/graphio)")
+}
+
+// SetFileResolver installs the loader backing the "file" family.
+func SetFileResolver(fn func(ref string) (*Graph, error)) {
+	if fn == nil {
+		panic("graph: nil file resolver")
+	}
+	fileResolver = fn
 }
 
 var families = map[string]Family{}
@@ -84,12 +113,26 @@ func Families() []Family {
 }
 
 // Build materializes a Spec: it resolves the family, validates and defaults
-// the parameters, and runs the generator.
+// the parameters, and runs the generator (or, for FromFile families, the
+// installed file resolver).
 func Build(s Spec) (*Graph, error) {
 	f, ok := families[s.Family]
 	if !ok {
 		return nil, fmt.Errorf("unknown graph family %q (have %s)",
 			s.Family, strings.Join(FamilyNames(), ", "))
+	}
+	if f.FromFile {
+		if s.File == "" {
+			return nil, fmt.Errorf("graph family %s: missing file reference", s.Family)
+		}
+		g, err := fileResolver(s.File)
+		if err != nil {
+			return nil, fmt.Errorf("graph family %s: %w", s.Family, err)
+		}
+		return g, nil
+	}
+	if s.File != "" {
+		return nil, fmt.Errorf("graph family %s: file reference only valid for the file family", s.Family)
 	}
 	v, err := param.Resolve(s.Params, f.Params)
 	if err != nil {
@@ -241,6 +284,13 @@ func init() {
 			},
 		})
 	}
+	RegisterFamily(Family{
+		Name: "file", Desc: "ingested graph loaded from the content-addressed store by .nccg hash",
+		FromFile: true,
+		Build: func(param.Values, int64) (*Graph, error) {
+			return nil, fmt.Errorf("file family builds through the file resolver")
+		},
+	})
 	RegisterFamily(Family{
 		Name: "disjoint", Desc: "disjoint union of `parts` cliques of size `size`",
 		Params: []param.Def{param.Int("parts", 4, "number of cliques"), param.Int("size", 8, "clique size")},

@@ -1,0 +1,319 @@
+package graphio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+	"strconv"
+
+	"ncc/internal/graph"
+)
+
+// IngestStats reports what ParseEdgeList saw and did.
+type IngestStats struct {
+	Lines      int64 `json:"lines"`
+	Comments   int64 `json:"comments"`
+	RawEdges   int64 `json:"rawEdges"`   // edge lines parsed, self-loops included
+	SelfLoops  int64 `json:"selfLoops"`  // dropped
+	Duplicates int64 `json:"duplicates"` // dropped (multiplicity beyond the first)
+	Remapped   bool  `json:"remapped"`   // ids were densified (no usable "# Nodes:" hint)
+	Nodes      int   `json:"nodes"`
+	Edges      int   `json:"edges"`
+}
+
+// errIdentityMiss aborts an identity-mode degree pass when an id falls outside
+// the hinted [0, N) range (or no hint preceded the edges); the parser then
+// rewinds and redoes the pass in remapping mode.
+var errIdentityMiss = errors.New("graphio: id outside hinted range")
+
+const maxRawEdges = math.MaxInt32 - 1
+
+// ParseEdgeList ingests SNAP-style edge-list text from rs (see doc.go for the
+// accepted syntax) using two streaming passes: degrees first, then a fill of
+// one exactly-sized CSR backing array — never an edge map — so peak memory
+// stays near the final graph's size. When a "# Nodes: N" header precedes the
+// edges and every id fits [0, N), ids are kept verbatim (isolated nodes
+// included); otherwise ids are remapped to 0..n-1 by ascending original id.
+func ParseEdgeList(rs io.ReadSeeker) (*graph.Graph, *IngestStats, error) {
+	st := &IngestStats{}
+
+	// Pass 1: per-node degrees. Optimistically identity-mode; rewind into
+	// remap mode on the first out-of-range id.
+	var (
+		deg   []int32
+		idDeg map[int64]int32
+		remap map[int64]int32
+		n     int
+	)
+	err := degreePass(rs, st, false, &deg, nil)
+	if errors.Is(err, errIdentityMiss) {
+		idDeg = make(map[int64]int32)
+		st.Remapped = true
+		err = degreePass(rs, st, true, &deg, idDeg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Remapped {
+		ids := make([]int64, 0, len(idDeg))
+		for id := range idDeg {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		if len(ids) > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("graphio: %d distinct node ids exceed int32 space", len(ids))
+		}
+		n = len(ids)
+		remap = make(map[int64]int32, n)
+		deg = make([]int32, n)
+		for i, id := range ids {
+			remap[id] = int32(i)
+			deg[i] = idDeg[id]
+		}
+		idDeg = nil
+	} else {
+		n = len(deg)
+	}
+
+	// Pass 2: fill one backing array using the degree prefix sums as
+	// advancing write cursors, both directions per edge.
+	cur := make([]int64, n)
+	total := int64(0)
+	for u, d := range deg {
+		cur[u] = total
+		total += int64(d)
+	}
+	backing := make([]int32, total)
+	lookup := func(id int64) int32 { return int32(id) }
+	if st.Remapped {
+		lookup = func(id int64) int32 { return remap[id] }
+	}
+	if err := fillPass(rs, backing, cur, lookup); err != nil {
+		return nil, nil, err
+	}
+
+	// Per-node sort + dedupe with global left-compaction: views stay inside
+	// the single backing array.
+	adj := make([][]int32, n)
+	w := 0
+	r := int64(0)
+	for u := 0; u < n; u++ {
+		list := backing[r : r+int64(deg[u])]
+		r += int64(deg[u])
+		slices.Sort(list)
+		start := w
+		prev := int32(-1)
+		for i, x := range list {
+			if i == 0 || x != prev {
+				backing[w] = x
+				w++
+			}
+			prev = x
+		}
+		adj[u] = backing[start:w:w]
+	}
+	m := w / 2
+	st.Duplicates = (int64(len(backing)) - int64(w)) / 2
+	st.Nodes, st.Edges = n, m
+	return graph.FromAdj(adj, m), st, nil
+}
+
+// degreePass scans the full input once accumulating per-node degrees, either
+// into a dense slice sized by the "# Nodes:" hint (identity mode) or into an
+// id-keyed map (remap mode).
+func degreePass(rs io.ReadSeeker, st *IngestStats, useMap bool, deg *[]int32, idDeg map[int64]int32) error {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	st.Lines, st.Comments, st.RawEdges, st.SelfLoops = 0, 0, 0, 0
+	*deg = nil
+	hint := int64(-1)
+	sc := newLineScanner(rs)
+	for sc.Scan() {
+		st.Lines++
+		line := trimLeft(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '#' || line[0] == '%' {
+			st.Comments++
+			if st.RawEdges == 0 {
+				if h, ok := parseNodesHint(line); ok {
+					hint = h
+				}
+			}
+			continue
+		}
+		u, v, err := parsePair(line)
+		if err != nil {
+			return fmt.Errorf("graphio: line %d: %w", st.Lines, err)
+		}
+		st.RawEdges++
+		if st.RawEdges > maxRawEdges {
+			return fmt.Errorf("graphio: more than %d edges", maxRawEdges)
+		}
+		if u == v {
+			st.SelfLoops++
+			continue
+		}
+		if useMap {
+			idDeg[u]++
+			idDeg[v]++
+		} else {
+			if *deg == nil {
+				if hint < 0 || hint > math.MaxInt32 {
+					return errIdentityMiss
+				}
+				*deg = make([]int32, hint)
+			}
+			if u >= int64(len(*deg)) || v >= int64(len(*deg)) {
+				return errIdentityMiss
+			}
+			(*deg)[u]++
+			(*deg)[v]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("graphio: %w", err)
+	}
+	if *deg == nil && !useMap {
+		// No edges at all: honor a bare hint ("# Nodes: N" with zero edges),
+		// else the graph is empty.
+		if hint > math.MaxInt32 {
+			return errIdentityMiss
+		}
+		*deg = make([]int32, max(hint, 0))
+	}
+	return nil
+}
+
+// fillPass re-scans the input writing each surviving edge's two directed
+// entries at the nodes' advancing cursors.
+func fillPass(rs io.ReadSeeker, backing []int32, cur []int64, lookup func(int64) int32) error {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	sc := newLineScanner(rs)
+	lineNo := int64(0)
+	for sc.Scan() {
+		lineNo++
+		line := trimLeft(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		u64, v64, err := parsePair(line)
+		if err != nil {
+			return fmt.Errorf("graphio: line %d: %w", lineNo, err)
+		}
+		if u64 == v64 {
+			continue
+		}
+		u, v := lookup(u64), lookup(v64)
+		backing[cur[u]] = v
+		cur[u]++
+		backing[cur[v]] = u
+		cur[v]++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("graphio: %w", err)
+	}
+	return nil
+}
+
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return sc
+}
+
+func trimLeft(b []byte) []byte {
+	i := 0
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\r') {
+		i++
+	}
+	return b[i:]
+}
+
+// parsePair reads the two leading whitespace-separated non-negative integer
+// ids of an edge line; trailing fields (e.g. weights or timestamps) are
+// ignored if whitespace-separated.
+func parsePair(line []byte) (int64, int64, error) {
+	u, rest, err := parseID(line)
+	if err != nil {
+		return 0, 0, err
+	}
+	rest = trimLeft(rest)
+	if len(rest) == 0 {
+		return 0, 0, fmt.Errorf("edge line has one id, want two")
+	}
+	v, rest, err := parseID(rest)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rest) > 0 && rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\r' {
+		return 0, 0, fmt.Errorf("garbage %q after edge", rest)
+	}
+	return u, v, nil
+}
+
+func parseID(b []byte) (int64, []byte, error) {
+	i := 0
+	var x int64
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		d := int64(b[i] - '0')
+		if x > (math.MaxInt64-d)/10 {
+			return 0, nil, fmt.Errorf("node id overflows int64")
+		}
+		x = x*10 + d
+		i++
+	}
+	if i == 0 {
+		return 0, nil, fmt.Errorf("expected a node id, found %q", b)
+	}
+	return x, b[i:], nil
+}
+
+// parseNodesHint extracts N from a "# Nodes: N ..." comment line.
+func parseNodesHint(line []byte) (int64, bool) {
+	j := bytes.Index(line, []byte("Nodes:"))
+	if j < 0 {
+		return 0, false
+	}
+	rest := trimLeft(line[j+len("Nodes:"):])
+	n, _, err := parseID(rest)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// WriteEdgeList renders g as SNAP-style text — a "# Nodes: N Edges: M" header
+// then one "u\tv" line per undirected edge with u < v, ascending — the exact
+// input shape ParseEdgeList's identity mode round-trips losslessly (capacity
+// weights are not representable and are dropped; keep the .nccg for those).
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "# Nodes: %d Edges: %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 32)
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr != nil {
+			return
+		}
+		buf = strconv.AppendInt(buf[:0], int64(u), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, '\n')
+		_, werr = bw.Write(buf)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,135 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ncc/internal/graph"
+)
+
+func parseString(t *testing.T, s string) (*graph.Graph, *IngestStats) {
+	t.Helper()
+	g, st, err := ParseEdgeList(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, st
+}
+
+func TestParseEdgeListBasics(t *testing.T) {
+	g, st := parseString(t, `# a comment
+% another comment style
+
+0 1
+1	2
+2 0
+`)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	if st.Comments != 2 || st.RawEdges != 3 || !st.Remapped {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestParseEdgeListRemapsSparseIds(t *testing.T) {
+	// Ids 7, 100, 4000000000 must densify by ascending original id.
+	g, st := parseString(t, "100 7\n4000000000 100\n")
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got %v", g)
+	}
+	if !st.Remapped {
+		t.Error("expected remapping")
+	}
+	// 7->0, 100->1, 4000000000->2
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Errorf("remap wrong: %v", g)
+	}
+}
+
+func TestParseEdgeListDuplicatesAndSelfLoops(t *testing.T) {
+	g, st := parseString(t, "0 1\n1 0\n0 1\n1 1\n# Nodes hint too late, ids fine anyway\n")
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("got %v", g)
+	}
+	if st.SelfLoops != 1 || st.Duplicates != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestParseEdgeListIdentityModeKeepsIsolatedNodes(t *testing.T) {
+	g, st := parseString(t, "# Nodes: 6 Edges: 2\n0 2\n4 2\n")
+	if g.N() != 6 || g.M() != 2 {
+		t.Fatalf("got %v, stats %+v", g, st)
+	}
+	if st.Remapped {
+		t.Error("hinted in-range ids must not be remapped")
+	}
+	if g.Degree(5) != 0 || g.Degree(1) != 0 {
+		t.Error("isolated nodes lost")
+	}
+}
+
+func TestParseEdgeListHintFallsBackOnOutOfRangeId(t *testing.T) {
+	g, st := parseString(t, "# Nodes: 3\n0 1\n9 1\n")
+	if !st.Remapped {
+		t.Fatal("out-of-hint id must trigger the remap fallback")
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestParseEdgeListIgnoresTrailingFields(t *testing.T) {
+	g, _ := parseString(t, "# Nodes: 3\n0 1 0.5\n1 2\t1973-01-01\n")
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestParseEdgeListEmptyAndHintOnly(t *testing.T) {
+	g, _ := parseString(t, "")
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty input: %v", g)
+	}
+	g, _ = parseString(t, "# Nodes: 4 Edges: 0\n")
+	if g.N() != 4 || g.M() != 0 {
+		t.Fatalf("hint-only input: %v", g)
+	}
+}
+
+func TestParseEdgeListRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"0\n",                            // one id
+		"a b\n",                          // not numbers
+		"0 -1\n",                         // negative
+		"1 2x\n",                         // garbage suffix
+		"99999999999999999999999999 1\n", // id overflow
+	} {
+		if _, _, err := ParseEdgeList(strings.NewReader(s)); err == nil {
+			t.Errorf("%q: parsed without error", s)
+		}
+	}
+}
+
+func TestEdgeListExportIngestRoundTrip(t *testing.T) {
+	// The identity-mode contract: WriteEdgeList output re-ingests to the
+	// byte-identical .nccg, which is what the CI smoke lane asserts.
+	orig := graph.PreferentialAttachment(500, 3, 42)
+	var txt bytes.Buffer
+	if err := WriteEdgeList(&txt, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := ParseEdgeList(bytes.NewReader(txt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Remapped {
+		t.Error("exported list must re-ingest in identity mode")
+	}
+	sameGraph(t, orig, got)
+	if !bytes.Equal(encodeToBytes(t, orig), encodeToBytes(t, got)) {
+		t.Fatal("export/ingest round trip not byte-identical in .nccg")
+	}
+}

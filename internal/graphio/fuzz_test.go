@@ -1,0 +1,85 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ncc/internal/graph"
+)
+
+// FuzzEdgeListParse asserts the text parser never panics and that whatever it
+// accepts is a structurally sound graph.
+func FuzzEdgeListParse(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# Nodes: 4 Edges: 2\n0 1\n2 3\n")
+	f.Add("# Nodes: 2\n0 9\n")
+	f.Add("% c\n\n  5\t7 999\n7 5\n5 5\n")
+	f.Add("4000000000 1\n")
+	f.Add("# Nodes: 99999999999999999999\n0 1\n")
+	f.Add("0 -1\n")
+	f.Add(strings.Repeat("1 2\n", 40))
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<16 {
+			return
+		}
+		g, st, err := ParseEdgeList(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if g.N() < 0 || g.M() < 0 || st.Nodes != g.N() || st.Edges != g.M() {
+			t.Fatalf("inconsistent result: %v vs %+v", g, st)
+		}
+		if err := VerifySymmetric(g); err != nil {
+			t.Fatalf("parsed graph asymmetric: %v", err)
+		}
+		// Accepted graphs must round-trip through the binary format.
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if _, err := DecodeBytes(buf.Bytes()); err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+	})
+}
+
+// FuzzNCCGRoundTrip asserts the binary decoder never panics on arbitrary
+// bytes — malformed headers, truncated CSR sections, capacity-array length
+// mismatches all must error — and that anything it does accept re-encodes to
+// the identical bytes (the format is canonical).
+func FuzzNCCGRoundTrip(f *testing.F) {
+	seed := func(g *graph.Graph) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(graph.Path(6)))
+	f.Add(seed(graph.Empty(0)))
+	wg := graph.Cycle(5)
+	if err := wg.SetCapacityWeights([]uint32{1, 2, 3, 4, 5}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed(wg))
+	f.Add([]byte("NCCG"))
+	f.Add(seed(graph.Path(6))[:20])
+	f.Add(append(seed(graph.Path(3)), 0, 0, 0, 0))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<16 {
+			return
+		}
+		g, err := DecodeBytes(b)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), b) {
+			t.Fatalf("accepted non-canonical bytes: %d in, %d out", len(b), buf.Len())
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package graphio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// synthEdgeList writes an identity-mode edge list ("# Nodes:" hint first)
+// with `edges` formula-generated lines on n nodes, including the occasional
+// duplicate and self-loop the parser must absorb.
+func synthEdgeList(w *bufio.Writer, n, edges int) error {
+	if _, err := fmt.Fprintf(w, "# Nodes: %d Edges: %d\n", n, edges); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 32)
+	for i := 0; i < edges; i++ {
+		u := i % n
+		// Mix the wrap-around count in so edges stay distinct across cycles
+		// of u (i*c alone is periodic mod n with period n).
+		v := (i*2_654_435_761 + (i/n)*1_000_003 + 7) % n
+		buf = strconv.AppendInt(buf[:0], int64(u), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// BenchmarkIngest is the benchcheck-gated cost of the full two-pass text
+// ingest (parse + CSR build) on a 128k-edge list held in memory.
+func BenchmarkIngest(b *testing.B) {
+	const n, edges = 1 << 15, 1 << 17
+	var src bytes.Buffer
+	bw := bufio.NewWriter(&src)
+	if err := synthEdgeList(bw, n, edges); err != nil {
+		b.Fatal(err)
+	}
+	data := src.Bytes()
+	b.Run(fmt.Sprintf("edges=%d", edges), func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, _, err := ParseEdgeList(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.N() != n {
+				b.Fatalf("n = %d", g.N())
+			}
+		}
+	})
+}
+
+// TestIngestMemoryBound is the tentpole's memory guarantee: streaming a
+// 10M-edge list into CSR allocates less than 2x the final in-memory graph —
+// cumulatively, which upper-bounds the peak — where a map-of-edges
+// intermediate alone would blow the budget (~48 bytes/edge in buckets).
+func TestIngestMemoryBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-edge ingest in -short mode")
+	}
+	const n, edges = 2_000_000, 10_000_000
+	path := filepath.Join(t.TempDir(), "big.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synthEdgeList(bufio.NewWriterSize(f, 1<<20), n, edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	g, st, err := ParseEdgeList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	if g.N() != n || st.RawEdges != edges {
+		t.Fatalf("parsed n=%d rawEdges=%d", g.N(), st.RawEdges)
+	}
+	// Final CSR footprint: the directed-edge backing array plus the per-node
+	// slice headers (the dominant terms of the live graph).
+	finalBytes := int64(8*g.M()) + int64(24*g.N())
+	allocated := int64(after.TotalAlloc - before.TotalAlloc)
+	t.Logf("m=%d final=%dMB allocated=%dMB (%.2fx)",
+		g.M(), finalBytes>>20, allocated>>20, float64(allocated)/float64(finalBytes))
+	if allocated >= 2*finalBytes {
+		t.Fatalf("ingest allocated %d bytes, >= 2x the %d-byte final CSR", allocated, finalBytes)
+	}
+	runtime.KeepAlive(g)
+}

@@ -1,0 +1,263 @@
+package graphio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"ncc/internal/graph"
+)
+
+// Format constants for the .nccg binary graph format (see doc.go for the
+// full layout specification).
+const (
+	Magic   = "NCCG"
+	Version = 1
+
+	flagCapacities = 1 << 0
+
+	headerSize = 24
+)
+
+// EncodedSize returns the exact byte length of g's .nccg serialization.
+func EncodedSize(g *graph.Graph) int64 {
+	size := int64(headerSize) + 8*int64(g.N()+1) + 8*int64(g.M())
+	if g.CapacityWeights() != nil {
+		size += 4 * int64(g.N())
+	}
+	return size
+}
+
+// Encode writes g's canonical .nccg serialization: the one and only byte
+// representation of this graph, so equal graphs always hash equal.
+func Encode(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var flags uint16
+	capw := g.CapacityWeights()
+	if capw != nil {
+		flags |= flagCapacities
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], Magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], Version)
+	binary.LittleEndian.PutUint16(hdr[6:8], flags)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.N()))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(g.M()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	off := uint64(0)
+	binary.LittleEndian.PutUint64(buf[:], 0)
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		off += uint64(g.Degree(u))
+		binary.LittleEndian.PutUint64(buf[:], off)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range capw {
+		binary.LittleEndian.PutUint32(buf[:4], c)
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads one .nccg graph from r, whose total length must be exactly
+// size: the header's announced dimensions are checked against size before any
+// array is allocated, so a hostile header cannot force a huge allocation.
+// Every structural invariant of the format (monotone offsets, sorted in-range
+// self-loop-free targets, positive capacity weights) is verified; symmetry is
+// not (see VerifySymmetric).
+func Decode(r io.Reader, size int64) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nccg: header: %w", err)
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("nccg: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return nil, fmt.Errorf("nccg: unsupported version %d", v)
+	}
+	flags := binary.LittleEndian.Uint16(hdr[6:8])
+	if flags&^uint16(flagCapacities) != 0 {
+		return nil, fmt.Errorf("nccg: unknown flags %#x", flags)
+	}
+	n64 := binary.LittleEndian.Uint64(hdr[8:16])
+	m64 := binary.LittleEndian.Uint64(hdr[16:24])
+	if n64 > math.MaxInt32 {
+		return nil, fmt.Errorf("nccg: n = %d exceeds int32 id space", n64)
+	}
+	n := int(n64)
+	// m is bounded by both the id space and what the announced file size can
+	// hold, which keeps all arithmetic below in range.
+	if m64 > math.MaxInt32 {
+		return nil, fmt.Errorf("nccg: m = %d exceeds int32 space", m64)
+	}
+	m := int(m64)
+	want := int64(headerSize) + 8*int64(n+1) + 8*int64(m)
+	if flags&flagCapacities != 0 {
+		want += 4 * int64(n)
+	}
+	if want != size {
+		return nil, fmt.Errorf("nccg: header announces n=%d m=%d caps=%v (%d bytes) but input is %d bytes",
+			n, m, flags&flagCapacities != 0, want, size)
+	}
+
+	// Offsets: stream 8-byte words, keeping only the running degree so the
+	// (n+1)-entry offset array is never materialized.
+	deg := make([]int32, n)
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("nccg: offsets: %w", err)
+	}
+	if first := binary.LittleEndian.Uint64(buf[:]); first != 0 {
+		return nil, fmt.Errorf("nccg: offsets[0] = %d, want 0", first)
+	}
+	prev := uint64(0)
+	for u := 0; u < n; u++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("nccg: offsets: %w", err)
+		}
+		off := binary.LittleEndian.Uint64(buf[:])
+		if off < prev {
+			return nil, fmt.Errorf("nccg: offsets[%d] = %d decreases from %d", u+1, off, prev)
+		}
+		if d := off - prev; d >= uint64(n) {
+			return nil, fmt.Errorf("nccg: node %d has degree %d in an %d-node graph", u, d, n)
+		} else {
+			deg[u] = int32(d)
+		}
+		prev = off
+	}
+	if prev != 2*uint64(m) {
+		return nil, fmt.Errorf("nccg: offsets[n] = %d, want 2m = %d", prev, 2*m)
+	}
+
+	// Targets: one exactly-sized backing array, filled in 64KB chunks.
+	backing := make([]int32, 2*m)
+	chunk := make([]byte, 1<<16)
+	for filled := 0; filled < len(backing); {
+		want := (len(backing) - filled) * 4
+		if want > len(chunk) {
+			want = len(chunk)
+		}
+		if _, err := io.ReadFull(br, chunk[:want]); err != nil {
+			return nil, fmt.Errorf("nccg: targets: %w", err)
+		}
+		for i := 0; i < want; i += 4 {
+			v := binary.LittleEndian.Uint32(chunk[i : i+4])
+			if v >= uint32(n) {
+				return nil, fmt.Errorf("nccg: target %d out of range [0,%d)", v, n)
+			}
+			backing[filled] = int32(v)
+			filled++
+		}
+	}
+	adj := make([][]int32, n)
+	pos := 0
+	for u := 0; u < n; u++ {
+		list := backing[pos : pos+int(deg[u])]
+		pos += int(deg[u])
+		for i, v := range list {
+			if v == int32(u) {
+				return nil, fmt.Errorf("nccg: self-loop at node %d", u)
+			}
+			if i > 0 && list[i-1] >= v {
+				return nil, fmt.Errorf("nccg: adjacency of node %d not strictly ascending", u)
+			}
+		}
+		adj[u] = list
+	}
+	g := graph.FromAdj(adj, m)
+
+	if flags&flagCapacities != 0 {
+		capw := make([]uint32, n)
+		for filled := 0; filled < n; {
+			want := (n - filled) * 4
+			if want > len(chunk) {
+				want = len(chunk)
+			}
+			if _, err := io.ReadFull(br, chunk[:want]); err != nil {
+				return nil, fmt.Errorf("nccg: capacities: %w", err)
+			}
+			for i := 0; i < want; i += 4 {
+				capw[filled] = binary.LittleEndian.Uint32(chunk[i : i+4])
+				filled++
+			}
+		}
+		if err := g.SetCapacityWeights(capw); err != nil {
+			return nil, fmt.Errorf("nccg: %w", err)
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("nccg: trailing data after %d announced bytes", size)
+	}
+	return g, nil
+}
+
+// DecodeBytes decodes a .nccg graph from an in-memory buffer.
+func DecodeBytes(b []byte) (*graph.Graph, error) {
+	return Decode(bytes.NewReader(b), int64(len(b)))
+}
+
+// ReadFile decodes the .nccg file at path.
+func ReadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return Decode(f, st.Size())
+}
+
+// WriteFile encodes g to the .nccg file at path.
+func WriteFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// VerifySymmetric checks that g's adjacency is symmetric (v lists u whenever
+// u lists v) — the one .nccg invariant Decode skips, because it costs a
+// binary search per directed edge. The store runs it on ingest so stored
+// graphs are known-good.
+func VerifySymmetric(g *graph.Graph) error {
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.HasEdge(int(v), u) {
+				return fmt.Errorf("nccg: asymmetric edge: %d lists %d but not vice versa", u, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ncc/internal/graph"
+)
+
+func encodeToBytes(t testing.TB, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != EncodedSize(g) {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", buf.Len(), EncodedSize(g))
+	}
+	return buf.Bytes()
+}
+
+func sameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("got n=%d m=%d, want n=%d m=%d", b.N(), b.M(), a.N(), a.M())
+	}
+	for u := 0; u < a.N(); u++ {
+		av, bv := a.Neighbors(u), b.Neighbors(u)
+		if len(av) != len(bv) {
+			t.Fatalf("node %d: degree %d vs %d", u, len(av), len(bv))
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("node %d neighbor %d: %d vs %d", u, i, av[i], bv[i])
+			}
+		}
+	}
+	aw, bw := a.CapacityWeights(), b.CapacityWeights()
+	if (aw == nil) != (bw == nil) {
+		t.Fatalf("capacity weights presence differs: %v vs %v", aw != nil, bw != nil)
+	}
+	for i := range aw {
+		if aw[i] != bw[i] {
+			t.Fatalf("capacity weight %d: %d vs %d", i, aw[i], bw[i])
+		}
+	}
+}
+
+func TestNCCGRoundTripFamilies(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Empty(0),
+		graph.Empty(5),
+		graph.Path(10),
+		graph.Star(33),
+		graph.KForest(200, 3, 11),
+		graph.GNM(100, 400, 3),
+	} {
+		enc := encodeToBytes(t, g)
+		got, err := DecodeBytes(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		sameGraph(t, g, got)
+		// Canonical: re-encoding the decoded graph gives identical bytes.
+		if !bytes.Equal(enc, encodeToBytes(t, got)) {
+			t.Fatalf("%v: re-encode differs", g)
+		}
+	}
+}
+
+func TestNCCGRoundTripCapacities(t *testing.T) {
+	g := graph.Cycle(16)
+	w := make([]uint32, 16)
+	for i := range w {
+		w[i] = uint32(10 + i)
+	}
+	if err := g.SetCapacityWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBytes(encodeToBytes(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, got)
+}
+
+// mutate returns a copy of b with the byte at off xored.
+func mutate(b []byte, off int, x byte) []byte {
+	c := bytes.Clone(b)
+	c[off] ^= x
+	return c
+}
+
+func TestNCCGDecodeRejectsMalformed(t *testing.T) {
+	g := graph.Path(8)
+	w := make([]uint32, 8)
+	for i := range w {
+		w[i] = 1
+	}
+	if err := g.SetCapacityWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	enc := encodeToBytes(t, g)
+	cases := map[string][]byte{
+		"empty":             {},
+		"short header":      enc[:10],
+		"bad magic":         mutate(enc, 0, 0xff),
+		"bad version":       mutate(enc, 4, 0x7f),
+		"unknown flags":     mutate(enc, 6, 0x80),
+		"truncated offsets": enc[:headerSize+8*3],
+		"truncated targets": enc[:len(enc)-8*4-1],
+		"trailing data":     append(bytes.Clone(enc), 0),
+		"n lies":            mutate(enc, 8, 1),
+		"m lies":            mutate(enc, 16, 1),
+	}
+	// offsets[0] != 0
+	cases["nonzero first offset"] = mutate(enc, headerSize, 1)
+	// decreasing offsets: offsets[2] below offsets[1]
+	dec := bytes.Clone(enc)
+	binary.LittleEndian.PutUint64(dec[headerSize+16:], 0)
+	cases["decreasing offsets"] = dec
+	// zero capacity weight
+	zc := bytes.Clone(enc)
+	binary.LittleEndian.PutUint32(zc[len(zc)-4:], 0)
+	cases["zero capacity"] = zc
+	for name, b := range cases {
+		if _, err := DecodeBytes(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestNCCGDecodeRejectsStructuralLies(t *testing.T) {
+	// Build a syntactically plausible file by hand: n=2, m=1, with a
+	// self-loop at node 0.
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	binary.Write(&buf, binary.LittleEndian, uint16(Version))
+	binary.Write(&buf, binary.LittleEndian, uint16(0))
+	binary.Write(&buf, binary.LittleEndian, uint64(2))
+	binary.Write(&buf, binary.LittleEndian, uint64(1))
+	for _, off := range []uint64{0, 1, 2} {
+		binary.Write(&buf, binary.LittleEndian, off)
+	}
+	binary.Write(&buf, binary.LittleEndian, uint32(0)) // node 0 lists itself
+	binary.Write(&buf, binary.LittleEndian, uint32(0))
+	if _, err := DecodeBytes(buf.Bytes()); err == nil {
+		t.Error("self-loop decoded without error")
+	}
+	// Out-of-range target.
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[len(b)-8:], 7)
+	if _, err := DecodeBytes(b); err == nil {
+		t.Error("out-of-range target decoded without error")
+	}
+}
+
+func TestVerifySymmetric(t *testing.T) {
+	if err := VerifySymmetric(graph.KForest(50, 2, 9)); err != nil {
+		t.Errorf("builder graph flagged asymmetric: %v", err)
+	}
+	adj := [][]int32{{1}, {}} // 0 lists 1, 1 lists nothing
+	if err := VerifySymmetric(graph.FromAdj(adj, 1)); err == nil {
+		t.Error("asymmetric adjacency passed")
+	}
+}

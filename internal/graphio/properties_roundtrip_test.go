@@ -1,0 +1,57 @@
+package graphio
+
+import (
+	"bytes"
+	"testing"
+
+	"ncc/internal/graph"
+)
+
+// TestPropertiesSurviveRoundTrip pins the satellite requirement that
+// structural properties computed on a generator-built graph agree with the
+// same graph round-tripped through .nccg and through the edge-list text path.
+func TestPropertiesSurviveRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"kforest", graph.KForest(300, 3, 17)},
+		{"pa", graph.PreferentialAttachment(400, 2, 5)},
+		{"grid", graph.Grid(12, 9)},
+		{"disjoint", graph.Disjoint(4, 8)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var bin bytes.Buffer
+			if err := Encode(&bin, c.g); err != nil {
+				t.Fatal(err)
+			}
+			viaBinary, err := DecodeBytes(bin.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var txt bytes.Buffer
+			if err := WriteEdgeList(&txt, c.g); err != nil {
+				t.Fatal(err)
+			}
+			viaText, _, err := ParseEdgeList(bytes.NewReader(txt.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDegen, _ := graph.Degeneracy(c.g)
+			_, wantComp := graph.Components(c.g)
+			wantDiam := graph.Diameter(c.g)
+			for path, rt := range map[string]*graph.Graph{"nccg": viaBinary, "edgelist": viaText} {
+				if d, _ := graph.Degeneracy(rt); d != wantDegen {
+					t.Errorf("%s: degeneracy %d, want %d", path, d, wantDegen)
+				}
+				if _, comp := graph.Components(rt); comp != wantComp {
+					t.Errorf("%s: %d components, want %d", path, comp, wantComp)
+				}
+				if d := graph.Diameter(rt); d != wantDiam {
+					t.Errorf("%s: diameter %d, want %d", path, d, wantDiam)
+				}
+			}
+		})
+	}
+}

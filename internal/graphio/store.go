@@ -1,0 +1,287 @@
+package graphio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ncc/internal/graph"
+)
+
+// Store is a content-addressed directory of .nccg files: every graph lives at
+// <dir>/<sha256-of-bytes>.nccg, so the file name is a verifiable identity
+// that scenarios embed (the "file" family's file field) and cluster nodes
+// exchange (/v1/graphs/{hash}).
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a graph store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("graphio: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns where the graph with the given hash lives (whether or not it
+// currently exists).
+func (s *Store) Path(hash string) string {
+	return filepath.Join(s.dir, hash+".nccg")
+}
+
+// Has reports whether the store holds the given hash.
+func (s *Store) Has(hash string) bool {
+	if !ValidHash(hash) {
+		return false
+	}
+	_, err := os.Stat(s.Path(hash))
+	return err == nil
+}
+
+// Open loads a stored graph, re-verifying that the bytes still hash to their
+// name (a corrupted or hand-renamed file is an error, never a wrong graph).
+func (s *Store) Open(hash string) (*graph.Graph, error) {
+	if !ValidHash(hash) {
+		return nil, fmt.Errorf("graphio: %q is not a sha256 graph hash", hash)
+	}
+	f, err := os.Open(s.Path(hash))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	g, err := Decode(io.TeeReader(f, h), st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("graphio: stored graph %s: %w", hash, err)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != hash {
+		return nil, fmt.Errorf("graphio: stored graph %s corrupted (bytes hash to %s)", hash, got)
+	}
+	return g, nil
+}
+
+// PutGraph stores g's canonical encoding and returns its content hash.
+// Storing the same graph twice is idempotent.
+func (s *Store) PutGraph(g *graph.Graph) (string, error) {
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	h := sha256.New()
+	if err := Encode(io.MultiWriter(tmp, h), g); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	hash := hex.EncodeToString(h.Sum(nil))
+	return hash, s.commit(tmp.Name(), hash)
+}
+
+// PutFile ingests an existing .nccg file (validating it fully, symmetry
+// included) and returns its content hash.
+func (s *Store) PutFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	hash, _, err := s.PutStream(f)
+	return hash, err
+}
+
+// PutStream ingests .nccg bytes from r: they are spooled to a temp file while
+// hashing, fully validated (structure and symmetry), and committed under
+// their content hash. Returns the hash and the decoded graph.
+func (s *Store) PutStream(r io.Reader) (string, *graph.Graph, error) {
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return "", nil, err
+	}
+	defer os.Remove(tmp.Name())
+	h := sha256.New()
+	size, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if err != nil {
+		tmp.Close()
+		return "", nil, err
+	}
+	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+		tmp.Close()
+		return "", nil, err
+	}
+	g, err := Decode(tmp, size)
+	if err == nil {
+		err = VerifySymmetric(g)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	hash := hex.EncodeToString(h.Sum(nil))
+	if err := s.commit(tmp.Name(), hash); err != nil {
+		return "", nil, err
+	}
+	return hash, g, nil
+}
+
+// commit renames a validated temp file into its content-addressed home; an
+// already-present hash wins (contents are identical by construction).
+func (s *Store) commit(tmpPath, hash string) error {
+	dst := s.Path(hash)
+	if _, err := os.Stat(dst); err == nil {
+		return nil
+	}
+	return os.Rename(tmpPath, dst)
+}
+
+// ValidHash reports whether ref looks like a sha256 graph hash: exactly 64
+// lowercase hex digits.
+func ValidHash(ref string) bool {
+	if len(ref) != 64 {
+		return false
+	}
+	for i := 0; i < len(ref); i++ {
+		c := ref[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Package-level resolver state: the active store directory, an optional
+// network fetcher (cluster workers install one pointing at their
+// coordinator), and a small memo of decoded graphs — graphs are immutable
+// after load, so sweeps re-running the same file family share one instance.
+var (
+	resolveMu sync.Mutex
+	storeDir  string
+	activeSt  *Store
+	fetchFn   func(hash string) (io.ReadCloser, error)
+	memo      = map[string]*graph.Graph{}
+)
+
+const memoLimit = 8
+
+// DefaultDir returns the store directory used when nothing is configured:
+// $NCC_GRAPH_DIR, or "graphs".
+func DefaultDir() string {
+	if d := os.Getenv("NCC_GRAPH_DIR"); d != "" {
+		return d
+	}
+	return "graphs"
+}
+
+// SetStoreDir points the package-level resolver at a store directory
+// (creating it lazily on first use) and drops any memoized graphs.
+func SetStoreDir(dir string) {
+	resolveMu.Lock()
+	defer resolveMu.Unlock()
+	storeDir = dir
+	activeSt = nil
+	memo = map[string]*graph.Graph{}
+}
+
+// ActiveStore returns the process-wide store the "file" family resolves
+// against, opening it on first use.
+func ActiveStore() (*Store, error) {
+	resolveMu.Lock()
+	defer resolveMu.Unlock()
+	return activeStoreLocked()
+}
+
+func activeStoreLocked() (*Store, error) {
+	if activeSt != nil {
+		return activeSt, nil
+	}
+	dir := storeDir
+	if dir == "" {
+		dir = DefaultDir()
+	}
+	st, err := NewStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	activeSt = st
+	return st, nil
+}
+
+// SetFetcher installs a fallback used when a requested hash is missing from
+// the local store — cluster workers point this at their coordinator's
+// /v1/graphs route. Fetched bytes are validated and persisted locally. Pass
+// nil to remove.
+func SetFetcher(fn func(hash string) (io.ReadCloser, error)) {
+	resolveMu.Lock()
+	defer resolveMu.Unlock()
+	fetchFn = fn
+}
+
+// Resolve loads the graph named by a content hash: memo, then the local
+// store, then the installed fetcher. This is the loader behind the "file"
+// graph family (installed via graph.SetFileResolver in init).
+func Resolve(ref string) (*graph.Graph, error) {
+	if !ValidHash(ref) {
+		return nil, fmt.Errorf("graphio: %q is not a sha256 graph hash (64 hex digits)", ref)
+	}
+	resolveMu.Lock()
+	defer resolveMu.Unlock()
+	if g, ok := memo[ref]; ok {
+		return g, nil
+	}
+	st, err := activeStoreLocked()
+	if err != nil {
+		return nil, err
+	}
+	var g *graph.Graph
+	if st.Has(ref) {
+		g, err = st.Open(ref)
+		if err != nil {
+			return nil, err
+		}
+	} else if fetchFn != nil {
+		rc, err := fetchFn(ref)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: graph %s not in store %s and fetch failed: %w", ref, st.Dir(), err)
+		}
+		hash, fetched, err := st.PutStream(rc)
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("graphio: fetched graph %s: %w", ref, err)
+		}
+		if hash != ref {
+			os.Remove(st.Path(hash))
+			return nil, fmt.Errorf("graphio: fetched graph hashes to %s, want %s", hash, ref)
+		}
+		g = fetched
+	} else {
+		return nil, fmt.Errorf("graphio: graph %s not found in store %s (ingest it with nccgraph)", ref, st.Dir())
+	}
+	if len(memo) >= memoLimit {
+		memo = map[string]*graph.Graph{}
+	}
+	memo[ref] = g
+	return g, nil
+}
+
+func init() {
+	graph.SetFileResolver(Resolve)
+}

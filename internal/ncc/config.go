@@ -120,6 +120,14 @@ type Config struct {
 	// node), never drawn from a shared stream.
 	Workers int
 
+	// NodeCaps, if non-nil, gives every node its own per-round send/receive
+	// capacity in messages (the paper's weighted-capacity extension for
+	// heterogeneous real networks), overriding the uniform Cap() for
+	// enforcement. len(NodeCaps) must equal N and every entry must be >= 1.
+	// Shared pacing constants derived inside node programs should use
+	// Context.MinCap so every node computes the same schedule.
+	NodeCaps []int
+
 	// Cancel, if non-nil, aborts the run when it becomes readable (typically
 	// by closing it). The coordinator checks it at every round barrier, so an
 	// in-flight run unwinds within one round of the cancellation: parked
@@ -174,16 +182,44 @@ func (c Config) validate() error {
 	if c.MaxWords < 1 {
 		return fmt.Errorf("ncc: config MaxWords = %d, need >= 1", c.MaxWords)
 	}
+	if c.NodeCaps != nil {
+		if len(c.NodeCaps) != c.N {
+			return fmt.Errorf("ncc: config NodeCaps has %d entries for N = %d", len(c.NodeCaps), c.N)
+		}
+		for id, cp := range c.NodeCaps {
+			if cp < 1 {
+				return fmt.Errorf("ncc: config NodeCaps[%d] = %d, need >= 1", id, cp)
+			}
+		}
+	}
 	return nil
 }
 
-// Cap returns the per-round, per-direction message capacity for this config.
+// Cap returns the uniform per-round, per-direction message capacity for this
+// config — the capacity of every node when NodeCaps is nil, and the base
+// value heterogeneous capacity policies scale from.
 func (c Config) Cap() int {
 	f := c.CapFactor
 	if f == 0 {
 		f = DefaultCapFactor
 	}
 	return f * max(1, CeilLog2(c.N))
+}
+
+// MinCap returns the smallest per-node capacity of the run: Cap() for uniform
+// configs, the minimum NodeCaps entry otherwise. Node programs use it for
+// pacing constants that must be identical at every node.
+func (c Config) MinCap() int {
+	if len(c.NodeCaps) == 0 {
+		return c.Cap()
+	}
+	m := c.NodeCaps[0]
+	for _, cp := range c.NodeCaps[1:] {
+		if cp < m {
+			m = cp
+		}
+	}
+	return m
 }
 
 // CeilLog2 returns ceil(log2(n)) for n >= 1 (0 for n = 1).

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"runtime/debug"
+	"slices"
 	"sync"
 )
 
@@ -33,8 +34,16 @@ func (c *Context) ID() NodeID { return c.id }
 // N returns the number of nodes in the clique.
 func (c *Context) N() int { return c.r.cfg.N }
 
-// Cap returns the per-round send/receive capacity in messages.
-func (c *Context) Cap() int { return c.r.cap }
+// Cap returns this node's per-round send/receive capacity in messages. With
+// heterogeneous capacities (Config.NodeCaps) different nodes see different
+// values; shared pacing constants must use MinCap instead.
+func (c *Context) Cap() int { return c.r.capOf(c.id) }
+
+// MinCap returns the smallest per-node capacity in the run — identical at
+// every node, so programs can derive shared schedule constants (batch sizes,
+// round counts) that every correspondent agrees on. Equals Cap on uniform
+// runs.
+func (c *Context) MinCap() int { return c.r.minCap }
 
 // Round returns the number of completed rounds; it is identical at every
 // node between barriers (the network is synchronous).
@@ -80,7 +89,7 @@ func (c *Context) checkSend(to NodeID) {
 func (c *Context) growOut() []Envelope {
 	target := max(4, 2*cap(c.out))
 	if c.r.provisionOut {
-		target = max(target, c.r.cap)
+		target = max(target, c.r.capOf(c.id))
 	}
 	out := make([]Envelope, len(c.out), target)
 	copy(out, c.out)
@@ -196,9 +205,9 @@ func (c *Context) panicOversized(w int, p Payload) {
 // barrier and must not be retained across rounds.
 func (c *Context) EndRound() []Received {
 	r := c.r
-	if r.cfg.Strict && len(c.out) > r.cap {
+	if r.cfg.Strict && len(c.out) > r.capOf(c.id) {
 		panic(fmt.Sprintf("ncc: node %d sent %d messages in round %d, capacity is %d",
-			c.id, len(c.out), c.round, r.cap))
+			c.id, len(c.out), c.round, r.capOf(c.id)))
 	}
 	// The barrier generation must be captured before arriving: the
 	// coordinator may deliver and release the instant the last arrival
@@ -245,7 +254,9 @@ func (*crashError) Error() string { return "ncc: node fail-stopped by fault plan
 
 type run struct {
 	cfg        Config
-	cap        int
+	cap        int     // uniform base capacity (Config.Cap)
+	caps       []int32 // per-node capacities; nil on uniform runs
+	minCap     int     // smallest per-node capacity (== cap when uniform)
 	workers    int
 	shardWidth int // ceil(N / workers); node id / shardWidth = its shard
 	nodes      []*Context
@@ -290,11 +301,18 @@ type run struct {
 	buckets        [][][]Envelope
 	recvCounts     []int32
 	recvWordCounts []int32
-	shardStats     []Stats
-	obsShards      [][]Envelope
-	obsBuf         []Envelope
-	sendFn         func(int)
-	recvFn         func(int)
+	// peakSend/peakRecv record each node's highest post-truncation round load
+	// for the capacity-utilization percentiles; allocated only on
+	// heterogeneous runs. A node's entries are written by exactly one shard
+	// per phase (its sender shard in phase A, its receiver shard in phase B),
+	// so the updates are race-free without atomics.
+	peakSend   []int32
+	peakRecv   []int32
+	shardStats []Stats
+	obsShards  [][]Envelope
+	obsBuf     []Envelope
+	sendFn     func(int)
+	recvFn     func(int)
 }
 
 // Run executes program on every node of a fresh network and returns the run
@@ -308,8 +326,17 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 	r := &run{
 		cfg:     cfg,
 		cap:     cfg.Cap(),
+		minCap:  cfg.MinCap(),
 		workers: max(1, min(cfg.Workers, cfg.N)),
 		errCh:   make(chan error, cfg.N),
+	}
+	if cfg.NodeCaps != nil {
+		r.caps = make([]int32, cfg.N)
+		for i, cp := range cfg.NodeCaps {
+			r.caps[i] = int32(cp)
+		}
+		r.peakSend = make([]int32, cfg.N)
+		r.peakRecv = make([]int32, cfg.N)
 	}
 	w := r.workers
 	r.shardWidth = (cfg.N + w - 1) / w
@@ -414,6 +441,23 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 			}
 		}
 		r.stats.NodeFailures = r.nodeFailures
+	}
+	if r.caps != nil {
+		// Capacity utilization: each node's highest single-round load (either
+		// direction, post-truncation) as a fraction of its own capacity.
+		// Deterministic at any worker count, because traffic is.
+		utils := make([]float64, cfg.N)
+		for id := range utils {
+			utils[id] = float64(max(r.peakSend[id], r.peakRecv[id])) / float64(r.caps[id])
+		}
+		slices.Sort(utils)
+		pct := func(p float64) float64 {
+			k := max(0, int(math.Ceil(p*float64(len(utils))))-1)
+			return math.Round(utils[k]*1e4) / 1e4
+		}
+		r.stats.CapUtilP50 = pct(0.50)
+		r.stats.CapUtilP90 = pct(0.90)
+		r.stats.CapUtilMax = pct(1)
 	}
 	processMessages.Add(r.stats.Messages)
 	processWords.Add(r.stats.Words)
@@ -558,6 +602,15 @@ func (r *run) shardOf(id NodeID) int {
 	return id / r.shardWidth
 }
 
+// capOf returns node id's per-round capacity: the uniform base, or its
+// NodeCaps entry on heterogeneous runs.
+func (r *run) capOf(id NodeID) int {
+	if r.caps == nil {
+		return r.cap
+	}
+	return int(r.caps[id])
+}
+
 // roundPCG seeds a PRNG from (run seed, round, node, salt) so that random
 // decisions are a pure function of the configuration — never of worker
 // scheduling — keeping runs bit-for-bit deterministic for a fixed Config.Seed
@@ -620,11 +673,14 @@ func (r *run) sendPhase(i int) {
 		if len(out) > st.MaxSendLoad {
 			st.MaxSendLoad = len(out)
 		}
-		if len(out) > r.cap {
+		if capAt := r.capOf(id); len(out) > capAt {
 			// Non-strict: the excess is dropped (strict mode already
 			// panicked in EndRound).
-			st.DroppedSendOverflow += int64(len(out) - r.cap)
-			out = out[:r.cap]
+			st.DroppedSendOverflow += int64(len(out) - capAt)
+			out = out[:capAt]
+		}
+		if r.peakSend != nil && int32(len(out)) > r.peakSend[id] {
+			r.peakSend[id] = int32(len(out))
 		}
 		var frng rand.PCG
 		if r.cfg.DropProb > 0 {
@@ -705,12 +761,15 @@ func (r *run) recvPhase(j int) {
 			st.MaxRecvOffered = c
 		}
 		d := c
-		if c > r.cap {
-			d = r.cap
-			st.DroppedRecvOverflow += int64(c - r.cap)
+		if capAt := r.capOf(id); c > capAt {
+			d = capAt
+			st.DroppedRecvOverflow += int64(c - capAt)
 		}
 		if d > st.MaxRecvDelivered {
 			st.MaxRecvDelivered = d
+		}
+		if r.peakRecv != nil && int32(d) > r.peakRecv[id] {
+			r.peakRecv[id] = int32(d)
 		}
 		// The inbox temporarily holds every offered message (truncation
 		// happens in place below), so provision for the offered count. The
@@ -748,7 +807,8 @@ func (r *run) recvPhase(j int) {
 		}
 	}
 	for id := lo; id < hi; id++ {
-		if int(counts[id-lo]) <= r.cap || r.finished[id] {
+		capAt := r.capOf(id)
+		if int(counts[id-lo]) <= capAt || r.finished[id] {
 			continue
 		}
 		// Overload: keep a seeded-random subset of cap messages, re-sorted
@@ -762,7 +822,7 @@ func (r *run) recvPhase(j int) {
 			l := pcgIntN(&rng, k+1)
 			msgs[k], msgs[l] = msgs[l], msgs[k]
 		}
-		ctx.inbox = msgs[:r.cap]
+		ctx.inbox = msgs[:capAt]
 		sortReceivedByFrom(ctx.inbox)
 	}
 }

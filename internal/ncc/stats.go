@@ -62,6 +62,15 @@ type Stats struct {
 	// the run.
 	NodeFailures int64 `json:"nodeFailures,omitempty"`
 
+	// CapUtilP50/P90/Max summarize per-node capacity utilization on
+	// heterogeneous runs (Config.NodeCaps set): each node's highest
+	// single-round post-truncation load in either direction, as a fraction of
+	// its own capacity; nearest-rank percentiles over all nodes, rounded to
+	// 1e-4. Zero (omitted) on uniform runs.
+	CapUtilP50 float64 `json:"capUtilP50,omitempty"`
+	CapUtilP90 float64 `json:"capUtilP90,omitempty"`
+	CapUtilMax float64 `json:"capUtilMax,omitempty"`
+
 	// Unfinished lists (sorted) the nodes that produced no output: programs
 	// that never returned, were fail-stopped, or crashed under isolation.
 	// DownAtEnd lists the nodes out of service when the run ended (killed or

@@ -26,6 +26,11 @@ import (
 //   - Both parameter bags are resolved against the registries, so omitted
 //     parameters and explicitly spelled defaults coincide.
 //   - Model defaults (CapFactor/MaxWords/MaxRounds) are filled in.
+//   - A graph file reference is kept verbatim for the file family (it is the
+//     content address of the graph bytes, so it pins the input graph in the
+//     hash) and cleared for generator families.
+//   - A capacities block resolves its policy parameter bag; the "uniform"
+//     policy normalizes to an absent block (same computation).
 //   - Faults normalize to their fault-model spec list (legacy DropProb and
 //     DropTo/DropFrom/FromRound knobs become the equivalent "iid-drop" and
 //     "link-cut" specs), with model parameter bags resolved and To/From sets
@@ -63,6 +68,15 @@ func (s Scenario) Canonical() (Scenario, error) {
 	if !f.Seeded {
 		c.Graph.Seed = 0
 	}
+	// A file reference IS the graph content's address, so it stays verbatim
+	// and the graph bytes are pinned by the scenario hash; for generator
+	// families a stray File is display noise and is cleared.
+	if !f.FromFile {
+		c.Graph.File = ""
+	}
+	if c.Capacities, err = canonicalCapacities(s.Capacities); err != nil {
+		return c, err
+	}
 	m := s.Model
 	if m.CapFactor == 0 {
 		m.CapFactor = ncc.DefaultCapFactor
@@ -89,6 +103,32 @@ func (s Scenario) Canonical() (Scenario, error) {
 		c.KMachine = &km
 	}
 	return c, nil
+}
+
+// canonicalCapacities resolves a capacities block to its normal form: the
+// policy's parameter bag is resolved (defaults pinned), and the "uniform"
+// policy — the meaning of an absent block — normalizes to nil, so spelling
+// uniformity out loud does not change the hash.
+func canonicalCapacities(cs *graph.CapacitySpec) (*graph.CapacitySpec, error) {
+	if cs == nil {
+		return nil, nil
+	}
+	p, ok := graph.GetCapacityPolicy(cs.Policy)
+	if !ok {
+		return nil, fmt.Errorf("unknown capacity policy %q", cs.Policy)
+	}
+	v, err := param.Resolve(cs.Params, p.Params)
+	if err != nil {
+		return nil, fmt.Errorf("capacity policy %s: %w", cs.Policy, err)
+	}
+	if cs.Policy == "uniform" {
+		return nil, nil
+	}
+	out := graph.CapacitySpec{Policy: cs.Policy, Params: v}
+	if len(cs.Values) > 0 {
+		out.Values = slices.Clone(cs.Values)
+	}
+	return &out, nil
 }
 
 func canonicalFaults(f *Faults) (*Faults, error) {

@@ -21,10 +21,12 @@ package scenario
 import (
 	"fmt"
 	"os"
+	"slices"
 
 	"ncc/internal/algo"
 	"ncc/internal/faultmodel"
 	"ncc/internal/graph"
+	"ncc/internal/graphio" // installs the "file" graph-family resolver
 	"ncc/internal/kmachine"
 	"ncc/internal/ncc"
 	"ncc/internal/param"
@@ -141,14 +143,18 @@ const DefaultKMachineBandwidth = 4
 
 // Scenario is one declarative execution spec.
 type Scenario struct {
-	Name     string       `json:"name,omitempty"`
-	Algo     string       `json:"algo"`
-	Graph    graph.Spec   `json:"graph"`
-	Params   param.Values `json:"params,omitempty"`
-	Model    Model        `json:"model,omitempty"`
-	Faults   *Faults      `json:"faults,omitempty"`
-	Sweep    *Sweep       `json:"sweep,omitempty"`
-	KMachine *KMachine    `json:"kmachine,omitempty"`
+	Name   string       `json:"name,omitempty"`
+	Algo   string       `json:"algo"`
+	Graph  graph.Spec   `json:"graph"`
+	Params param.Values `json:"params,omitempty"`
+	Model  Model        `json:"model,omitempty"`
+	// Capacities assigns heterogeneous per-node capacities through a
+	// registered capacity policy ("uniform", "degree", "file", "explicit").
+	// Absent means uniform capacities, the plain NCC model.
+	Capacities *graph.CapacitySpec `json:"capacities,omitempty"`
+	Faults     *Faults             `json:"faults,omitempty"`
+	Sweep      *Sweep              `json:"sweep,omitempty"`
+	KMachine   *KMachine           `json:"kmachine,omitempty"`
 }
 
 // GraphInfo describes the materialized input graph of one run.
@@ -165,9 +171,13 @@ type GraphInfo struct {
 // statistics, the summarizer's digest, and the verification status. A Record
 // with a non-empty Error field describes a run that failed outright.
 type Record struct {
-	Scenario  Scenario           `json:"scenario"`
-	Graph     GraphInfo          `json:"graph"`
-	Capacity  int                `json:"capacity"`
+	Scenario Scenario  `json:"scenario"`
+	Graph    GraphInfo `json:"graph"`
+	Capacity int       `json:"capacity"`
+	// CapMin/CapMax bound the per-node capacities of a heterogeneous run
+	// (zero and omitted when the run is uniform, where Capacity is exact).
+	CapMin    int                `json:"capMin,omitempty"`
+	CapMax    int                `json:"capMax,omitempty"`
 	Summary   string             `json:"summary,omitempty"`
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
 	Stats     ncc.Stats          `json:"stats"`
@@ -212,6 +222,16 @@ func (s Scenario) Validate() error {
 	if _, err := param.Resolve(s.Graph.Params, f.Params); err != nil {
 		return fmt.Errorf("graph family %s: %w", s.Graph.Family, err)
 	}
+	if f.FromFile {
+		if s.Graph.File == "" {
+			return fmt.Errorf("graph.file: required for the %s family (the 64-hex content hash printed by nccgraph ingest)", s.Graph.Family)
+		}
+		if !graphio.ValidHash(s.Graph.File) {
+			return fmt.Errorf("graph.file: %q is not a 64-hex content hash", s.Graph.File)
+		}
+	} else if s.Graph.File != "" {
+		return fmt.Errorf("graph.file: only valid for the file family (family %s generates its graph)", s.Graph.Family)
+	}
 	if km := s.KMachine; km != nil {
 		if km.K < 1 {
 			return fmt.Errorf("kmachine.k = %d, need >= 1", km.K)
@@ -226,6 +246,11 @@ func (s Scenario) Validate() error {
 	if gp, err := param.Resolve(s.Graph.Params, f.Params); err == nil {
 		if v, ok := gp["n"]; ok && (s.Sweep == nil || len(s.Sweep.N) == 0) {
 			n = int(v)
+		}
+	}
+	if s.Capacities != nil {
+		if err := graph.ValidateCapacitySpec(*s.Capacities, n); err != nil {
+			return fmt.Errorf("capacities.%w", err)
 		}
 	}
 	if s.Faults != nil {
@@ -368,6 +393,16 @@ func RunOneWith(s Scenario, opts RunOpts) (Record, error) {
 	cfg.Cancel = opts.Cancel
 	if opts.Workers != 0 {
 		cfg.Workers = opts.Workers
+	}
+	if s.Capacities != nil {
+		caps, err := graph.BuildCapacities(*s.Capacities, g, cfg.Cap())
+		if err != nil {
+			return rec, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if caps != nil {
+			cfg.NodeCaps = caps
+			rec.CapMin, rec.CapMax = slices.Min(caps), slices.Max(caps)
+		}
 	}
 	if specs := s.Faults.specs(); len(specs) > 0 {
 		plan, err := faultmodel.Build(specs, faultmodel.Env{G: g, N: g.N(), Seed: cfg.Seed})

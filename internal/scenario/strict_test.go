@@ -34,7 +34,7 @@ func TestDecodeStrictUnknownFields(t *testing.T) {
 		{
 			name: "graph spec typo",
 			in:   `{"algo":"mis","graph":{"fam":"kforest"}}`,
-			want: `unknown field "graph.fam" (graph has family, params, seed)`,
+			want: `unknown field "graph.fam" (graph has family, file, params, seed)`,
 		},
 		{
 			name: "valid scenario with params passes",

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"ncc/internal/graphio"
 	"ncc/internal/scenario"
 )
 
@@ -65,6 +66,16 @@ type Config struct {
 	// lines it already has.
 	JobAttempts int
 
+	// GraphDir, when non-empty, opens a content-addressed graph store there
+	// and serves it at /v1/graphs/{hash}: clients PUT ingested .nccg graphs
+	// before submitting file-family scenarios, and cluster workers GET graphs
+	// their dispatched jobs reference. Empty disables the graph API.
+	GraphDir string
+
+	// MaxGraphBytes bounds an uploaded graph body (default 1 GiB — graphs are
+	// much larger than scenario JSON, so they get their own limit).
+	MaxGraphBytes int64
+
 	// ClusterToken, when non-empty, requires `Authorization: Bearer <token>`
 	// on every /v1/ route (jobs, campaigns, and the cluster membership API).
 	// /healthz and /metrics stay open for probes and scrapers. The same token
@@ -85,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxGraphBytes <= 0 {
+		c.MaxGraphBytes = 1 << 30
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 1024
@@ -116,6 +130,7 @@ type Server struct {
 	backend   ExecBackend
 	cluster   *RemoteBackend // non-nil in coordinator mode; adds /v1/workers
 	campaigns *campaignStore
+	graphs    *graphio.Store // non-nil with GraphDir set; adds /v1/graphs
 }
 
 // New builds a single-process Server executing jobs on a LocalBackend
@@ -143,6 +158,12 @@ func build(cfg Config, mk func(Config, CacheTier, *metrics) (ExecBackend, *Remot
 		return nil, err
 	}
 	m := newMetrics()
+	var graphs *graphio.Store
+	if cfg.GraphDir != "" {
+		if graphs, err = graphio.NewStore(cfg.GraphDir); err != nil {
+			return nil, err
+		}
+	}
 	backend, cluster := mk(cfg, c, m)
 	return &Server{
 		cfg:       cfg,
@@ -153,6 +174,7 @@ func build(cfg Config, mk func(Config, CacheTier, *metrics) (ExecBackend, *Remot
 		backend:   backend,
 		cluster:   cluster,
 		campaigns: newCampaignStore(0),
+		graphs:    graphs,
 	}, nil
 }
 
@@ -190,6 +212,11 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET    /v1/workers           list registered workers
 //	DELETE /v1/workers/{name}    deregister a worker immediately
 //
+// With GraphDir set, the content-addressed graph store is served too:
+//
+//	PUT    /v1/graphs/{hash}     upload a .nccg graph (validated, idempotent)
+//	GET    /v1/graphs/{hash}     download a stored graph's bytes
+//
 // With ClusterToken set, every /v1/ route requires the bearer token.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -209,6 +236,10 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /v1/workers", s.cluster.handleRegister)
 		mux.HandleFunc("GET /v1/workers", s.cluster.handleWorkers)
 		mux.HandleFunc("DELETE /v1/workers/{name}", s.cluster.handleDeregister)
+	}
+	if s.graphs != nil {
+		mux.HandleFunc("GET /v1/graphs/{hash}", s.handleGraphGet)
+		mux.HandleFunc("PUT /v1/graphs/{hash}", s.handleGraphPut)
 	}
 	if s.cfg.ClusterToken != "" {
 		return requireToken(s.cfg.ClusterToken, mux)
