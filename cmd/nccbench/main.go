@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -107,7 +108,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runtime.ReadMemStats(&m0)
 		_, words0 := ncc.TrafficTotals()
 		start := time.Now()
-		err := e.Run(r, *quick)
+		var err error
+		// Label the experiment's CPU samples so a -cpuprofile over -exp all
+		// segments per experiment: go tool pprof -tagfocus exp=mst cpu.out
+		pprof.Do(context.Background(), pprof.Labels("exp", e.Name), func(context.Context) {
+			err = e.Run(r, *quick)
+		})
 		elapsed := time.Since(start)
 		_, words1 := ncc.TrafficTotals()
 		runtime.ReadMemStats(&m1)

@@ -7,7 +7,11 @@
 // on a running nccd (POST /v1/campaigns — units flow through the daemon's
 // result cache and, on a coordinator, across the worker fleet). The report is
 // deterministic — it contains no wall-clock fields — so both paths emit
-// byte-identical -json output for the same spec.
+// byte-identical -json output for the same spec. Each report row carries the
+// unit's canonical telemetry-trace hash ("trace": "sha256:..."), the join key
+// to the NDJSON traces served at /v1/jobs/{id}/trace and analyzed by
+// ncctrace; the hash is identical whether the unit ran locally, on a daemon,
+// or out of the result cache.
 //
 //	ncccampaign -spec campaigns/compare-small.json
 //	ncccampaign -spec campaigns/compare-small.json -json

@@ -47,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -86,10 +87,18 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	name := fs.String("name", "", "worker: stable name to register under (default: advertised host:port)")
 	heartbeat := fs.Duration("heartbeat", 2*time.Second, "worker: registration heartbeat period (keep well under the coordinator's -worker-ttl)")
 	clusterToken := fs.String("cluster-token", "", "require this bearer token on every /v1/ route and present it to the coordinator/workers (empty: no auth)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log encoding on stderr: text or json")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (token-exempt like /healthz and /metrics; leave off beyond a trusted network)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+	logger, err := buildLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(stderr, "nccd:", err)
 		return 2
 	}
 	if *coordinator && *join != "" {
@@ -107,6 +116,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		JobAttempts:  *attempts,
 		GraphDir:     *graphDir,
 		ClusterToken: *clusterToken,
+		Pprof:        *pprofOn,
+		Logger:       logger,
 	}
 	if *graphDir != "" {
 		// The daemon's own file-family resolver and its /v1/graphs API share
@@ -119,19 +130,18 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		graphio.SetFetcher(service.GraphFetcher(*join, *clusterToken))
 	}
 	var svc *service.Server
-	var err error
 	if *coordinator {
 		svc, err = service.NewCoordinator(cfg)
 	} else {
 		svc, err = service.New(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(stderr, "nccd:", err)
+		logger.Error("startup failed", "err", err)
 		return 1
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(stderr, "nccd:", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
 	role := "standalone"
@@ -140,8 +150,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	} else if *join != "" {
 		role = "worker"
 	}
+	// The stdout announcement is a stable machine-readable contract (scripts
+	// sed the bound address out of it); everything else logs structured.
 	fmt.Fprintf(stdout, "nccd listening on %s\n", ln.Addr())
-	fmt.Fprintf(stderr, "nccd: role %s\n", role)
+	logger.Info("listening", "addr", ln.Addr().String(), "role", role, "pprof", *pprofOn)
 
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
@@ -156,6 +168,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		if self == "" {
 			self = "http://" + dialableAddr(ln.Addr())
 		}
+		workerLog := logger.With("role", "worker", "self", self)
 		jn := &service.Joiner{
 			Coordinator: *join,
 			Self:        self,
@@ -164,7 +177,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 			Interval:    *heartbeat,
 			Token:       *clusterToken,
 			Logf: func(format string, args ...any) {
-				fmt.Fprintf(stderr, "nccd: "+format+"\n", args...)
+				workerLog.Info(fmt.Sprintf(format, args...))
 			},
 		}
 		joinWG.Add(1)
@@ -176,10 +189,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 
 	select {
 	case err := <-serveErr:
-		fmt.Fprintln(stderr, "nccd:", err)
+		logger.Error("serve failed", "err", err)
 		return 1
 	case sig := <-sigs:
-		fmt.Fprintf(stderr, "nccd: %v: draining (timeout %s)\n", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "timeout", *drainTimeout)
 		// Deregister first so the coordinator stops dispatching here and
 		// re-dispatches whatever this drain is about to cancel.
 		stopJoin()
@@ -187,7 +200,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := svc.Drain(ctx); err != nil {
-			fmt.Fprintln(stderr, "nccd: drain timeout exceeded, jobs canceled:", err)
+			logger.Warn("drain timeout exceeded, jobs canceled", "err", err)
 		}
 		// Streams of now-terminal jobs close on their own; give connections a
 		// moment to finish, then cut whatever is left.
@@ -198,6 +211,34 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		}
 		fmt.Fprintln(stdout, "nccd: drained, bye")
 		return 0
+	}
+}
+
+// buildLogger assembles the daemon's structured stderr logger from the
+// -log-level and -log-format flags. Stdout stays reserved for the two stable
+// announcement lines ("nccd listening on ..." and "nccd: drained, bye").
+func buildLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -127,5 +128,97 @@ func TestBadAddr(t *testing.T) {
 	var stdout, stderr syncBuffer
 	if code := run([]string{"-addr", "256.256.256.256:http"}, &stdout, &stderr, nil); code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestPprofAndJSONLogs boots the daemon with -pprof and JSON logging: the
+// profiling surface answers without a token, runtime gauges appear on
+// /metrics, every stderr line is a structured JSON record, and the two stable
+// stdout announcements survive the slog conversion.
+func TestPprofAndJSONLogs(t *testing.T) {
+	sigs := make(chan os.Signal, 1)
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-jobs", "1", "-graph-dir", "",
+			"-pprof", "-log-format", "json", "-log-level", "debug",
+			"-cluster-token", "sekrit"}, &stdout, &stderr, sigs)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stderr=%q", stderr.String())
+		}
+		if out := stdout.String(); strings.Contains(out, "listening on ") {
+			line := out[strings.Index(out, "listening on ")+len("listening on "):]
+			base = "http://" + strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// pprof and /metrics answer without the cluster token (the guard covers
+	// /v1/ only).
+	for _, path := range []string{"/debug/pprof/", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "nccd_goroutines") {
+			t.Fatalf("/metrics missing runtime gauges:\n%s", body)
+		}
+	}
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless /v1/jobs: status %d, want 401", resp.StatusCode)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(stdout.String(), "drained, bye") {
+		t.Errorf("missing drain farewell; stdout=%q", stdout.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stderr.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stderr line is not JSON: %q: %v", line, err)
+		}
+		if rec["msg"] == nil || rec["level"] == nil {
+			t.Fatalf("log record missing msg/level: %q", line)
+		}
+	}
+	if !strings.Contains(stderr.String(), `"msg":"listening"`) {
+		t.Errorf("no structured listening record; stderr=%q", stderr.String())
+	}
+}
+
+func TestBadLogFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-log-level", "loud"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-log-format", "xml"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
 	}
 }

@@ -14,11 +14,14 @@
 //	nccrun -algo bfs -graph grid -rows 8 -cols 16 -src 0 -timeline rounds.csv
 //	nccrun -algo matching -graph bipartite -gparam n1=64,n2=32,p=0.1
 //	nccrun -algo coloring -graph pa -n 200 -k 3 -sweep-n 64,128,256 -sweep-seeds 1,2,3 -json
+//	nccrun -algo mis -graph kforest -n 256 -k 4 -sweep-seeds 1,2,3 -trace run.ndjson
 //	nccrun -scenario scenarios/mis-sweep.json -json
 //	nccrun -scenario scenarios/mis-sweep.json -remote http://127.0.0.1:9876 -json
+//	nccrun -scenario scenarios/mis-sweep.json -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -26,6 +29,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -35,6 +40,7 @@ import (
 	"ncc/internal/graph"
 	"ncc/internal/graphio"
 	"ncc/internal/ncc"
+	"ncc/internal/obs"
 	"ncc/internal/param"
 	"ncc/internal/scenario"
 )
@@ -74,6 +80,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	aparam := fs.String("aparam", "", "extra algorithm params as name=value,...")
 	workers := fs.Int("workers", 0, "round-engine delivery workers (0 = GOMAXPROCS); does not change results")
 	timelineCSV := fs.String("timeline", "", "write a per-round traffic CSV (round,messages,words,maxRecvOffered) to this file")
+	traceFile := fs.String("trace", "", "write the run's canonical NDJSON telemetry trace to this file (with -remote, fetched from the daemon)")
+	traceTiming := fs.Bool("trace-timing", false, "interleave non-canonical per-shard timing lines into the -trace file (local runs only)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the local runs to `file` (pprof-labeled per run)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to `file` after the runs finish")
 	sweepN := fs.String("sweep-n", "", "comma-separated n values to sweep")
 	sweepCap := fs.String("sweep-capfactor", "", "comma-separated capfactor values to sweep")
 	sweepSeeds := fs.String("sweep-seeds", "", "comma-separated seeds to sweep")
@@ -154,9 +164,21 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		fmt.Fprintln(stderr, "-timeline requires a single run, not a sweep")
 		return 2
 	}
+	if *traceTiming && *traceFile == "" {
+		fmt.Fprintln(stderr, "-trace-timing requires -trace")
+		return 2
+	}
 	if *remote != "" {
 		if *timelineCSV != "" {
 			fmt.Fprintln(stderr, "-timeline is not supported with -remote")
+			return 2
+		}
+		if *traceTiming {
+			fmt.Fprintln(stderr, "-trace-timing is not supported with -remote (daemon traces are canonical-only)")
+			return 2
+		}
+		if *cpuprofile != "" || *memprofile != "" {
+			fmt.Fprintln(stderr, "-cpuprofile/-memprofile profile local execution and are not supported with -remote")
 			return 2
 		}
 		if sigs == nil {
@@ -165,16 +187,67 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 			defer signal.Stop(ch)
 			sigs = ch
 		}
-		return runRemote(*remote, *token, s, *jsonOut, len(runs), stdout, stderr, sigs)
+		return runRemote(*remote, *token, s, *jsonOut, len(runs), *traceFile, stdout, stderr, sigs)
 	}
 
+	// Profiling hooks match nccbench's, so a slow scenario is diagnosable with
+	// the same workflow: go tool pprof <binary> cpu.out. CPU samples carry
+	// run/scenario pprof labels, so one sweep profile splits per run.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // record the settled heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	var col *obs.Collector
+	if *traceFile != "" {
+		col = &obs.Collector{WithTiming: *traceTiming}
+	}
 	code := 0
-	for _, c := range runs {
+	for i, c := range runs {
 		var tl *ncc.Timeline
+		opts := scenario.RunOpts{}
 		if *timelineCSV != "" {
 			tl = &ncc.Timeline{}
+			opts.Probe = tl.Sample
 		}
-		rec, err := scenario.RunOne(c, observerOrNil(tl))
+		var rec scenario.Record
+		var err error
+		runOne := func() {
+			if col != nil {
+				rec, err = scenario.RunTraced(c, col, opts)
+			} else {
+				rec, err = scenario.RunOneWith(c, opts)
+			}
+		}
+		if *cpuprofile != "" {
+			hash, _ := c.Hash()
+			pprof.Do(context.Background(), pprof.Labels("run", strconv.Itoa(i), "scenario", hash), func(context.Context) { runOne() })
+		} else {
+			runOne()
+		}
 		if err != nil {
 			rec.Error = err.Error()
 		}
@@ -211,16 +284,18 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 			}
 		}
 	}
-	return code
-}
-
-// observerOrNil converts a possibly-nil *ncc.Timeline to an ncc.Observer
-// without boxing a typed nil into the interface.
-func observerOrNil(tl *ncc.Timeline) ncc.Observer {
-	if tl == nil {
-		return nil
+	if col != nil {
+		if err := os.WriteFile(*traceFile, col.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		if !*jsonOut {
+			// The hash covers canonical lines only, so it matches the daemon's
+			// trace id for the same scenario even with -trace-timing.
+			fmt.Fprintf(stdout, "trace: %d lines (%s) written to %s\n", len(col.Lines()), col.Hash(), *traceFile)
+		}
 	}
-	return tl
+	return code
 }
 
 // fromFlags assembles a scenario from the per-run flags. A dedicated flag

@@ -24,8 +24,10 @@ import (
 // 0 ok, 1 run/verification failure, 2 usage (the server rejected the
 // scenario). A signal on sigs cancels the remote job (DELETE /v1/jobs/{id})
 // before tearing down the stream, so an interrupted client doesn't leave the
-// daemon running an orphaned sweep.
-func runRemote(base, token string, s scenario.Scenario, jsonOut bool, expanded int, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
+// daemon running an orphaned sweep. With traceFile set, the job's canonical
+// telemetry trace (GET /v1/jobs/{id}/trace) is fetched after the run
+// completes — it is byte-identical to what a local -trace run would write.
+func runRemote(base, token string, s scenario.Scenario, jsonOut bool, expanded int, traceFile string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	base = strings.TrimRight(base, "/")
 	cl := apiClient{base: base, token: token}
 	if s.Graph.File != "" {
@@ -155,7 +157,37 @@ func runRemote(base, token string, s scenario.Scenario, jsonOut bool, expanded i
 		fmt.Fprintf(stderr, "error: job %s ended %s%s; records above are partial\n", info.ID, state, cause)
 		return 1
 	}
+	if traceFile != "" {
+		if err := cl.fetchTrace(info.ID, traceFile); err != nil {
+			fmt.Fprintln(stderr, "error: fetching trace:", err)
+			return 1
+		}
+		if !jsonOut {
+			fmt.Fprintf(stdout, "trace: written to %s\n", traceFile)
+		}
+	}
 	return code
+}
+
+// fetchTrace downloads a completed job's telemetry trace stream to path.
+func (c apiClient) fetchTrace(id, path string) error {
+	resp, err := c.get(context.Background(), "/v1/jobs/"+id+"/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, remoteError(resp.Body))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // apiClient issues nccd API calls against one base URL, attaching the bearer

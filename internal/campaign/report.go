@@ -47,12 +47,19 @@ type VariantReport struct {
 	Words         int64   `json:"words"`
 	KRounds       int64   `json:"kRounds,omitempty"`
 	CrossMessages int64   `json:"crossMessages,omitempty"`
+	// Trace is the content hash of the unit's telemetry trace ("sha256:...").
+	// It is a cross-surface correlation key, not a metric: the same unit
+	// yields the same hash locally, on a daemon, and from cache, so a report
+	// row can be joined to its archived trace file.
+	Trace string `json:"trace,omitempty"`
 }
 
 // BuildReport merges per-unit Records into the comparative report. records
 // maps canonical scenario hashes to the unit's Record slice; every unit must
-// be present (deduplicated units share one entry).
-func BuildReport(name string, units []Unit, records map[string][]scenario.Record) (Report, error) {
+// be present (deduplicated units share one entry). traces optionally maps the
+// same hashes to trace content hashes; units absent from it simply omit the
+// trace ref (nil disables trace refs entirely).
+func BuildReport(name string, units []Unit, records map[string][]scenario.Record, traces map[string]string) (Report, error) {
 	r := Report{Campaign: name, Units: len(units)}
 	byEntry := map[string]*EntryReport{}
 	for _, u := range units {
@@ -60,7 +67,7 @@ func BuildReport(name string, units []Unit, records map[string][]scenario.Record
 		if !ok {
 			return r, fmt.Errorf("entry %s, %s variant: no records for hash %.12s", u.Entry, u.Variant, u.Hash)
 		}
-		vr := VariantReport{Variant: u.Variant, Algo: u.Scenario.Algo, Hash: u.Hash, Runs: len(recs)}
+		vr := VariantReport{Variant: u.Variant, Algo: u.Scenario.Algo, Hash: u.Hash, Runs: len(recs), Trace: traces[u.Hash]}
 		for _, rec := range recs {
 			if rec.Error != "" {
 				vr.Errors++

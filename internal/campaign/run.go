@@ -3,28 +3,52 @@ package campaign
 import (
 	"fmt"
 
+	"ncc/internal/obs"
 	"ncc/internal/scenario"
 )
 
-// Runner executes one campaign unit and returns its Records, one per
-// sweep-expanded run. Individual run failures belong in Record.Error; a
-// Runner error means the unit could not be executed at all (bad spec,
-// unreachable service) and aborts the campaign.
+// UnitResult is one executed campaign unit: its Records (one per
+// sweep-expanded run) and the content hash of its telemetry trace. TraceHash
+// is empty when the runner recorded no trace; when present it is the
+// "sha256:..." canonical trace hash (see internal/obs), identical for the
+// same unit whether it ran locally, on a daemon, or out of the result cache.
+type UnitResult struct {
+	Records   []scenario.Record
+	TraceHash string
+}
+
+// Runner executes one campaign unit. Individual run failures belong in
+// Record.Error; a Runner error means the unit could not be executed at all
+// (bad spec, unreachable service) and aborts the campaign.
 type Runner interface {
-	RunUnit(u Unit) ([]scenario.Record, error)
+	RunUnit(u Unit) (UnitResult, error)
 }
 
 // RunnerFunc adapts a function to the Runner interface.
-type RunnerFunc func(u Unit) ([]scenario.Record, error)
+type RunnerFunc func(u Unit) (UnitResult, error)
 
 // RunUnit calls f.
-func (f RunnerFunc) RunUnit(u Unit) ([]scenario.Record, error) { return f(u) }
+func (f RunnerFunc) RunUnit(u Unit) (UnitResult, error) { return f(u) }
 
-// Local returns the in-process Runner: each unit runs through scenario.Run
-// on the calling machine.
+// Local returns the in-process Runner: each unit's expanded scenarios run on
+// the calling machine with telemetry collected, so the report's trace refs
+// match what a daemon executing the same units would produce.
 func Local() Runner {
-	return RunnerFunc(func(u Unit) ([]scenario.Record, error) {
-		return scenario.Run(u.Scenario), nil
+	return RunnerFunc(func(u Unit) (UnitResult, error) {
+		col := &obs.Collector{}
+		var recs []scenario.Record
+		for _, c := range u.Scenario.Expand() {
+			rec, err := scenario.RunTraced(c, col, scenario.RunOpts{})
+			if err != nil {
+				rec.Error = err.Error()
+			}
+			recs = append(recs, rec)
+		}
+		res := UnitResult{Records: recs}
+		if len(col.Lines()) > 0 {
+			res.TraceHash = col.Hash()
+		}
+		return res, nil
 	})
 }
 
@@ -37,15 +61,19 @@ func Execute(sp Spec, r Runner) (Report, error) {
 		return Report{}, err
 	}
 	records := make(map[string][]scenario.Record, len(units))
+	traces := make(map[string]string, len(units))
 	for _, u := range units {
 		if _, done := records[u.Hash]; done {
 			continue
 		}
-		recs, err := r.RunUnit(u)
+		res, err := r.RunUnit(u)
 		if err != nil {
 			return Report{}, fmt.Errorf("entry %s, %s variant: %w", u.Entry, u.Variant, err)
 		}
-		records[u.Hash] = recs
+		records[u.Hash] = res.Records
+		if res.TraceHash != "" {
+			traces[u.Hash] = res.TraceHash
+		}
 	}
-	return BuildReport(sp.Name, units, records)
+	return BuildReport(sp.Name, units, records, traces)
 }

@@ -3,6 +3,7 @@ package ncc
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // barrier is the engine's sharded round barrier. Nodes arrive by decrementing
@@ -21,6 +22,14 @@ type barrier struct {
 	remaining atomic.Int32  // non-empty shards that have not fully arrived
 	state     atomic.Uint64 // generation<<1 | abort bit
 	wake      chan struct{} // capacity 1; one send per completed barrier
+
+	// times, when non-nil (probe plane on), records the UnixNano instant each
+	// shard's countdown hit zero. The write sits on the arrival path's cold
+	// branch — once per shard per round, not once per node — and is ordered
+	// before the coordinator's read: it happens before the same goroutine's
+	// remaining.Add, whose RMW chain is observed by the final arriver, whose
+	// wake send the coordinator receives.
+	times []int64
 }
 
 // barrierShard keeps each shard's countdown on its own cache lines; the
@@ -60,6 +69,9 @@ func (b *barrier) reset(live []int32) {
 // case where the coordinator has already exited and stops draining wakes.
 func (b *barrier) arrive(shard int) {
 	if b.shards[shard].count.Add(-1) == 0 {
+		if b.times != nil {
+			b.times[shard] = time.Now().UnixNano()
+		}
 		if b.remaining.Add(-1) == 0 {
 			select {
 			case b.wake <- struct{}{}:

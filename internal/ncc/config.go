@@ -113,6 +113,12 @@ type Config struct {
 	// always called from a single goroutine, regardless of Workers.
 	Observer Observer
 
+	// Probe, if non-nil, receives one RoundSample per completed round — the
+	// engine's telemetry plane (see RoundProbe). It is called on the
+	// coordinator goroutine between rounds. When nil, the engine performs no
+	// probe work at all: the plane is zero-overhead when off.
+	Probe RoundProbe
+
 	// Workers is the number of goroutines the coordinator uses to filter,
 	// group, and deliver each round's traffic. 0 (the default) means
 	// GOMAXPROCS. Runs are bit-for-bit deterministic for a fixed Seed

@@ -109,6 +109,46 @@ func BenchmarkEngineScale(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineProbe measures the telemetry plane's cost at the round
+// barrier: the same dense workload with Probe nil (the default every scheduler
+// and benchmark runs with) versus a live probe draining every RoundSample.
+// The probe=off point is benchcheck-gated against BENCH_baseline.json, so a
+// change that sneaks work into the nil-probe path fails CI; probe=on is
+// reported for comparison but not gated (its cost is the feature's price).
+func BenchmarkEngineProbe(b *testing.B) {
+	const n = 4096
+	program := func(ctx *Context) {
+		for r := 0; r < benchRounds; r++ {
+			for k := 1; k <= ctx.Cap(); k++ {
+				ctx.SendWord((ctx.ID()+k)%ctx.N(), Word(uint64(k)))
+			}
+			ctx.EndRound()
+		}
+	}
+	b.Run("probe=off", func(b *testing.B) {
+		runEngineBench(b, n, 0, program)
+	})
+	b.Run("probe=on", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			st, err := Run(Config{N: n, Seed: 1, Probe: func(s RoundSample, _ []ShardTiming) {
+				sink += int64(s.Messages)
+			}}, program)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Rounds != benchRounds {
+				b.Fatalf("rounds = %d, want %d", st.Rounds, benchRounds)
+			}
+		}
+		if sink == 0 {
+			b.Fatal("probe never observed traffic")
+		}
+		b.ReportMetric(float64(benchRounds*b.N)/b.Elapsed().Seconds(), "rounds/s")
+	})
+}
+
 // BenchmarkEngineSparse sends one message per node per round (a ring): the
 // barrier and coordination overhead dominates, not envelope shuffling.
 func BenchmarkEngineSparse(b *testing.B) {

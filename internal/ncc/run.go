@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"slices"
 	"sync"
+	"time"
 )
 
 // Context is a node's handle on the network. It is used by exactly one
@@ -313,6 +314,33 @@ type run struct {
 	obsBuf     []Envelope
 	sendFn     func(int)
 	recvFn     func(int)
+
+	// Coordinator-owned liveness counters (alive doubles as the run's exit
+	// condition; downCount mirrors the fault plane for the probe).
+	alive     int
+	downCount int
+
+	// Probe plane scratch (see probe.go), allocated only when cfg.Probe is
+	// set; with probing false the delivery phases pay one predictable branch
+	// per node and nothing else. prevStats snapshots the cumulative Stats at
+	// the previous emission so probeRound computes per-round deltas.
+	// touched[id] marks nodes that moved traffic this round; it is written
+	// only by node id's own shard (its sender shard in phase A, its receiver
+	// shard in phase B — the same index both times) and folded and cleared
+	// into shardActive at the end of phase B, so it needs no atomics.
+	// roundMaxSend is captured between the phases, before phase B zeroes the
+	// shard stats. timing is the reused slice handed to the probe;
+	// probeSend/probeRecv are per-shard phase durations and wakeNanos the
+	// coordinator's wake timestamp for the barrier-wait computation.
+	probing      bool
+	prevStats    Stats
+	roundMaxSend int
+	wakeNanos    int64
+	touched      []bool
+	shardActive  []int32
+	probeSend    []int64
+	probeRecv    []int64
+	timing       []ShardTiming
 }
 
 // Run executes program on every node of a fresh network and returns the run
@@ -360,12 +388,23 @@ func Run(cfg Config, program func(*Context)) (Stats, error) {
 	}
 	r.sendFn = r.sendPhase
 	r.recvFn = r.recvPhase
+	if cfg.Probe != nil {
+		r.probing = true
+		r.touched = make([]bool, cfg.N)
+		r.shardActive = make([]int32, w)
+		r.probeSend = make([]int64, w)
+		r.probeRecv = make([]int64, w)
+		r.timing = make([]ShardTiming, w)
+	}
 	if w > 1 {
 		r.pool = newWorkerPool(w)
 		defer r.pool.close()
 	}
 	// Arm the first barrier before any node can arrive at it.
 	r.bar = newBarrier(w)
+	if r.probing {
+		r.bar.times = make([]int64, w)
+	}
 	r.liveInShard = make([]int32, w)
 	for i := 0; i < w; i++ {
 		lo, hi := r.shardRange(i)
@@ -482,7 +521,7 @@ func (r *run) fail(err error) {
 }
 
 func (r *run) coordinate() {
-	alive := r.cfg.N
+	r.alive = r.cfg.N
 	for {
 		// Barrier: every live node arrives exactly once per round (a node
 		// blocked at the barrier cannot finish, so the live set is stable
@@ -495,6 +534,9 @@ func (r *run) coordinate() {
 		case <-r.cfg.Cancel: // nil channel when cancellation is unused
 			r.fail(ErrCanceled)
 			return
+		}
+		if r.probing {
+			r.wakeNanos = time.Now().UnixNano()
 		}
 		// A cancellation racing the barrier wake must still win this round:
 		// the select above picks arbitrarily among ready cases, and the
@@ -518,9 +560,14 @@ func (r *run) coordinate() {
 		for _, id := range fin {
 			r.finished[id] = true
 			r.liveInShard[r.shardOf(id)]--
-			alive--
+			r.alive--
+			if r.down != nil && r.down[id] {
+				// A killed node retiring moves from the down count to the
+				// finished count.
+				r.downCount--
+			}
 		}
-		if alive == 0 {
+		if r.alive == 0 {
 			return
 		}
 		if r.stats.Rounds >= r.cfg.MaxRounds {
@@ -553,6 +600,7 @@ func (r *run) applyTransitions(round int) {
 		}
 		if !r.down[id] {
 			r.down[id] = true
+			r.downCount++
 			if o.Kill {
 				r.stats.NodesKilled++
 			} else {
@@ -573,6 +621,7 @@ func (r *run) applyTransitions(round int) {
 			continue
 		}
 		r.down[id] = false
+		r.downCount--
 		r.stats.NodesRevived++
 		if v.Reset {
 			// A rejoin with fresh volatile state: reseed the node's private
@@ -647,6 +696,11 @@ func pcgIntN(p *rand.PCG, n int) int {
 func (r *run) sendPhase(i int) {
 	round := r.stats.Rounds
 	observing := r.cfg.Observer != nil
+	probing := r.probing
+	var t0 time.Time
+	if probing {
+		t0 = time.Now()
+	}
 	st := &r.shardStats[i]
 	*st = Stats{}
 	buckets := r.buckets[i]
@@ -670,6 +724,9 @@ func (r *run) sendPhase(i int) {
 			continue
 		}
 		out := ctx.out
+		if probing && len(out) > 0 {
+			r.touched[id] = true
+		}
 		if len(out) > st.MaxSendLoad {
 			st.MaxSendLoad = len(out)
 		}
@@ -724,6 +781,9 @@ func (r *run) sendPhase(i int) {
 		}
 		ctx.out = ctx.out[:0]
 	}
+	if probing {
+		r.probeSend[i] = int64(time.Since(t0))
+	}
 }
 
 // recvPhase (phase B) delivers receiver shard j's buckets without a staging
@@ -734,6 +794,11 @@ func (r *run) sendPhase(i int) {
 // seeded-random subset of cap messages.
 func (r *run) recvPhase(j int) {
 	round := r.stats.Rounds
+	probing := r.probing
+	var t0 time.Time
+	if probing {
+		t0 = time.Now()
+	}
 	st := &r.shardStats[j]
 	*st = Stats{}
 	lo, hi := r.shardRange(j)
@@ -757,6 +822,9 @@ func (r *run) recvPhase(j int) {
 		}
 		ctx := r.nodes[id]
 		c := int(counts[id-lo])
+		if probing && c > 0 {
+			r.touched[id] = true
+		}
 		if c > st.MaxRecvOffered {
 			st.MaxRecvOffered = c
 		}
@@ -825,6 +893,21 @@ func (r *run) recvPhase(j int) {
 		ctx.inbox = msgs[:capAt]
 		sortReceivedByFrom(ctx.inbox)
 	}
+	if probing {
+		// Fold the round's touched marks into the shard's active count and
+		// clear them for the next round. Every node in [lo, hi) was marked
+		// (if at all) by this same shard index in both phases, so the fold
+		// sees every mark.
+		var a int32
+		for id := lo; id < hi; id++ {
+			if r.touched[id] {
+				a++
+				r.touched[id] = false
+			}
+		}
+		r.shardActive[j] = a
+		r.probeRecv[j] = int64(time.Since(t0))
+	}
 }
 
 // deliverRound enforces capacities, applies faults, and hands each live node
@@ -839,6 +922,14 @@ func (r *run) deliverRound() bool {
 		return false
 	}
 	r.mergeShardStats()
+	if r.probing {
+		// The per-round send-load maximum must be read between the phases:
+		// recvPhase zeroes the shard stats it is about to reuse.
+		r.roundMaxSend = 0
+		for i := range r.shardStats {
+			r.roundMaxSend = max(r.roundMaxSend, r.shardStats[i].MaxSendLoad)
+		}
+	}
 
 	if r.cfg.Observer != nil {
 		// Concatenating the shard buffers in shard order reproduces the
@@ -860,7 +951,59 @@ func (r *run) deliverRound() bool {
 	r.mergeShardStats()
 
 	r.stats.Rounds++
+	if r.probing {
+		if err := r.probeRound(); err != nil {
+			r.fail(err)
+			return false
+		}
+	}
 	return true
+}
+
+// probeRound assembles the just-completed round's RoundSample from the
+// cumulative-stats deltas and the per-shard scratch (which still holds phase-B
+// values here) and hands it to Config.Probe, with the same panic recovery as
+// Observer callbacks. Runs on the coordinator goroutine while every node is
+// parked.
+func (r *run) probeRound() (err error) {
+	defer recoverDeliveryPanic(&err)
+	cur, prev := &r.stats, &r.prevStats
+	s := RoundSample{
+		Round:             cur.Rounds - 1,
+		Messages:          int(cur.Messages - prev.Messages),
+		Words:             int(cur.Words - prev.Words),
+		Finished:          r.cfg.N - r.alive,
+		Down:              r.downCount,
+		MaxSendLoad:       r.roundMaxSend,
+		SendThrottled:     int(cur.DroppedSendOverflow - prev.DroppedSendOverflow),
+		RecvThrottled:     int(cur.DroppedRecvOverflow - prev.DroppedRecvOverflow),
+		DroppedFault:      int(cur.DroppedFault - prev.DroppedFault),
+		DroppedDead:       int(cur.DroppedDead - prev.DroppedDead),
+		DroppedToFinished: int(cur.DroppedToFinished - prev.DroppedToFinished),
+	}
+	s.Delivered = s.Messages - s.RecvThrottled
+	for i := range r.shardStats {
+		p := &r.shardStats[i]
+		s.MaxRecvOffered = max(s.MaxRecvOffered, p.MaxRecvOffered)
+		s.MaxRecvDelivered = max(s.MaxRecvDelivered, p.MaxRecvDelivered)
+		s.Active += int(r.shardActive[i])
+	}
+	for i := range r.timing {
+		t := &r.timing[i]
+		t.SendNanos = r.probeSend[i]
+		t.RecvNanos = r.probeRecv[i]
+		t.BarrierWaitNanos = 0
+		// Shards with no live nodes never arrive; their stale timestamp (and
+		// any clock oddity) reads as zero wait.
+		if r.liveInShard[i] > 0 {
+			if at := r.bar.times[i]; at != 0 && at < r.wakeNanos {
+				t.BarrierWaitNanos = r.wakeNanos - at
+			}
+		}
+	}
+	r.prevStats = *cur
+	r.cfg.Probe(s, r.timing)
+	return nil
 }
 
 // recoverDeliveryPanic converts a panic in user callback code (Interceptor,

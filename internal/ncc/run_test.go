@@ -376,7 +376,7 @@ func TestConservationProperty(t *testing.T) {
 
 func TestTimeline(t *testing.T) {
 	tl := &Timeline{}
-	cfg := Config{N: 8, Seed: 1, Observer: tl, Strict: true}
+	cfg := Config{N: 8, Seed: 1, Probe: tl.Sample, Strict: true}
 	st, err := Run(cfg, func(ctx *Context) {
 		for r := 0; r < 5; r++ {
 			if r == 3 { // make round 3 the busiest

@@ -2,19 +2,15 @@ package ncc
 
 import "testing"
 
-func sample(tos ...NodeID) []Envelope {
-	var out []Envelope
-	for i, to := range tos {
-		out = append(out, MakeEnvelope(NodeID(i%2), to, Word(1)))
-	}
-	return out
+func sample(msgs, words, maxRecv int) RoundSample {
+	return RoundSample{Messages: msgs, Words: words, MaxRecvOffered: maxRecv}
 }
 
 func TestTimelineRecordsOneSamplePerRound(t *testing.T) {
 	tl := &Timeline{}
-	tl.ObserveRound(0, sample(1, 1, 2))
-	tl.ObserveRound(1, nil)
-	tl.ObserveRound(2, sample(3))
+	tl.Sample(sample(3, 3, 2), nil)
+	tl.Sample(RoundSample{Round: 1}, nil)
+	tl.Sample(sample(1, 1, 1), nil)
 	if len(tl.Samples) != 3 {
 		t.Fatalf("got %d samples, want 3", len(tl.Samples))
 	}
@@ -22,8 +18,8 @@ func TestTimelineRecordsOneSamplePerRound(t *testing.T) {
 	if s0.Messages != 3 || s0.Words != 3 || s0.MaxRecvOffered != 2 {
 		t.Errorf("round 0 sample = %+v, want 3 msgs, 3 words, maxRecv 2", s0)
 	}
-	if tl.Samples[1] != (RoundSample{}) {
-		t.Errorf("empty round sample = %+v, want zeroes", tl.Samples[1])
+	if tl.Samples[1] != (RoundSample{Round: 1}) {
+		t.Errorf("empty round sample = %+v, want zero counters", tl.Samples[1])
 	}
 }
 
@@ -32,9 +28,9 @@ func TestTimelineBusiestAndTotal(t *testing.T) {
 	if i, s := tl.Busiest(); i != 0 || s != (RoundSample{}) {
 		t.Errorf("empty timeline Busiest = (%d, %+v)", i, s)
 	}
-	tl.ObserveRound(0, sample(1))
-	tl.ObserveRound(1, sample(1, 2, 3))
-	tl.ObserveRound(2, sample(2, 3))
+	tl.Sample(sample(1, 1, 1), nil)
+	tl.Sample(sample(3, 3, 1), nil)
+	tl.Sample(sample(2, 2, 1), nil)
 	i, s := tl.Busiest()
 	if i != 1 || s.Messages != 3 {
 		t.Errorf("Busiest = (%d, %+v), want round 1 with 3 messages", i, s)
@@ -44,10 +40,10 @@ func TestTimelineBusiestAndTotal(t *testing.T) {
 	}
 }
 
-func TestTimelineAsRunObserver(t *testing.T) {
+func TestTimelineAsRunProbe(t *testing.T) {
 	tl := &Timeline{}
 	const n = 8
-	st, err := Run(Config{N: n, Seed: 1, Observer: tl}, func(ctx *Context) {
+	st, err := Run(Config{N: n, Seed: 1, Probe: tl.Sample}, func(ctx *Context) {
 		for r := 0; r < 5; r++ {
 			ctx.Send((ctx.ID()+1)%n, Word(uint64(r)))
 			ctx.EndRound()

@@ -1,0 +1,77 @@
+package obs
+
+import "ncc/internal/ncc"
+
+// Collector turns a sequence of engine runs into a trace. Attach its Probe to
+// each run's Config, then seal the run with FinishRun; segments accumulate in
+// submission order, so one Collector traces a whole sweep.
+//
+// A Collector is not safe for concurrent use: the probe runs on the engine's
+// coordinator goroutine, so the caller must finish one run before starting
+// the next (the execution layers here run a job's scenarios sequentially,
+// which is also what keeps traces deterministic).
+type Collector struct {
+	// WithTiming interleaves non-canonical per-shard timing lines ("g") after
+	// each round line. Timing lines never enter the canonical hash.
+	WithTiming bool
+
+	run     int
+	pending [][]byte // current run's round (and timing) lines
+	sealed  [][]byte // completed segments
+	taken   bool
+}
+
+// Probe returns the ncc.RoundProbe feeding this collector.
+func (c *Collector) Probe() ncc.RoundProbe {
+	return func(s ncc.RoundSample, timing []ncc.ShardTiming) {
+		c.pending = append(c.pending, marshalRound(s))
+		if c.WithTiming {
+			c.pending = append(c.pending, marshalTiming(s.Round, timing))
+		}
+	}
+}
+
+// FinishRun seals the current run: a header line, the buffered round lines,
+// and an end line join the trace, and the next run's segment begins. The
+// header is written here — not before the run — because its fields (N, Cap)
+// are only known once the scenario's graph has been built.
+func (c *Collector) FinishRun(h Header, st ncc.Stats, failed bool) {
+	c.sealed = append(c.sealed, marshalHeader(c.run, h))
+	c.sealed = append(c.sealed, c.pending...)
+	c.pending = nil
+	c.sealed = append(c.sealed, marshalEnd(c.run, st, failed))
+	c.run++
+}
+
+// TakeLines drains the sealed segments for incremental streaming (lines carry
+// no trailing newline, matching the service's record-line convention). After
+// a TakeLines, Bytes/Hash only cover later segments — streaming consumers
+// keep the full log themselves.
+func (c *Collector) TakeLines() [][]byte {
+	lines := c.sealed
+	c.sealed = nil
+	c.taken = true
+	return lines
+}
+
+// Lines returns the sealed trace lines without draining them.
+func (c *Collector) Lines() [][]byte { return c.sealed }
+
+// Bytes renders the sealed trace as NDJSON. It panics after TakeLines: a
+// drained collector no longer holds the full trace, and silently returning a
+// suffix would corrupt content hashes.
+func (c *Collector) Bytes() []byte {
+	if c.taken {
+		panic("obs: Collector.Bytes after TakeLines")
+	}
+	return Join(c.sealed)
+}
+
+// Hash returns the canonical content hash of the sealed trace (see Hash).
+// Like Bytes, it panics after TakeLines.
+func (c *Collector) Hash() string {
+	if c.taken {
+		panic("obs: Collector.Hash after TakeLines")
+	}
+	return Hash(c.sealed)
+}

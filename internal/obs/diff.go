@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDiff compares two parsed traces structurally (canonical content only —
+// timing lines are ignored) and writes a localization report: which runs
+// differ, by how much, and in which round ranges. It returns true when the
+// canonical content is identical. Output is deterministic, pinned by golden
+// tests, and designed for regression hunting: run it on the traces of a good
+// and a bad build of the same scenario and the diverging round ranges point
+// at the algorithm phase that regressed.
+func WriteDiff(w io.Writer, aName, bName string, a, b *Trace) bool {
+	same := true
+	if len(a.Runs) != len(b.Runs) {
+		fmt.Fprintf(w, "runs: %d in %s vs %d in %s\n", len(a.Runs), aName, len(b.Runs), bName)
+		same = false
+	}
+	n := min(len(a.Runs), len(b.Runs))
+	for i := 0; i < n; i++ {
+		if !diffRun(w, i, &a.Runs[i], &b.Runs[i]) {
+			same = false
+		}
+	}
+	if same {
+		fmt.Fprintf(w, "traces identical: %d runs, %d rounds\n", len(a.Runs), a.Rounds())
+	}
+	return same
+}
+
+func diffRun(w io.Writer, i int, a, b *RunTrace) bool {
+	same := true
+	note := func(format string, args ...any) {
+		if same {
+			fmt.Fprintf(w, "run %d:\n", i)
+			same = false
+		}
+		fmt.Fprintf(w, "  "+format+"\n", args...)
+	}
+	if a.Header != b.Header {
+		note("header %+v vs %+v", a.Header, b.Header)
+	}
+	if a.End != b.End {
+		note("rounds %d vs %d (%+d), msgs %d vs %d (%+d), words %d vs %d (%+d), failed %v vs %v",
+			a.End.Rounds, b.End.Rounds, b.End.Rounds-a.End.Rounds,
+			a.End.Msgs, b.End.Msgs, b.End.Msgs-a.End.Msgs,
+			a.End.Words, b.End.Words, b.End.Words-a.End.Words,
+			a.End.Failed, b.End.Failed)
+	}
+	// Localize: maximal ranges of diverging rounds, with the message delta
+	// per range. Rounds beyond the shorter series always diverge.
+	type span struct {
+		first, last int
+		dmsgs       int64
+	}
+	var spans []span
+	long := max(len(a.Rounds), len(b.Rounds))
+	for r := 0; r < long; r++ {
+		var dm int64
+		differs := false
+		switch {
+		case r >= len(a.Rounds):
+			differs, dm = true, int64(b.Rounds[r].Messages)
+		case r >= len(b.Rounds):
+			differs, dm = true, -int64(a.Rounds[r].Messages)
+		case a.Rounds[r] != b.Rounds[r]:
+			differs, dm = true, int64(b.Rounds[r].Messages)-int64(a.Rounds[r].Messages)
+		}
+		if !differs {
+			continue
+		}
+		if len(spans) > 0 && spans[len(spans)-1].last == r-1 {
+			spans[len(spans)-1].last = r
+			spans[len(spans)-1].dmsgs += dm
+		} else {
+			spans = append(spans, span{first: r, last: r, dmsgs: dm})
+		}
+	}
+	if len(spans) > 0 {
+		note("first divergence at round %d; %d diverging range(s):", spans[0].first, len(spans))
+		const maxSpans = 8
+		for k, sp := range spans {
+			if k == maxSpans {
+				fmt.Fprintf(w, "    ... %d more range(s) elided\n", len(spans)-maxSpans)
+				break
+			}
+			fmt.Fprintf(w, "    rounds %d-%d (%+d msgs)\n", sp.first, sp.last, sp.dmsgs)
+		}
+	}
+	return same
+}

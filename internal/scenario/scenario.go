@@ -29,6 +29,7 @@ import (
 	"ncc/internal/graphio" // installs the "file" graph-family resolver
 	"ncc/internal/kmachine"
 	"ncc/internal/ncc"
+	"ncc/internal/obs"
 	"ncc/internal/param"
 )
 
@@ -362,6 +363,12 @@ type RunOpts struct {
 	Observer ncc.Observer
 	Cancel   <-chan struct{}
 	Workers  int
+
+	// Probe, if non-nil, receives the engine's per-round telemetry samples
+	// (see ncc.RoundProbe). Like the other hooks it never enters the
+	// canonical hash; the samples themselves are deterministic, which is what
+	// makes serialized traces content-addressable.
+	Probe ncc.RoundProbe
 }
 
 // RunOne executes one concrete (sweep-free) scenario. obs, if non-nil, is
@@ -390,6 +397,7 @@ func RunOneWith(s Scenario, opts RunOpts) (Record, error) {
 	rec.Graph = GraphInfo{Desc: g.String(), N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Degeneracy: deg}
 	cfg := s.Model.config(g.N())
 	cfg.Observer = opts.Observer
+	cfg.Probe = opts.Probe
 	cfg.Cancel = opts.Cancel
 	if opts.Workers != 0 {
 		cfg.Workers = opts.Workers
@@ -442,6 +450,39 @@ func RunOneWith(s Scenario, opts RunOpts) (Record, error) {
 		rec.KMachine = &kres
 	}
 	return rec, nil
+}
+
+// RunTraced executes one concrete scenario with its telemetry recorded into
+// col: the collector's probe is attached to the run (chained before any probe
+// already in opts), and the completed run is sealed as one trace segment
+// (header, round samples, end line). A scenario that fails before its graph
+// is built seals nothing — the engine never produced a round; a scenario
+// whose execution fails mid-run seals what it traced with the failed flag
+// set. One collector threaded through a sweep yields the sweep's whole trace
+// in expansion order.
+func RunTraced(c Scenario, col *obs.Collector, opts RunOpts) (Record, error) {
+	cp := col.Probe()
+	if p := opts.Probe; p != nil {
+		opts.Probe = func(s ncc.RoundSample, t []ncc.ShardTiming) {
+			cp(s, t)
+			p(s, t)
+		}
+	} else {
+		opts.Probe = cp
+	}
+	rec, err := RunOneWith(c, opts)
+	if rec.Capacity > 0 {
+		hash, _ := c.Hash() // unhashable scenarios leave the field empty
+		col.FinishRun(obs.Header{
+			Scenario: hash,
+			Algo:     c.Algo,
+			Graph:    rec.Graph.Desc,
+			N:        rec.Graph.N,
+			Seed:     c.Model.Seed,
+			Cap:      rec.Capacity,
+		}, rec.Stats, err != nil)
+	}
+	return rec, err
 }
 
 // multiObserver fans one engine round out to several observers in order.

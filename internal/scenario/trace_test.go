@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"ncc/internal/obs"
+)
+
+// TestRunTracedProducesValidTrace runs a sweep through one collector and
+// checks the sealed trace parses, covers every run, and carries the scenario
+// identity.
+func TestRunTracedProducesValidTrace(t *testing.T) {
+	s := misScenario()
+	s.Sweep = &Sweep{Seeds: []int64{1, 2}}
+	col := &obs.Collector{}
+	cases := s.Expand()
+	for _, c := range cases {
+		if _, err := RunTraced(c, col, RunOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := obs.Parse(bytes.NewReader(col.Bytes()))
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if len(tr.Runs) != len(cases) {
+		t.Fatalf("trace has %d runs for %d scenarios", len(tr.Runs), len(cases))
+	}
+	for i, run := range tr.Runs {
+		wantHash, _ := cases[i].Hash()
+		if run.Header.Scenario != wantHash {
+			t.Errorf("run %d: scenario hash %q, want %q", i, run.Header.Scenario, wantHash)
+		}
+		if run.Header.Algo != "mis" || run.Header.N != 24 {
+			t.Errorf("run %d header = %+v", i, run.Header)
+		}
+		if len(run.Rounds) == 0 || run.End.Failed {
+			t.Errorf("run %d: %d rounds, failed=%v", i, len(run.Rounds), run.End.Failed)
+		}
+	}
+}
+
+// TestRunTracedWorkerInvariant pins the property the whole trace plane rests
+// on: the trace bytes are identical at any worker count.
+func TestRunTracedWorkerInvariant(t *testing.T) {
+	traceAt := func(workers int) []byte {
+		col := &obs.Collector{}
+		if _, err := RunTraced(misScenario(), col, RunOpts{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		return col.Bytes()
+	}
+	base := traceAt(1)
+	for _, w := range []int{2, 7} {
+		if got := traceAt(w); !bytes.Equal(got, base) {
+			t.Errorf("trace bytes diverge at workers=%d", w)
+		}
+	}
+}
+
+// TestRunTracedSkipsUnrunnableScenario: a scenario that fails before its
+// graph exists must not seal a bogus segment.
+func TestRunTracedSkipsUnrunnableScenario(t *testing.T) {
+	s := misScenario()
+	s.Algo = "no-such-algo"
+	col := &obs.Collector{}
+	if _, err := RunTraced(s, col, RunOpts{}); err == nil {
+		t.Fatal("want error for unknown algo")
+	}
+	if lines := col.Lines(); len(lines) != 0 {
+		t.Errorf("unrunnable scenario sealed %d trace lines", len(lines))
+	}
+}

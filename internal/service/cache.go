@@ -9,30 +9,38 @@ import (
 )
 
 // CacheTier is the content-addressed result store seam: canonical scenario
-// hash -> the complete NDJSON record stream of one executed sweep. The
-// default tier (newCache) is per-process memory with an optional disk
-// directory; the interface exists so a shared or replicated tier (a cache
-// directory on network storage, a remote cache service) can drop in without
-// touching the store, the backends, or the handlers. Implementations must be
-// safe for concurrent use; put is best-effort (an error means the entry may
-// not persist, not that the job failed).
+// hash -> the complete NDJSON record stream of one executed sweep, plus its
+// telemetry trace when one was recorded (traces are deterministic, so the
+// cached trace is exactly what a re-execution would produce). The default
+// tier (newCache) is per-process memory with an optional disk directory; the
+// interface exists so a shared or replicated tier (a cache directory on
+// network storage, a remote cache service) can drop in without touching the
+// store, the backends, or the handlers. Implementations must be safe for
+// concurrent use; put is best-effort (an error means the entry may not
+// persist, not that the job failed).
 type CacheTier interface {
-	get(hash string) ([][]byte, bool)
-	put(hash string, lines [][]byte) error
+	get(hash string) (lines, trace [][]byte, ok bool)
+	put(hash string, lines, trace [][]byte) error
 	len() int
 }
 
 // cache is the default CacheTier. Entries live in memory and, when a
-// directory is configured, as one <hash>.ndjson file each, so a restarted
-// daemon keeps serving past results. Records are stored as the exact
-// marshaled lines the first execution streamed, so a cache hit is
-// byte-identical to the run that populated it.
+// directory is configured, as one <hash>.ndjson file each (plus a
+// <hash>.trace file when the run recorded telemetry), so a restarted daemon
+// keeps serving past results. Records are stored as the exact marshaled
+// lines the first execution streamed, so a cache hit is byte-identical to
+// the run that populated it.
 type cache struct {
 	mu   sync.Mutex // held across disk reads; cache traffic is not a hot path
-	mem  map[string][][]byte
+	mem  map[string]cacheEntry
 	fifo []string // insertion order of mem keys, oldest first
 	max  int      // in-memory entry bound; evicted FIFO (disk tier keeps all)
 	dir  string
+}
+
+type cacheEntry struct {
+	lines [][]byte
+	trace [][]byte
 }
 
 func newCache(dir string, maxEntries int) (*cache, error) {
@@ -41,36 +49,40 @@ func newCache(dir string, maxEntries int) (*cache, error) {
 			return nil, fmt.Errorf("cache dir: %w", err)
 		}
 	}
-	return &cache{mem: map[string][][]byte{}, max: maxEntries, dir: dir}, nil
+	return &cache{mem: map[string]cacheEntry{}, max: maxEntries, dir: dir}, nil
 }
 
-// get returns the cached record lines for hash, consulting memory first and
-// the disk tier second (a disk hit is promoted into memory).
-func (c *cache) get(hash string) ([][]byte, bool) {
+// get returns the cached record and trace lines for hash, consulting memory
+// first and the disk tier second (a disk hit is promoted into memory). The
+// trace is nil when the populating run recorded none.
+func (c *cache) get(hash string) (lines, trace [][]byte, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if lines, ok := c.mem[hash]; ok {
-		return lines, true
+	if e, ok := c.mem[hash]; ok {
+		return e.lines, e.trace, true
 	}
 	if c.dir == "" {
-		return nil, false
+		return nil, nil, false
 	}
-	data, err := os.ReadFile(c.path(hash))
+	data, err := os.ReadFile(c.path(hash, ".ndjson"))
 	if err != nil {
-		return nil, false
+		return nil, nil, false
 	}
-	lines := splitLines(data)
-	c.storeLocked(hash, lines)
-	return lines, true
+	e := cacheEntry{lines: splitLines(data)}
+	if tdata, err := os.ReadFile(c.path(hash, ".trace")); err == nil {
+		e.trace = splitLines(tdata)
+	}
+	c.storeLocked(hash, e)
+	return e.lines, e.trace, true
 }
 
 // storeLocked inserts an in-memory entry, evicting the oldest entries beyond
 // the bound. Callers hold c.mu.
-func (c *cache) storeLocked(hash string, lines [][]byte) {
+func (c *cache) storeLocked(hash string, e cacheEntry) {
 	if _, exists := c.mem[hash]; !exists {
 		c.fifo = append(c.fifo, hash)
 	}
-	c.mem[hash] = lines
+	c.mem[hash] = e
 	// Every live key appears exactly once in fifo, so this terminates.
 	for c.max > 0 && len(c.mem) > c.max {
 		old := c.fifo[0]
@@ -83,15 +95,26 @@ func (c *cache) storeLocked(hash string, lines [][]byte) {
 	}
 }
 
-// put stores a completed sweep's record lines under hash. The disk write goes
-// through a temp file + rename so a crashed daemon never leaves a torn entry.
-func (c *cache) put(hash string, lines [][]byte) error {
+// put stores a completed sweep's record and trace lines under hash. Disk
+// writes go through a temp file + rename so a crashed daemon never leaves a
+// torn entry.
+func (c *cache) put(hash string, lines, trace [][]byte) error {
 	c.mu.Lock()
-	c.storeLocked(hash, lines)
+	c.storeLocked(hash, cacheEntry{lines: lines, trace: trace})
 	c.mu.Unlock()
 	if c.dir == "" {
 		return nil
 	}
+	if err := c.writeFile(c.path(hash, ".ndjson"), lines); err != nil {
+		return err
+	}
+	if len(trace) == 0 {
+		return nil
+	}
+	return c.writeFile(c.path(hash, ".trace"), trace)
+}
+
+func (c *cache) writeFile(path string, lines [][]byte) error {
 	var buf bytes.Buffer
 	for _, ln := range lines {
 		buf.Write(ln)
@@ -109,7 +132,7 @@ func (c *cache) put(hash string, lines [][]byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), c.path(hash))
+	return os.Rename(tmp.Name(), path)
 }
 
 // len reports the number of in-memory entries (metrics).
@@ -119,10 +142,10 @@ func (c *cache) len() int {
 	return len(c.mem)
 }
 
-func (c *cache) path(hash string) string {
+func (c *cache) path(hash, ext string) string {
 	// Hashes are internally generated hex, but never let a stray value walk
 	// the filesystem.
-	return filepath.Join(c.dir, filepath.Base(hash)+".ndjson")
+	return filepath.Join(c.dir, filepath.Base(hash)+ext)
 }
 
 func splitLines(data []byte) [][]byte {

@@ -20,15 +20,15 @@ func TestCacheFIFOEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 3; i++ {
-		if err := c.put(fmt.Sprintf("h%d", i), lines(fmt.Sprintf("r%d", i))); err != nil {
+		if err := c.put(fmt.Sprintf("h%d", i), lines(fmt.Sprintf("r%d", i)), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, ok := c.get("h1"); ok {
+	if _, _, ok := c.get("h1"); ok {
 		t.Fatal("oldest entry h1 survived past the bound")
 	}
 	for _, h := range []string{"h2", "h3"} {
-		if _, ok := c.get(h); !ok {
+		if _, _, ok := c.get(h); !ok {
 			t.Fatalf("entry %s was wrongly evicted", h)
 		}
 	}
@@ -36,10 +36,10 @@ func TestCacheFIFOEviction(t *testing.T) {
 		t.Fatalf("cache holds %d entries, want 2", n)
 	}
 	// Re-storing an existing key must not evict it, whatever its age.
-	if err := c.put("h2", lines("r2b")); err != nil {
+	if err := c.put("h2", lines("r2b"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := c.get("h2"); !ok || !bytes.Equal(got[0], []byte("r2b")) {
+	if got, _, ok := c.get("h2"); !ok || !bytes.Equal(got[0], []byte("r2b")) {
 		t.Fatalf("re-stored h2 = %q, %v", got, ok)
 	}
 }
@@ -50,17 +50,20 @@ func TestCacheDiskTierOutlivesEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.put("aa11", lines(`{"x":1}`, `{"x":2}`)); err != nil {
+	if err := c.put("aa11", lines(`{"x":1}`, `{"x":2}`), lines(`{"t":"h"}`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.put("bb22", lines(`{"y":1}`)); err != nil {
+	if err := c.put("bb22", lines(`{"y":1}`), nil); err != nil {
 		t.Fatal(err) // evicts aa11 from memory; its file remains
 	}
-	got, ok := c.get("aa11")
+	got, trace, ok := c.get("aa11")
 	if !ok {
 		t.Fatal("evicted entry not re-promoted from disk")
 	}
 	if len(got) != 2 || !bytes.Equal(got[0], []byte(`{"x":1}`)) {
 		t.Fatalf("disk round-trip mangled lines: %q", got)
+	}
+	if len(trace) != 1 || !bytes.Equal(trace[0], []byte(`{"t":"h"}`)) {
+		t.Fatalf("disk round-trip mangled trace: %q", trace)
 	}
 }

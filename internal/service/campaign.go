@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ncc/internal/campaign"
+	"ncc/internal/obs"
 	"ncc/internal/scenario"
 )
 
@@ -28,6 +29,7 @@ type CampaignUnitInfo struct {
 	Variant campaign.Variant `json:"variant"`
 	Hash    string           `json:"hash"`
 	JobID   string           `json:"jobId"`
+	TraceID string           `json:"traceId,omitempty"`
 	State   State            `json:"state"`
 	Cached  bool             `json:"cached"`
 	Records int              `json:"records"`
@@ -79,6 +81,7 @@ func (c *campaignRun) Info() CampaignInfo {
 			Variant: u.Variant,
 			Hash:    u.Hash,
 			JobID:   ji.ID,
+			TraceID: ji.TraceID,
 			State:   ji.State,
 			Cached:  ji.Cached,
 			Records: ji.Records,
@@ -138,11 +141,12 @@ func (c *campaignRun) watch(m *metrics) {
 		return
 	}
 	records := make(map[string][]scenario.Record, len(c.units))
+	traces := make(map[string]string, len(c.units))
 	for i, u := range c.units {
 		if _, ok := records[u.Hash]; ok {
 			continue
 		}
-		lines := c.jobs[i].resultLines()
+		lines, trace := c.jobs[i].resultLines()
 		recs := make([]scenario.Record, 0, len(lines))
 		for _, line := range lines {
 			var rec scenario.Record
@@ -154,8 +158,13 @@ func (c *campaignRun) watch(m *metrics) {
 			recs = append(recs, rec)
 		}
 		records[u.Hash] = recs
+		if len(trace) > 0 {
+			// The canonical content hash, so the report row matches a local
+			// run's trace ref byte-for-byte.
+			traces[u.Hash] = obs.Hash(trace)
+		}
 	}
-	rep, err := campaign.BuildReport(c.spec.Name, c.units, records)
+	rep, err := campaign.BuildReport(c.spec.Name, c.units, records, traces)
 	if err != nil {
 		c.finish(nil, err.Error())
 		m.campaignsFailed.Add(1)

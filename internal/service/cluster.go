@@ -334,8 +334,8 @@ func (b *RemoteBackend) dispatcher() {
 		// the landed result here skips the dispatch entirely — no worker slot,
 		// no proxy stream — which matters most for campaigns, whose deduped
 		// units frequently re-enqueue recently finished hashes.
-		if lines, ok := b.cache.get(j.Hash); ok {
-			if j.completeFromCache(lines) {
+		if lines, trace, ok := b.cache.get(j.Hash); ok {
+			if j.completeFromCache(lines, trace) {
 				b.m.dispatchCacheHits.Add(1)
 				b.m.jobsDone.Add(1)
 				continue
@@ -356,6 +356,7 @@ func (b *RemoteBackend) dispatcher() {
 			continue
 		}
 		b.m.jobsRunning.Add(1)
+		b.cfg.Logger.Info("job dispatched", "job", j.ID, "trace", j.TraceID, "worker", w.name)
 		b.wg.Add(1)
 		go b.proxyLoop(j, w)
 	}
@@ -367,16 +368,21 @@ func (b *RemoteBackend) dispatcher() {
 func (b *RemoteBackend) proxyLoop(j *Job, w *remoteWorker) {
 	defer b.wg.Done()
 	defer b.m.jobsRunning.Add(-1)
+	dispatched := time.Now()
 	for attempt := 1; ; attempt++ {
 		state, msg, err := b.runOn(j, w)
 		b.reg.release(w)
 		if err == nil {
+			if state == StateDone {
+				b.m.dispatchLatency.observeSince(dispatched)
+			}
 			b.finishJob(j, state, msg)
 			return
 		}
 		// The dispatch failed below the job level: drop the worker (it
 		// re-registers on its next heartbeat if it is actually alive) and try
 		// the job elsewhere.
+		b.cfg.Logger.Warn("dispatch attempt failed", "job", j.ID, "trace", j.TraceID, "worker", w.name, "attempt", attempt, "err", err)
 		b.reg.fail(w)
 		if j.canceled() {
 			b.finishJob(j, StateCanceled, "")
@@ -398,13 +404,17 @@ func (b *RemoteBackend) finishJob(j *Job, state State, msg string) {
 	switch state {
 	case StateDone:
 		b.m.jobsDone.Add(1)
-		if err := b.cache.put(j.Hash, j.resultLines()); err != nil {
+		b.cfg.Logger.Info("job done", "job", j.ID, "trace", j.TraceID, "records", j.lineCount())
+		lines, trace := j.resultLines()
+		if err := b.cache.put(j.Hash, lines, trace); err != nil {
 			b.m.cacheWriteErrors.Add(1)
 		}
 	case StateFailed:
 		b.m.jobsFailed.Add(1)
+		b.cfg.Logger.Error("job failed", "job", j.ID, "trace", j.TraceID, "cause", msg)
 	case StateCanceled:
 		b.m.jobsCanceled.Add(1)
+		b.cfg.Logger.Info("job canceled", "job", j.ID, "trace", j.TraceID)
 	}
 }
 
@@ -444,6 +454,11 @@ func (b *RemoteBackend) runOn(j *Job, w *remoteWorker) (State, string, error) {
 		return "", "", fmt.Errorf("building submit request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the coordinator's job and trace identity so the whole
+	// dispatch — coordinator job, worker job, both trace streams — correlates
+	// under one pair of ids in logs and traces.
+	req.Header.Set("X-NCC-Job-Id", j.ID)
+	req.Header.Set("X-NCC-Trace-Id", j.TraceID)
 	b.authorize(req)
 	resp, err := b.client.Do(req)
 	if err != nil {
@@ -514,6 +529,15 @@ func (b *RemoteBackend) runOn(j *Job, w *remoteWorker) (State, string, error) {
 		return "", "", fmt.Errorf("record stream: %w", err)
 	}
 
+	// The record stream is complete; pull the job's telemetry trace before
+	// settling its state, so a terminal job always has its full trace.
+	if err := b.fetchTrace(ctx, j, w, remote.ID); err != nil {
+		if j.canceled() {
+			return StateCanceled, "", nil
+		}
+		return "", "", err
+	}
+
 	// Clean EOF: the worker job reached a terminal state — fetch it.
 	state, cause, err := b.remoteState(w.url, remote.ID)
 	if err != nil {
@@ -536,6 +560,51 @@ func (b *RemoteBackend) runOn(j *Job, w *remoteWorker) (State, string, error) {
 	default:
 		return "", "", fmt.Errorf("stream ended with worker job %s still %s", remote.ID, state)
 	}
+}
+
+// fetchTrace proxies the worker job's telemetry trace into j's trace log,
+// byte-for-byte. The trace is deterministic, so a retry after a worker
+// failure replays an identical stream and the proxy skips the prefix it
+// already published — the same seamless-failover contract as the record
+// stream. The worker job is terminal when this runs (its record stream hit
+// clean EOF), so the trace stream is complete and EOF-bounded.
+func (b *RemoteBackend) fetchTrace(ctx context.Context, j *Job, w *remoteWorker, remoteID string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/jobs/"+remoteID+"/trace", nil)
+	if err != nil {
+		return fmt.Errorf("building trace request: %w", err)
+	}
+	req.Header.Set("X-NCC-Job-Id", j.ID)
+	req.Header.Set("X-NCC-Trace-Id", j.TraceID)
+	b.authorize(req)
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("opening trace stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace stream: %s: %s", resp.Status, readAPIError(resp.Body))
+	}
+	skip := j.traceCount()
+	var batch [][]byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		batch = append(batch, append([]byte(nil), line...))
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("trace stream: %w", err)
+	}
+	j.appendTraceLines(batch)
+	b.m.traceLinesProduced.Add(int64(len(batch)))
+	return nil
 }
 
 // cancelRemote best-effort cancels a job on a worker.

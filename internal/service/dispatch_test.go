@@ -33,13 +33,13 @@ func TestDispatchTimeCacheHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := [][]byte{[]byte(`{"stub":"record"}`)}
-	if err := svc.cache.put(hash, lines); err != nil {
+	if err := svc.cache.put(hash, lines, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	// hit=false models the race: the admission lookup ran before the result
 	// landed. The dispatcher must still find it.
-	j, coalesced, err := svc.store.Admit(sc, hash, nil, false, svc.backend.Submit)
+	j, coalesced, err := svc.store.Admit(sc, hash, nil, nil, false, svc.backend.Submit)
 	if err != nil || coalesced {
 		t.Fatalf("admit: coalesced=%v err=%v", coalesced, err)
 	}
@@ -72,7 +72,7 @@ func TestDispatchTimeCacheHit(t *testing.T) {
 func TestCompleteFromCacheGuardsTerminal(t *testing.T) {
 	j := newJob("j1", "h", scenario.Scenario{})
 	j.Cancel()
-	if j.completeFromCache([][]byte{[]byte(`{"stub":true}`)}) {
+	if j.completeFromCache([][]byte{[]byte(`{"stub":true}`)}, nil) {
 		t.Fatal("completeFromCache resurrected a canceled job")
 	}
 	if info := j.Info(); info.State != StateCanceled || info.Records != 0 {

@@ -35,6 +35,8 @@ type JobInfo struct {
 	State     State     `json:"state"`
 	Cached    bool      `json:"cached"`
 	Records   int       `json:"records"`
+	TraceID   string    `json:"traceId,omitempty"`
+	Trace     int       `json:"trace,omitempty"`
 	Error     string    `json:"error,omitempty"`
 	Submitted time.Time `json:"submitted"`
 }
@@ -48,6 +50,11 @@ type Job struct {
 	Scenario  scenario.Scenario
 	Submitted time.Time
 
+	// TraceID names the job's telemetry trace in logs and cross-node
+	// headers. It is derived from the scenario hash, so a coalesced or
+	// re-dispatched job carries the same trace identity everywhere.
+	TraceID string
+
 	// cancel is closed (once) to abort the job; the scheduler threads it
 	// into the engine's abort path, so an in-flight run unwinds within one
 	// round barrier.
@@ -59,6 +66,7 @@ type Job struct {
 	cached  bool
 	err     string
 	lines   [][]byte      // one marshaled Record per line, no trailing newline
+	trace   [][]byte      // NDJSON trace lines (internal/obs format), same convention
 	changed chan struct{} // closed and replaced on every mutation
 }
 
@@ -68,10 +76,21 @@ func newJob(id, hash string, sc scenario.Scenario) *Job {
 		Hash:      hash,
 		Scenario:  sc,
 		Submitted: time.Now().UTC(),
+		TraceID:   traceID(hash),
 		cancel:    make(chan struct{}),
 		state:     StateQueued,
 		changed:   make(chan struct{}),
 	}
+}
+
+// traceID derives the trace identity from the scenario hash, so every
+// execution of the same scenario — coalesced, re-dispatched, cached — logs
+// under the same trace id.
+func traceID(hash string) string {
+	if len(hash) > 12 {
+		hash = hash[:12]
+	}
+	return "tr-" + hash
 }
 
 // notifyLocked wakes every waiting stream. Callers hold j.mu.
@@ -134,6 +153,27 @@ func (j *Job) lineCount() int {
 	return len(j.lines)
 }
 
+// appendTraceLines publishes completed trace segments to every trace stream.
+// Traces arrive run-at-a-time (a sealed collector segment locally, a proxied
+// worker trace in the cluster), so a batched append keeps wakeups cheap.
+func (j *Job) appendTraceLines(lines [][]byte) {
+	if len(lines) == 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.trace = append(j.trace, lines...)
+	j.notifyLocked()
+}
+
+// traceCount mirrors lineCount for the trace log: the cluster proxy's replay
+// offset when a job is re-dispatched.
+func (j *Job) traceCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.trace)
+}
+
 // finish moves the job to a terminal state. The queued->canceled transition
 // in Cancel may have beaten a racing finish; terminal states never change.
 func (j *Job) finish(state State, errMsg string) {
@@ -150,13 +190,14 @@ func (j *Job) finish(state State, errMsg string) {
 // completeFromCache marks a job done with a cached result stream. It reports
 // false on a job already terminal — a dispatch-time hit must not resurrect a
 // job canceled while queued.
-func (j *Job) completeFromCache(lines [][]byte) bool {
+func (j *Job) completeFromCache(lines, trace [][]byte) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.terminal() {
 		return false
 	}
 	j.lines = lines
+	j.trace = trace
 	j.cached = true
 	j.state = StateDone
 	j.notifyLocked()
@@ -177,15 +218,25 @@ func (j *Job) next(from int) (lines [][]byte, terminal bool, changed <-chan stru
 	return lines, j.state.terminal(), j.changed
 }
 
-// resultLines returns the complete line log of a terminal job (nil
-// otherwise) — what the cache stores.
-func (j *Job) resultLines() [][]byte {
+// nextTrace is next over the trace log.
+func (j *Job) nextTrace(from int) (lines [][]byte, terminal bool, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.trace) {
+		lines = j.trace[from:]
+	}
+	return lines, j.state.terminal(), j.changed
+}
+
+// resultLines returns the complete record and trace logs of a terminal job
+// (nil otherwise) — what the cache stores.
+func (j *Job) resultLines() (lines, trace [][]byte) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !j.state.terminal() {
-		return nil
+		return nil, nil
 	}
-	return j.lines
+	return j.lines, j.trace
 }
 
 // Info snapshots the job for the status endpoints.
@@ -199,6 +250,8 @@ func (j *Job) Info() JobInfo {
 		State:     j.state,
 		Cached:    j.cached,
 		Records:   len(j.lines),
+		TraceID:   j.TraceID,
+		Trace:     len(j.trace),
 		Error:     j.err,
 		Submitted: j.Submitted,
 	}

@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"io"
+	"math"
+	runtimemetrics "runtime/metrics"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,8 +29,17 @@ type metrics struct {
 	jobsQueued    atomic.Int64 // gauge
 	jobsRunning   atomic.Int64 // gauge
 
-	recordsProduced atomic.Int64
-	recordsStreamed atomic.Int64
+	recordsProduced    atomic.Int64
+	recordsStreamed    atomic.Int64
+	traceLinesProduced atomic.Int64
+	traceLinesStreamed atomic.Int64
+
+	// Latency histograms. Observation is lock-cheap (one atomic add per
+	// bucket hit); rendering walks the buckets under the Prometheus rules
+	// (cumulative _bucket series with +Inf, plus _sum and _count).
+	roundDuration   *histogram // seconds per engine round, local execution
+	jobLatency      *histogram // submission -> terminal, executed jobs
+	dispatchLatency *histogram // coordinator: dispatch -> worker stream done
 
 	cacheHits         atomic.Int64
 	cacheMisses       atomic.Int64
@@ -69,7 +80,71 @@ func (m *metrics) worker(name string) *workerCounters {
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), perWorker: map[string]*workerCounters{}}
+	return &metrics{
+		start:           time.Now(),
+		perWorker:       map[string]*workerCounters{},
+		roundDuration:   newHistogram(roundDurationBuckets),
+		jobLatency:      newHistogram(latencyBuckets),
+		dispatchLatency: newHistogram(latencyBuckets),
+	}
+}
+
+// Bucket bounds in seconds. Engine rounds are microseconds to milliseconds;
+// job and dispatch latencies are milliseconds to minutes.
+var (
+	roundDurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+	latencyBuckets       = []float64{1e-3, 1e-2, 0.1, 0.5, 1, 5, 30, 120, 600}
+)
+
+// histogram is a fixed-bucket Prometheus histogram. counts[i] tallies
+// observations <= bounds[i]; observations beyond the last bound only land in
+// the implicit +Inf bucket (count). sumMicros keeps the running sum as an
+// integer so it can live in an atomic; microsecond resolution is far below
+// bucket granularity.
+type histogram struct {
+	bounds    []float64
+	counts    []atomic.Int64
+	count     atomic.Int64
+	sumMicros atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+}
+
+// observe records one value (seconds).
+func (h *histogram) observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	h.sumMicros.Add(int64(math.Round(v * 1e6)))
+}
+
+// observeSince records the elapsed time since t0.
+func (h *histogram) observeSince(t0 time.Time) {
+	h.observe(time.Since(t0).Seconds())
+}
+
+// render writes the histogram in Prometheus text exposition format. Buckets
+// are cumulative by construction (observe adds to every bucket the value
+// fits), ending with the mandatory +Inf bucket equal to _count.
+func (h *histogram) render(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), h.counts[i].Load())
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumMicros.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (shortest float representation).
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
 }
 
 // roundsRate returns the engine round total and the rounds/s rate since the
@@ -114,6 +189,14 @@ func (m *metrics) render(w io.Writer, budget, free, entries int, liveWorkers []W
 
 	counter("nccd_records_produced_total", "Sweep records produced by executed runs.", m.recordsProduced.Load())
 	counter("nccd_records_streamed_total", "Record lines written to streaming clients.", m.recordsStreamed.Load())
+	counter("nccd_trace_lines_produced_total", "Telemetry trace lines produced by executed runs.", m.traceLinesProduced.Load())
+	counter("nccd_trace_lines_streamed_total", "Trace lines written to streaming clients.", m.traceLinesStreamed.Load())
+
+	m.roundDuration.render(w, "nccd_round_duration_seconds", "Wall-clock duration of locally executed engine rounds.")
+	m.jobLatency.render(w, "nccd_job_latency_seconds", "Submission-to-terminal latency of executed (non-cached) jobs.")
+	if coordinator {
+		m.dispatchLatency.render(w, "nccd_dispatch_latency_seconds", "Dispatch-to-completion latency of jobs proxied to workers.")
+	}
 
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	counter("nccd_cache_hits_total", "Submissions served from the result cache.", hits)
@@ -162,5 +245,63 @@ func (m *metrics) render(w io.Writer, budget, free, entries int, liveWorkers []W
 	counter("nccd_engine_messages_total", "Messages accepted for transmission.", msgs)
 	counter("nccd_engine_words_total", "Payload words accepted for transmission.", words)
 
+	heap, goroutines, gcPause := runtimeGauges()
+	gauge("nccd_heap_bytes", "Live heap memory (runtime/metrics heap objects).", heap)
+	gauge("nccd_goroutines", "Goroutines currently live.", goroutines)
+	gauge("nccd_gc_pause_p99_seconds", "Approximate p99 stop-the-world GC pause since process start.", gcPause)
+
 	gauge("nccd_uptime_seconds", "Seconds since the daemon started.", time.Since(m.start).Seconds())
+}
+
+// runtimeGauges samples the runtime/metrics sources surfaced on /metrics:
+// live heap bytes, goroutine count, and an approximate p99 GC pause derived
+// from the runtime's pause-duration histogram.
+func runtimeGauges() (heapBytes, goroutines, gcPauseP99 float64) {
+	samples := []runtimemetrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	runtimemetrics.Read(samples)
+	if samples[0].Value.Kind() == runtimemetrics.KindUint64 {
+		heapBytes = float64(samples[0].Value.Uint64())
+	}
+	if samples[1].Value.Kind() == runtimemetrics.KindUint64 {
+		goroutines = float64(samples[1].Value.Uint64())
+	}
+	if samples[2].Value.Kind() == runtimemetrics.KindFloat64Histogram {
+		gcPauseP99 = histQuantile(samples[2].Value.Float64Histogram(), 0.99)
+	}
+	return heapBytes, goroutines, gcPauseP99
+}
+
+// histQuantile approximates a quantile of a runtime Float64Histogram by the
+// upper bound of the bucket where the cumulative count crosses q.
+func histQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	threshold := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= threshold {
+			// Buckets[i+1] is bucket i's upper bound; the last bucket's bound
+			// may be +Inf, in which case its lower bound is the best finite
+			// answer.
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
 }

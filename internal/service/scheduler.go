@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"time"
 
 	"ncc/internal/graph"
 	"ncc/internal/ncc"
+	"ncc/internal/obs"
 	"ncc/internal/param"
 	"ncc/internal/scenario"
 )
@@ -78,15 +81,17 @@ type LocalBackend struct {
 	wg     sync.WaitGroup
 	m      *metrics
 	cache  CacheTier
+	log    *slog.Logger
 }
 
-func newLocalBackend(budget, executors, queueLimit int, c CacheTier, m *metrics) *LocalBackend {
+func newLocalBackend(budget, executors, queueLimit int, c CacheTier, m *metrics, log *slog.Logger) *LocalBackend {
 	b := &LocalBackend{
 		budget: budget,
 		queue:  make(chan *Job, queueLimit),
 		pool:   newTokenPool(budget),
 		m:      m,
 		cache:  c,
+		log:    log,
 	}
 	for i := 0; i < executors; i++ {
 		b.wg.Add(1)
@@ -178,12 +183,26 @@ func (b *LocalBackend) runJob(j *Job) {
 	}
 	b.m.jobsRunning.Add(1)
 	defer b.m.jobsRunning.Add(-1)
+	b.log.Info("job running", "job", j.ID, "trace", j.TraceID)
+	// Every executed job records its telemetry trace. The canonical lines are
+	// deterministic (no timing lines here — the collector stays canonical-only
+	// so local and cluster traces are byte-identical), so caching the trace
+	// alongside the records preserves the replay guarantee.
+	col := &obs.Collector{}
+	// The probe below runs on the engine's coordinator goroutine; lastRound is
+	// reset before each run so queue/build time is not charged to round 0.
+	var lastRound time.Time
+	probe := func(ncc.RoundSample, []ncc.ShardTiming) {
+		b.m.roundDuration.observeSince(lastRound)
+		lastRound = time.Now()
+	}
 	for _, c := range j.Scenario.Expand() {
 		if j.canceled() {
 			break
 		}
 		got := b.pool.acquire(b.workersFor(c))
-		rec, err := scenario.RunOneWith(c, scenario.RunOpts{Cancel: j.cancel, Workers: got})
+		lastRound = time.Now()
+		rec, err := scenario.RunTraced(c, col, scenario.RunOpts{Cancel: j.cancel, Workers: got, Probe: probe})
 		b.pool.release(got)
 		if err != nil {
 			if errors.Is(err, ncc.ErrCanceled) {
@@ -197,19 +216,28 @@ func (b *LocalBackend) runJob(j *Job) {
 		if merr != nil {
 			j.finish(StateFailed, fmt.Sprintf("encoding record: %v", merr))
 			b.m.jobsFailed.Add(1)
+			b.log.Error("job failed", "job", j.ID, "trace", j.TraceID, "err", merr)
 			return
 		}
 		j.appendLine(line)
 		b.m.recordsProduced.Add(1)
+		if tl := col.TakeLines(); len(tl) > 0 {
+			j.appendTraceLines(tl)
+			b.m.traceLinesProduced.Add(int64(len(tl)))
+		}
 	}
 	if j.canceled() {
 		j.finish(StateCanceled, "")
 		b.m.jobsCanceled.Add(1)
+		b.log.Info("job canceled", "job", j.ID, "trace", j.TraceID)
 		return
 	}
 	j.finish(StateDone, "")
 	b.m.jobsDone.Add(1)
-	if err := b.cache.put(j.Hash, j.resultLines()); err != nil {
+	b.m.jobLatency.observeSince(j.Submitted)
+	b.log.Info("job done", "job", j.ID, "trace", j.TraceID, "records", j.lineCount())
+	lines, trace := j.resultLines()
+	if err := b.cache.put(j.Hash, lines, trace); err != nil {
 		// Disk persistence is best-effort; the in-memory entry is in place.
 		b.m.cacheWriteErrors.Add(1)
 	}

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -82,6 +84,19 @@ type Config struct {
 	// authenticates coordinator→worker dispatch and worker→coordinator
 	// registration, so one shared secret secures the whole cluster.
 	ClusterToken string
+
+	// Pprof serves net/http/pprof under /debug/pprof/ on the same mux. Like
+	// /healthz and /metrics it is deliberately outside the cluster-token guard
+	// (the guard covers /v1/ only): profiles carry no scenario data, and
+	// profiling tooling cannot send bearer tokens. Leave it off on daemons
+	// exposed beyond a trusted network.
+	Pprof bool
+
+	// Logger receives the service's structured logs — job admissions and
+	// terminal states, cluster dispatches, worker membership — each carrying
+	// the job/trace/worker ids needed to correlate a log line with its trace
+	// stream and metrics series. Nil discards logs (tests, embedding).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.JobAttempts <= 0 {
 		c.JobAttempts = 3
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -137,7 +155,7 @@ type Server struct {
 // (creating the cache directory if configured).
 func New(cfg Config) (*Server, error) {
 	return build(cfg, func(cfg Config, c CacheTier, m *metrics) (ExecBackend, *RemoteBackend) {
-		return newLocalBackend(cfg.WorkerBudget, cfg.Executors, cfg.QueueLimit, c, m), nil
+		return newLocalBackend(cfg.WorkerBudget, cfg.Executors, cfg.QueueLimit, c, m, cfg.Logger), nil
 	})
 }
 
@@ -194,6 +212,7 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET    /v1/jobs              list jobs in submission order (?state=, ?limit=)
 //	GET    /v1/jobs/{id}         one job's status
 //	GET    /v1/jobs/{id}/records NDJSON record stream, live while the job runs
+//	GET    /v1/jobs/{id}/trace   NDJSON telemetry trace (internal/obs format)
 //	POST   /v1/jobs/{id}/cancel  cancel a queued or running job
 //	DELETE /v1/jobs/{id}         same as cancel (idiomatic client teardown)
 //	GET    /healthz              liveness (and drain state)
@@ -217,13 +236,15 @@ func (s *Server) Drain(ctx context.Context) error {
 //	PUT    /v1/graphs/{hash}     upload a .nccg graph (validated, idempotent)
 //	GET    /v1/graphs/{hash}     download a stored graph's bytes
 //
-// With ClusterToken set, every /v1/ route requires the bearer token.
+// With ClusterToken set, every /v1/ route requires the bearer token. With
+// Pprof set, net/http/pprof is served under /debug/pprof/ (token-exempt).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
@@ -240,6 +261,13 @@ func (s *Server) Handler() http.Handler {
 	if s.graphs != nil {
 		mux.HandleFunc("GET /v1/graphs/{hash}", s.handleGraphGet)
 		mux.HandleFunc("PUT /v1/graphs/{hash}", s.handleGraphPut)
+	}
+	if s.cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	if s.cfg.ClusterToken != "" {
 		return requireToken(s.cfg.ClusterToken, mux)
@@ -324,14 +352,15 @@ func (s *Server) admitDetail(sc scenario.Scenario, hash string) (j *Job, coalesc
 	// file I/O. A hit that lands between this lookup and the lock merely
 	// costs a redundant execution — coalescing in Admit still catches
 	// in-flight twins.
-	cached, hit := s.cache.get(hash)
+	cached, cachedTrace, hit := s.cache.get(hash)
 
-	j, coalesced, err = s.store.Admit(sc, hash, cached, hit, s.backend.Submit)
+	j, coalesced, err = s.store.Admit(sc, hash, cached, cachedTrace, hit, s.backend.Submit)
 	if err != nil {
 		return nil, false, err
 	}
 	if coalesced {
 		s.m.jobsCoalesced.Add(1)
+		s.cfg.Logger.Debug("submission coalesced", "job", j.ID, "trace", j.TraceID, "scenario", hash)
 		return j, true, nil
 	}
 	if hit {
@@ -340,6 +369,7 @@ func (s *Server) admitDetail(sc scenario.Scenario, hash string) (j *Job, coalesc
 		s.m.cacheMisses.Add(1)
 	}
 	s.m.jobsSubmitted.Add(1)
+	s.cfg.Logger.Info("job admitted", "job", j.ID, "trace", j.TraceID, "scenario", hash, "cached", hit)
 	return j, false, nil
 }
 
@@ -403,6 +433,17 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.hub.Serve(w, r, j)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("X-NCC-Job-Id", j.ID)
+	w.Header().Set("X-NCC-Trace-Id", j.TraceID)
+	s.hub.ServeTrace(w, r, j)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -38,10 +38,11 @@ func newJobStore(retain int) *JobStore {
 // Admit registers a submission under the store lock, atomically with respect
 // to coalescing and drain. An identical live job (same hash, not terminal) is
 // returned with coalesced = true and nothing new is created. With hit set,
-// the new job completes immediately from cachedLines; otherwise start — the
-// backend's Submit — runs while the lock is held (so two racing identical
-// submissions cannot both enqueue), and its error aborts the admission.
-func (st *JobStore) Admit(sc scenario.Scenario, hash string, cachedLines [][]byte, hit bool, start func(*Job) error) (j *Job, coalesced bool, err error) {
+// the new job completes immediately from cachedLines and cachedTrace;
+// otherwise start — the backend's Submit — runs while the lock is held (so
+// two racing identical submissions cannot both enqueue), and its error aborts
+// the admission.
+func (st *JobStore) Admit(sc scenario.Scenario, hash string, cachedLines, cachedTrace [][]byte, hit bool, start func(*Job) error) (j *Job, coalesced bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.draining {
@@ -60,7 +61,7 @@ func (st *JobStore) Admit(sc scenario.Scenario, hash string, cachedLines [][]byt
 	st.nextID++
 	j = newJob(fmt.Sprintf("j%06d", st.nextID), hash, sc)
 	if hit {
-		j.completeFromCache(cachedLines)
+		j.completeFromCache(cachedLines, cachedTrace)
 	} else {
 		if err := start(j); err != nil {
 			st.nextID--

@@ -1,13 +1,17 @@
 package service
 
-import "net/http"
+import (
+	"net/http"
+	"sync/atomic"
+)
 
-// StreamHub fans a job's NDJSON record log out to any number of HTTP
-// streaming clients. It is purely a consumer of the Job abstraction — lines
-// land in the log via ExecBackend (executed locally or proxied from a cluster
-// worker) and the hub replays them byte-identically: everything produced so
-// far, then live lines as they arrive, terminating when the job reaches a
-// terminal state or the client goes away.
+// StreamHub fans a job's NDJSON logs out to any number of HTTP streaming
+// clients. It is purely a consumer of the Job abstraction — lines land in the
+// logs via ExecBackend (executed locally or proxied from a cluster worker)
+// and the hub replays them byte-identically: everything produced so far, then
+// live lines as they arrive, terminating when the job reaches a terminal
+// state or the client goes away. Records and traces are two logs on the same
+// job, served by the same loop.
 type StreamHub struct {
 	m *metrics
 }
@@ -22,12 +26,24 @@ func newStreamHub(m *metrics) *StreamHub {
 // so a semantically identical re-spelling sees the first submission's record
 // echoes (display name, workers, sweep-axis order).
 func (h *StreamHub) Serve(w http.ResponseWriter, r *http.Request, j *Job) {
+	h.serve(w, r, j.next, &h.m.recordsStreamed)
+}
+
+// ServeTrace streams j's telemetry trace (internal/obs NDJSON). The same
+// byte-identity guarantee applies: the trace is deterministic, so every
+// consumer — live, late, cached, proxied — reads the same stream.
+func (h *StreamHub) ServeTrace(w http.ResponseWriter, r *http.Request, j *Job) {
+	h.serve(w, r, j.nextTrace, &h.m.traceLinesStreamed)
+}
+
+func (h *StreamHub) serve(w http.ResponseWriter, r *http.Request,
+	next func(int) ([][]byte, bool, <-chan struct{}), streamed *atomic.Int64) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	sent := 0
 	for {
-		lines, terminal, changed := j.next(sent)
+		lines, terminal, changed := next(sent)
 		for _, ln := range lines {
 			if _, err := w.Write(ln); err != nil {
 				return
@@ -35,7 +51,7 @@ func (h *StreamHub) Serve(w http.ResponseWriter, r *http.Request, j *Job) {
 			if _, err := w.Write([]byte{'\n'}); err != nil {
 				return
 			}
-			h.m.recordsStreamed.Add(1)
+			streamed.Add(1)
 		}
 		sent += len(lines)
 		if len(lines) > 0 && flusher != nil {

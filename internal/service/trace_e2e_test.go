@@ -1,0 +1,117 @@
+package service_test
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+
+	"ncc/internal/obs"
+	"ncc/internal/scenario"
+	"ncc/internal/service"
+)
+
+// localTrace renders js's telemetry trace exactly as the daemon's scheduler
+// does: every expanded run through one canonical-only collector.
+func localTrace(t *testing.T, js string) []byte {
+	t.Helper()
+	s, err := scenario.Decode([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{}
+	for _, c := range s.Expand() {
+		if _, err := scenario.RunTraced(c, col, scenario.RunOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return col.Bytes()
+}
+
+// fetchTrace GETs a job's trace stream and returns body plus the correlation
+// headers.
+func fetchTrace(t *testing.T, base, id string) (body []byte, jobID, traceID string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: status %d", resp.StatusCode)
+	}
+	jobID = resp.Header.Get("X-NCC-Job-Id")
+	traceID = resp.Header.Get("X-NCC-Trace-Id")
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), jobID, traceID
+}
+
+// TestTraceEndToEnd is the trace plane's acceptance test against a local
+// daemon: the streamed trace validates, matches a local in-process execution
+// byte-for-byte, survives the result cache byte-identically, and carries the
+// job/trace correlation headers.
+func TestTraceEndToEnd(t *testing.T) {
+	want := localTrace(t, sweepJSON)
+	ts := newTestServer(t, service.Config{WorkerBudget: 4, Executors: 2})
+
+	info := submit(t, ts.URL, sweepJSON)
+	waitState(t, ts.URL, info.ID, service.StateDone, 60*time.Second)
+	if info.TraceID == "" {
+		t.Fatal("JobInfo has no trace id")
+	}
+
+	got, jobID, traceID := fetchTrace(t, ts.URL, info.ID)
+	if err := obs.Validate(got); err != nil {
+		t.Fatalf("streamed trace invalid: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed trace differs from local run:\nlocal: %q\ndaemon: %q", want, got)
+	}
+	if jobID != info.ID || traceID != info.TraceID {
+		t.Fatalf("trace headers job=%q trace=%q, want %q/%q", jobID, traceID, info.ID, info.TraceID)
+	}
+
+	// A cached re-submission replays the identical trace under the same trace
+	// id (it is derived from the scenario hash, not the job).
+	info2 := submit(t, ts.URL, sweepJSON)
+	if !info2.Cached {
+		t.Fatal("re-submission missed the cache")
+	}
+	if info2.TraceID != info.TraceID {
+		t.Fatalf("cached job trace id %q, want %q", info2.TraceID, info.TraceID)
+	}
+	got2, _, _ := fetchTrace(t, ts.URL, info2.ID)
+	if !bytes.Equal(got2, want) {
+		t.Fatal("cached trace differs from the original")
+	}
+}
+
+// TestTraceClusterByteIdentity pins the cross-deployment guarantee: the trace
+// a coordinator proxies from a worker fleet is byte-identical to a local
+// in-process execution of the same (faulted) sweep.
+func TestTraceClusterByteIdentity(t *testing.T) {
+	const faulted = `{"name":"trace-faulted","algo":"mis","graph":{"family":"kforest","params":{"n":24,"k":2},"seed":3},"model":{"seed":3},"faults":{"models":[{"model":"crash","params":{"count":4,"round":2}}]},"sweep":{"seeds":[1,2,3]}}`
+	want := localTrace(t, faulted)
+
+	coord := newCoordinator(t, service.Config{WorkerTTL: time.Minute})
+	w1 := newTestServer(t, service.Config{WorkerBudget: 2, Executors: 1})
+	w2 := newTestServer(t, service.Config{WorkerBudget: 2, Executors: 1})
+	registerWorker(t, coord.URL, "w1", w1.URL, 1)
+	registerWorker(t, coord.URL, "w2", w2.URL, 1)
+
+	info := submit(t, coord.URL, faulted)
+	waitState(t, coord.URL, info.ID, service.StateDone, 60*time.Second)
+	got, _, traceID := fetchTrace(t, coord.URL, info.ID)
+	if err := obs.Validate(got); err != nil {
+		t.Fatalf("proxied trace invalid: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cluster trace differs from local execution:\nlocal: %d bytes\ncluster: %d bytes", len(want), len(got))
+	}
+	if traceID != info.TraceID {
+		t.Fatalf("proxied trace id %q, want %q", traceID, info.TraceID)
+	}
+}
